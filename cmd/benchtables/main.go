@@ -1,0 +1,27 @@
+// Command benchtables regenerates every experiment table of
+// EXPERIMENTS.md from live measurements:
+//
+//	benchtables           # full sizes
+//	benchtables -quick    # smaller sizes for a fast smoke run
+//	benchtables -id CLAIM-T42-data
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mdlog/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use smaller experiment sizes")
+	id := flag.String("id", "", "run only the experiment with this id")
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+	for _, t := range experiments.All(cfg) {
+		if *id != "" && t.ID != *id {
+			continue
+		}
+		fmt.Println(t.Markdown())
+	}
+}

@@ -1,0 +1,65 @@
+// Command elogwrap runs an Elog⁻ / Elog⁻Δ wrapper on an HTML document
+// and prints the extracted tree as XML:
+//
+//	elogwrap -program wrapper.elog -html page.html
+//	elogwrap -program wrapper.elog -html page.html -patterns item,price
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdlog/internal/elog"
+	"mdlog/internal/html"
+	"mdlog/internal/wrap"
+)
+
+func main() {
+	var (
+		programFile = flag.String("program", "", "Elog program file (required)")
+		htmlFile    = flag.String("html", "", "HTML document file (required)")
+		patterns    = flag.String("patterns", "", "comma-separated patterns to extract (default: all)")
+		keepText    = flag.Bool("text", true, "copy #text content into the output")
+		showAssign  = flag.Bool("assign", false, "also print the node assignment per pattern")
+	)
+	flag.Parse()
+	if *programFile == "" || *htmlFile == "" {
+		fail("need -program and -html")
+	}
+	src, err := os.ReadFile(*programFile)
+	if err != nil {
+		fail("%v", err)
+	}
+	prog, err := elog.ParseProgram(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	page, err := os.ReadFile(*htmlFile)
+	if err != nil {
+		fail("%v", err)
+	}
+	doc := html.Parse(string(page))
+	w := &wrap.ElogWrapper{Program: prog, Options: wrap.Options{KeepText: *keepText}}
+	if *patterns != "" {
+		w.Extract = strings.Split(*patterns, ",")
+	}
+	out, assign, err := w.Run(doc)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *showAssign {
+		for pat, ids := range assign {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pat, ids)
+		}
+	}
+	if err := wrap.WriteXML(os.Stdout, out); err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "elogwrap: "+format+"\n", args...)
+	os.Exit(1)
+}

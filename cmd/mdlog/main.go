@@ -1,0 +1,94 @@
+// Command mdlog evaluates a monadic datalog program on a document
+// tree with a selectable engine:
+//
+//	mdlog -program wrapper.dl -tree 'a(b,c(d))' -engine linear
+//	mdlog -program wrapper.dl -html page.html -pred item
+//
+// The program may designate a query predicate with "?- pred."; -pred
+// restricts output to one predicate, otherwise all intensional
+// predicates are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/html"
+	"mdlog/internal/tree"
+)
+
+func main() {
+	var (
+		programFile = flag.String("program", "", "datalog program file (required)")
+		treeArg     = flag.String("tree", "", "tree in term syntax, e.g. a(b,c)")
+		treeFile    = flag.String("treefile", "", "file containing a tree in term syntax")
+		htmlFile    = flag.String("html", "", "HTML document file")
+		engineArg   = flag.String("engine", "linear", "engine: linear, seminaive, naive, lit")
+		predArg     = flag.String("pred", "", "print only this predicate")
+		showTree    = flag.Bool("print-tree", false, "print the document tree with node ids")
+	)
+	flag.Parse()
+	if *programFile == "" {
+		fail("missing -program")
+	}
+	src, err := os.ReadFile(*programFile)
+	if err != nil {
+		fail("%v", err)
+	}
+	prog, err := datalog.ParseProgram(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	t, err := loadTree(*treeArg, *treeFile, *htmlFile)
+	if err != nil {
+		fail("%v", err)
+	}
+	engine, err := eval.ParseEngine(*engineArg)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *showTree {
+		fmt.Print(t.Pretty())
+	}
+	res, err := eval.EvalOnTree(prog, t, engine)
+	if err != nil {
+		fail("%v", err)
+	}
+	preds := prog.IntensionalPreds()
+	if *predArg != "" {
+		preds = []string{*predArg}
+	} else if prog.Query != "" {
+		preds = []string{prog.Query}
+	}
+	for _, pred := range preds {
+		fmt.Printf("%s: %v\n", pred, res.UnarySet(pred))
+	}
+}
+
+func loadTree(term, termFile, htmlFile string) (*tree.Tree, error) {
+	switch {
+	case term != "":
+		return tree.Parse(term)
+	case termFile != "":
+		b, err := os.ReadFile(termFile)
+		if err != nil {
+			return nil, err
+		}
+		return tree.Parse(string(b))
+	case htmlFile != "":
+		b, err := os.ReadFile(htmlFile)
+		if err != nil {
+			return nil, err
+		}
+		return html.Parse(string(b)), nil
+	}
+	return nil, fmt.Errorf("provide -tree, -treefile or -html")
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "mdlog: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command msoc compiles a unary MSO query to monadic datalog
+// (Theorem 4.4) and optionally evaluates it:
+//
+//	msoc -formula 'exists y (child(x,y) & label_b(y))' -alphabet a,b
+//	msoc -formula 'leaf(x)' -alphabet a,b -tree 'a(b,a(b))'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mdlog/internal/eval"
+	"mdlog/internal/mso"
+	"mdlog/internal/tree"
+)
+
+func main() {
+	var (
+		formula  = flag.String("formula", "", "MSO formula with one free first-order variable (required)")
+		alphabet = flag.String("alphabet", "a,b", "comma-separated document alphabet Σ")
+		treeArg  = flag.String("tree", "", "evaluate on this tree (term syntax) instead of printing the program")
+		stats    = flag.Bool("stats", false, "print automaton/program size statistics")
+	)
+	flag.Parse()
+	if *formula == "" {
+		fail("missing -formula")
+	}
+	f, err := mso.Parse(*formula)
+	if err != nil {
+		fail("%v", err)
+	}
+	q, err := mso.CompileQuery(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	labels := strings.Split(*alphabet, ",")
+	prog, err := q.ToDatalog(labels, "mso_select")
+	if err != nil {
+		fail("%v", err)
+	}
+	if *stats {
+		fmt.Printf("automaton states: %d\nautomaton transitions: %d\ndatalog rules: %d\n",
+			q.C.DTA.NumStates, q.C.DTA.NumTransitions(), len(prog.Rules))
+		return
+	}
+	if *treeArg != "" {
+		t, err := tree.Parse(*treeArg)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("automaton:  %v\n", q.Select(t))
+		res, err := eval.LinearTree(prog, t)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("datalog:    %v\n", res.UnarySet("mso_select"))
+		return
+	}
+	fmt.Print(prog.String())
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "msoc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command tmnf normalizes a monadic datalog program over
+// τ_ur ∪ {child, lastchild} into Tree-Marking Normal Form
+// (Theorem 5.2) and prints the result:
+//
+//	tmnf -program wrapper.dl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/tmnf"
+)
+
+func main() {
+	programFile := flag.String("program", "", "datalog program file (required)")
+	stats := flag.Bool("stats", false, "print size statistics instead of the program")
+	flag.Parse()
+	if *programFile == "" {
+		fmt.Fprintln(os.Stderr, "tmnf: missing -program")
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(*programFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := datalog.ParseProgram(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := tmnf.Transform(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tmnf.IsTMNF(out); err != nil {
+		fmt.Fprintf(os.Stderr, "tmnf: internal error, output not TMNF: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Printf("input rules:  %d\noutput rules: %d\n", len(prog.Rules), len(out.Rules))
+		return
+	}
+	fmt.Print(out.String())
+}

@@ -1,0 +1,54 @@
+// Quickstart: parse an HTML page, write a three-rule Elog⁻ wrapper,
+// and print the extracted tree — the minimal end-to-end path through
+// the library (HTML front end → Elog⁻ → monadic datalog → TMNF →
+// linear-time evaluation → output tree).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	mdlog "mdlog"
+	"mdlog/internal/wrap"
+)
+
+const page = `
+<html><body>
+  <h1>Spring reading list</h1>
+  <ul class="books">
+    <li><b>The Art of Trees</b> <span>12.50</span></li>
+    <li><b>Monadic Tales</b> <span>8.99</span></li>
+    <li><b>Datalog at Dawn</b> <span>15.00</span></li>
+  </ul>
+</body></html>`
+
+const wrapper = `
+book(x)  :- root(x0), subelem("html.body.ul.li", x0, x).
+title(x) :- book(x0), subelem("b.#text", x0, x).
+price(x) :- book(x0), subelem("span.#text", x0, x).
+`
+
+func main() {
+	doc := mdlog.ParseHTML(page)
+	fmt.Println("Document tree:")
+	fmt.Print(doc.Pretty())
+
+	prog, err := mdlog.ParseElog(wrapper)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := &mdlog.ElogWrapper{Program: prog, Options: wrap.Options{KeepText: true}}
+	out, assign, err := w.Run(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Pattern assignment:")
+	for _, pat := range prog.Patterns() {
+		fmt.Printf("  %-6s -> nodes %v\n", pat, assign[pat])
+	}
+	fmt.Println("\nExtracted tree:")
+	if err := wrap.WriteXML(os.Stdout, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildABStar returns an NFA for (ab)* over symbols {0:a, 1:b}.
+func buildABStar() *NFA {
+	n := NewNFA(2, 2)
+	n.AddTransition(0, 0, 1)
+	n.AddTransition(1, 1, 0)
+	n.Accept[0] = true
+	return n
+}
+
+func TestNFAAccepts(t *testing.T) {
+	n := buildABStar()
+	cases := []struct {
+		w    []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 1, 0, 1}, true},
+		{[]int{0}, false},
+		{[]int{1, 0}, false},
+		{[]int{0, 0}, false},
+	}
+	for _, c := range cases {
+		if got := n.AcceptsWord(c.w); got != c.want {
+			t.Errorf("AcceptsWord(%v) = %v", c.w, got)
+		}
+	}
+}
+
+func TestEpsilonClosure(t *testing.T) {
+	// a? b via epsilon: 0 -ε-> 1, 0 -a-> 1, 1 -b-> 2(accept)
+	n := NewNFA(3, 2)
+	n.AddEps(0, 1)
+	n.AddTransition(0, 0, 1)
+	n.AddTransition(1, 1, 2)
+	n.Accept[2] = true
+	if !n.AcceptsWord([]int{1}) || !n.AcceptsWord([]int{0, 1}) {
+		t.Error("epsilon handling wrong")
+	}
+	if n.AcceptsWord([]int{0}) || n.AcceptsWord(nil) {
+		t.Error("false accept")
+	}
+}
+
+func TestDeterminizeAgreesWithNFA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		states := 2 + rng.Intn(5)
+		n := NewNFA(states, 2)
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			n.AddTransition(rng.Intn(states), rng.Intn(2), rng.Intn(states))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			n.AddEps(rng.Intn(states), rng.Intn(states))
+		}
+		n.Accept[rng.Intn(states)] = true
+		d := n.Determinize()
+		// Compare on all words up to length 6.
+		var word []int
+		var rec func(depth int) bool
+		rec = func(depth int) bool {
+			if n.AcceptsWord(word) != d.AcceptsWord(word) {
+				return false
+			}
+			if depth == 0 {
+				return true
+			}
+			for s := 0; s < 2; s++ {
+				word = append(word, s)
+				if !rec(depth - 1) {
+					return false
+				}
+				word = word[:len(word)-1]
+			}
+			return true
+		}
+		return rec(6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFAOps(t *testing.T) {
+	ab := buildABStar().Determinize()
+	comp := ab.Complement()
+	if comp.AcceptsWord([]int{0, 1}) || !comp.AcceptsWord([]int{0}) {
+		t.Error("complement wrong")
+	}
+	// (ab)* ∩ complement((ab)*) = ∅
+	if !ab.Intersect(comp).IsEmpty() {
+		t.Error("A ∩ ¬A must be empty")
+	}
+	if ab.IsEmpty() {
+		t.Error("(ab)* is nonempty")
+	}
+	ok, _ := Contained(ab, ab)
+	if !ok {
+		t.Error("A ⊆ A must hold")
+	}
+	// (ab)* ⊄ {ab}: counterexample expected (ε or abab).
+	single := WordNFAFromString([]int{0, 1}, 2).Determinize()
+	ok, cex := Contained(ab, single)
+	if ok {
+		t.Error("(ab)* ⊆ {ab} must fail")
+	}
+	if single.AcceptsWord(cex) || !ab.AcceptsWord(cex) {
+		t.Errorf("bad counterexample %v", cex)
+	}
+	ok, _ = Contained(single, ab)
+	if !ok {
+		t.Error("{ab} ⊆ (ab)* must hold")
+	}
+}
+
+func TestSomeWordShortest(t *testing.T) {
+	// Language {aab}: shortest word is aab itself.
+	d := WordNFAFromString([]int{0, 0, 1}, 2).Determinize()
+	w, ok := d.SomeWord()
+	if !ok || len(w) != 3 || w[0] != 0 || w[1] != 0 || w[2] != 1 {
+		t.Errorf("SomeWord = %v, %v", w, ok)
+	}
+	if _, ok := d.Intersect(d.Complement()).SomeWord(); ok {
+		t.Error("empty language yielded a word")
+	}
+}
+
+func TestUVW(t *testing.T) {
+	// (q1 q0)* over symbols q1=1, q0=0 — Example 4.15's L1.
+	l1 := UVW{V: []int{1, 0}}
+	// (q1 q0)* q1 — Example 4.15's L2.
+	l2 := UVW{V: []int{1, 0}, W: []int{1}}
+	if !l1.Matches(nil) || !l1.Matches([]int{1, 0, 1, 0}) || l1.Matches([]int{1, 0, 1}) {
+		t.Error("l1 wrong")
+	}
+	if !l2.Matches([]int{1}) || !l2.Matches([]int{1, 0, 1}) || l2.Matches([]int{1, 0}) {
+		t.Error("l2 wrong")
+	}
+	// Example 4.15: four children; only l1 has a word of length 4.
+	if w, ok := l1.WordOfLength(4); !ok || len(w) != 4 {
+		t.Error("l1 must have a word of length 4")
+	} else if w[0] != 1 || w[1] != 0 || w[2] != 1 || w[3] != 0 {
+		t.Errorf("l1 word = %v", w)
+	}
+	if _, ok := l2.WordOfLength(4); ok {
+		t.Error("l2 must have no word of length 4")
+	}
+	if _, ok := l2.WordOfLength(3); !ok {
+		t.Error("l2 must have a word of length 3")
+	}
+	u := UVW{U: []int{0}, W: []int{1}}
+	if _, ok := u.WordOfLength(1); ok {
+		t.Error("uw with |uw|=2 cannot produce length 1")
+	}
+	if w, ok := u.WordOfLength(2); !ok || w[0] != 0 || w[1] != 1 {
+		t.Error("uw word wrong")
+	}
+	if _, ok := u.WordOfLength(3); ok {
+		t.Error("empty v cannot stretch")
+	}
+}
+
+// evenA builds a DTA over 1 symbol alphabet, leaf = ⊥, accepting
+// binary-encoded trees with an even number of internal nodes.
+func evenParityDTA() *DTA {
+	d := NewDTA(2, 1, 1)
+	d.LeafTrans[0] = 0
+	for q1 := 0; q1 < 2; q1++ {
+		for q2 := 0; q2 < 2; q2++ {
+			d.SetTrans(q1, q2, 0, (q1+q2+1)%2)
+		}
+	}
+	d.Accept[0] = true
+	return d
+}
+
+// run evaluates a DTA on a shape: nil = leaf, otherwise [left, right].
+type shape struct {
+	l, r *shape
+}
+
+func runDTA(d *DTA, s *shape) int {
+	if s == nil {
+		return d.LeafState(0)
+	}
+	return d.Step(runDTA(d, s.l), runDTA(d, s.r), 0)
+}
+
+func randShape(rng *rand.Rand, budget int) *shape {
+	if budget <= 0 || rng.Intn(3) == 0 {
+		return nil
+	}
+	return &shape{randShape(rng, budget-1), randShape(rng, budget-1)}
+}
+
+func countInternal(s *shape) int {
+	if s == nil {
+		return 0
+	}
+	return 1 + countInternal(s.l) + countInternal(s.r)
+}
+
+func TestDTAParity(t *testing.T) {
+	d := evenParityDTA()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s := randShape(rng, 5)
+		got := d.Accept[runDTA(d, s)]
+		want := countInternal(s)%2 == 0
+		if got != want {
+			t.Fatalf("parity wrong for %d internal nodes", countInternal(s))
+		}
+	}
+}
+
+func TestDTAComplementProduct(t *testing.T) {
+	d := evenParityDTA()
+	c := d.Complement()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		s := randShape(rng, 5)
+		if d.Accept[runDTA(d, s)] == c.Accept[runDTA(c, s)] {
+			t.Fatal("complement agrees with original")
+		}
+	}
+	// d ∧ ¬d ≡ false; d ∨ ¬d ≡ true.
+	conj := Product(d, c, func(a, b bool) bool { return a && b })
+	disj := Product(d, c, func(a, b bool) bool { return a || b })
+	for i := 0; i < 100; i++ {
+		s := randShape(rng, 5)
+		if conj.Accept[runDTA(conj, s)] {
+			t.Fatal("contradiction accepted")
+		}
+		if !disj.Accept[runDTA(disj, s)] {
+			t.Fatal("tautology rejected")
+		}
+	}
+}
+
+func TestDTAMinimize(t *testing.T) {
+	// Build a redundant automaton: parity with duplicated states.
+	d := NewDTA(4, 1, 1)
+	d.LeafTrans[0] = 0
+	for q1 := 0; q1 < 4; q1++ {
+		for q2 := 0; q2 < 4; q2++ {
+			d.SetTrans(q1, q2, 0, (q1%2+q2%2+1)%2*2) // lands in {0, 2}
+		}
+	}
+	d.Accept[0] = true
+	d.Accept[1] = true // unreachable
+	m := d.Minimize()
+	if m.NumStates != 2 {
+		t.Errorf("minimized to %d states, want 2", m.NumStates)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		s := randShape(rng, 5)
+		if d.Accept[runDTA(d, s)] != m.Accept[runDTA(m, s)] {
+			t.Fatal("minimization changed the language")
+		}
+	}
+}
+
+func TestDTAEmptiness(t *testing.T) {
+	d := evenParityDTA()
+	if d.IsEmpty() {
+		t.Error("parity automaton is nonempty")
+	}
+	none := NewDTA(1, 1, 1)
+	none.LeafTrans[0] = 0
+	none.SetTrans(0, 0, 0, 0)
+	if !none.IsEmpty() {
+		t.Error("rejecting automaton must be empty")
+	}
+	// Accepting state unreachable via leaf side only: accept state 1 is
+	// never produced.
+	unreach := NewDTA(2, 1, 1)
+	unreach.LeafTrans[0] = 0
+	for q1 := 0; q1 < 2; q1++ {
+		for q2 := 0; q2 < 2; q2++ {
+			unreach.SetTrans(q1, q2, 0, 0)
+		}
+	}
+	unreach.Accept[1] = true
+	if !unreach.IsEmpty() {
+		t.Error("unreachable accept state should leave language empty")
+	}
+}
+
+func TestNTADeterminize(t *testing.T) {
+	// NTA: guesses whether a ⊥ leaf is "chosen"; accepts if the root
+	// ends in the chosen-propagating state via left spine.
+	n := NewNTA(2, 1, 1)
+	n.LeafTrans[0] = []int{0, 1} // leaf may be plain(0) or chosen(1)
+	for q1 := 0; q1 < 2; q1++ {
+		for q2 := 0; q2 < 2; q2++ {
+			// Propagate chosen only from the left child.
+			n.AddTrans(q1, q2, 0, q1)
+		}
+	}
+	n.Accept[1] = true
+	d := n.Determinize()
+	// Every tree accepts (the leftmost leaf can always be chosen).
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		s := randShape(rng, 4)
+		if !d.Accept[runDTA(d, s)] {
+			t.Fatal("determinized NTA rejects")
+		}
+	}
+}
+
+func TestProjectSymbols(t *testing.T) {
+	// DTA over 2 symbols: accepts iff some node has symbol 1.
+	d := NewDTA(2, 2, 1)
+	d.LeafTrans[0] = 0
+	for q1 := 0; q1 < 2; q1++ {
+		for q2 := 0; q2 < 2; q2++ {
+			for sym := 0; sym < 2; sym++ {
+				r := 0
+				if q1 == 1 || q2 == 1 || sym == 1 {
+					r = 1
+				}
+				d.SetTrans(q1, q2, sym, r)
+			}
+		}
+	}
+	d.Accept[1] = true
+	// Project both symbols onto a single new symbol: now every internal
+	// node may be 0 or 1, so any nonempty tree accepts.
+	n := ProjectSymbols(d, [][]int{{0, 1}}, [][]int{{0}})
+	dd := n.Determinize()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		s := randShape(rng, 4)
+		want := s != nil // at least one internal node
+		if dd.Accept[runDTA(dd, s)] != want {
+			t.Fatal("projection wrong")
+		}
+	}
+}

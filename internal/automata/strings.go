@@ -1,0 +1,395 @@
+// Package automata provides the automata substrates of the paper:
+// finite automata on words (used for caterpillar expressions, Lemma
+// 5.9, and the regular languages of strong unranked query automata,
+// Definition 4.12) and bottom-up tree automata on binary trees in the
+// firstchild/nextsibling encoding (used to realize the classical
+// MSO-to-automaton translation behind Proposition 2.1 and the
+// constructive proof of Theorem 4.4).
+//
+// Symbols are dense nonnegative integers; callers maintain their own
+// alphabet tables.
+package automata
+
+// NFA is a nondeterministic finite automaton with ε-transitions over
+// symbols 0..NumSymbols-1.
+type NFA struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Accept     []bool
+	eps        [][]int
+	trans      []map[int][]int
+}
+
+// NewNFA creates an NFA with the given number of states and symbols;
+// state 0 is the start state unless changed.
+func NewNFA(states, symbols int) *NFA {
+	n := &NFA{
+		NumStates:  states,
+		NumSymbols: symbols,
+		Accept:     make([]bool, states),
+		eps:        make([][]int, states),
+		trans:      make([]map[int][]int, states),
+	}
+	return n
+}
+
+// AddState appends a fresh state and returns its id.
+func (n *NFA) AddState() int {
+	n.NumStates++
+	n.Accept = append(n.Accept, false)
+	n.eps = append(n.eps, nil)
+	n.trans = append(n.trans, nil)
+	return n.NumStates - 1
+}
+
+// AddTransition adds q --sym--> r.
+func (n *NFA) AddTransition(q, sym, r int) {
+	if n.trans[q] == nil {
+		n.trans[q] = map[int][]int{}
+	}
+	n.trans[q][sym] = append(n.trans[q][sym], r)
+}
+
+// AddEps adds an ε-transition q --> r.
+func (n *NFA) AddEps(q, r int) { n.eps[q] = append(n.eps[q], r) }
+
+// epsClosure expands the set (as a bitmap) with ε-reachability.
+func (n *NFA) epsClosure(set []bool) {
+	stack := make([]int, 0, n.NumStates)
+	for q, in := range set {
+		if in {
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range n.eps[q] {
+			if !set[r] {
+				set[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+}
+
+// AcceptsWord runs the NFA on a word.
+func (n *NFA) AcceptsWord(word []int) bool {
+	cur := make([]bool, n.NumStates)
+	cur[n.Start] = true
+	n.epsClosure(cur)
+	for _, sym := range word {
+		next := make([]bool, n.NumStates)
+		for q, in := range cur {
+			if !in || n.trans[q] == nil {
+				continue
+			}
+			for _, r := range n.trans[q][sym] {
+				next[r] = true
+			}
+		}
+		n.epsClosure(next)
+		cur = next
+	}
+	for q, in := range cur {
+		if in && n.Accept[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// Step advances a state bitmap by one symbol in place-free style,
+// returning the new bitmap (ε-closed). Useful for product reachability
+// over graphs (caterpillar evaluation).
+func (n *NFA) Step(cur []bool, sym int) []bool {
+	next := make([]bool, n.NumStates)
+	for q, in := range cur {
+		if !in || n.trans[q] == nil {
+			continue
+		}
+		for _, r := range n.trans[q][sym] {
+			next[r] = true
+		}
+	}
+	n.epsClosure(next)
+	return next
+}
+
+// StartSet returns the ε-closed start bitmap.
+func (n *NFA) StartSet() []bool {
+	cur := make([]bool, n.NumStates)
+	cur[n.Start] = true
+	n.epsClosure(cur)
+	return cur
+}
+
+// Transitions iterates all non-ε transitions, calling f(q, sym, r).
+func (n *NFA) Transitions(f func(q, sym, r int)) {
+	for q, m := range n.trans {
+		for sym, rs := range m {
+			for _, r := range rs {
+				f(q, sym, r)
+			}
+		}
+	}
+}
+
+// EpsTransitions iterates all ε-transitions, calling f(q, r).
+func (n *NFA) EpsTransitions(f func(q, r int)) {
+	for q, rs := range n.eps {
+		for _, r := range rs {
+			f(q, r)
+		}
+	}
+}
+
+// DFA is a complete deterministic finite automaton: Trans[q][sym] is
+// always a valid state.
+type DFA struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Accept     []bool
+	Trans      [][]int
+}
+
+// Determinize performs the subset construction, producing a complete
+// DFA (the empty subset is the sink).
+func (n *NFA) Determinize() *DFA {
+	key := func(set []bool) string {
+		b := make([]byte, (n.NumStates+7)/8)
+		for q, in := range set {
+			if in {
+				b[q/8] |= 1 << (q % 8)
+			}
+		}
+		return string(b)
+	}
+	d := &DFA{NumSymbols: n.NumSymbols}
+	ids := map[string]int{}
+	var sets [][]bool
+	intern := func(set []bool) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(sets)
+		ids[k] = id
+		sets = append(sets, set)
+		acc := false
+		for q, in := range set {
+			if in && n.Accept[q] {
+				acc = true
+				break
+			}
+		}
+		d.Accept = append(d.Accept, acc)
+		d.Trans = append(d.Trans, make([]int, n.NumSymbols))
+		return id
+	}
+	start := intern(n.StartSet())
+	d.Start = start
+	for work := 0; work < len(sets); work++ {
+		for sym := 0; sym < n.NumSymbols; sym++ {
+			d.Trans[work][sym] = intern(n.Step(sets[work], sym))
+		}
+	}
+	d.NumStates = len(sets)
+	return d
+}
+
+// AcceptsWord runs the DFA on a word.
+func (d *DFA) AcceptsWord(word []int) bool {
+	q := d.Start
+	for _, sym := range word {
+		q = d.Trans[q][sym]
+	}
+	return d.Accept[q]
+}
+
+// Complement flips acceptance (the DFA is complete by construction).
+func (d *DFA) Complement() *DFA {
+	c := &DFA{NumStates: d.NumStates, NumSymbols: d.NumSymbols, Start: d.Start,
+		Accept: make([]bool, d.NumStates), Trans: d.Trans}
+	for i, a := range d.Accept {
+		c.Accept[i] = !a
+	}
+	return c
+}
+
+// Intersect builds the product automaton accepting L(d) ∩ L(e).
+func (d *DFA) Intersect(e *DFA) *DFA {
+	if d.NumSymbols != e.NumSymbols {
+		panic("automata: alphabet mismatch")
+	}
+	p := &DFA{NumSymbols: d.NumSymbols}
+	ids := map[[2]int]int{}
+	var pairs [][2]int
+	intern := func(a, b int) int {
+		k := [2]int{a, b}
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(pairs)
+		ids[k] = id
+		pairs = append(pairs, k)
+		p.Accept = append(p.Accept, d.Accept[a] && e.Accept[b])
+		p.Trans = append(p.Trans, make([]int, p.NumSymbols))
+		return id
+	}
+	p.Start = intern(d.Start, e.Start)
+	for w := 0; w < len(pairs); w++ {
+		a, b := pairs[w][0], pairs[w][1]
+		for sym := 0; sym < p.NumSymbols; sym++ {
+			p.Trans[w][sym] = intern(d.Trans[a][sym], e.Trans[b][sym])
+		}
+	}
+	p.NumStates = len(pairs)
+	return p
+}
+
+// IsEmpty reports whether no accepting state is reachable.
+func (d *DFA) IsEmpty() bool {
+	seen := make([]bool, d.NumStates)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[q] {
+			return false
+		}
+		for _, r := range d.Trans[q] {
+			if !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return true
+}
+
+// SomeWord returns a shortest accepted word, or nil, false if the
+// language is empty. Useful for containment counterexamples.
+func (d *DFA) SomeWord() ([]int, bool) {
+	type pred struct{ state, sym int }
+	from := make([]pred, d.NumStates)
+	seen := make([]bool, d.NumStates)
+	queue := []int{d.Start}
+	seen[d.Start] = true
+	from[d.Start] = pred{-1, -1}
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		if d.Accept[q] {
+			var word []int
+			for cur := q; from[cur].state != -1; cur = from[cur].state {
+				word = append(word, from[cur].sym)
+			}
+			// reverse
+			for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+				word[i], word[j] = word[j], word[i]
+			}
+			return word, true
+		}
+		for sym, r := range d.Trans[q] {
+			if !seen[r] {
+				seen[r] = true
+				from[r] = pred{q, sym}
+				queue = append(queue, r)
+			}
+		}
+	}
+	return nil, false
+}
+
+// Contained reports whether L(d) ⊆ L(e), returning a counterexample
+// word otherwise.
+func Contained(d, e *DFA) (bool, []int) {
+	inter := d.Intersect(e.Complement())
+	if w, ok := inter.SomeWord(); ok {
+		return false, w
+	}
+	return true, nil
+}
+
+// WordNFAFromString builds an NFA accepting exactly the given word
+// (used for the uv*w languages of Definition 4.12, Proposition 4.13).
+func WordNFAFromString(word []int, symbols int) *NFA {
+	n := NewNFA(len(word)+1, symbols)
+	for i, sym := range word {
+		n.AddTransition(i, sym, i+1)
+	}
+	n.Accept[len(word)] = true
+	return n
+}
+
+// UVWLanguage represents a constant-density regular language u v* w
+// (Proposition 4.13: every regular language of constant density is a
+// finite union of such expressions).
+type UVW struct {
+	U, V, W []int
+}
+
+// Matches reports whether word ∈ u v* w.
+func (l UVW) Matches(word []int) bool {
+	n := len(word)
+	fixed := len(l.U) + len(l.W)
+	if n < fixed {
+		return false
+	}
+	rep := n - fixed
+	if len(l.V) == 0 {
+		if rep != 0 {
+			return false
+		}
+	} else if rep%len(l.V) != 0 {
+		return false
+	}
+	pos := 0
+	for _, s := range l.U {
+		if word[pos] != s {
+			return false
+		}
+		pos++
+	}
+	for ; pos < n-len(l.W); pos++ {
+		if word[pos] != l.V[(pos-len(l.U))%len(l.V)] {
+			return false
+		}
+	}
+	for _, s := range l.W {
+		if word[pos] != s {
+			return false
+		}
+		pos++
+	}
+	return true
+}
+
+// WordOfLength returns the unique word of the given length in u v* w,
+// if any (constant-density languages have at most d words per length;
+// for a single uv*w expression it is unique).
+func (l UVW) WordOfLength(n int) ([]int, bool) {
+	fixed := len(l.U) + len(l.W)
+	if n < fixed {
+		return nil, false
+	}
+	rep := n - fixed
+	if len(l.V) == 0 {
+		if rep != 0 {
+			return nil, false
+		}
+	} else if rep%len(l.V) != 0 {
+		return nil, false
+	}
+	word := make([]int, 0, n)
+	word = append(word, l.U...)
+	for len(word) < n-len(l.W) {
+		word = append(word, l.V[(len(word)-len(l.U))%len(l.V)])
+	}
+	word = append(word, l.W...)
+	return word, true
+}

@@ -1,0 +1,315 @@
+// Package caterpillar implements the caterpillar expressions of
+// Section 2 of Gottlob & Koch (PODS 2002) — regular path expressions
+// over the binary relations of τ_ur extended with inversion and unary
+// relation tests — together with:
+//
+//   - inversion pushdown (Propositions 2.3 / 2.4),
+//   - evaluation over trees (the binary relation [[E]]),
+//   - the document order expression of Example 2.5,
+//   - compilation into monadic datalog (Lemma 5.9, Example 5.10),
+//   - containment of unary caterpillar queries (Corollary 5.12).
+package caterpillar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a caterpillar expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+type (
+	// Rel is an atomic binary relation of τ_ur: "firstchild",
+	// "nextsibling", or the derived "child" (Example 5.10).
+	Rel struct{ Name string }
+
+	// Test is a unary relation used as an identity filter:
+	// [[P]] = {⟨x,x⟩ | P(x)} — "root", "leaf", "lastsibling",
+	// "firstsibling", or "label_<a>".
+	Test struct{ Name string }
+
+	// Concat is E1.E2.
+	Concat struct{ L, R Expr }
+
+	// Union is E1 ∪ E2.
+	Union struct{ L, R Expr }
+
+	// Star is E*.
+	Star struct{ E Expr }
+
+	// Inv is E⁻¹.
+	Inv struct{ E Expr }
+)
+
+func (Rel) isExpr()    {}
+func (Test) isExpr()   {}
+func (Concat) isExpr() {}
+func (Union) isExpr()  {}
+func (Star) isExpr()   {}
+func (Inv) isExpr()    {}
+
+func (e Rel) String() string  { return e.Name }
+func (e Test) String() string { return e.Name }
+func (e Concat) String() string {
+	return fmt.Sprintf("%s.%s", parenFor(e.L, 2), parenFor(e.R, 2))
+}
+func (e Union) String() string {
+	return fmt.Sprintf("%s | %s", parenFor(e.L, 1), parenFor(e.R, 1))
+}
+func (e Star) String() string { return parenFor(e.E, 3) + "*" }
+func (e Inv) String() string  { return parenFor(e.E, 3) + "^-1" }
+
+// precedence: union 1 < concat 2 < postfix 3.
+func prec(e Expr) int {
+	switch e.(type) {
+	case Union:
+		return 1
+	case Concat:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func parenFor(e Expr, ctx int) string {
+	if prec(e) < ctx {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Plus builds E⁺ = E.E*.
+func Plus(e Expr) Expr { return Concat{e, Star{e}} }
+
+// Child is the derived child relation firstchild.nextsibling*
+// (Example 5.10).
+func Child() Expr { return Concat{Rel{"firstchild"}, Star{Rel{"nextsibling"}}} }
+
+// DocumentOrder is the caterpillar expression for ≺ from Example 2.5:
+//
+//	child⁺ ∪ (child⁻¹)*.nextsibling⁺.child*
+func DocumentOrder() Expr {
+	child := Child()
+	return Union{
+		Plus(child),
+		Concat{Star{Inv{child}},
+			Concat{Plus(Rel{"nextsibling"}), Star{child}}},
+	}
+}
+
+// PushInversions rewrites E into an equivalent expression whose
+// inversions apply only to atomic relations (Propositions 2.3 / 2.4),
+// in time O(|E|).
+func PushInversions(e Expr) Expr {
+	return push(e, false)
+}
+
+func push(e Expr, inv bool) Expr {
+	switch g := e.(type) {
+	case Rel:
+		if inv {
+			return Inv{g}
+		}
+		return g
+	case Test:
+		// [[P]]⁻¹ = [[P]] (a subset of the identity).
+		return g
+	case Concat:
+		if inv {
+			// (E.F)⁻¹ = F⁻¹.E⁻¹
+			return Concat{push(g.R, true), push(g.L, true)}
+		}
+		return Concat{push(g.L, false), push(g.R, false)}
+	case Union:
+		return Union{push(g.L, inv), push(g.R, inv)}
+	case Star:
+		return Star{push(g.E, inv)}
+	case Inv:
+		// (E⁻¹)⁻¹ = E
+		return push(g.E, !inv)
+	}
+	return e
+}
+
+// Size returns the number of AST nodes.
+func Size(e Expr) int {
+	switch g := e.(type) {
+	case Rel, Test:
+		return 1
+	case Concat:
+		return 1 + Size(g.L) + Size(g.R)
+	case Union:
+		return 1 + Size(g.L) + Size(g.R)
+	case Star:
+		return 1 + Size(g.E)
+	case Inv:
+		return 1 + Size(g.E)
+	}
+	return 1
+}
+
+// Parse reads a caterpillar expression. Syntax: names are relation or
+// unary-test identifiers; postfix '*', '+', '^-1'; '.' concatenation;
+// '|' union; parentheses. Example:
+//
+//	child+ | (child^-1)*.nextsibling+.child*
+//
+// where child is accepted as a primitive name (it denotes
+// firstchild.nextsibling* but is kept atomic here; ToDatalog and Eval
+// understand it).
+func Parse(src string) (Expr, error) {
+	p := &catParser{src: src}
+	e, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("caterpillar: trailing input at %d in %q", p.pos, src)
+	}
+	return e, nil
+}
+
+// MustParse panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type catParser struct {
+	src string
+	pos int
+}
+
+func (p *catParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *catParser) union() (Expr, error) {
+	l, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+			r, err := p.concat()
+			if err != nil {
+				return nil, err
+			}
+			l = Union{l, r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *catParser) concat() (Expr, error) {
+	l, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			r, err := p.postfix()
+			if err != nil {
+				return nil, err
+			}
+			l = Concat{l, r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *catParser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch {
+		case p.pos < len(p.src) && p.src[p.pos] == '*':
+			p.pos++
+			e = Star{e}
+		case p.pos < len(p.src) && p.src[p.pos] == '+':
+			p.pos++
+			e = Plus(e)
+		case strings.HasPrefix(p.src[p.pos:], "^-1"):
+			p.pos += 3
+			e = Inv{e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// knownTests are the unary relations usable as tests.
+func isTestName(name string) bool {
+	switch name {
+	case "root", "leaf", "lastsibling", "firstsibling", "dom":
+		return true
+	}
+	return strings.HasPrefix(name, "label_")
+}
+
+// knownRels are the binary relations.
+func isRelName(name string) bool {
+	switch name {
+	case "firstchild", "nextsibling", "child", "lastchild":
+		return true
+	}
+	return false
+}
+
+func (p *catParser) primary() (Expr, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("caterpillar: unexpected end of input")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		e, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("caterpillar: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (isWord(p.src[p.pos])) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name == "" {
+		return nil, fmt.Errorf("caterpillar: expected name at %d in %q", p.pos, p.src)
+	}
+	switch {
+	case isRelName(name):
+		return Rel{name}, nil
+	case isTestName(name):
+		return Test{name}, nil
+	default:
+		return nil, fmt.Errorf("caterpillar: unknown relation or test %q", name)
+	}
+}
+
+func isWord(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '#'
+}

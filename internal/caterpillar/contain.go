@@ -1,0 +1,140 @@
+package caterpillar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdlog/internal/automata"
+	"mdlog/internal/tree"
+)
+
+// Containment of unary caterpillar queries (Corollary 5.12). The
+// problem is PSPACE-complete; we provide the two practical halves of
+// a decision procedure:
+//
+//   - a sound word-level proof: if the path language L(E1) ⊆ L(E2)
+//     over atomic navigation steps, then [[E1]] ⊆ [[E2]] on every tree
+//     (each word denotes a fixed relation, and [[E]] is the union over
+//     the words of L(E)); this is the PSPACE regular-expression
+//     containment the paper's hardness proof reduces from;
+//   - a refutation search over randomly enumerated small trees, which
+//     produces concrete counterexamples.
+//
+// When neither side fires the result is Unknown (word-level inclusion
+// is sufficient but not necessary: syntactically different paths can
+// denote overlapping relations on trees).
+
+// ContainmentResult is the outcome of CheckContainment.
+type ContainmentResult int
+
+const (
+	// ContainedYes: proven at the word level (sound for all trees).
+	ContainedYes ContainmentResult = iota
+	// ContainedNo: a concrete tree witnesses non-containment.
+	ContainedNo
+	// ContainedUnknown: no word-level proof and no small counterexample.
+	ContainedUnknown
+)
+
+func (r ContainmentResult) String() string {
+	switch r {
+	case ContainedYes:
+		return "contained"
+	case ContainedNo:
+		return "not-contained"
+	case ContainedUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("ContainmentResult(%d)", int(r))
+}
+
+// Counterexample witnesses non-containment of Q1 in Q2.
+type Counterexample struct {
+	Tree *tree.Tree
+	Node int // selected by Q1 but not by Q2
+}
+
+// CheckOptions tunes the refutation search.
+type CheckOptions struct {
+	// Trees is the number of random trees to try (default 400).
+	Trees int
+	// MaxSize bounds the size of candidate trees (default 10).
+	MaxSize int
+	// Labels is the label alphabet for candidates (default a, b).
+	Labels []string
+	// Seed for the search (default 1).
+	Seed int64
+}
+
+// CheckContainment decides (one-sidedly) whether the unary caterpillar
+// query root.E1 is contained in root.E2.
+func CheckContainment(e1, e2 Expr, opts *CheckOptions) (ContainmentResult, *Counterexample) {
+	if wordContained(e1, e2) {
+		return ContainedYes, nil
+	}
+	o := CheckOptions{Trees: 400, MaxSize: 10, Labels: []string{"a", "b"}, Seed: 1}
+	if opts != nil {
+		if opts.Trees > 0 {
+			o.Trees = opts.Trees
+		}
+		if opts.MaxSize > 0 {
+			o.MaxSize = opts.MaxSize
+		}
+		if len(opts.Labels) > 0 {
+			o.Labels = opts.Labels
+		}
+		if opts.Seed != 0 {
+			o.Seed = opts.Seed
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	for i := 0; i < o.Trees; i++ {
+		t := tree.Random(rng, tree.RandomOptions{
+			Labels: o.Labels, Size: 1 + rng.Intn(o.MaxSize), MaxChildren: 4})
+		sel1 := SelectFromRoot(e1, t)
+		sel2 := map[int]bool{}
+		for _, v := range SelectFromRoot(e2, t) {
+			sel2[v] = true
+		}
+		for _, v := range sel1 {
+			if !sel2[v] {
+				return ContainedNo, &Counterexample{Tree: t, Node: v}
+			}
+		}
+	}
+	return ContainedUnknown, nil
+}
+
+// wordContained checks L(E1) ⊆ L(E2) over a shared atomic-step
+// alphabet.
+func wordContained(e1, e2 Expr) bool {
+	c1 := Compile(expandDerived(PushInversions(e1)))
+	c2 := Compile(expandDerived(PushInversions(e2)))
+	// Re-map both automata onto the union alphabet.
+	symOf := map[step]int{}
+	var steps []step
+	intern := func(s step) int {
+		if id, ok := symOf[s]; ok {
+			return id
+		}
+		symOf[s] = len(steps)
+		steps = append(steps, s)
+		return symOf[s]
+	}
+	remap := func(c *compiled) *automata.NFA {
+		n := automata.NewNFA(c.nfa.NumStates, 0)
+		n.Start = c.nfa.Start
+		copy(n.Accept, c.nfa.Accept)
+		c.nfa.EpsTransitions(func(q, r int) { n.AddEps(q, r) })
+		c.nfa.Transitions(func(q, sym, r int) {
+			n.AddTransition(q, intern(c.steps[sym]), r)
+		})
+		return n
+	}
+	n1 := remap(c1)
+	n2 := remap(c2)
+	n1.NumSymbols = len(steps)
+	n2.NumSymbols = len(steps)
+	ok, _ := automata.Contained(n1.Determinize(), n2.Determinize())
+	return ok
+}

@@ -1,0 +1,107 @@
+package caterpillar
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+)
+
+// ToDatalog implements Lemma 5.9: given a caterpillar expression E
+// over τ_ur and a unary predicate p, it emits a monadic datalog
+// program (in TMNF shape) defining
+//
+//	out := p.E = {x | ∃x₀: p(x₀) ∧ ⟨x₀,x⟩ ∈ [[E]]}
+//
+// in time O(|E|), via the Thompson NFA of E: one predicate per
+// automaton state, one rule per transition (cf. Example 5.10).
+//
+// The derived relations child and lastchild are expanded into τ_ur
+// first (child = firstchild.nextsibling*, lastchild =
+// child.lastsibling), so the output is strictly over τ_ur. Generated
+// predicates are prefixed to stay collision-free.
+func ToDatalog(e Expr, p string, out string, prefix string) []datalog.Rule {
+	if prefix == "" {
+		prefix = out
+	}
+	e = expandDerived(PushInversions(e))
+	c := Compile(e)
+	st := func(q int) string { return fmt.Sprintf("%s_s%d", prefix, q) }
+	V, At, R := datalog.V, datalog.At, datalog.R
+
+	var rules []datalog.Rule
+	// Start state: s(x) ← p(x).
+	rules = append(rules, R(At(st(c.nfa.Start), V("X")), At(p, V("X"))))
+	// ε-transitions: q2(x) ← q1(x).
+	c.nfa.EpsTransitions(func(q, r int) {
+		rules = append(rules, R(At(st(r), V("X")), At(st(q), V("X"))))
+	})
+	// Symbol transitions.
+	c.nfa.Transitions(func(q, sym, r int) {
+		s := c.steps[sym]
+		switch {
+		case s.test:
+			rules = append(rules, R(At(st(r), V("X")),
+				At(st(q), V("X")), At(s.name, V("X"))))
+		case s.inv:
+			rules = append(rules, R(At(st(r), V("X")),
+				At(st(q), V("X0")), At(s.name, V("X"), V("X0"))))
+		default:
+			rules = append(rules, R(At(st(r), V("X")),
+				At(st(q), V("X0")), At(s.name, V("X0"), V("X"))))
+		}
+	})
+	// Accepting states feed the output predicate.
+	for q, acc := range c.nfa.Accept {
+		if acc {
+			rules = append(rules, R(At(out, V("X")), At(st(q), V("X"))))
+		}
+	}
+	return rules
+}
+
+// expandDerived replaces the derived relations child and lastchild by
+// their τ_ur caterpillar definitions. Inversions must already be
+// atomic (PushInversions).
+func expandDerived(e Expr) Expr {
+	switch g := e.(type) {
+	case Rel:
+		switch g.Name {
+		case "child":
+			return Child()
+		case "lastchild":
+			return Concat{Child(), Test{"lastsibling"}}
+		}
+		return g
+	case Inv:
+		r := g.E.(Rel)
+		switch r.Name {
+		case "child":
+			// child⁻¹ = (nextsibling⁻¹)*.firstchild⁻¹ (Example 2.5).
+			return Concat{Star{Inv{Rel{"nextsibling"}}}, Inv{Rel{"firstchild"}}}
+		case "lastchild":
+			// lastchild⁻¹ = lastsibling.child⁻¹.
+			return Concat{Test{"lastsibling"},
+				Concat{Star{Inv{Rel{"nextsibling"}}}, Inv{Rel{"firstchild"}}}}
+		}
+		return g
+	case Concat:
+		return Concat{expandDerived(g.L), expandDerived(g.R)}
+	case Union:
+		return Union{expandDerived(g.L), expandDerived(g.R)}
+	case Star:
+		return Star{expandDerived(g.E)}
+	case Test:
+		return g
+	}
+	return e
+}
+
+// QueryProgram builds the single-predicate unary caterpillar query
+// Q(x) ← root.E(x) of Corollary 5.12 as a monadic datalog program
+// with query predicate out.
+func QueryProgram(e Expr, out string) *datalog.Program {
+	p := &datalog.Program{Query: out}
+	p.Add(datalog.R(datalog.At("cat_src", datalog.V("X")), datalog.At("root", datalog.V("X"))))
+	p.Add(ToDatalog(e, "cat_src", out, out)...)
+	return p
+}

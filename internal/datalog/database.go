@@ -1,0 +1,208 @@
+package datalog
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// Database is a finite relational structure: a domain {0,...,Dom-1}
+// plus named relations. It serves both as the extensional database
+// (input structure) and as the container for computed intensional
+// relations after evaluation.
+type Database struct {
+	Dom  int
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database over a domain of the given size.
+func NewDatabase(dom int) *Database {
+	return &Database{Dom: dom, rels: map[string]*Relation{}}
+}
+
+// Relation is a set of tuples of fixed arity over the domain.
+type Relation struct {
+	Arity  int
+	tuples [][]int
+	set    map[string]bool
+	// index[i] maps a value to the tuple indices having that value in
+	// position i; built lazily.
+	index []map[int][]int
+}
+
+func newRelation(arity int) *Relation {
+	return &Relation{Arity: arity, set: map[string]bool{}}
+}
+
+func tupleKey(t []int) string {
+	buf := make([]byte, 0, len(t)*5)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range t {
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// Has reports membership of the tuple.
+func (r *Relation) Has(t []int) bool { return r.set[tupleKey(t)] }
+
+// Add inserts a tuple, reporting whether it was new. The tuple is
+// copied, so callers may reuse the slice.
+func (r *Relation) Add(t []int) bool {
+	k := tupleKey(t)
+	if r.set[k] {
+		return false
+	}
+	r.set[k] = true
+	tc := append([]int(nil), t...)
+	r.tuples = append(r.tuples, tc)
+	if r.index != nil {
+		for i, v := range tc {
+			r.index[i][v] = append(r.index[i][v], len(r.tuples)-1)
+		}
+	}
+	return true
+}
+
+// Tuples returns the underlying tuple list (do not modify).
+func (r *Relation) Tuples() [][]int { return r.tuples }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// lookup returns the indices of tuples with value v at position pos.
+func (r *Relation) lookup(pos, v int) []int {
+	if r.index == nil {
+		r.index = make([]map[int][]int, r.Arity)
+		for i := range r.index {
+			r.index[i] = map[int][]int{}
+		}
+		for ti, t := range r.tuples {
+			for i, val := range t {
+				r.index[i][val] = append(r.index[i][val], ti)
+			}
+		}
+	}
+	return r.index[pos][v]
+}
+
+// Rel returns the named relation, creating it with the given arity if
+// absent.
+func (db *Database) Rel(name string, arity int) *Relation {
+	r, ok := db.rels[name]
+	if !ok {
+		r = newRelation(arity)
+		db.rels[name] = r
+	}
+	return r
+}
+
+// RelOrNil returns the named relation or nil if it does not exist.
+func (db *Database) RelOrNil(name string) *Relation { return db.rels[name] }
+
+// Add inserts the fact pred(args...).
+func (db *Database) Add(pred string, args ...int) bool {
+	return db.Rel(pred, len(args)).Add(args)
+}
+
+// Has reports whether the fact pred(args...) holds.
+func (db *Database) Has(pred string, args ...int) bool {
+	r := db.rels[pred]
+	return r != nil && r.Has(args)
+}
+
+// Unary returns the extension of a unary predicate as a dense bitmap
+// over the domain (nil-safe: unknown predicates yield all-false).
+func (db *Database) Unary(pred string) []bool {
+	out := make([]bool, db.Dom)
+	if r := db.rels[pred]; r != nil && r.Arity == 1 {
+		for _, t := range r.tuples {
+			if t[0] >= 0 && t[0] < db.Dom {
+				out[t[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// UnarySet returns the sorted extension of a unary predicate.
+func (db *Database) UnarySet(pred string) []int {
+	var out []int
+	if r := db.rels[pred]; r != nil && r.Arity == 1 {
+		for _, t := range r.tuples {
+			out = append(out, t[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Preds returns the sorted names of all relations present.
+func (db *Database) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase(db.Dom)
+	for name, r := range db.rels {
+		nr := newRelation(r.Arity)
+		for _, t := range r.tuples {
+			nr.Add(t)
+		}
+		c.rels[name] = nr
+	}
+	return c
+}
+
+// Project returns a new database over the same domain containing only
+// the named relations (those that exist).
+func (db *Database) Project(preds []string) *Database {
+	c := NewDatabase(db.Dom)
+	for _, name := range preds {
+		r, ok := db.rels[name]
+		if !ok {
+			continue
+		}
+		nr := newRelation(r.Arity)
+		for _, t := range r.tuples {
+			nr.Add(t)
+		}
+		c.rels[name] = nr
+	}
+	return c
+}
+
+// Size returns the total number of tuples across all relations,
+// the |σ| of the paper's complexity statements.
+func (db *Database) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+func (db *Database) String() string {
+	var out string
+	for _, name := range db.Preds() {
+		r := db.rels[name]
+		for _, t := range r.tuples {
+			out += Atom{Pred: name, Args: termsOf(t)}.String() + ".\n"
+		}
+	}
+	return out
+}
+
+func termsOf(t []int) []Term {
+	out := make([]Term, len(t))
+	for i, v := range t {
+		out[i] = C(v)
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package datalog
+
+import "fmt"
+
+// This file implements the immediate consequence operator T_P of
+// Definition 3.1 and bottom-up fixpoint evaluation over arbitrary
+// finite structures: a naive evaluator (used as a reference semantics
+// in tests) and a semi-naive evaluator (the general-purpose engine).
+// Both compute T_P^ω restricted to the intensional predicates; the
+// specialized linear-time engines of the paper live in internal/eval.
+
+// compiledRule is a rule preprocessed for join evaluation: variables
+// are numbered densely, and arguments are resolved to variable slots
+// or constants.
+type compiledRule struct {
+	src      Rule
+	nvars    int
+	varNames []string
+	head     compiledAtom
+	body     []compiledAtom
+}
+
+type compiledAtom struct {
+	pred string
+	// args[i] ≥ 0 is a variable slot; args[i] < 0 encodes constant -args[i]-1.
+	args []int
+}
+
+func constSlot(c int) int    { return -c - 1 }
+func slotConst(s int) int    { return -s - 1 }
+func isConstSlot(s int) bool { return s < 0 }
+
+func compileRule(r Rule) compiledRule {
+	cr := compiledRule{src: r}
+	slot := map[string]int{}
+	getSlot := func(t Term) int {
+		if !t.IsVar() {
+			return constSlot(t.Const)
+		}
+		s, ok := slot[t.Var]
+		if !ok {
+			s = cr.nvars
+			slot[t.Var] = s
+			cr.nvars++
+			cr.varNames = append(cr.varNames, t.Var)
+		}
+		return s
+	}
+	compileAtom := func(a Atom) compiledAtom {
+		ca := compiledAtom{pred: a.Pred, args: make([]int, len(a.Args))}
+		for i, t := range a.Args {
+			ca.args[i] = getSlot(t)
+		}
+		return ca
+	}
+	// Compile the body first so head variables refer to body slots.
+	for _, b := range r.Body {
+		cr.body = append(cr.body, compileAtom(b))
+	}
+	cr.head = compileAtom(r.Head)
+	return cr
+}
+
+const unbound = -1
+
+// matchTuple attempts to extend the binding with atom ca matched
+// against tuple t, returning the list of slots newly bound (for
+// backtracking) and whether the match succeeded.
+func matchTuple(ca compiledAtom, t []int, binding []int, trail []int) ([]int, bool) {
+	for i, a := range ca.args {
+		if isConstSlot(a) {
+			if t[i] != slotConst(a) {
+				return trail, false
+			}
+			continue
+		}
+		if binding[a] == unbound {
+			binding[a] = t[i]
+			trail = append(trail, a)
+		} else if binding[a] != t[i] {
+			return trail, false
+		}
+	}
+	return trail, true
+}
+
+func undo(binding []int, trail []int, from int) []int {
+	for i := from; i < len(trail); i++ {
+		binding[trail[i]] = unbound
+	}
+	return trail[:from]
+}
+
+// candidates returns the tuples of rel possibly matching ca under the
+// current binding, using a positional index when some argument is bound.
+func candidates(rel *Relation, ca compiledAtom, binding []int) [][]int {
+	if rel == nil {
+		return nil
+	}
+	// Prefer an indexed lookup on a bound position.
+	for i, a := range ca.args {
+		var v int
+		if isConstSlot(a) {
+			v = slotConst(a)
+		} else if binding[a] != unbound {
+			v = binding[a]
+		} else {
+			continue
+		}
+		idxs := rel.lookup(i, v)
+		out := make([][]int, len(idxs))
+		for j, ti := range idxs {
+			out[j] = rel.tuples[ti]
+		}
+		return out
+	}
+	return rel.tuples
+}
+
+// joinBody enumerates all bindings satisfying body atoms [from:] and
+// calls emit for each complete one. The atom at position pinned (if
+// ≥ 0) must match within pinnedTuples instead of its full relation —
+// this is the semi-naive delta restriction.
+func joinBody(db *Database, body []compiledAtom, from int, pinned int,
+	pinnedTuples [][]int, binding []int, trail []int, emit func()) {
+	if from == len(body) {
+		emit()
+		return
+	}
+	ca := body[from]
+	var tuples [][]int
+	if from == pinned {
+		tuples = pinnedTuples
+	} else {
+		tuples = candidates(db.RelOrNil(ca.pred), ca, binding)
+	}
+	mark := len(trail)
+	for _, t := range tuples {
+		if len(t) != len(ca.args) {
+			continue
+		}
+		var ok bool
+		trail, ok = matchTuple(ca, t, binding, trail)
+		if ok {
+			joinBody(db, body, from+1, pinned, pinnedTuples, binding, trail, emit)
+		}
+		trail = undo(binding, trail, mark)
+	}
+}
+
+// fireRule evaluates one rule against db (with optional delta pinning)
+// and adds derived head facts to out, returning the number of new facts.
+func fireRule(db *Database, cr compiledRule, pinned int, pinnedTuples [][]int,
+	out *Database) int {
+	binding := make([]int, cr.nvars)
+	for i := range binding {
+		binding[i] = unbound
+	}
+	added := 0
+	headBuf := make([]int, len(cr.head.args))
+	joinBody(db, cr.body, 0, pinned, pinnedTuples, binding, nil, func() {
+		for i, a := range cr.head.args {
+			if isConstSlot(a) {
+				headBuf[i] = slotConst(a)
+			} else {
+				headBuf[i] = binding[a]
+			}
+		}
+		if out.Rel(cr.head.pred, len(headBuf)).Add(headBuf) {
+			added++
+		}
+	})
+	return added
+}
+
+// NaiveEval computes T_P^ω by the naive fixpoint iteration of
+// Definition 3.1: every round re-derives everything until no new facts
+// appear. Returns a database containing the EDB plus all derived IDB
+// facts. It is deliberately unoptimized: it serves as the reference
+// semantics against which the other engines are verified.
+func NaiveEval(p *Program, edb *Database) (*Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	rules := make([]compiledRule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = compileRule(r)
+	}
+	for {
+		added := 0
+		for _, cr := range rules {
+			added += fireRule(db, cr, -1, nil, db)
+		}
+		if added == 0 {
+			return db, nil
+		}
+	}
+}
+
+// SemiNaiveEval computes T_P^ω with semi-naive (delta) iteration: after
+// the first round, a rule refires only via at least one newly derived
+// body fact. Returns a database containing the EDB plus all derived
+// IDB facts.
+func SemiNaiveEval(p *Program, edb *Database) (*Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	rules := make([]compiledRule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = compileRule(r)
+	}
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// occurrences[pred] lists (rule, bodyAtom) positions of IDB atoms.
+	type occ struct{ rule, atom int }
+	occurrences := map[string][]occ{}
+	for ri, cr := range rules {
+		for ai, a := range cr.body {
+			if idb[a.pred] {
+				occurrences[a.pred] = append(occurrences[a.pred], occ{ri, ai})
+			}
+		}
+	}
+
+	// Round 0: fire every rule against the EDB-only database. Facts
+	// derived here seed the delta.
+	delta := map[string][][]int{}
+	capture := NewDatabase(db.Dom)
+	for _, cr := range rules {
+		fireRule(db, cr, -1, nil, capture)
+	}
+	for _, pred := range capture.Preds() {
+		for _, t := range capture.RelOrNil(pred).Tuples() {
+			if db.Rel(pred, len(t)).Add(t) {
+				delta[pred] = append(delta[pred], t)
+			}
+		}
+	}
+
+	for len(delta) > 0 {
+		next := NewDatabase(db.Dom)
+		for pred, tuples := range delta {
+			for _, o := range occurrences[pred] {
+				fireRule(db, rules[o.rule], o.atom, tuples, next)
+			}
+		}
+		delta = map[string][][]int{}
+		for _, pred := range next.Preds() {
+			for _, t := range next.RelOrNil(pred).Tuples() {
+				if db.Rel(pred, len(t)).Add(t) {
+					delta[pred] = append(delta[pred], t)
+				}
+			}
+		}
+	}
+	return db, nil
+}
+
+// TraceEval runs the naive fixpoint and returns, for each round i ≥ 1,
+// the list of new intensional facts in T_P^i \ T_P^{i-1} as ground
+// atoms (sorted by predicate, then arguments). Matches the stage-by-
+// stage trace of Example 3.2 in the paper. The final database is also
+// returned.
+func TraceEval(p *Program, edb *Database) ([][]Atom, *Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, nil, err
+	}
+	db := edb.Clone()
+	rules := make([]compiledRule, len(p.Rules))
+	for i, r := range p.Rules {
+		rules[i] = compileRule(r)
+	}
+	var stages [][]Atom
+	for {
+		capture := NewDatabase(db.Dom)
+		for _, cr := range rules {
+			fireRule(db, cr, -1, nil, capture)
+		}
+		var stage []Atom
+		for _, pred := range capture.Preds() {
+			for _, t := range capture.RelOrNil(pred).Tuples() {
+				if db.Rel(pred, len(t)).Add(t) {
+					stage = append(stage, Atom{Pred: pred, Args: termsOf(t)})
+				}
+			}
+		}
+		if len(stage) == 0 {
+			return stages, db, nil
+		}
+		stages = append(stages, stage)
+	}
+}
+
+// EvalError annotates evaluation failures with the offending rule.
+type EvalError struct {
+	Rule Rule
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("datalog: rule %q: %s", e.Rule.String(), e.Msg)
+}

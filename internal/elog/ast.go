@@ -1,0 +1,292 @@
+// Package elog implements the Elog⁻ wrapping language of Section 6 of
+// Gottlob & Koch (PODS 2002) — the MSO-complete kernel of the Lixto
+// system's Elog — together with:
+//
+//   - translation to monadic datalog over τ_ur ∪ {child}
+//     (Definition 6.1) and back (Theorem 6.5);
+//   - linear-time evaluation via the TMNF pipeline (Corollary 6.4);
+//   - the Elog⁻Δ extension with distance tolerances and
+//     notbefore/notafter conditions, which exceeds MSO
+//     (Theorem 6.6: aⁿbⁿ);
+//   - a programmatic "visual specification" builder in the style of
+//     Section 6.2 (click an example node, infer the subelem path).
+package elog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wildcard is the path element matching any label (the '_' of
+// Definition 6.1).
+const Wildcard = "_"
+
+// RootPattern is the reserved parent-pattern name denoting the
+// extensional root relation.
+const RootPattern = "root"
+
+// Path is a fixed path π ∈ (Σ ∪ {_})* for subelem and contains.
+type Path []string
+
+// ParsePath reads "a._.b" (empty string = ε).
+func ParsePath(s string) Path {
+	if s == "" {
+		return nil
+	}
+	return Path(strings.Split(s, "."))
+}
+
+func (p Path) String() string { return strings.Join(p, ".") }
+
+// CondKind enumerates the condition predicates of Definition 6.2 and
+// the Elog⁻Δ extensions.
+type CondKind int
+
+const (
+	// CondLeaf is leaf(x).
+	CondLeaf CondKind = iota
+	// CondFirstSibling is firstsibling(x).
+	CondFirstSibling
+	// CondLastSibling is lastsibling(x).
+	CondLastSibling
+	// CondNextSibling is nextsibling(x, y).
+	CondNextSibling
+	// CondContains is contains_π(x, y), π nonempty.
+	CondContains
+	// CondBefore is before_{π,α%−β%}(x0, x, y): Elog⁻Δ only. With x0
+	// having k children, y must be a child of x0 reachable via the
+	// (length-1) path π, and pos(y) − pos(x) ∈ [⌈kα/100⌉, ⌊kβ/100⌋].
+	CondBefore
+	// CondNotAfter is notafter_π(x, y): no node reachable from x via π
+	// lies strictly before y in document order (Elog⁻Δ).
+	CondNotAfter
+	// CondNotBefore is notbefore_π(x, y): no node reachable from x via
+	// π lies strictly after y (Elog⁻Δ).
+	CondNotBefore
+)
+
+// Condition is one condition atom.
+type Condition struct {
+	Kind CondKind
+	Path Path
+	// Vars: 1 for unary kinds, 2 for nextsibling/contains/notafter/
+	// notbefore, 3 for before (x0, x, y).
+	Vars []string
+	// Alpha, Beta are the percentage bounds of CondBefore.
+	Alpha, Beta int
+}
+
+func (c Condition) String() string {
+	switch c.Kind {
+	case CondLeaf:
+		return fmt.Sprintf("leaf(%s)", c.Vars[0])
+	case CondFirstSibling:
+		return fmt.Sprintf("firstsibling(%s)", c.Vars[0])
+	case CondLastSibling:
+		return fmt.Sprintf("lastsibling(%s)", c.Vars[0])
+	case CondNextSibling:
+		return fmt.Sprintf("nextsibling(%s,%s)", c.Vars[0], c.Vars[1])
+	case CondContains:
+		return fmt.Sprintf("contains(%q,%s,%s)", c.Path.String(), c.Vars[0], c.Vars[1])
+	case CondBefore:
+		return fmt.Sprintf("before(%q,%d,%d,%s,%s,%s)", c.Path.String(), c.Alpha, c.Beta,
+			c.Vars[0], c.Vars[1], c.Vars[2])
+	case CondNotAfter:
+		return fmt.Sprintf("notafter(%q,%s,%s)", c.Path.String(), c.Vars[0], c.Vars[1])
+	case CondNotBefore:
+		return fmt.Sprintf("notbefore(%q,%s,%s)", c.Path.String(), c.Vars[0], c.Vars[1])
+	}
+	return "?"
+}
+
+// Ref is a pattern reference atom p(v).
+type Ref struct {
+	Pattern string
+	Var     string
+}
+
+func (r Ref) String() string { return fmt.Sprintf("%s(%s)", r.Pattern, r.Var) }
+
+// Rule is an Elog⁻ rule
+//
+//	p(x) ← p0(x0), subelem_π(x0, x), C, R.
+//
+// A specialization rule has an ε path and HeadVar == ParentVar.
+type Rule struct {
+	Head      string
+	HeadVar   string
+	Parent    string
+	ParentVar string
+	Path      Path // ε allowed (specialization)
+	Conds     []Condition
+	Refs      []Ref
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) :- %s(%s)", r.Head, r.HeadVar, r.Parent, r.ParentVar)
+	if !(len(r.Path) == 0 && r.HeadVar == r.ParentVar) {
+		fmt.Fprintf(&b, ", subelem(%q,%s,%s)", r.Path.String(), r.ParentVar, r.HeadVar)
+	}
+	for _, c := range r.Conds {
+		b.WriteString(", ")
+		b.WriteString(c.String())
+	}
+	for _, ref := range r.Refs {
+		b.WriteString(", ")
+		b.WriteString(ref.String())
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+// IsSpecialization reports whether the rule is a specialization rule
+// (ε path re-using the parent variable).
+func (r Rule) IsSpecialization() bool {
+	return len(r.Path) == 0 && r.HeadVar == r.ParentVar
+}
+
+// Program is an Elog⁻ (or Elog⁻Δ) program: a set of rules with
+// distinguished extraction patterns.
+type Program struct {
+	Rules []Rule
+	// Extract lists the patterns whose extensions form the wrapper's
+	// information extraction functions (default: all head patterns).
+	Extract []string
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Patterns returns the sorted set of pattern predicates defined by the
+// program (rule heads).
+func (p *Program) Patterns() []string {
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		set[r.Head] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// UsesDelta reports whether the program uses Elog⁻Δ conditions
+// (before with distance tolerance, notafter, notbefore).
+func (p *Program) UsesDelta() bool {
+	for _, r := range p.Rules {
+		for _, c := range r.Conds {
+			switch c.Kind {
+			case CondBefore, CondNotAfter, CondNotBefore:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks Definition 6.2: head patterns must not be RootPattern,
+// variables must form a connected query graph, condition arities match,
+// and contains paths are nonempty.
+func (p *Program) Validate() error {
+	heads := map[string]bool{}
+	for _, r := range p.Rules {
+		heads[r.Head] = true
+	}
+	if heads[RootPattern] {
+		return fmt.Errorf("elog: %q is reserved", RootPattern)
+	}
+	for _, r := range p.Rules {
+		if r.Head == "" || r.HeadVar == "" || r.Parent == "" || r.ParentVar == "" {
+			return fmt.Errorf("elog: incomplete rule %s", r)
+		}
+		if len(r.Path) == 0 && r.HeadVar != r.ParentVar {
+			return fmt.Errorf("elog: ε-path rule must reuse the parent variable: %s", r)
+		}
+		if len(r.Path) > 0 && r.HeadVar == r.ParentVar {
+			return fmt.Errorf("elog: non-ε subelem cannot be reflexive: %s", r)
+		}
+		arity := map[CondKind]int{
+			CondLeaf: 1, CondFirstSibling: 1, CondLastSibling: 1,
+			CondNextSibling: 2, CondContains: 2,
+			CondBefore: 3, CondNotAfter: 2, CondNotBefore: 2,
+		}
+		for _, c := range r.Conds {
+			if len(c.Vars) != arity[c.Kind] {
+				return fmt.Errorf("elog: condition arity mismatch in %s", r)
+			}
+			switch c.Kind {
+			case CondContains, CondNotAfter, CondNotBefore:
+				if len(c.Path) == 0 {
+					return fmt.Errorf("elog: %s requires a nonempty path: %s", c, r)
+				}
+			case CondBefore:
+				if len(c.Path) != 1 {
+					return fmt.Errorf("elog: before supports length-1 paths, got %q in %s", c.Path, r)
+				}
+				if c.Alpha < 0 || c.Beta > 100 || c.Alpha > c.Beta {
+					return fmt.Errorf("elog: bad tolerance %d%%-%d%% in %s", c.Alpha, c.Beta, r)
+				}
+			}
+		}
+		if err := r.checkConnected(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkConnected verifies the connected-query-graph requirement of
+// Definition 6.2.
+func (r Rule) checkConnected() error {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if p, ok := parent[x]; ok && p != x {
+			root := find(p)
+			parent[x] = root
+			return root
+		}
+		return x
+	}
+	union := func(x, y string) { parent[find(x)] = find(y) }
+	vars := map[string]bool{r.HeadVar: true, r.ParentVar: true}
+	union(r.HeadVar, r.ParentVar) // the subelem atom (or shared var) links them
+	link := func(vs []string) {
+		for i := 1; i < len(vs); i++ {
+			union(vs[0], vs[i])
+		}
+		for _, v := range vs {
+			vars[v] = true
+		}
+	}
+	for _, c := range r.Conds {
+		link(c.Vars)
+	}
+	for _, ref := range r.Refs {
+		vars[ref.Var] = true
+	}
+	root := find(r.HeadVar)
+	for v := range vars {
+		if find(v) != root {
+			return fmt.Errorf("elog: query graph of rule not connected (variable %s): %s", v, r)
+		}
+	}
+	return nil
+}

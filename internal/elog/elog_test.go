@@ -1,0 +1,377 @@
+package elog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/tree"
+)
+
+func TestParseAndPrint(t *testing.T) {
+	src := `
+% a small wrapper
+item(x)  :- root(x0), subelem("table._.tr", x0, x).
+price(x) :- item(x0), subelem("td", x0, x), lastsibling(x).
+cheap(x) :- price(x), leaf(x).
+pair(x)  :- item(x0), subelem("td", x0, x), nextsibling(x, y), price(y).
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if got := p.Rules[0].Path.String(); got != "table._.tr" {
+		t.Errorf("path = %q", got)
+	}
+	if !p.Rules[2].IsSpecialization() {
+		t.Error("cheap rule must be a specialization")
+	}
+	// Print and reparse.
+	p2, err := ParseProgram(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip:\n%s\nvs\n%s", p.String(), p2.String())
+	}
+	pats := p.Patterns()
+	if fmt.Sprint(pats) != "[cheap item pair price]" {
+		t.Errorf("Patterns = %v", pats)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`item(x) :- root(x0).`,                      // no subelem, different vars
+		`item(x) :- root(x0), subelem("a", x, x0).`, // wrong direction
+		`item(x) :- root(x0), subelem("a", x0, x), subelem("b", x0, x).`,
+		`item(x) :- root(x0), contains("", x0, x).`, // ε contains
+		`item(x) :- root(x0), subelem("a", x0, x), before("b", 70, 30, x0, x, y).`,
+		`root(x) :- item(x0), subelem("a", x0, x).`, // reserved head
+		`item(x) :- root(x0), subelem("a", x0, x), stray(y, z).`,
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+// listingDoc is a small product-listing document tree.
+func listingDoc() *tree.Tree {
+	return tree.MustParse("html(body(table(tr(td,td),tr(td,td(b)),tr(td))))")
+}
+
+func TestEvalDirectBasics(t *testing.T) {
+	p := MustParseProgram(`
+row(x)  :- root(x0), subelem("_.table.tr", x0, x).
+cell(x) :- row(x0), subelem("td", x0, x).
+last(x) :- cell(x), lastsibling(x).
+`)
+	tr := listingDoc()
+	res, err := p.EvalDirect(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document order: html=0 body=1 table=2 tr=3 td=4 td=5 tr=6 td=7
+	// td=8 b=9 tr=10 td=11.
+	if got := fmt.Sprint(res["row"]); got != "[3 6 10]" {
+		t.Errorf("row = %s", got)
+	}
+	if got := fmt.Sprint(res["cell"]); got != "[4 5 7 8 11]" {
+		t.Errorf("cell = %s", got)
+	}
+	if got := fmt.Sprint(res["last"]); got != "[5 8 11]" {
+		t.Errorf("last = %s", got)
+	}
+}
+
+// TestCorollary64 checks that the compiled (ToDatalog → TMNF → linear)
+// route agrees with the direct evaluator on a battery of wrappers.
+func TestCorollary64(t *testing.T) {
+	programs := []string{
+		`row(x) :- root(x0), subelem("_.table.tr", x0, x).
+cell(x) :- row(x0), subelem("td", x0, x).`,
+		`deep(x) :- root(x0), subelem("_._._._", x0, x).`,
+		`first(x) :- root(x0), subelem("_._", x0, x), firstsibling(x).
+markedfirst(x) :- first(x), leaf(x).`,
+		`hasb(x) :- root(x0), subelem("_.table.tr.td", x0, x), contains("b", x, y).`,
+		`pairleft(x) :- root(x0), subelem("_.table.tr.td", x0, x), nextsibling(x, y), leaf(y).`,
+		`lastrow(x) :- root(x0), subelem("_.table.tr", x0, x), lastsibling(x).
+lastcell(x) :- lastrow(x0), subelem("td", x0, x), leaf(x).`,
+	}
+	docs := []*tree.Tree{
+		listingDoc(),
+		tree.MustParse("html(body(table(tr(td),tr(td,td,td)),table(tr)))"),
+		tree.MustParse("html(body)"),
+	}
+	for _, src := range programs {
+		p := MustParseProgram(src)
+		for di, doc := range docs {
+			direct, err := p.EvalDirect(doc)
+			if err != nil {
+				t.Fatalf("%s: direct: %v", src, err)
+			}
+			compiled, err := p.Evaluate(doc)
+			if err != nil {
+				t.Fatalf("%s: compiled: %v", src, err)
+			}
+			for _, pat := range p.Patterns() {
+				if fmt.Sprint(direct[pat]) != fmt.Sprint(compiled[pat]) {
+					t.Errorf("doc %d pattern %s: direct %v, compiled %v\n%s",
+						di, pat, direct[pat], compiled[pat], src)
+				}
+			}
+		}
+	}
+}
+
+// TestCorollary64Quick drives random documents through a fixed wrapper
+// via both routes.
+func TestCorollary64Quick(t *testing.T) {
+	p := MustParseProgram(`
+sec(x)  :- root(x0), subelem("_", x0, x).
+item(x) :- sec(x0), subelem("_.b", x0, x).
+note(x) :- item(x), leaf(x).
+`)
+	compiled, err := p.CompileLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b", "c"}, Size: 1 + rng.Intn(30), MaxChildren: 4})
+		direct, err := p.EvalDirect(doc)
+		if err != nil {
+			return false
+		}
+		res, err := eval.LinearTree(compiled, doc)
+		if err != nil {
+			return false
+		}
+		for _, pat := range p.Patterns() {
+			if fmt.Sprint(direct[pat]) != fmt.Sprint(res.UnarySet(pat)) {
+				t.Logf("pattern %s: %v vs %v on %s", pat, direct[pat], res.UnarySet(pat), doc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem65Backward: monadic datalog → Elog⁻ preserves the query
+// on documents with a synthetic root label (see the FromDatalog
+// caveat).
+func TestTheorem65Backward(t *testing.T) {
+	programs := []string{
+		`q(X) :- child(X,Y), label_b(Y).`,
+		`q(X) :- leaf(X), child(Y,X), label_a(Y).`,
+		`q(X) :- root(X).`,
+		`q(X) :- lastsibling(X), label_b(X).`,
+		`q(X) :- firstchild(X,Y), label_a(Y).
+q(X) :- q(X0), child(X0,X).`,
+		`q(X) :- nextsibling(Y,X), label_a(Y).`,
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, src := range programs {
+		dp := datalog.MustParseProgram(src)
+		dp.Query = "q"
+		ep, err := FromDatalog(dp)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for i := 0; i < 10; i++ {
+			// Documents with a dedicated root label never used in rules.
+			body := tree.Random(rng, tree.RandomOptions{
+				Labels: []string{"a", "b"}, Size: 1 + rng.Intn(12), MaxChildren: 3})
+			doc := tree.NewTree(tree.New("#doc", body.Root))
+			db := eval.TreeDB(doc, eval.WithChild(), eval.WithLastChild())
+			full, err := datalog.SemiNaiveEval(dp, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.UnarySet("q")
+			res, err := ep.EvalDirect(doc)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			if fmt.Sprint(res["q"]) != fmt.Sprint(want) {
+				t.Errorf("%s on %s: elog %v, datalog %v\n%s", src, doc, res["q"], want, ep)
+			}
+		}
+	}
+}
+
+// TestTheorem66AnBn: the Elog⁻Δ program accepts exactly aⁿbⁿ child
+// words (over Σ = {a, b}), a non-regular language.
+func TestTheorem66AnBn(t *testing.T) {
+	p := AnBnProgram()
+	if !p.UsesDelta() {
+		t.Fatal("program must use Δ conditions")
+	}
+	if _, err := p.ToDatalog(); err == nil {
+		t.Fatal("Δ program must be rejected by the MSO-equivalent translation")
+	}
+	mk := func(word string) *tree.Tree {
+		root := tree.New("r")
+		for _, c := range word {
+			root.Add(tree.New(string(c)))
+		}
+		return tree.NewTree(root)
+	}
+	cases := []struct {
+		word string
+		want bool
+	}{
+		{"ab", true},
+		{"aabb", true},
+		{"aaabbb", true},
+		{"aaaabbbb", true},
+		{"", false},
+		{"a", false},
+		{"b", false},
+		{"ba", false},
+		{"aab", false},
+		{"abb", false},
+		{"abab", false},
+		{"bbaa", false},
+		{"aabba", false},
+		{"bab", false},
+	}
+	for _, c := range cases {
+		res, err := p.EvalDirect(mk(c.word))
+		if err != nil {
+			t.Fatalf("%q: %v", c.word, err)
+		}
+		got := len(res["anbn"]) == 1 && res["anbn"][0] == 0
+		if got != c.want {
+			t.Errorf("word %q: anbn = %v (%v), want %v", c.word, res["anbn"], got, c.want)
+		}
+	}
+}
+
+func TestBuilderVisualSession(t *testing.T) {
+	doc := listingDoc()
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("row", RootPattern)
+	// Click the first tr (id 3): path from root = body? No: from root
+	// html: html is the instance? The root pattern instance is html (id
+	// 0); the path to tr id 3 is body.table.tr.
+	if err := pb.Click(doc.Nodes[3]); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := pb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := b2.Instances("row")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rows) != "[3 6 10]" {
+		t.Errorf("rows = %v", rows)
+	}
+	// Second pattern: cells within rows.
+	pb2 := b2.DefinePattern("cell", "row")
+	if err := pb2.Click(doc.Nodes[4]); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := pb2.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := b3.Instances("cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(cells) != "[4 5 7 8 11]" {
+		t.Errorf("cells = %v", cells)
+	}
+	// The program must be valid Elog⁻ and print/parse.
+	if _, err := ParseProgram(b3.Program().String()); err != nil {
+		t.Errorf("generated program does not reparse: %v\n%s", err, b3.Program())
+	}
+}
+
+func TestBuilderGeneralization(t *testing.T) {
+	doc := tree.MustParse("r(s(a(x)),s(b(x)))")
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("hit", RootPattern)
+	// Click both x nodes: paths s.a.x and s.b.x generalize to s._.x.
+	if err := pb.Click(doc.Nodes[3]); err != nil { // r s a x -> ids 0 1 2 3
+		t.Fatal(err)
+	}
+	if err := pb.Click(doc.Nodes[6]); err != nil { // second x
+		t.Fatal(err)
+	}
+	b2, err := pb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b2.Program()
+	if len(prog.Rules) != 1 {
+		t.Fatalf("expected one generalized rule, got\n%s", prog)
+	}
+	if got := prog.Rules[0].Path.String(); got != "s._.x" {
+		t.Errorf("generalized path = %q", got)
+	}
+	hits, err := b2.Instances("hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(hits) != "[3 6]" {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	doc := listingDoc()
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("p", "undefined_pattern")
+	if err := pb.Click(doc.Nodes[1]); err == nil {
+		t.Error("click with undefined parent must fail")
+	}
+	pb2 := b.DefinePattern("q", RootPattern)
+	if _, err := pb2.Commit(); err == nil {
+		t.Error("commit without clicks must fail")
+	}
+}
+
+func TestUsesDeltaAndValidate(t *testing.T) {
+	p := MustParseProgram(`item(x) :- root(x0), subelem("a", x0, x).`)
+	if p.UsesDelta() {
+		t.Error("plain program flagged as Δ")
+	}
+	// Hand-build invalid rules to exercise Validate.
+	bad := &Program{Rules: []Rule{{Head: "p", HeadVar: "x", Parent: RootPattern, ParentVar: "y"}}}
+	if bad.Validate() == nil {
+		t.Error("ε-path with distinct vars accepted")
+	}
+	bad2 := &Program{Rules: []Rule{{Head: "p", HeadVar: "x", Parent: RootPattern,
+		ParentVar: "x", Conds: []Condition{{Kind: CondBefore, Path: Path{"a", "b"},
+			Alpha: 0, Beta: 100, Vars: []string{"x", "x", "y"}}}}}}
+	if bad2.Validate() == nil {
+		t.Error("long before path accepted")
+	}
+}
+
+func TestElogStringForms(t *testing.T) {
+	p := AnBnProgram()
+	s := p.String()
+	for _, frag := range []string{"notafter(", "notbefore(", "before(", "subelem("} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q:\n%s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package elog
+
+import (
+	"fmt"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/tree"
+)
+
+// TestBuilderRefine exercises the condition-refinement step of the
+// visual process.
+func TestBuilderRefine(t *testing.T) {
+	doc := tree.MustParse("r(s(x),s(x,x))")
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("lastx", RootPattern)
+	if err := pb.Click(doc.Nodes[2]); err != nil { // r s x -> path s.x
+		t.Fatal(err)
+	}
+	pb.Refine(Condition{Kind: CondLastSibling, Vars: []string{"x"}})
+	b2, err := pb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b2.Instances("lastx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x nodes: ids 2 (only child: last), 4, 5 (5 is last). Node 2 and 5.
+	if fmt.Sprint(got) != "[2 5]" {
+		t.Errorf("lastx = %v", got)
+	}
+}
+
+// TestEvaluateRoutesDelta: Evaluate dispatches Δ programs to the
+// direct evaluator transparently.
+func TestEvaluateRoutesDelta(t *testing.T) {
+	p := AnBnProgram()
+	root := tree.New("r", tree.New("a"), tree.New("b"))
+	doc := tree.NewTree(root)
+	res, err := p.Evaluate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res["anbn"]) != 1 {
+		t.Errorf("anbn = %v", res["anbn"])
+	}
+}
+
+// TestBuilderSpecializationClick: clicking a parent instance itself
+// yields a specialization rule.
+func TestBuilderSpecializationClick(t *testing.T) {
+	doc := tree.MustParse("r(a)")
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("self", RootPattern)
+	if err := pb.Click(doc.Root); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := pb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b2.Program().Rules[0]
+	if !r.IsSpecialization() {
+		t.Errorf("expected specialization, got %s", r)
+	}
+	got, err := b2.Instances("self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0]" {
+		t.Errorf("self = %v", got)
+	}
+}
+
+// TestBuilderTwoRuleShapes: clicks at different depths yield separate
+// rules rather than a broken generalization.
+func TestBuilderTwoRuleShapes(t *testing.T) {
+	doc := tree.MustParse("r(a(x),b(c(x)))")
+	b := NewBuilder(doc)
+	pb := b.DefinePattern("hit", RootPattern)
+	if err := pb.Click(doc.Nodes[2]); err != nil { // a/x: depth 2
+		t.Fatal(err)
+	}
+	if err := pb.Click(doc.Nodes[5]); err != nil { // b/c/x: depth 3
+		t.Fatal(err)
+	}
+	b2, err := pb.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Program().Rules) != 2 {
+		t.Fatalf("expected 2 rules:\n%s", b2.Program())
+	}
+	got, err := b2.Instances("hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[2 5]" {
+		t.Errorf("hit = %v", got)
+	}
+}
+
+// TestCondStrings covers the printers used in error paths.
+func TestCondStrings(t *testing.T) {
+	conds := []Condition{
+		{Kind: CondLeaf, Vars: []string{"x"}},
+		{Kind: CondFirstSibling, Vars: []string{"x"}},
+		{Kind: CondLastSibling, Vars: []string{"x"}},
+		{Kind: CondNextSibling, Vars: []string{"x", "y"}},
+		{Kind: CondContains, Path: Path{"a"}, Vars: []string{"x", "y"}},
+		{Kind: CondBefore, Path: Path{"b"}, Alpha: 10, Beta: 90, Vars: []string{"x", "y", "z"}},
+		{Kind: CondNotAfter, Path: Path{"a"}, Vars: []string{"x", "y"}},
+		{Kind: CondNotBefore, Path: Path{"a"}, Vars: []string{"x", "y"}},
+	}
+	for _, c := range conds {
+		if c.String() == "?" || c.String() == "" {
+			t.Errorf("bad String for kind %d", c.Kind)
+		}
+	}
+	if (Ref{Pattern: "p", Var: "x"}).String() != "p(x)" {
+		t.Error("Ref.String wrong")
+	}
+}
+
+// TestFromDatalogRejects: programs outside the supported signature.
+func TestFromDatalogRejects(t *testing.T) {
+	if _, err := FromDatalog(datalog.MustParseProgram(`q(X,Y) :- child(X,Y).`)); err == nil {
+		t.Error("non-monadic accepted")
+	}
+}

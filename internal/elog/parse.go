@@ -1,0 +1,296 @@
+package elog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram reads an Elog⁻ / Elog⁻Δ program in textual syntax:
+//
+//	% price extraction
+//	item(x)  :- root(x0), subelem("table._.tr", x0, x).
+//	price(x) :- item(x0), subelem("td.#text", x0, x), lastsibling(x).
+//	cheap(x) :- price(x), leaf(x).
+//	anbn(x)  :- root(x), contains("a", x, y), a0(y),
+//	            before("b", 50, 50, x, y, z), b0(z).
+//
+// The first body atom must be the parent pattern; a subelem atom (if
+// present) must name the parent variable and the head variable. The
+// remaining atoms are conditions (leaf, firstsibling, lastsibling,
+// nextsibling, contains, before, notafter, notbefore) and pattern
+// references. Paths are dot-separated quoted strings with "_"
+// wildcards; "" is ε (specialization via shared variable is also
+// accepted). Variables are lower-case identifiers.
+func ParseProgram(src string) (*Program, error) {
+	p := &elogParser{src: src, line: 1}
+	prog := &Program{}
+	for {
+		p.skipWS()
+		if p.eof() {
+			break
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParseProgram panics on error.
+func MustParseProgram(src string) *Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type elogParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *elogParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *elogParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("elog: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *elogParser) skipWS() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '%':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *elogParser) consume(c byte) bool {
+	if !p.eof() && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *elogParser) ident() (string, error) {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '#' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *elogParser) quoted() (string, error) {
+	p.skipWS()
+	if !p.consume('"') {
+		return "", p.errf("expected quoted path")
+	}
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != '"' {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated string")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+func (p *elogParser) number() (int, error) {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	return strconv.Atoi(p.src[start:p.pos])
+}
+
+// genericAtom is a parsed body atom before classification.
+type genericAtom struct {
+	name    string
+	path    string
+	nums    []int
+	vars    []string
+	hasPath bool
+}
+
+func (p *elogParser) atom() (genericAtom, error) {
+	var a genericAtom
+	name, err := p.ident()
+	if err != nil {
+		return a, err
+	}
+	a.name = name
+	p.skipWS()
+	if !p.consume('(') {
+		return a, p.errf("expected '(' after %s", name)
+	}
+	first := true
+	for {
+		p.skipWS()
+		if p.consume(')') {
+			return a, nil
+		}
+		if !first {
+			// already consumed comma below
+		}
+		first = false
+		switch {
+		case !p.eof() && p.src[p.pos] == '"':
+			s, err := p.quoted()
+			if err != nil {
+				return a, err
+			}
+			a.path = s
+			a.hasPath = true
+		case !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9':
+			n, err := p.number()
+			if err != nil {
+				return a, err
+			}
+			a.nums = append(a.nums, n)
+		default:
+			v, err := p.ident()
+			if err != nil {
+				return a, err
+			}
+			a.vars = append(a.vars, v)
+		}
+		p.skipWS()
+		if p.consume(')') {
+			return a, nil
+		}
+		if !p.consume(',') {
+			return a, p.errf("expected ',' or ')' in %s", name)
+		}
+	}
+}
+
+func (p *elogParser) rule() (Rule, error) {
+	var r Rule
+	head, err := p.atom()
+	if err != nil {
+		return r, err
+	}
+	if len(head.vars) != 1 || head.hasPath || len(head.nums) != 0 {
+		return r, p.errf("head must be pattern(var)")
+	}
+	r.Head, r.HeadVar = head.name, head.vars[0]
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		return r, p.errf("expected ':-'")
+	}
+	p.pos += 2
+
+	// First atom: the parent pattern.
+	parent, err := p.atom()
+	if err != nil {
+		return r, err
+	}
+	if len(parent.vars) != 1 || parent.hasPath {
+		return r, p.errf("parent atom must be pattern(var)")
+	}
+	r.Parent, r.ParentVar = parent.name, parent.vars[0]
+
+	haveSubelem := false
+	for {
+		p.skipWS()
+		if p.consume('.') {
+			break
+		}
+		if !p.consume(',') {
+			return r, p.errf("expected ',' or '.'")
+		}
+		a, err := p.atom()
+		if err != nil {
+			return r, err
+		}
+		switch a.name {
+		case "subelem":
+			if haveSubelem {
+				return r, p.errf("duplicate subelem")
+			}
+			if !a.hasPath || len(a.vars) != 2 {
+				return r, p.errf("subelem needs (\"path\", from, to)")
+			}
+			if a.vars[0] != r.ParentVar || a.vars[1] != r.HeadVar {
+				return r, p.errf("subelem must go from the parent variable to the head variable")
+			}
+			r.Path = ParsePath(a.path)
+			haveSubelem = true
+		case "leaf", "firstsibling", "lastsibling":
+			if len(a.vars) != 1 {
+				return r, p.errf("%s needs one variable", a.name)
+			}
+			kind := map[string]CondKind{
+				"leaf": CondLeaf, "firstsibling": CondFirstSibling, "lastsibling": CondLastSibling,
+			}[a.name]
+			r.Conds = append(r.Conds, Condition{Kind: kind, Vars: a.vars})
+		case "nextsibling":
+			if len(a.vars) != 2 {
+				return r, p.errf("nextsibling needs two variables")
+			}
+			r.Conds = append(r.Conds, Condition{Kind: CondNextSibling, Vars: a.vars})
+		case "contains":
+			if !a.hasPath || len(a.vars) != 2 {
+				return r, p.errf("contains needs (\"path\", from, to)")
+			}
+			r.Conds = append(r.Conds, Condition{Kind: CondContains, Path: ParsePath(a.path), Vars: a.vars})
+		case "before":
+			if !a.hasPath || len(a.nums) != 2 || len(a.vars) != 3 {
+				return r, p.errf("before needs (\"path\", alpha, beta, x0, x, y)")
+			}
+			r.Conds = append(r.Conds, Condition{Kind: CondBefore, Path: ParsePath(a.path),
+				Alpha: a.nums[0], Beta: a.nums[1], Vars: a.vars})
+		case "notafter", "notbefore":
+			if !a.hasPath || len(a.vars) != 2 {
+				return r, p.errf("%s needs (\"path\", x, y)", a.name)
+			}
+			kind := CondNotAfter
+			if a.name == "notbefore" {
+				kind = CondNotBefore
+			}
+			r.Conds = append(r.Conds, Condition{Kind: kind, Path: ParsePath(a.path), Vars: a.vars})
+		default:
+			if len(a.vars) != 1 || a.hasPath || len(a.nums) != 0 {
+				return r, p.errf("pattern reference %s needs one variable", a.name)
+			}
+			r.Refs = append(r.Refs, Ref{Pattern: a.name, Var: a.vars[0]})
+		}
+	}
+	if !haveSubelem && r.HeadVar != r.ParentVar {
+		return r, p.errf("rule without subelem must reuse the parent variable")
+	}
+	return r, nil
+}

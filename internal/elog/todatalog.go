@@ -1,0 +1,136 @@
+package elog
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/tmnf"
+	"mdlog/internal/tree"
+)
+
+// ToDatalog translates an Elog⁻ program into monadic datalog over
+// τ_ur ∪ {child} by expanding the subelem and contains shortcuts of
+// Definition 6.1:
+//
+//	subelem_ε(x, y)   := x = y
+//	subelem__.π(x, y) := child(x, z), subelem_π(z, y)
+//	subelem_a.π(x, y) := child(x, z), label_a(z), subelem_π(z, y)
+//
+// contains is identical but with ε disallowed. firstsibling(x) is
+// expanded to firstchild(y, x) to stay within the signature. Δ
+// conditions are rejected (use EvalDirect for Elog⁻Δ).
+func (p *Program) ToDatalog() (*datalog.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.UsesDelta() {
+		return nil, fmt.Errorf("elog: Δ conditions are not MSO-expressible; use EvalDirect")
+	}
+	out := &datalog.Program{}
+	for ri, r := range p.Rules {
+		fresh := 0
+		newVar := func() string {
+			fresh++
+			return fmt.Sprintf("Z%d_%d", ri, fresh)
+		}
+		var body []datalog.Atom
+		// Parent pattern atom (RootPattern maps to the extensional root).
+		body = append(body, datalog.At(r.Parent, datalog.V(vn(r.ParentVar))))
+		// subelem path.
+		body = append(body, expandPath(r.Path, vn(r.ParentVar), vn(r.HeadVar), newVar)...)
+		for _, c := range r.Conds {
+			switch c.Kind {
+			case CondLeaf:
+				body = append(body, datalog.At("leaf", datalog.V(vn(c.Vars[0]))))
+			case CondFirstSibling:
+				body = append(body, datalog.At("firstchild", datalog.V(newVar()), datalog.V(vn(c.Vars[0]))))
+			case CondLastSibling:
+				body = append(body, datalog.At("lastsibling", datalog.V(vn(c.Vars[0]))))
+			case CondNextSibling:
+				body = append(body, datalog.At("nextsibling", datalog.V(vn(c.Vars[0])), datalog.V(vn(c.Vars[1]))))
+			case CondContains:
+				body = append(body, expandPath(c.Path, vn(c.Vars[0]), vn(c.Vars[1]), newVar)...)
+			default:
+				return nil, fmt.Errorf("elog: unexpected Δ condition %s", c)
+			}
+		}
+		for _, ref := range r.Refs {
+			body = append(body, datalog.At(ref.Pattern, datalog.V(vn(ref.Var))))
+		}
+		out.Rules = append(out.Rules, datalog.Rule{
+			Head: datalog.At(r.Head, datalog.V(vn(r.HeadVar))),
+			Body: body,
+		})
+	}
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// vn uppercases an Elog variable for the datalog syntax.
+func vn(v string) string {
+	if v == "" {
+		return v
+	}
+	if v[0] >= 'a' && v[0] <= 'z' {
+		return string(v[0]-'a'+'A') + v[1:]
+	}
+	return v
+}
+
+// expandPath emits the child/label chain for subelem_π(from, to).
+func expandPath(path Path, from, to string, newVar func() string) []datalog.Atom {
+	var atoms []datalog.Atom
+	cur := from
+	for i, el := range path {
+		next := to
+		if i+1 < len(path) {
+			next = newVar()
+		}
+		atoms = append(atoms, datalog.At("child", datalog.V(cur), datalog.V(next)))
+		if el != Wildcard {
+			atoms = append(atoms, datalog.At("label_"+el, datalog.V(next)))
+		}
+		cur = next
+	}
+	return atoms
+}
+
+// CompileLinear compiles an Elog⁻ program for repeated linear-time
+// evaluation (Corollary 6.4): translation to monadic datalog followed
+// by the Theorem 5.2 TMNF pipeline.
+func (p *Program) CompileLinear() (*datalog.Program, error) {
+	dp, err := p.ToDatalog()
+	if err != nil {
+		return nil, err
+	}
+	return tmnf.Transform(dp)
+}
+
+// Evaluate runs the program on a tree via Corollary 6.4 (Elog⁻) or the
+// direct evaluator (Elog⁻Δ) and returns the extension of every
+// pattern.
+func (p *Program) Evaluate(t *tree.Tree) (map[string][]int, error) {
+	if p.UsesDelta() {
+		return p.EvalDirect(t)
+	}
+	tp, err := p.CompileLinear()
+	if err != nil {
+		return nil, err
+	}
+	res, err := eval.LinearTree(tp, t)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]int{}
+	for _, pat := range p.Patterns() {
+		out[pat] = res.UnarySet(pat)
+	}
+	return out, nil
+}
+
+// ε-path subelem handling note: expandPath returns no atoms for an
+// empty path, in which case the rule's head variable coincides with
+// the parent variable (validated), realizing subelem_ε(x, y) := x = y.

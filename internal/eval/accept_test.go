@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/mso"
+	"mdlog/internal/paperex"
+	"mdlog/internal/tree"
+)
+
+// TestCorollary47Acceptance: monadic datalog defines the same tree
+// languages as MSO sentences (Corollary 4.7). We check one concrete
+// language — "every leaf is labeled a" — via both formalisms on random
+// trees, and the Example 3.2 language "the whole tree has an even
+// number of a's" against its reference semantics.
+func TestCorollary47Acceptance(t *testing.T) {
+	prog := datalog.MustParseProgram(`
+ok(X) :- leaf(X), label_a(X).
+ok(X) :- firstchild(X,Y), allok(Y).
+allok(X) :- ok(X), lastsibling(X).
+allok(X) :- ok(X), nextsibling(X,Y), allok(Y).
+accept(X) :- root(X), ok(X).
+`)
+	sentence, err := mso.CompileSentence(mso.MustParse("forall x (leaf(x) -> label_a(x))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	sawTrue, sawFalse := false, false
+	for i := 0; i < 120; i++ {
+		tr := tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b"}, Size: 1 + rng.Intn(15), MaxChildren: 3})
+		got, err := Accepts(prog, tr, "accept")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sentence.Accepts(tr)
+		if got != want {
+			t.Fatalf("on %s: datalog %v, MSO %v", tr, got, want)
+		}
+		sawTrue = sawTrue || got
+		sawFalse = sawFalse || !got
+	}
+	if !sawTrue || !sawFalse {
+		t.Error("test corpus did not cover both outcomes")
+	}
+}
+
+func TestAcceptsEvenALanguage(t *testing.T) {
+	p := paperex.EvenAProgram("b")
+	// Rename the query predicate into an accept predicate.
+	p.Query = "c0"
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 60; i++ {
+		tr := tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b"}, Size: 1 + rng.Intn(20), MaxChildren: 4})
+		got, err := Accepts(p, tr, "c0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := false
+		for _, id := range paperex.EvenASpec(tr) {
+			if id == tr.Root.ID {
+				want = true
+			}
+		}
+		if got != want {
+			t.Fatalf("on %s: got %v, want %v", tr, got, want)
+		}
+	}
+}
+
+func TestAcceptsDefaultPred(t *testing.T) {
+	p := datalog.MustParseProgram(`accept(X) :- root(X), label_a(X).`)
+	ok, err := Accepts(p, tree.MustParse("a(b)"), "")
+	if err != nil || !ok {
+		t.Errorf("got %v %v", ok, err)
+	}
+	ok, err = Accepts(p, tree.MustParse("b(a)"), "")
+	if err != nil || ok {
+		t.Errorf("got %v %v", ok, err)
+	}
+}

@@ -1,0 +1,325 @@
+package eval
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/horn"
+)
+
+// This file implements the efficiently evaluable datalog fragments of
+// Section 3.2:
+//
+//   - GroundEval (Proposition 3.5): ground programs in O(|P| + |σ|) via
+//     propositional Horn inference;
+//   - GuardedEval (Proposition 3.6): programs in which every non-ground
+//     rule has an extensional guard containing all rule variables, in
+//     O(|P| · |σ|);
+//   - LITEval (Proposition 3.7): monadic Datalog LIT — every rule body
+//     either consists solely of monadic atoms or contains an extensional
+//     guard — in O(|P| · |σ|).
+
+// atomInterner numbers ground atoms densely for the Horn solver.
+type atomInterner struct {
+	ids  map[string]int
+	back []datalog.Atom
+}
+
+func newAtomInterner() *atomInterner { return &atomInterner{ids: map[string]int{}} }
+
+func (in *atomInterner) id(pred string, args []int) int {
+	key := pred
+	for _, a := range args {
+		key += "," + itoa(a)
+	}
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := len(in.back)
+	in.ids[key] = id
+	terms := make([]datalog.Term, len(args))
+	for i, a := range args {
+		terms[i] = datalog.C(a)
+	}
+	in.back = append(in.back, datalog.Atom{Pred: pred, Args: terms})
+	return id
+}
+
+// GroundEval evaluates a ground (variable-free) program against a
+// database in time O(|P| + |σ|) (Proposition 3.5). The result contains
+// only intensional relations.
+func GroundEval(p *datalog.Program, db *datalog.Database) (*datalog.Database, error) {
+	in := newAtomInterner()
+	var solver horn.Solver
+	argsOf := func(a datalog.Atom) ([]int, error) {
+		args := make([]int, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				return nil, fmt.Errorf("eval: program is not ground: %s", a)
+			}
+			args[i] = t.Const
+		}
+		return args, nil
+	}
+	for _, r := range p.Rules {
+		h, err := argsOf(r.Head)
+		if err != nil {
+			return nil, err
+		}
+		body := make([]int, 0, len(r.Body))
+		for _, b := range r.Body {
+			args, err := argsOf(b)
+			if err != nil {
+				return nil, err
+			}
+			// Body atoms already true in the database are resolved
+			// immediately; the rest become Horn literals (if such an atom
+			// is never derived, the clause simply never fires).
+			if db.Has(b.Pred, args...) {
+				continue
+			}
+			body = append(body, in.id(b.Pred, args))
+		}
+		solver.AddClause(in.id(r.Head.Pred, h), body...)
+	}
+	return hornToDB(&solver, in, p, db.Dom)
+}
+
+// hornToDB runs the solver and converts true intensional atoms back to
+// relations.
+func hornToDB(solver *horn.Solver, in *atomInterner, p *datalog.Program, dom int) (*datalog.Database, error) {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	truth := solver.Solve(len(in.back))
+	out := datalog.NewDatabase(dom)
+	for id, a := range in.back {
+		if id < len(truth) && truth[id] && idb[a.Pred] {
+			args := make([]int, len(a.Args))
+			for i, t := range a.Args {
+				args[i] = t.Const
+			}
+			out.Rel(a.Pred, len(args)).Add(args)
+		}
+	}
+	return out, nil
+}
+
+// GuardedEval evaluates a program in which every rule with variables is
+// guarded by an extensional atom containing all variables of the rule
+// (Proposition 3.6): each guard tuple yields one ground rule, so the
+// ground program has size O(|P| · |σ|) and is solved by GroundEval's
+// machinery. Intensional predicates may have any arity.
+func GuardedEval(p *datalog.Program, db *datalog.Database) (*datalog.Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	in := newAtomInterner()
+	var solver horn.Solver
+	for _, r := range p.Rules {
+		if err := groundGuarded(r, db, idb, in, &solver); err != nil {
+			return nil, err
+		}
+	}
+	return hornToDB(&solver, in, p, db.Dom)
+}
+
+// findGuard returns the index of an extensional body atom containing
+// all variables of r, or -1.
+func findGuard(r datalog.Rule, idb map[string]bool) int {
+	vars := map[string]bool{}
+	for _, v := range r.Vars() {
+		vars[v] = true
+	}
+	for i, b := range r.Body {
+		if idb[b.Pred] {
+			continue
+		}
+		have := map[string]bool{}
+		for _, t := range b.Args {
+			if t.IsVar() {
+				have[t.Var] = true
+			}
+		}
+		if len(have) == len(vars) {
+			return i
+		}
+	}
+	return -1
+}
+
+func groundGuarded(r datalog.Rule, db *datalog.Database, idb map[string]bool,
+	in *atomInterner, solver *horn.Solver) error {
+	if r.IsGround() {
+		return addGroundRule(r, db, idb, in, solver)
+	}
+	gi := findGuard(r, idb)
+	if gi == -1 {
+		return fmt.Errorf("eval: rule has no extensional guard: %s", r)
+	}
+	guard := r.Body[gi]
+	rel := db.RelOrNil(guard.Pred)
+	if rel == nil {
+		return nil // empty guard relation: rule never fires
+	}
+	for _, tuple := range rel.Tuples() {
+		if len(tuple) != len(guard.Args) {
+			continue
+		}
+		binding := map[string]int{}
+		ok := true
+		for i, t := range guard.Args {
+			if t.IsVar() {
+				if prev, bound := binding[t.Var]; bound && prev != tuple[i] {
+					ok = false
+					break
+				}
+				binding[t.Var] = tuple[i]
+			} else if t.Const != tuple[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		gr, err := substitute(r, binding)
+		if err != nil {
+			return err
+		}
+		if err := addGroundRule(gr, db, idb, in, solver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// substitute applies a total variable binding to a rule.
+func substitute(r datalog.Rule, binding map[string]int) (datalog.Rule, error) {
+	sub := func(a datalog.Atom) (datalog.Atom, error) {
+		out := datalog.Atom{Pred: a.Pred, Args: make([]datalog.Term, len(a.Args))}
+		for i, t := range a.Args {
+			if t.IsVar() {
+				v, ok := binding[t.Var]
+				if !ok {
+					return out, fmt.Errorf("eval: variable %s not bound by guard in %s", t.Var, r)
+				}
+				out.Args[i] = datalog.C(v)
+			} else {
+				out.Args[i] = t
+			}
+		}
+		return out, nil
+	}
+	var err error
+	out := datalog.Rule{}
+	if out.Head, err = sub(r.Head); err != nil {
+		return out, err
+	}
+	out.Body = make([]datalog.Atom, len(r.Body))
+	for i, b := range r.Body {
+		if out.Body[i], err = sub(b); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// addGroundRule converts a ground rule to a Horn clause, resolving
+// extensional atoms against the database.
+func addGroundRule(r datalog.Rule, db *datalog.Database, idb map[string]bool,
+	in *atomInterner, solver *horn.Solver) error {
+	head := make([]int, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		head[i] = t.Const
+	}
+	var body []int
+	for _, b := range r.Body {
+		args := make([]int, len(b.Args))
+		for i, t := range b.Args {
+			args[i] = t.Const
+		}
+		if idb[b.Pred] {
+			body = append(body, in.id(b.Pred, args))
+			continue
+		}
+		if !db.Has(b.Pred, args...) {
+			return nil // extensional atom false: drop the ground rule
+		}
+	}
+	solver.AddClause(in.id(r.Head.Pred, head), body...)
+	return nil
+}
+
+// LITEval evaluates a monadic Datalog LIT program (Proposition 3.7):
+// every rule body either (i) consists exclusively of monadic atoms or
+// (ii) contains an extensional guard in which all rule variables occur.
+// Case (ii) rules are grounded per guard tuple; case (i) rules are
+// grounded in O(|dom|) per variable after connected splitting (each
+// variable of an all-monadic body is independent). Heads must be
+// monadic.
+func LITEval(p *datalog.Program, db *datalog.Database) (*datalog.Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	if !p.IsMonadic() {
+		return nil, fmt.Errorf("eval: LIT engine requires a monadic program")
+	}
+	sp := SplitConnected(p)
+	idb := map[string]bool{}
+	for _, r := range sp.Rules {
+		idb[r.Head.Pred] = true
+	}
+	in := newAtomInterner()
+	var solver horn.Solver
+	for _, r := range sp.Rules {
+		if allMonadic(r) {
+			if err := groundAllMonadic(r, db, idb, in, &solver); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := groundGuarded(r, db, idb, in, &solver); err != nil {
+			return nil, fmt.Errorf("eval: rule is neither all-monadic nor guarded (not in Datalog LIT): %s", r)
+		}
+	}
+	return hornToDB(&solver, in, sp, db.Dom)
+}
+
+func allMonadic(r datalog.Rule) bool {
+	for _, b := range r.Body {
+		if len(b.Args) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// groundAllMonadic grounds a connected rule whose body atoms are all
+// monadic. After SplitConnected such a rule has at most one variable.
+func groundAllMonadic(r datalog.Rule, db *datalog.Database, idb map[string]bool,
+	in *atomInterner, solver *horn.Solver) error {
+	vars := r.Vars()
+	switch len(vars) {
+	case 0:
+		return addGroundRule(r, db, idb, in, solver)
+	case 1:
+		for v := 0; v < db.Dom; v++ {
+			gr, err := substitute(r, map[string]int{vars[0]: v})
+			if err != nil {
+				return err
+			}
+			if err := addGroundRule(gr, db, idb, in, solver); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("eval: all-monadic rule still has %d variables after splitting: %s", len(vars), r)
+	}
+}

@@ -1,0 +1,474 @@
+package eval
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/horn"
+	"mdlog/internal/tree"
+)
+
+// This file implements Theorem 4.2: monadic datalog over τ_rk / τ_ur
+// has O(|P| · |dom|) combined complexity. The algorithm follows the
+// paper's proof:
+//
+//  1. split every rule into connected rules (introducing propositional
+//     helper predicates);
+//  2. ground each connected rule in O(|dom|) instantiations, using the
+//     bidirectional functional dependencies of the binary tree
+//     relations (Proposition 4.1) to propagate a single anchor binding
+//     to all variables;
+//  3. evaluate the resulting ground program with linear-time
+//     propositional Horn inference (Proposition 3.5).
+//
+// Beyond τ_ur and τ_rk the engine also accepts lastchild/2, which
+// enjoys the same two functional dependencies (each node has at most
+// one last child and is last child of at most one node); the natural
+// child/2 relation does NOT (a node has many children) and is rejected
+// — eliminate it first via tmnf.Transform, as in Theorem 5.2.
+
+// SplitConnected rewrites p so that every rule is connected, exactly as
+// in the first step of the proof of Theorem 4.2: each connected
+// component of a rule's query graph that does not contain the head
+// variable is split into a fresh rule with a propositional head.
+// Helper predicates are named conn_<rule>_<component>.
+func SplitConnected(p *datalog.Program) *datalog.Program {
+	out := &datalog.Program{Query: p.Query}
+	for ri, r := range p.Rules {
+		vars := r.Vars()
+		if len(vars) <= 1 {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		idx := map[string]int{}
+		for i, v := range vars {
+			idx[v] = i
+		}
+		parent := make([]int, len(vars))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		union := func(x, y int) { parent[find(x)] = find(y) }
+		for _, b := range r.Body {
+			prev := -1
+			for _, t := range b.Args {
+				if !t.IsVar() {
+					continue
+				}
+				cur := idx[t.Var]
+				if prev >= 0 {
+					union(prev, cur)
+				}
+				prev = cur
+			}
+		}
+		// Component of the head variable (or -1 for propositional heads).
+		headComp := -1
+		if len(r.Head.Args) == 1 && r.Head.Args[0].IsVar() {
+			headComp = find(idx[r.Head.Args[0].Var])
+		}
+		// Group body atoms by component; variable-free atoms stay in the
+		// main rule.
+		groups := map[int][]datalog.Atom{}
+		var mainBody []datalog.Atom
+		for _, b := range r.Body {
+			comp := -1
+			for _, t := range b.Args {
+				if t.IsVar() {
+					comp = find(idx[t.Var])
+					break
+				}
+			}
+			if comp == -1 || comp == headComp {
+				mainBody = append(mainBody, b)
+			} else {
+				groups[comp] = append(groups[comp], b)
+			}
+		}
+		if len(groups) == 0 {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		ci := 0
+		for comp := range vars { // deterministic order: iterate var index
+			atoms, ok := groups[find(comp)]
+			if !ok || len(atoms) == 0 {
+				continue
+			}
+			delete(groups, find(comp))
+			helper := fmt.Sprintf("conn_%d_%d", ri, ci)
+			ci++
+			out.Rules = append(out.Rules, datalog.Rule{
+				Head: datalog.Atom{Pred: helper},
+				Body: atoms,
+			})
+			mainBody = append(mainBody, datalog.Atom{Pred: helper})
+		}
+		out.Rules = append(out.Rules, datalog.Rule{Head: r.Head.Clone(), Body: mainBody})
+	}
+	return out
+}
+
+// binEdge is a binary EDB atom compiled for propagation.
+type binEdge struct {
+	pred string
+	kind binKind
+	k    int // for child_k
+	x, y int // variable slots
+}
+
+type binKind int
+
+const (
+	binFirstChild binKind = iota
+	binNextSibling
+	binLastChild
+	binChildK
+)
+
+// forward returns R(v) for the partial function underlying the relation.
+func (e binEdge) forward(nav *Nav, v int) int {
+	switch e.kind {
+	case binFirstChild:
+		return nav.FC[v]
+	case binNextSibling:
+		return nav.NS[v]
+	case binLastChild:
+		return nav.LastChild[v]
+	case binChildK:
+		return nav.ChildK(v, e.k)
+	}
+	return -1
+}
+
+// backward returns R⁻¹(v).
+func (e binEdge) backward(nav *Nav, v int) int {
+	switch e.kind {
+	case binFirstChild:
+		if nav.Prev[v] == -1 {
+			return nav.Parent[v]
+		}
+	case binNextSibling:
+		return nav.Prev[v]
+	case binLastChild:
+		if nav.NS[v] == -1 {
+			return nav.Parent[v]
+		}
+	case binChildK:
+		if nav.ChildIdx[v] == e.k-1 {
+			return nav.Parent[v]
+		}
+	}
+	return -1
+}
+
+// planStep propagates a binding along a spanning-tree edge.
+type planStep struct {
+	edge    binEdge
+	forward bool // bind edge.y from edge.x (else x from y)
+}
+
+type linearRule struct {
+	src      datalog.Rule
+	nvars    int
+	headPred string
+	headVar  int // slot of the head variable, or -1 for propositional heads
+	anchor   int // slot grounded by the outer loop, or -1 if nvars == 0
+	steps    []planStep
+	checks   []binEdge // non-spanning-tree binary atoms, verified post hoc
+	unary    []struct {
+		pred string
+		v    int
+	}
+	idbUnary []struct {
+		pred string
+		v    int
+	}
+	idbProp []string
+}
+
+// compileLinear builds the grounding plan for a connected rule.
+func compileLinear(r datalog.Rule, idb map[string]bool, nav *Nav) (*linearRule, error) {
+	lr := &linearRule{src: r, headVar: -1, anchor: -1, headPred: r.Head.Pred}
+	slot := map[string]int{}
+	getSlot := func(t datalog.Term) (int, error) {
+		if !t.IsVar() {
+			return 0, fmt.Errorf("eval: constants are not supported by the linear tree engine (rule %s)", r)
+		}
+		s, ok := slot[t.Var]
+		if !ok {
+			s = lr.nvars
+			slot[t.Var] = s
+			lr.nvars++
+		}
+		return s, nil
+	}
+	var edges []binEdge
+	for _, b := range r.Body {
+		switch len(b.Args) {
+		case 0:
+			if !idb[b.Pred] {
+				return nil, nil // propositional atom with no rules: dead rule
+			}
+			lr.idbProp = append(lr.idbProp, b.Pred)
+		case 1:
+			v, err := getSlot(b.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if idb[b.Pred] {
+				lr.idbUnary = append(lr.idbUnary, struct {
+					pred string
+					v    int
+				}{b.Pred, v})
+			} else if _, ok := nav.unaryHolds(b.Pred, 0); ok {
+				// Probe with node 0 only to classify the predicate name.
+				lr.unary = append(lr.unary, struct {
+					pred string
+					v    int
+				}{b.Pred, v})
+			} else {
+				// Neither extensional nor the head of any rule: the body
+				// atom can never be satisfied, so the rule is dead.
+				return nil, nil
+			}
+		case 2:
+			if idb[b.Pred] {
+				return nil, fmt.Errorf("eval: binary intensional predicate %s is not monadic", b.Pred)
+			}
+			e := binEdge{pred: b.Pred}
+			switch b.Pred {
+			case PredFirstChild:
+				e.kind = binFirstChild
+			case PredNextSibling:
+				e.kind = binNextSibling
+			case PredLastChild:
+				e.kind = binLastChild
+			case PredChild:
+				return nil, fmt.Errorf("eval: child/2 lacks the functional dependency $1→$2 required by Theorem 4.2; eliminate it with tmnf.Transform first")
+			default:
+				if k, ok := IsChildKPred(b.Pred); ok {
+					e.kind, e.k = binChildK, k
+				} else {
+					return nil, fmt.Errorf("eval: unknown binary predicate %s", b.Pred)
+				}
+			}
+			var err error
+			if e.x, err = getSlot(b.Args[0]); err != nil {
+				return nil, err
+			}
+			if e.y, err = getSlot(b.Args[1]); err != nil {
+				return nil, err
+			}
+			edges = append(edges, e)
+		default:
+			return nil, fmt.Errorf("eval: atom %s has arity > 2", b)
+		}
+	}
+	if len(r.Head.Args) == 1 {
+		hv, err := getSlot(r.Head.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		lr.headVar = hv
+	} else if len(r.Head.Args) > 1 {
+		return nil, fmt.Errorf("eval: non-monadic head %s", r.Head)
+	}
+
+	// Build the spanning traversal from the anchor over the variable graph.
+	if lr.nvars > 0 {
+		if lr.headVar >= 0 {
+			lr.anchor = lr.headVar
+		} else {
+			lr.anchor = 0
+		}
+		visited := make([]bool, lr.nvars)
+		used := make([]bool, len(edges))
+		visited[lr.anchor] = true
+		frontier := []int{lr.anchor}
+		for len(frontier) > 0 {
+			v := frontier[0]
+			frontier = frontier[1:]
+			for ei, e := range edges {
+				if used[ei] {
+					continue
+				}
+				switch {
+				case e.x == v && !visited[e.y]:
+					used[ei] = true
+					visited[e.y] = true
+					lr.steps = append(lr.steps, planStep{edge: e, forward: true})
+					frontier = append(frontier, e.y)
+				case e.y == v && !visited[e.x]:
+					used[ei] = true
+					visited[e.x] = true
+					lr.steps = append(lr.steps, planStep{edge: e, forward: false})
+					frontier = append(frontier, e.x)
+				case (e.x == v || e.y == v) && visited[e.x] && visited[e.y]:
+					used[ei] = true
+					lr.checks = append(lr.checks, e)
+				}
+			}
+		}
+		for s := 0; s < lr.nvars; s++ {
+			if !visited[s] {
+				return nil, fmt.Errorf("eval: rule is not connected (SplitConnected must run first): %s", r)
+			}
+		}
+		for ei, e := range edges {
+			if !used[ei] {
+				lr.checks = append(lr.checks, e)
+			}
+		}
+	}
+	return lr, nil
+}
+
+// LinearTree evaluates a monadic datalog program over the τ_ur / τ_rk
+// representation of t in time O(|P| · |dom|) (Theorem 4.2). The result
+// contains only the intensional relations.
+func LinearTree(p *datalog.Program, t *tree.Tree) (*datalog.Database, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	if !p.IsMonadic() {
+		return nil, fmt.Errorf("eval: program is not monadic")
+	}
+	nav := NewNav(t)
+	return linearTreeNav(p, nav)
+}
+
+func linearTreeNav(p *datalog.Program, nav *Nav) (*datalog.Database, error) {
+	sp := SplitConnected(p)
+	idb := map[string]bool{}
+	for _, r := range sp.Rules {
+		idb[r.Head.Pred] = true
+	}
+	dom := nav.Tree.Size()
+
+	// Atom numbering: unary IDB pred i at node v ↦ i*dom+v, then
+	// propositional predicates in a trailing block.
+	unaryID := map[string]int{}
+	propID := map[string]int{}
+	var unaryPreds, propPreds []string
+	for _, r := range sp.Rules {
+		pred := r.Head.Pred
+		if len(r.Head.Args) == 1 {
+			if _, ok := unaryID[pred]; !ok {
+				unaryID[pred] = len(unaryPreds)
+				unaryPreds = append(unaryPreds, pred)
+			}
+		} else {
+			if _, ok := propID[pred]; !ok {
+				propID[pred] = len(propPreds)
+				propPreds = append(propPreds, pred)
+			}
+		}
+	}
+	// Predicates may appear in bodies as IDB without having rules; the
+	// maps above cover all head predicates, which is sufficient: body
+	// IDB atoms of unruled predicates can never hold, so rules
+	// containing them can be skipped. Detect them now.
+	rules := make([]*linearRule, 0, len(sp.Rules))
+	for _, r := range sp.Rules {
+		lr, err := compileLinear(r, idb, nav)
+		if err != nil {
+			return nil, err
+		}
+		if lr != nil { // nil means the rule is dead (references an empty predicate)
+			rules = append(rules, lr)
+		}
+	}
+
+	atomUnary := func(pred string, v int) int { return unaryID[pred]*dom + v }
+	propBase := len(unaryPreds) * dom
+	atomProp := func(pred string) int { return propBase + propID[pred] }
+
+	var solver horn.Solver
+	binding := make([]int, 32)
+	for _, lr := range rules {
+		if lr.nvars > len(binding) {
+			binding = make([]int, lr.nvars)
+		}
+		ground := func(anchorVal int) {
+			if lr.nvars > 0 {
+				for i := 0; i < lr.nvars; i++ {
+					binding[i] = -1
+				}
+				binding[lr.anchor] = anchorVal
+				for _, st := range lr.steps {
+					if st.forward {
+						w := st.edge.forward(nav, binding[st.edge.x])
+						if w == -1 {
+							return
+						}
+						binding[st.edge.y] = w
+					} else {
+						w := st.edge.backward(nav, binding[st.edge.y])
+						if w == -1 {
+							return
+						}
+						binding[st.edge.x] = w
+					}
+				}
+				for _, e := range lr.checks {
+					if st := e.forward(nav, binding[e.x]); st != binding[e.y] {
+						return
+					}
+				}
+				for _, u := range lr.unary {
+					holds, _ := nav.unaryHolds(u.pred, binding[u.v])
+					if !holds {
+						return
+					}
+				}
+			}
+			var head int
+			if lr.headVar >= 0 {
+				head = atomUnary(lr.headPred, binding[lr.headVar])
+			} else {
+				head = atomProp(lr.headPred)
+			}
+			body := make([]int, 0, len(lr.idbUnary)+len(lr.idbProp))
+			for _, u := range lr.idbUnary {
+				body = append(body, atomUnary(u.pred, binding[u.v]))
+			}
+			for _, pr := range lr.idbProp {
+				body = append(body, atomProp(pr))
+			}
+			solver.AddClause(head, body...)
+		}
+		if lr.nvars == 0 {
+			ground(0)
+		} else {
+			for v := 0; v < dom; v++ {
+				ground(v)
+			}
+		}
+	}
+
+	truth := solver.Solve(propBase + len(propPreds))
+	out := datalog.NewDatabase(dom)
+	for pi, pred := range unaryPreds {
+		rel := out.Rel(pred, 1)
+		for v := 0; v < dom; v++ {
+			if truth[pi*dom+v] {
+				rel.Add([]int{v})
+			}
+		}
+	}
+	for _, pred := range propPreds {
+		if truth[atomProp(pred)] {
+			out.Rel(pred, 0).Add(nil)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+// Package eval implements the evaluation algorithms of Gottlob & Koch
+// (PODS 2002) for (monadic) datalog:
+//
+//   - the linear-time combined-complexity engine for monadic datalog
+//     over τ_rk / τ_ur (Theorem 4.2): connected-rule splitting, grounding
+//     driven by the functional dependencies of Proposition 4.1, and
+//     propositional Horn inference (Proposition 3.5);
+//   - the O(|P|·|σ|) engine for extensionally guarded programs
+//     (Proposition 3.6);
+//   - the O(|P|·|σ|) engine for monadic Datalog LIT (Proposition 3.7);
+//   - ground program evaluation in O(|P|+|σ|) (Proposition 3.5);
+//   - generic naive/semi-naive evaluation (re-exported baselines).
+//
+// It also converts trees into the relational structures τ_ur and τ_rk
+// of Section 2.
+package eval
+
+import (
+	"strings"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/tree"
+)
+
+// LabelPred returns the predicate name used for label_a relations.
+func LabelPred(label string) string { return "label_" + label }
+
+// IsLabelPred reports whether the predicate is a label predicate and,
+// if so, returns the label.
+func IsLabelPred(pred string) (string, bool) {
+	if strings.HasPrefix(pred, "label_") {
+		return pred[len("label_"):], true
+	}
+	return "", false
+}
+
+// Names of the relations of τ_ur and its extensions.
+const (
+	PredRoot         = "root"
+	PredLeaf         = "leaf"
+	PredLastSibling  = "lastsibling"
+	PredFirstSibling = "firstsibling"
+	PredFirstChild   = "firstchild"
+	PredNextSibling  = "nextsibling"
+	PredChild        = "child"
+	PredLastChild    = "lastchild"
+	PredDom          = "dom"
+)
+
+// ChildKPred returns the predicate name of the child_k relation of τ_rk.
+func ChildKPred(k int) string {
+	// child_1, child_2, ...
+	return "child_" + itoa(k)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// IsChildKPred reports whether pred is child_k, returning k.
+func IsChildKPred(pred string) (int, bool) {
+	if !strings.HasPrefix(pred, "child_") {
+		return 0, false
+	}
+	s := pred[len("child_"):]
+	if s == "" {
+		return 0, false
+	}
+	k := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		k = k*10 + int(s[i]-'0')
+	}
+	return k, k >= 1
+}
+
+// TreeDBOption configures TreeDB.
+type TreeDBOption func(*treeDBConfig)
+
+type treeDBConfig struct {
+	child, lastChild, firstSibling, dom bool
+	childK                              int
+}
+
+// WithChild adds the natural child/2 relation (not part of τ_ur; see
+// Theorem 5.2 for its elimination).
+func WithChild() TreeDBOption { return func(c *treeDBConfig) { c.child = true } }
+
+// WithLastChild adds the lastchild/2 relation.
+func WithLastChild() TreeDBOption { return func(c *treeDBConfig) { c.lastChild = true } }
+
+// WithFirstSibling adds the firstsibling/1 relation used by Elog⁻.
+func WithFirstSibling() TreeDBOption { return func(c *treeDBConfig) { c.firstSibling = true } }
+
+// WithDom adds the trivially-true dom/1 relation over all nodes.
+func WithDom() TreeDBOption { return func(c *treeDBConfig) { c.dom = true } }
+
+// WithChildK adds the ranked child_1 ... child_k relations of τ_rk.
+func WithChildK(k int) TreeDBOption { return func(c *treeDBConfig) { c.childK = k } }
+
+// TreeDB materializes the relational structure τ_ur (optionally
+// extended) of the given tree as a datalog database, for use with the
+// generic evaluators. The specialized engines work on the tree
+// directly and do not need this.
+func TreeDB(t *tree.Tree, opts ...TreeDBOption) *datalog.Database {
+	var cfg treeDBConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := datalog.NewDatabase(t.Size())
+	for _, n := range t.Nodes {
+		db.Add(LabelPred(n.Label), n.ID)
+		if n.IsRoot() {
+			db.Add(PredRoot, n.ID)
+		}
+		if n.IsLeaf() {
+			db.Add(PredLeaf, n.ID)
+		}
+		if n.IsLastSibling() {
+			db.Add(PredLastSibling, n.ID)
+		}
+		if cfg.firstSibling && n.IsFirstSibling() {
+			db.Add(PredFirstSibling, n.ID)
+		}
+		if fc := n.FirstChild(); fc != nil {
+			db.Add(PredFirstChild, n.ID, fc.ID)
+		}
+		if ns := n.NextSibling(); ns != nil {
+			db.Add(PredNextSibling, n.ID, ns.ID)
+		}
+		if cfg.child {
+			for _, c := range n.Children {
+				db.Add(PredChild, n.ID, c.ID)
+			}
+		}
+		if cfg.lastChild {
+			if lc := n.LastChild(); lc != nil {
+				db.Add(PredLastChild, n.ID, lc.ID)
+			}
+		}
+		for k := 1; k <= cfg.childK && k <= len(n.Children); k++ {
+			db.Add(ChildKPred(k), n.ID, n.Children[k-1].ID)
+		}
+		if cfg.dom {
+			db.Add(PredDom, n.ID)
+		}
+	}
+	return db
+}
+
+// Nav holds O(1) navigation arrays for a tree, the representation on
+// which the linear-time engine realizes the functional dependencies of
+// Proposition 4.1 ("appropriately represented" trees, Theorem 4.2).
+type Nav struct {
+	Tree *tree.Tree
+	// fc, ns, parent, prev, lastChild map node id → node id or -1.
+	FC, NS, Parent, Prev, LastChild []int
+	// ChildIdx is the 0-based position of a node among its siblings.
+	ChildIdx []int
+	Labels   []string
+}
+
+// NewNav builds the navigation arrays in O(|dom|).
+func NewNav(t *tree.Tree) *Nav {
+	n := t.Size()
+	nav := &Nav{
+		Tree:      t,
+		FC:        make([]int, n),
+		NS:        make([]int, n),
+		Parent:    make([]int, n),
+		Prev:      make([]int, n),
+		LastChild: make([]int, n),
+		ChildIdx:  make([]int, n),
+		Labels:    make([]string, n),
+	}
+	for i := range nav.FC {
+		nav.FC[i], nav.NS[i], nav.Parent[i], nav.Prev[i], nav.LastChild[i] = -1, -1, -1, -1, -1
+	}
+	for _, nd := range t.Nodes {
+		nav.Labels[nd.ID] = nd.Label
+		if len(nd.Children) > 0 {
+			nav.FC[nd.ID] = nd.Children[0].ID
+			nav.LastChild[nd.ID] = nd.Children[len(nd.Children)-1].ID
+		}
+		for i, c := range nd.Children {
+			nav.Parent[c.ID] = nd.ID
+			nav.ChildIdx[c.ID] = i
+			if i > 0 {
+				nav.Prev[c.ID] = nd.Children[i-1].ID
+			}
+			if i+1 < len(nd.Children) {
+				nav.NS[c.ID] = nd.Children[i+1].ID
+			}
+		}
+	}
+	return nav
+}
+
+// ChildK returns the k-th (1-based) child of v, or -1.
+func (nav *Nav) ChildK(v, k int) int {
+	nd := nav.Tree.Nodes[v]
+	if k < 1 || k > len(nd.Children) {
+		return -1
+	}
+	return nd.Children[k-1].ID
+}
+
+// unaryHolds evaluates the extensional unary predicates of τ_ur and
+// its extensions on node v; ok=false if pred is not a known unary EDB
+// predicate.
+func (nav *Nav) unaryHolds(pred string, v int) (holds, ok bool) {
+	switch pred {
+	case PredRoot:
+		return nav.Parent[v] == -1, true
+	case PredLeaf:
+		return nav.FC[v] == -1, true
+	case PredLastSibling:
+		return nav.NS[v] == -1 && nav.Parent[v] != -1, true
+	case PredFirstSibling:
+		return nav.Prev[v] == -1 && nav.Parent[v] != -1, true
+	case PredDom:
+		return true, true
+	}
+	if label, isLabel := IsLabelPred(pred); isLabel {
+		return nav.Labels[v] == label, true
+	}
+	return false, false
+}

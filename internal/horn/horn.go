@@ -1,0 +1,88 @@
+// Package horn implements linear-time propositional Horn clause
+// inference in the style of Dowling–Gallier (1984) and Minoux's LTUR
+// (1988), as invoked by Proposition 3.5 of Gottlob & Koch (PODS 2002):
+// a ground (propositional) datalog program plus a database of facts can
+// be evaluated in time O(|P| + |σ|).
+//
+// Atoms are dense nonnegative integers; a clause derives its head once
+// all body atoms are known true. The solver runs in time linear in the
+// total size of the clause set (sum of body lengths plus number of
+// clauses).
+package horn
+
+// Clause is a definite Horn clause head ← body. Facts have empty bodies.
+type Clause struct {
+	Head int
+	Body []int
+}
+
+// Solver computes the least model of a set of definite Horn clauses by
+// counter-based unit propagation. The zero value is ready to use.
+type Solver struct {
+	clauses  []Clause
+	numAtoms int
+}
+
+// AddClause appends a clause. Atom ids must be nonnegative.
+func (s *Solver) AddClause(head int, body ...int) {
+	s.clauses = append(s.clauses, Clause{Head: head, Body: body})
+	if head >= s.numAtoms {
+		s.numAtoms = head + 1
+	}
+	for _, b := range body {
+		if b >= s.numAtoms {
+			s.numAtoms = b + 1
+		}
+	}
+}
+
+// AddFact appends a bodyless clause.
+func (s *Solver) AddFact(atom int) { s.AddClause(atom) }
+
+// NumClauses returns the number of clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Solve returns the characteristic vector of the least model: true[a]
+// iff atom a is derivable. The slice has length max(numAtoms, minAtoms).
+func (s *Solver) Solve(minAtoms int) []bool {
+	n := s.numAtoms
+	if minAtoms > n {
+		n = minAtoms
+	}
+	truth := make([]bool, n)
+
+	// remaining[c] counts body atoms of clause c not yet known true.
+	remaining := make([]int, len(s.clauses))
+	// watch[a] lists the clauses having a in their body.
+	watch := make([][]int32, n)
+	for ci, c := range s.clauses {
+		remaining[ci] = len(c.Body)
+		for _, b := range c.Body {
+			watch[b] = append(watch[b], int32(ci))
+		}
+	}
+
+	queue := make([]int, 0, n)
+	markTrue := func(a int) {
+		if !truth[a] {
+			truth[a] = true
+			queue = append(queue, a)
+		}
+	}
+	for ci, c := range s.clauses {
+		if remaining[ci] == 0 {
+			markTrue(c.Head)
+		}
+	}
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ci := range watch[a] {
+			remaining[ci]--
+			if remaining[ci] == 0 {
+				markTrue(s.clauses[ci].Head)
+			}
+		}
+	}
+	return truth
+}

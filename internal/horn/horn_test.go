@@ -1,0 +1,132 @@
+package horn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Solver
+	truth := s.Solve(3)
+	for i, v := range truth {
+		if v {
+			t.Errorf("atom %d true in empty program", i)
+		}
+	}
+}
+
+func TestFactsAndChains(t *testing.T) {
+	var s Solver
+	s.AddFact(0)
+	s.AddClause(1, 0)
+	s.AddClause(2, 1)
+	s.AddClause(3, 2, 5) // 5 never true
+	s.AddClause(4, 0, 1, 2)
+	truth := s.Solve(0)
+	want := []bool{true, true, true, false, true, false}
+	for i, w := range want {
+		if truth[i] != w {
+			t.Errorf("atom %d = %v, want %v", i, truth[i], w)
+		}
+	}
+}
+
+func TestCycle(t *testing.T) {
+	var s Solver
+	// Mutual dependency without base fact: nothing derivable.
+	s.AddClause(0, 1)
+	s.AddClause(1, 0)
+	truth := s.Solve(0)
+	if truth[0] || truth[1] {
+		t.Error("cycle without facts must stay false")
+	}
+	// Adding a base fact makes the whole cycle true.
+	s.AddFact(0)
+	truth = s.Solve(0)
+	if !truth[0] || !truth[1] {
+		t.Error("cycle with fact must become true")
+	}
+}
+
+func TestDuplicateBodyAtoms(t *testing.T) {
+	var s Solver
+	s.AddClause(1, 0, 0, 0)
+	s.AddFact(0)
+	truth := s.Solve(0)
+	if !truth[1] {
+		t.Error("duplicate body atoms must not block derivation")
+	}
+}
+
+func TestMinAtoms(t *testing.T) {
+	var s Solver
+	s.AddFact(2)
+	truth := s.Solve(10)
+	if len(truth) != 10 {
+		t.Errorf("len = %d, want 10", len(truth))
+	}
+}
+
+// naiveSolve is the obvious quadratic fixpoint, used as the reference.
+func naiveSolve(clauses []Clause, n int) []bool {
+	truth := make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for _, c := range clauses {
+			if truth[c.Head] {
+				continue
+			}
+			ok := true
+			for _, b := range c.Body {
+				if !truth[b] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				truth[c.Head] = true
+				changed = true
+			}
+		}
+	}
+	return truth
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		var s Solver
+		var clauses []Clause
+		for i := 0; i < rng.Intn(80); i++ {
+			head := rng.Intn(n)
+			body := make([]int, rng.Intn(4))
+			for j := range body {
+				body[j] = rng.Intn(n)
+			}
+			s.AddClause(head, body...)
+			clauses = append(clauses, Clause{Head: head, Body: body})
+		}
+		got := s.Solve(n)
+		want := naiveSolve(clauses, n)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumClauses(t *testing.T) {
+	var s Solver
+	s.AddFact(0)
+	s.AddClause(1, 0)
+	if s.NumClauses() != 2 {
+		t.Errorf("NumClauses = %d", s.NumClauses())
+	}
+}

@@ -1,0 +1,58 @@
+package html
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Synthetic document generators for examples and benchmarks: the
+// paper's motivating workloads are product listings and index pages;
+// these produce realistic structures at controlled sizes (the
+// substitution for live Web pages documented in DESIGN.md).
+
+// ProductListing generates an HTML page with a header, a table of
+// rows product rows (name, price, availability), and a footer. The
+// rng controls names and prices (pass a seeded source for
+// reproducibility).
+func ProductListing(rng *rand.Rand, rows int) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Catalog</title></head><body>\n")
+	b.WriteString("<h1>Product catalog</h1>\n<table class=\"items\">\n")
+	b.WriteString("<tr><th>Item</th><th>Price</th><th>Stock</th></tr>\n")
+	adjectives := []string{"Red", "Blue", "Large", "Small", "Deluxe", "Basic", "Pro", "Mini"}
+	nouns := []string{"Widget", "Gadget", "Sprocket", "Gizmo", "Doodad", "Contraption"}
+	for i := 0; i < rows; i++ {
+		name := fmt.Sprintf("%s %s %d",
+			adjectives[rng.Intn(len(adjectives))], nouns[rng.Intn(len(nouns))], i+1)
+		price := fmt.Sprintf("%d.%02d", 1+rng.Intn(500), rng.Intn(100))
+		stock := "in stock"
+		if rng.Intn(4) == 0 {
+			stock = "sold out"
+		}
+		fmt.Fprintf(&b, "<tr class=\"item\"><td>%s</td><td><b>$%s</b></td><td><em>%s</em></td></tr>\n",
+			name, price, stock)
+	}
+	b.WriteString("</table>\n<p>Contact us for bulk orders.</p>\n</body></html>")
+	return b.String()
+}
+
+// NewsIndex generates a nested index page: sections containing lists
+// of headline links with summaries.
+func NewsIndex(rng *rand.Rand, sections, itemsPer int) string {
+	var b strings.Builder
+	b.WriteString("<html><body><div id=\"main\">\n")
+	topics := []string{"World", "Tech", "Sports", "Science", "Culture", "Finance"}
+	for s := 0; s < sections; s++ {
+		topic := topics[s%len(topics)]
+		fmt.Fprintf(&b, "<div class=\"section\"><h2>%s</h2><ul>\n", topic)
+		for i := 0; i < itemsPer; i++ {
+			fmt.Fprintf(&b,
+				"<li><a href=\"/story/%d-%d\">%s story %d</a><span>summary %d</span></li>\n",
+				s, i, topic, i+1, rng.Intn(1000))
+		}
+		b.WriteString("</ul></div>\n")
+	}
+	b.WriteString("</div></body></html>")
+	return b.String()
+}

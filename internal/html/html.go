@@ -1,0 +1,306 @@
+// Package html is the document substrate of the reproduction: a
+// from-scratch HTML tokenizer and tree builder sufficient for the Web
+// wrapping scenarios of Gottlob & Koch (PODS 2002). The paper assumes
+// "an existing HTML parser as a front end" producing unranked document
+// trees; offline we provide our own for a practical HTML subset:
+//
+//   - start/end/self-closing tags with quoted, unquoted and bare
+//     attributes; case-insensitive tag and attribute names;
+//   - void elements (br, img, hr, ...) that never take children;
+//   - implied end tags for li, p, td, th, tr, option, dt, dd;
+//   - raw-text elements (script, style) whose content is opaque;
+//   - comments, doctype, and character entities (a practical set).
+//
+// Text becomes #text-labeled leaves (with the character data in
+// Node.Text); element labels are lower-case tag names, so the label
+// predicates of τ_ur are label_div, label_td, ..., plus label_#text.
+package html
+
+import (
+	"strings"
+
+	"mdlog/internal/tree"
+)
+
+// voidElements never have children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// impliedEnd[tag] lists open tags that an opening <tag> implicitly
+// closes (a pragmatic subset of the HTML5 rules).
+var impliedEnd = map[string][]string{
+	"li":     {"li"},
+	"p":      {"p"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"tr":     {"tr", "td", "th"},
+	"option": {"option"},
+	"dt":     {"dt", "dd"},
+	"dd":     {"dt", "dd"},
+}
+
+// rawText elements swallow everything until their end tag.
+var rawText = map[string]bool{"script": true, "style": true}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "copy": "©", "mdash": "—", "ndash": "–", "hellip": "…",
+	"eur": "€", "euro": "€", "pound": "£", "yen": "¥",
+}
+
+// Parse builds a document tree from HTML source. The result is rooted
+// at a synthetic #document node (as in real DOM trees), so the HTML
+// root element is never the τ_ur root — which also sidesteps the
+// root-label caveat of the Theorem 6.5 translation.
+func Parse(src string) *tree.Tree {
+	doc := tree.New("#document")
+	stack := []*tree.Node{doc}
+	top := func() *tree.Node { return stack[len(stack)-1] }
+
+	appendText := func(text string) {
+		if strings.TrimSpace(text) == "" {
+			return
+		}
+		n := tree.NewText(decodeEntities(text))
+		top().Add(n)
+	}
+	openTag := func(name string, attrs map[string]string, selfClose bool) {
+		// Pop every open element the new tag implicitly closes (e.g. a
+		// <tr> closes an open td and then the open tr).
+		for len(stack) > 1 {
+			closed := false
+			for _, closes := range impliedEnd[name] {
+				if top().Label == closes {
+					stack = stack[:len(stack)-1]
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				break
+			}
+		}
+		n := tree.New(name)
+		if len(attrs) > 0 {
+			n.Attrs = attrs
+		}
+		top().Add(n)
+		if !voidElements[name] && !selfClose {
+			stack = append(stack, n)
+		}
+	}
+	closeTag := func(name string) {
+		for i := len(stack) - 1; i >= 1; i-- {
+			if stack[i].Label == name {
+				stack = stack[:i]
+				return
+			}
+		}
+		// Unmatched end tag: ignored.
+	}
+
+	i := 0
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			appendText(src[i:])
+			break
+		}
+		if lt > 0 {
+			appendText(src[i : i+lt])
+		}
+		i += lt
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				i = len(src)
+			} else {
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = len(src)
+			} else {
+				i += end + 1
+			}
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				i = len(src)
+				break
+			}
+			name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+			closeTag(name)
+			i += end + 1
+		default:
+			name, attrs, selfClose, next := parseTag(src, i)
+			if name == "" {
+				appendText("<")
+				i++
+				break
+			}
+			i = next
+			openTag(name, attrs, selfClose)
+			if rawText[name] && !selfClose {
+				endTag := "</" + name
+				idx := strings.Index(strings.ToLower(src[i:]), endTag)
+				if idx < 0 {
+					i = len(src)
+					closeTag(name)
+				} else {
+					raw := src[i : i+idx]
+					if strings.TrimSpace(raw) != "" {
+						top().Add(tree.NewText(raw))
+					}
+					i += idx
+					gt := strings.IndexByte(src[i:], '>')
+					if gt < 0 {
+						i = len(src)
+					} else {
+						i += gt + 1
+					}
+					closeTag(name)
+				}
+			}
+		}
+	}
+	return tree.NewTree(doc)
+}
+
+// parseTag parses a start tag beginning at src[i] == '<'. Returns the
+// lower-cased name (empty if not a valid tag), attributes, whether the
+// tag self-closes, and the index after '>'.
+func parseTag(src string, i int) (string, map[string]string, bool, int) {
+	j := i + 1
+	start := j
+	for j < len(src) && isNameByte(src[j]) {
+		j++
+	}
+	if j == start {
+		return "", nil, false, i
+	}
+	name := strings.ToLower(src[start:j])
+	var attrs map[string]string
+	selfClose := false
+	for j < len(src) {
+		for j < len(src) && isSpace(src[j]) {
+			j++
+		}
+		if j >= len(src) {
+			break
+		}
+		if src[j] == '>' {
+			return name, attrs, selfClose, j + 1
+		}
+		if src[j] == '/' {
+			selfClose = true
+			j++
+			continue
+		}
+		// Attribute.
+		aStart := j
+		for j < len(src) && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+			j++
+		}
+		aName := strings.ToLower(src[aStart:j])
+		aVal := ""
+		if j < len(src) && src[j] == '=' {
+			j++
+			for j < len(src) && isSpace(src[j]) {
+				j++
+			}
+			if j < len(src) && (src[j] == '"' || src[j] == '\'') {
+				q := src[j]
+				j++
+				vStart := j
+				for j < len(src) && src[j] != q {
+					j++
+				}
+				aVal = src[vStart:j]
+				if j < len(src) {
+					j++
+				}
+			} else {
+				vStart := j
+				for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
+					j++
+				}
+				aVal = src[vStart:j]
+			}
+		}
+		if aName != "" {
+			if attrs == nil {
+				attrs = map[string]string{}
+			}
+			attrs[aName] = decodeEntities(aVal)
+		}
+	}
+	return name, attrs, selfClose, len(src)
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == ':'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// decodeEntities resolves &name; and &#NN; references; unknown
+// entities are left intact.
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return collapseSpace(s)
+	}
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if strings.HasPrefix(name, "#") {
+			code := 0
+			ok := len(name) > 1
+			for _, c := range name[1:] {
+				if c < '0' || c > '9' {
+					ok = false
+					break
+				}
+				code = code*10 + int(c-'0')
+			}
+			if ok && code > 0 && code < 0x110000 {
+				b.WriteRune(rune(code))
+				i += semi + 1
+				continue
+			}
+		}
+		if rep, ok := entities[strings.ToLower(name)]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return collapseSpace(b.String())
+}
+
+// collapseSpace normalizes runs of whitespace to single spaces and
+// trims, matching how browsers render character data.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

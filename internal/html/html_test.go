@@ -1,0 +1,160 @@
+package html
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	doc := Parse(`<html><body><p>Hello <b>world</b></p></body></html>`)
+	if doc.Root.Label != "#document" {
+		t.Fatalf("root = %q", doc.Root.Label)
+	}
+	if doc.Root.Children[0].Label != "html" {
+		t.Fatalf("first = %q", doc.Root.Children[0].Label)
+	}
+	s := doc.String()
+	want := "#document(html(body(p(#text,b(#text)))))"
+	if s != want {
+		t.Errorf("tree = %s, want %s", s, want)
+	}
+	// Text content.
+	var texts []string
+	for _, n := range doc.Nodes {
+		if n.Label == "#text" {
+			texts = append(texts, n.Text)
+		}
+	}
+	if len(texts) != 2 || texts[0] != "Hello" || texts[1] != "world" {
+		t.Errorf("texts = %q", texts)
+	}
+}
+
+func TestVoidAndSelfClosing(t *testing.T) {
+	doc := Parse(`<div><br><img src="x.png"><hr/><span/>text</div>`)
+	div := doc.Root.Children[0]
+	labels := []string{}
+	for _, c := range div.Children {
+		labels = append(labels, c.Label)
+	}
+	if strings.Join(labels, ",") != "br,img,hr,span,#text" {
+		t.Errorf("children = %v", labels)
+	}
+	if img := div.Children[1]; img.Attrs["src"] != "x.png" {
+		t.Errorf("img attrs = %v", img.Attrs)
+	}
+}
+
+func TestImpliedEndTags(t *testing.T) {
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	table := doc.Root.Children[0]
+	if table.Label != "table" || len(table.Children) != 2 {
+		t.Fatalf("table children = %d (%s)", len(table.Children), doc)
+	}
+	tr1 := table.Children[0]
+	if len(tr1.Children) != 2 || tr1.Children[0].Label != "td" {
+		t.Errorf("tr1 = %s", doc)
+	}
+	doc2 := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	ul := doc2.Root.Children[0]
+	if len(ul.Children) != 3 {
+		t.Errorf("ul children = %d (%s)", len(ul.Children), doc2)
+	}
+}
+
+func TestCommentsDoctypeEntities(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><!-- a comment --><p>x &amp; y &lt;z&gt; &#65;&euro;</p>`)
+	p := doc.Root.Children[0]
+	if p.Label != "p" || len(p.Children) != 1 {
+		t.Fatalf("doc = %s", doc)
+	}
+	if got := p.Children[0].Text; got != "x & y <z> A€" {
+		t.Errorf("text = %q", got)
+	}
+	// Unknown entity survives.
+	doc2 := Parse(`<p>&unknown; &#xbad;</p>`)
+	if got := doc2.Root.Children[0].Children[0].Text; got != "&unknown; &#xbad;" {
+		t.Errorf("unknown entity text = %q", got)
+	}
+}
+
+func TestRawTextElements(t *testing.T) {
+	doc := Parse(`<div><script>if (a < b) { x(); }</script><p>after</p></div>`)
+	div := doc.Root.Children[0]
+	if len(div.Children) != 2 {
+		t.Fatalf("div = %s", doc)
+	}
+	script := div.Children[0]
+	if script.Label != "script" || len(script.Children) != 1 {
+		t.Fatalf("script = %s", doc)
+	}
+	if !strings.Contains(script.Children[0].Text, "a < b") {
+		t.Errorf("script text = %q", script.Children[0].Text)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	doc := Parse(`<a href="/x" class='big' data-n=5 checked>link</a>`)
+	a := doc.Root.Children[0]
+	if a.Attrs["href"] != "/x" || a.Attrs["class"] != "big" ||
+		a.Attrs["data-n"] != "5" || a.Attrs["checked"] != "" {
+		t.Errorf("attrs = %v", a.Attrs)
+	}
+	if _, ok := a.Attrs["nope"]; ok {
+		t.Error("phantom attribute")
+	}
+}
+
+func TestUnmatchedAndStray(t *testing.T) {
+	doc := Parse(`</div><p>a</b></p>2 < 3`)
+	if doc.Size() < 3 {
+		t.Errorf("doc = %s", doc)
+	}
+	// Stray '<' becomes text, parser must not panic or loop.
+	doc2 := Parse(`a < b`)
+	_ = doc2
+}
+
+func TestWhitespaceCollapsing(t *testing.T) {
+	doc := Parse("<p>  hello\n\t world  </p>")
+	if got := doc.Root.Children[0].Children[0].Text; got != "hello world" {
+		t.Errorf("text = %q", got)
+	}
+	// Whitespace-only text nodes are dropped.
+	doc2 := Parse("<div> \n <p>x</p> \n </div>")
+	div := doc2.Root.Children[0]
+	if len(div.Children) != 1 {
+		t.Errorf("div children = %d", len(div.Children))
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	page := ProductListing(rng, 10)
+	doc := Parse(page)
+	// 1 header row + 10 item rows.
+	trs := 0
+	for _, n := range doc.Nodes {
+		if n.Label == "tr" {
+			trs++
+		}
+	}
+	if trs != 11 {
+		t.Errorf("tr count = %d", trs)
+	}
+	idx := Parse(NewsIndex(rng, 3, 4))
+	lis := 0
+	for _, n := range idx.Nodes {
+		if n.Label == "li" {
+			lis++
+		}
+	}
+	if lis != 12 {
+		t.Errorf("li count = %d", lis)
+	}
+	// Deterministic for a fixed seed.
+	if ProductListing(rand.New(rand.NewSource(7)), 5) != ProductListing(rand.New(rand.NewSource(7)), 5) {
+		t.Error("generator not deterministic")
+	}
+}

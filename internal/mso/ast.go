@@ -1,0 +1,417 @@
+// Package mso implements monadic second-order logic over the unranked
+// tree signature τ_ur of Gottlob & Koch (PODS 2002): formulas, a
+// reference (direct-semantics) evaluator, compilation to deterministic
+// bottom-up tree automata over the firstchild/nextsibling binary
+// encoding (the classical construction behind Proposition 2.1), linear
+// unary-query evaluation, and the constructive translation of unary
+// MSO queries into monadic datalog (Theorem 4.4 / Corollary 4.17).
+//
+// Variable sorts follow the paper: lower-case names (x, y, ...) are
+// first-order node variables; upper-case names (P, Q, ...) are
+// second-order set variables.
+package mso
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Var is a variable name. First-order iff the first rune is lower case.
+type Var string
+
+// IsSet reports whether the variable is second-order.
+func (v Var) IsSet() bool {
+	if v == "" {
+		return false
+	}
+	return unicode.IsUpper(rune(v[0]))
+}
+
+// Formula is an MSO formula over τ_ur.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// UnKind enumerates the unary relations of τ_ur.
+type UnKind int
+
+const (
+	UnRoot UnKind = iota
+	UnLeaf
+	UnLastSibling
+)
+
+func (k UnKind) String() string {
+	switch k {
+	case UnRoot:
+		return "root"
+	case UnLeaf:
+		return "leaf"
+	case UnLastSibling:
+		return "lastsibling"
+	}
+	return "?"
+}
+
+// BinKind enumerates binary atoms: the τ_ur relations plus the
+// MSO-definable conveniences child and before (document order ≺),
+// which are provided as built-ins.
+type BinKind int
+
+const (
+	BinFirstChild BinKind = iota
+	BinNextSibling
+	BinChild
+	BinBefore
+	BinEq
+)
+
+func (k BinKind) String() string {
+	switch k {
+	case BinFirstChild:
+		return "firstchild"
+	case BinNextSibling:
+		return "nextsibling"
+	case BinChild:
+		return "child"
+	case BinBefore:
+		return "before"
+	case BinEq:
+		return "="
+	}
+	return "?"
+}
+
+// The formula constructors.
+type (
+	// True and False are the boolean constants.
+	True  struct{}
+	False struct{}
+
+	// Label is label_a(x).
+	Label struct {
+		X     Var
+		Label string
+	}
+
+	// Un is root(x), leaf(x) or lastsibling(x).
+	Un struct {
+		Kind UnKind
+		X    Var
+	}
+
+	// Bin is firstchild(x,y), nextsibling(x,y), child(x,y),
+	// before(x,y) or x = y. Both variables are first-order.
+	Bin struct {
+		Kind BinKind
+		X, Y Var
+	}
+
+	// In is x ∈ X.
+	In struct {
+		X Var // first-order
+		S Var // second-order
+	}
+
+	// Subset is X ⊆ Y.
+	Subset struct{ S, T Var }
+
+	// Not is ¬φ.
+	Not struct{ F Formula }
+
+	// And is φ ∧ ψ.
+	And struct{ L, R Formula }
+
+	// Or is φ ∨ ψ.
+	Or struct{ L, R Formula }
+
+	// Exists is ∃v φ (first- or second-order, by the sort of V).
+	Exists struct {
+		V    Var
+		Body Formula
+	}
+
+	// Forall is ∀v φ.
+	Forall struct {
+		V    Var
+		Body Formula
+	}
+)
+
+func (True) isFormula()   {}
+func (False) isFormula()  {}
+func (Label) isFormula()  {}
+func (Un) isFormula()     {}
+func (Bin) isFormula()    {}
+func (In) isFormula()     {}
+func (Subset) isFormula() {}
+func (Not) isFormula()    {}
+func (And) isFormula()    {}
+func (Or) isFormula()     {}
+func (Exists) isFormula() {}
+func (Forall) isFormula() {}
+
+func (True) String() string  { return "true" }
+func (False) String() string { return "false" }
+func (f Label) String() string {
+	return fmt.Sprintf("label_%s(%s)", f.Label, f.X)
+}
+func (f Un) String() string { return fmt.Sprintf("%s(%s)", f.Kind, f.X) }
+func (f Bin) String() string {
+	if f.Kind == BinEq {
+		return fmt.Sprintf("%s = %s", f.X, f.Y)
+	}
+	return fmt.Sprintf("%s(%s,%s)", f.Kind, f.X, f.Y)
+}
+func (f In) String() string     { return fmt.Sprintf("%s in %s", f.X, f.S) }
+func (f Subset) String() string { return fmt.Sprintf("%s sub %s", f.S, f.T) }
+func (f Not) String() string    { return fmt.Sprintf("~%s", paren(f.F)) }
+func (f And) String() string    { return fmt.Sprintf("%s & %s", paren(f.L), paren(f.R)) }
+func (f Or) String() string     { return fmt.Sprintf("%s | %s", paren(f.L), paren(f.R)) }
+func (f Exists) String() string { return fmt.Sprintf("exists %s %s", f.V, paren(f.Body)) }
+func (f Forall) String() string { return fmt.Sprintf("forall %s %s", f.V, paren(f.Body)) }
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case True, False, Label, Un, In, Subset, Not:
+		return f.String()
+	case Bin:
+		if f.(Bin).Kind == BinEq {
+			return "(" + f.String() + ")"
+		}
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Sugar constructors.
+
+// Impl builds φ → ψ as ¬φ ∨ ψ.
+func Impl(l, r Formula) Formula { return Or{Not{l}, r} }
+
+// Iff builds φ ↔ ψ.
+func Iff(l, r Formula) Formula { return And{Impl(l, r), Impl(r, l)} }
+
+// FreeVars returns the free variables of f in first-occurrence order.
+func FreeVars(f Formula) []Var {
+	var out []Var
+	seen := map[Var]bool{}
+	bound := map[Var]int{}
+	var walk func(f Formula)
+	add := func(v Var) {
+		if bound[v] == 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Label:
+			add(g.X)
+		case Un:
+			add(g.X)
+		case Bin:
+			add(g.X)
+			add(g.Y)
+		case In:
+			add(g.X)
+			add(g.S)
+		case Subset:
+			add(g.S)
+			add(g.T)
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Exists:
+			bound[g.V]++
+			walk(g.Body)
+			bound[g.V]--
+		case Forall:
+			bound[g.V]++
+			walk(g.Body)
+			bound[g.V]--
+		}
+	}
+	walk(f)
+	return out
+}
+
+// Labels returns the sorted set of labels mentioned in f.
+func Labels(f Formula) []string {
+	set := map[string]bool{}
+	var walk func(f Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Label:
+			set[g.Label] = true
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Exists:
+			walk(g.Body)
+		case Forall:
+			walk(g.Body)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Validate checks variable sorts: unary/binary atoms take first-order
+// variables, In takes (first-order, second-order), Subset two
+// second-order variables.
+func Validate(f Formula) error {
+	switch g := f.(type) {
+	case True, False:
+		return nil
+	case Label:
+		if g.X.IsSet() {
+			return fmt.Errorf("mso: label atom needs a first-order variable, got %s", g.X)
+		}
+	case Un:
+		if g.X.IsSet() {
+			return fmt.Errorf("mso: %s needs a first-order variable, got %s", g.Kind, g.X)
+		}
+	case Bin:
+		if g.X.IsSet() || g.Y.IsSet() {
+			return fmt.Errorf("mso: %s needs first-order variables, got %s, %s", g.Kind, g.X, g.Y)
+		}
+	case In:
+		if g.X.IsSet() || !g.S.IsSet() {
+			return fmt.Errorf("mso: 'in' needs x in X (first-order in second-order), got %s in %s", g.X, g.S)
+		}
+	case Subset:
+		if !g.S.IsSet() || !g.T.IsSet() {
+			return fmt.Errorf("mso: 'sub' needs second-order variables, got %s sub %s", g.S, g.T)
+		}
+	case Not:
+		return Validate(g.F)
+	case And:
+		if err := Validate(g.L); err != nil {
+			return err
+		}
+		return Validate(g.R)
+	case Or:
+		if err := Validate(g.L); err != nil {
+			return err
+		}
+		return Validate(g.R)
+	case Exists:
+		return Validate(g.Body)
+	case Forall:
+		return Validate(g.Body)
+	}
+	return nil
+}
+
+// QuantifierRank returns the maximum nesting depth of quantifiers,
+// the paper's quantifier rank k (Section 2).
+func QuantifierRank(f Formula) int {
+	switch g := f.(type) {
+	case Not:
+		return QuantifierRank(g.F)
+	case And:
+		return max(QuantifierRank(g.L), QuantifierRank(g.R))
+	case Or:
+		return max(QuantifierRank(g.L), QuantifierRank(g.R))
+	case Exists:
+		return 1 + QuantifierRank(g.Body)
+	case Forall:
+		return 1 + QuantifierRank(g.Body)
+	default:
+		return 0
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// rename returns f with all bound variables renamed apart (fresh names
+// v<N> / V<N> preserving sorts), so that every variable has a unique
+// binding site. Free variables are untouched.
+func renameApart(f Formula) Formula {
+	counter := 0
+	fresh := func(v Var) Var {
+		counter++
+		if v.IsSet() {
+			return Var(fmt.Sprintf("V%d", counter))
+		}
+		return Var(fmt.Sprintf("v%d", counter))
+	}
+	var walk func(f Formula, env map[Var]Var) Formula
+	sub := func(v Var, env map[Var]Var) Var {
+		if w, ok := env[v]; ok {
+			return w
+		}
+		return v
+	}
+	walk = func(f Formula, env map[Var]Var) Formula {
+		switch g := f.(type) {
+		case Label:
+			return Label{sub(g.X, env), g.Label}
+		case Un:
+			return Un{g.Kind, sub(g.X, env)}
+		case Bin:
+			return Bin{g.Kind, sub(g.X, env), sub(g.Y, env)}
+		case In:
+			return In{sub(g.X, env), sub(g.S, env)}
+		case Subset:
+			return Subset{sub(g.S, env), sub(g.T, env)}
+		case Not:
+			return Not{walk(g.F, env)}
+		case And:
+			return And{walk(g.L, env), walk(g.R, env)}
+		case Or:
+			return Or{walk(g.L, env), walk(g.R, env)}
+		case Exists:
+			nv := fresh(g.V)
+			inner := extend(env, g.V, nv)
+			return Exists{nv, walk(g.Body, inner)}
+		case Forall:
+			nv := fresh(g.V)
+			inner := extend(env, g.V, nv)
+			return Forall{nv, walk(g.Body, inner)}
+		default:
+			return f
+		}
+	}
+	return walk(f, map[Var]Var{})
+}
+
+func extend(env map[Var]Var, k, v Var) map[Var]Var {
+	out := make(map[Var]Var, len(env)+1)
+	for a, b := range env {
+		out[a] = b
+	}
+	out[k] = v
+	return out
+}

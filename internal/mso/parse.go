@@ -1,0 +1,325 @@
+package mso
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads an MSO formula. Grammar (loosest binding first):
+//
+//	iff    := imp ('<->' imp)*
+//	imp    := or ('->' imp)?                  (right associative)
+//	or     := and ('|' and)*
+//	and    := unary ('&' unary)*
+//	unary  := '~' unary | 'exists' var unary | 'forall' var unary
+//	        | '(' iff ')' | atom
+//	atom   := 'true' | 'false'
+//	        | ('root'|'leaf'|'lastsibling') '(' var ')'
+//	        | 'label_'NAME '(' var ')'
+//	        | ('firstchild'|'nextsibling'|'child'|'before') '(' var ',' var ')'
+//	        | var '=' var | var 'in' VAR | VAR 'sub' VAR
+//
+// Lower-case variables are first-order, upper-case second-order.
+func Parse(src string) (Formula, error) {
+	p := &msoParser{toks: tokenizeMSO(src)}
+	f, err := p.iff()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("mso: trailing input %q", p.toks[p.pos])
+	}
+	if err := Validate(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func tokenizeMSO(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '~' || c == '&' || c == '|' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		case strings.HasPrefix(src[i:], "<->"):
+			toks = append(toks, "<->")
+			i += 3
+		case strings.HasPrefix(src[i:], "->"):
+			toks = append(toks, "->")
+			i += 2
+		default:
+			j := i
+			for j < len(src) && (isWordByte(src[j])) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, string(c))
+				i++
+			} else {
+				toks = append(toks, src[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '#' || c == '-'
+}
+
+type msoParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *msoParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *msoParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *msoParser) expect(t string) error {
+	if p.peek() != t {
+		return fmt.Errorf("mso: expected %q, got %q", t, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *msoParser) iff() (Formula, error) {
+	l, err := p.imp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "<->" {
+		p.pos++
+		r, err := p.imp()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff(l, r)
+	}
+	return l, nil
+}
+
+func (p *msoParser) imp() (Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "->" {
+		p.pos++
+		r, err := p.imp()
+		if err != nil {
+			return nil, err
+		}
+		return Impl(l, r), nil
+	}
+	return l, nil
+}
+
+func (p *msoParser) or() (Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.pos++
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *msoParser) and() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func isVarName(t string) bool {
+	if t == "" {
+		return false
+	}
+	c := t[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return false
+	}
+	switch t {
+	case "exists", "forall", "true", "false", "in", "sub",
+		"root", "leaf", "lastsibling", "firstchild", "nextsibling", "child", "before":
+		return false
+	}
+	return !strings.HasPrefix(t, "label_")
+}
+
+func (p *msoParser) unary() (Formula, error) {
+	switch t := p.peek(); {
+	case t == "~":
+		p.pos++
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	case t == "exists" || t == "forall":
+		p.pos++
+		v := p.next()
+		if !isVarName(v) {
+			return nil, fmt.Errorf("mso: expected variable after %s, got %q", t, v)
+		}
+		body, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t == "exists" {
+			return Exists{Var(v), body}, nil
+		}
+		return Forall{Var(v), body}, nil
+	case t == "(":
+		p.pos++
+		f, err := p.iff()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.atom()
+	}
+}
+
+func (p *msoParser) varToken() (Var, error) {
+	t := p.next()
+	if !isVarName(t) {
+		return "", fmt.Errorf("mso: expected variable, got %q", t)
+	}
+	return Var(t), nil
+}
+
+func (p *msoParser) atom() (Formula, error) {
+	t := p.next()
+	switch t {
+	case "true":
+		return True{}, nil
+	case "false":
+		return False{}, nil
+	case "root", "leaf", "lastsibling":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.varToken()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		kind := map[string]UnKind{"root": UnRoot, "leaf": UnLeaf, "lastsibling": UnLastSibling}[t]
+		return Un{kind, v}, nil
+	case "firstchild", "nextsibling", "child", "before":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		x, err := p.varToken()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		y, err := p.varToken()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		kind := map[string]BinKind{
+			"firstchild": BinFirstChild, "nextsibling": BinNextSibling,
+			"child": BinChild, "before": BinBefore}[t]
+		return Bin{kind, x, y}, nil
+	}
+	if strings.HasPrefix(t, "label_") {
+		label := t[len("label_"):]
+		if label == "" {
+			return nil, fmt.Errorf("mso: empty label in %q", t)
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.varToken()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Label{v, label}, nil
+	}
+	if isVarName(t) {
+		switch p.peek() {
+		case "=":
+			p.pos++
+			y, err := p.varToken()
+			if err != nil {
+				return nil, err
+			}
+			return Bin{BinEq, Var(t), y}, nil
+		case "in":
+			p.pos++
+			s, err := p.varToken()
+			if err != nil {
+				return nil, err
+			}
+			return In{Var(t), s}, nil
+		case "sub":
+			p.pos++
+			s, err := p.varToken()
+			if err != nil {
+				return nil, err
+			}
+			return Subset{Var(t), s}, nil
+		}
+		return nil, fmt.Errorf("mso: lone variable %q (expected =, in or sub)", t)
+	}
+	return nil, fmt.Errorf("mso: unexpected token %q", t)
+}

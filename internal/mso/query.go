@@ -1,0 +1,157 @@
+package mso
+
+import (
+	"fmt"
+
+	"mdlog/internal/tree"
+)
+
+// Linear-time evaluation of compiled MSO queries on trees: one
+// bottom-up pass assigns every node its (unmarked) automaton state,
+// one top-down pass computes the set of "accepting context" states,
+// and a node is selected iff its marked transition lands in its
+// context — the automaton-level image of combining the Θ↑ and Θ↓
+// types in part (3) of the Theorem 4.4 proof.
+
+// UnaryQuery is a compiled MSO formula with exactly one free
+// first-order variable, ready for repeated evaluation.
+type UnaryQuery struct {
+	C       *Compiled
+	FreeVar Var
+	freeBit int
+}
+
+// CompileQuery compiles φ(x) with exactly one free first-order variable.
+func CompileQuery(f Formula) (*UnaryQuery, error) {
+	fv := FreeVars(f)
+	if len(fv) != 1 || fv[0].IsSet() {
+		return nil, fmt.Errorf("mso: unary query needs exactly one free first-order variable, has %v", fv)
+	}
+	c, err := Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return &UnaryQuery{C: c, FreeVar: fv[0], freeBit: c.FreeBits[fv[0]]}, nil
+}
+
+// MustCompileQuery panics on error (tests and examples).
+func MustCompileQuery(src string) *UnaryQuery {
+	q, err := CompileQuery(MustParse(src))
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Select returns the sorted document-order ids of the nodes selected
+// by the query on t, in time O(|t| · |Q|).
+func (q *UnaryQuery) Select(t *tree.Tree) []int {
+	d := q.C.DTA
+	n := t.Size()
+	bot := d.LeafState(0)
+
+	// Encoding children per original node: left = firstchild, right =
+	// nextsibling (state bot if absent).
+	up := make([]int, n)
+	// Bottom-up in reverse document order: children and next siblings
+	// have larger preorder ids than... careful: a node's nextsibling has a
+	// LARGER id; its firstchild too. So iterating ids in decreasing order
+	// guarantees both are already computed.
+	for id := n - 1; id >= 0; id-- {
+		nd := t.Nodes[id]
+		l, r := bot, bot
+		if fc := nd.FirstChild(); fc != nil {
+			l = up[fc.ID]
+		}
+		if ns := nd.NextSibling(); ns != nil {
+			r = up[ns.ID]
+		}
+		up[id] = d.Step(l, r, q.C.Sym(nd.Label, 0))
+	}
+
+	// Top-down context sets: ctx[id][s] == true iff the tree would be
+	// accepted when the encoding subtree at id evaluates to s.
+	ctx := make([][]bool, n)
+	for i := range ctx {
+		ctx[i] = make([]bool, d.NumStates)
+	}
+	copy(ctx[t.Root.ID], d.Accept)
+	for id := 0; id < n; id++ {
+		nd := t.Nodes[id]
+		sym := q.C.Sym(nd.Label, 0)
+		l, r := bot, bot
+		var fcID, nsID = -1, -1
+		if fc := nd.FirstChild(); fc != nil {
+			fcID = fc.ID
+			l = up[fcID]
+		}
+		if ns := nd.NextSibling(); ns != nil {
+			nsID = ns.ID
+			r = up[nsID]
+		}
+		for s := 0; s < d.NumStates; s++ {
+			if fcID >= 0 && ctx[id][d.Step(s, r, sym)] {
+				ctx[fcID][s] = true
+			}
+			if nsID >= 0 && ctx[id][d.Step(l, s, sym)] {
+				ctx[nsID][s] = true
+			}
+		}
+	}
+
+	// Selection: replace the node's own symbol by its marked variant.
+	var out []int
+	mark := 1 << uint(q.freeBit)
+	for id := 0; id < n; id++ {
+		nd := t.Nodes[id]
+		l, r := bot, bot
+		if fc := nd.FirstChild(); fc != nil {
+			l = up[fc.ID]
+		}
+		if ns := nd.NextSibling(); ns != nil {
+			r = up[ns.ID]
+		}
+		if ctx[id][d.Step(l, r, q.C.Sym(nd.Label, mark))] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Sentence is a compiled MSO sentence (no free variables) deciding a
+// regular tree language (Proposition 2.1).
+type Sentence struct {
+	C *Compiled
+}
+
+// CompileSentence compiles a sentence.
+func CompileSentence(f Formula) (*Sentence, error) {
+	if fv := FreeVars(f); len(fv) != 0 {
+		return nil, fmt.Errorf("mso: sentence has free variables %v", fv)
+	}
+	c, err := Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Sentence{C: c}, nil
+}
+
+// Accepts decides t ⊨ φ in time O(|t|).
+func (s *Sentence) Accepts(t *tree.Tree) bool {
+	d := s.C.DTA
+	bot := d.LeafState(0)
+	n := t.Size()
+	up := make([]int, n)
+	for id := n - 1; id >= 0; id-- {
+		nd := t.Nodes[id]
+		l, r := bot, bot
+		if fc := nd.FirstChild(); fc != nil {
+			l = up[fc.ID]
+		}
+		if ns := nd.NextSibling(); ns != nil {
+			r = up[ns.ID]
+		}
+		up[id] = d.Step(l, r, s.C.Sym(nd.Label, 0))
+	}
+	return d.Accept[up[t.Root.ID]]
+}

@@ -1,0 +1,146 @@
+package mso
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+)
+
+// ToDatalog realizes Theorem 4.4 constructively: every unary
+// MSO-definable query over τ_ur is definable in monadic datalog. The
+// ≡-types Θ↑ / Θ↓ of the paper's proof are represented by the states
+// of the compiled deterministic bottom-up automaton:
+//
+//   - up_q(x): the binary-encoding subtree rooted at x (x's subtree
+//     plus its right siblings' subtrees), read unmarked, evaluates to
+//     state q — the TMSO,↑ types of part (1);
+//   - ctx_q(x): if that subtree evaluated to q, the whole tree would be
+//     accepted — the TMSO,↓ envelope types of part (2);
+//   - the selection rules combine both, exactly as part (3) combines
+//     Θ↑ and Θ↓ via witnesses.
+//
+// The generated program is monadic datalog over τ_ur (plus a helper
+// nons(x) := lastsibling(x) ∨ root(x) for "no next sibling") and can
+// be evaluated with the linear-time engine of Theorem 4.2.
+//
+// alphabet is the full finite label alphabet Σ of the target documents
+// (the paper fixes a finite Σ; labels the formula does not mention are
+// handled by the compiled automaton's catch-all symbol). The query
+// predicate of the result is queryPred.
+func (q *UnaryQuery) ToDatalog(alphabet []string, queryPred string) (*datalog.Program, error) {
+	if queryPred == "" {
+		queryPred = "mso_select"
+	}
+	d := q.C.DTA
+	bot := d.LeafState(0)
+	p := &datalog.Program{Query: queryPred}
+	V, At, R := datalog.V, datalog.At, datalog.R
+
+	up := func(s int) string { return fmt.Sprintf("up_%d", s) }
+	ctx := func(s int) string { return fmt.Sprintf("ctx_%d", s) }
+
+	// Alphabet sanity: the automaton collapses unmentioned labels into
+	// its catch-all symbol, so every label of Σ must be covered.
+	seen := map[string]bool{}
+	for _, a := range alphabet {
+		if seen[a] {
+			return nil, fmt.Errorf("mso: duplicate label %q in alphabet", a)
+		}
+		seen[a] = true
+	}
+
+	// nons(x): x has no next sibling in the encoding.
+	p.Add(
+		R(At("nons", V("X")), At("lastsibling", V("X"))),
+		R(At("nons", V("X")), At("root", V("X"))),
+	)
+
+	for _, a := range alphabet {
+		s0 := q.C.Sym(a, 0)
+		labelAtom := At("label_"+a, V("X"))
+
+		// Part (1): bottom-up state rules, one per (q1, q2) ∈ (Q∪{⊥})².
+		p.Add(R(At(up(d.Step(bot, bot, s0)), V("X")),
+			labelAtom, At("leaf", V("X")), At("nons", V("X"))))
+		for q2 := 0; q2 < d.NumStates; q2++ {
+			p.Add(R(At(up(d.Step(bot, q2, s0)), V("X")),
+				labelAtom, At("leaf", V("X")),
+				At("nextsibling", V("X"), V("Y")), At(up(q2), V("Y"))))
+		}
+		for q1 := 0; q1 < d.NumStates; q1++ {
+			p.Add(R(At(up(d.Step(q1, bot, s0)), V("X")),
+				labelAtom, At("firstchild", V("X"), V("Y")), At(up(q1), V("Y")),
+				At("nons", V("X"))))
+			for q2 := 0; q2 < d.NumStates; q2++ {
+				p.Add(R(At(up(d.Step(q1, q2, s0)), V("X")),
+					labelAtom,
+					At("firstchild", V("X"), V("Y1")), At(up(q1), V("Y1")),
+					At("nextsibling", V("X"), V("Y2")), At(up(q2), V("Y2"))))
+			}
+		}
+
+		// Part (2): top-down context rules. For a node x with state
+		// q = δ(q1,q2,sym(a)), context q at x propagates context q1 to the
+		// firstchild and q2 to the nextsibling.
+		for q1 := 0; q1 < d.NumStates; q1++ {
+			for q2 := 0; q2 < d.NumStates; q2++ {
+				qq := d.Step(q1, q2, s0)
+				p.Add(R(At(ctx(q1), V("Y1")),
+					At(ctx(qq), V("X")), labelAtom,
+					At("firstchild", V("X"), V("Y1")),
+					At("nextsibling", V("X"), V("Y2")), At(up(q2), V("Y2"))))
+				p.Add(R(At(ctx(q2), V("Y2")),
+					At(ctx(qq), V("X")), labelAtom,
+					At("nextsibling", V("X"), V("Y2")),
+					At("firstchild", V("X"), V("Y1")), At(up(q1), V("Y1"))))
+			}
+			// q2 = ⊥ (no next sibling).
+			qq := d.Step(q1, bot, s0)
+			p.Add(R(At(ctx(q1), V("Y1")),
+				At(ctx(qq), V("X")), labelAtom,
+				At("firstchild", V("X"), V("Y1")), At("nons", V("X"))))
+		}
+		for q2 := 0; q2 < d.NumStates; q2++ {
+			// q1 = ⊥ (leaf).
+			qq := d.Step(bot, q2, s0)
+			p.Add(R(At(ctx(q2), V("Y2")),
+				At(ctx(qq), V("X")), labelAtom,
+				At("nextsibling", V("X"), V("Y2")), At("leaf", V("X"))))
+		}
+
+		// Part (3): selection — the node's own symbol switches to its
+		// marked variant; select iff the resulting state lies in the
+		// node's context.
+		s1 := q.C.Sym(a, 1<<uint(q.freeBit))
+		p.Add(R(At(queryPred, V("X")),
+			labelAtom, At("leaf", V("X")), At("nons", V("X")),
+			At(ctx(d.Step(bot, bot, s1)), V("X"))))
+		for q2 := 0; q2 < d.NumStates; q2++ {
+			p.Add(R(At(queryPred, V("X")),
+				labelAtom, At("leaf", V("X")),
+				At("nextsibling", V("X"), V("Y")), At(up(q2), V("Y")),
+				At(ctx(d.Step(bot, q2, s1)), V("X"))))
+		}
+		for q1 := 0; q1 < d.NumStates; q1++ {
+			p.Add(R(At(queryPred, V("X")),
+				labelAtom, At("firstchild", V("X"), V("Y")), At(up(q1), V("Y")),
+				At("nons", V("X")),
+				At(ctx(d.Step(q1, bot, s1)), V("X"))))
+			for q2 := 0; q2 < d.NumStates; q2++ {
+				p.Add(R(At(queryPred, V("X")),
+					labelAtom,
+					At("firstchild", V("X"), V("Y1")), At(up(q1), V("Y1")),
+					At("nextsibling", V("X"), V("Y2")), At(up(q2), V("Y2")),
+					At(ctx(d.Step(q1, q2, s1)), V("X"))))
+			}
+		}
+	}
+
+	// Context seed: accepting states hold at the root.
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			p.Add(R(At(ctx(s), V("X")), At("root", V("X"))))
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,68 @@
+package paperex
+
+import (
+	"fmt"
+	"testing"
+
+	"mdlog/internal/tree"
+)
+
+func mustParse(s string) *tree.Tree { return tree.MustParse(s) }
+
+func TestExample32Tree(t *testing.T) {
+	tr := Example32Tree()
+	if tr.Size() != 4 || tr.Root.Label != "a" || len(tr.Root.Children) != 3 {
+		t.Errorf("tree = %s", tr)
+	}
+}
+
+func TestEvenASpec(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a", "[]"},         // 1 a: odd
+		{"b", "[0]"},        // 0 a's: even
+		{"a(a)", "[1]"},     // root has 2 (even? root subtree = 2 a's -> even!) — wait
+		{"a(a,a,a)", "[0]"}, // the paper's tree: root subtree has 4 a's
+		{"b(a,a)", "[0]"},   // 2 a's below b
+	}
+	// Recompute expectations carefully: subtree counts.
+	// a(a): root subtree = 2 (even) -> root selected; child subtree = 1 (odd).
+	cases[2].want = "[0]"
+	for _, c := range cases {
+		tr := mustParse(c.src)
+		if got := fmt.Sprint(intsOrEmpty(EvenASpec(tr))); got != c.want {
+			t.Errorf("EvenASpec(%s) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvenAProgramStructure(t *testing.T) {
+	p := EvenAProgram()
+	if p.Query != "c0" {
+		t.Errorf("query = %q", p.Query)
+	}
+	// Σ = {a}: 1 + 2·(1 + 1 + 0 + 1 + 2) = 11 rules (rule (4) absent).
+	if len(p.Rules) != 11 {
+		t.Errorf("rules = %d", len(p.Rules))
+	}
+	p2 := EvenAProgram("b", "c")
+	// Adds rule (4) twice per parity: 11 + 4 = 15.
+	if len(p2.Rules) != 15 {
+		t.Errorf("rules = %d", len(p2.Rules))
+	}
+	if err := p2.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if !p2.IsMonadic() {
+		t.Error("not monadic")
+	}
+}
+
+func intsOrEmpty(xs []int) []int {
+	if xs == nil {
+		return []int{}
+	}
+	return xs
+}

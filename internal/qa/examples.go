@@ -1,0 +1,113 @@
+package qa
+
+import "fmt"
+
+// This file constructs the paper's worked query automata.
+
+// Example49 builds the ranked (K = 2) query automaton of Example 4.9
+// over Σ = {a, leafLabels...}: it selects the nodes rooting subtrees
+// with an even number of "a"-labeled nodes, by descending to the
+// leaves and summing subtree sizes modulo two on the way up.
+//
+// States: 0 = s↓ (descending), 1 = s0 (even below), 2 = s1 (odd below).
+// D = {s↓} × Σ, U = {s0, s1} × Σ; final states {s0, s1}.
+func Example49(labels ...string) *QAr {
+	if len(labels) == 0 {
+		labels = []string{"a"}
+	}
+	alpha := map[string]int{}
+	for _, l := range labels {
+		alpha[l] = 2
+	}
+	a := NewQAr(3, alpha)
+	const sDown, s0, s1 = 0, 1, 2
+	a.Start = sDown
+	a.Final[s0] = true
+	a.Final[s1] = true
+	chi := func(l string) int {
+		if l == "a" {
+			return 1
+		}
+		return 0
+	}
+	for _, l := range labels {
+		// (1) descend: δ↓(s↓, *, 2) = ⟨s↓, s↓⟩.
+		a.Down[SL{sDown, l}] = true
+		a.DeltaDown[SL{sDown, l}] = []State{sDown, sDown}
+		// (2) leaves: δleaf(s↓, *) = s0.
+		a.DeltaLeaf[SL{sDown, l}] = s0
+		// Selection: λ(s0, ¬a) = 1 and λ(s1, a) = 1.
+		if l == "a" {
+			a.Select[SL{s1, l}] = true
+		} else {
+			a.Select[SL{s0, l}] = true
+		}
+	}
+	// (3) ascend: δ↑(⟨si,l1⟩,⟨sj,l2⟩) = s_x, x = i+j+χ(l1)+χ(l2) mod 2.
+	for i := 0; i <= 1; i++ {
+		for j := 0; j <= 1; j++ {
+			for _, l1 := range labels {
+				for _, l2 := range labels {
+					x := (i + j + chi(l1) + chi(l2)) % 2
+					a.DeltaUp[UpKey([]SL{{s0 + i, l1}, {s0 + j, l2}})] = s0 + x
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Example421 builds the automaton family A_β of Example 4.21 over
+// Σ = {a} (ranked, K = 2), parameterized by α ≥ 1 with β = 2^α.
+// Runs of A_β on complete binary trees with n nodes take
+// Θ(n · ((n+1)/2)^α) steps, while the datalog translation evaluates in
+// time linear in n — the paper's separation between direct query
+// automaton execution and the Theorem 4.11 simulation.
+//
+// States q_{i,j} for 1 ≤ i, j ≤ β+1 are encoded as (i-1)*(β+1)+(j-1).
+func Example421(alpha int) *QAr {
+	beta := 1 << uint(alpha)
+	side := beta + 1
+	st := func(i, j int) State { return (i-1)*side + (j - 1) }
+	a := NewQAr(side*side, map[string]int{"a": 2})
+	a.Start = st(1, 1)
+	a.Final[st(1, beta+1)] = true
+	for i := 1; i <= beta+1; i++ {
+		for j := 1; j <= beta; j++ {
+			// D = {(q_{i,j}, a) | j ≤ β}: descend.
+			a.Down[SL{st(i, j), "a"}] = true
+			// δ↓(q_{i,j}, a, 2) = ⟨q_{i,1}, q_{j,1}⟩.
+			a.DeltaDown[SL{st(i, j), "a"}] = []State{st(i, 1), st(j, 1)}
+		}
+		// δleaf(q_{i,1}, a) = q_{i,β+1}.
+		a.DeltaLeaf[SL{st(i, 1), "a"}] = st(i, beta+1)
+	}
+	// δ↑((q_{i,β+1}, a), (q_{j,β+1}, a)) = q_{i,j+1}.
+	for i := 1; i <= beta+1; i++ {
+		for j := 1; j <= beta; j++ {
+			a.DeltaUp[UpKey([]SL{{st(i, beta+1), "a"}, {st(j, beta+1), "a"}})] = st(i, j+1)
+		}
+	}
+	// Any selection function will do (the example only measures run
+	// length); select nothing.
+	return a
+}
+
+// Example421Steps returns the exact number of transitions of A_β's run
+// on the complete binary tree of the given depth: the run performs,
+// per internal node visit cycle, β repetitions of (1 down + both
+// subtree visits + 1 up), and a single leaf transition at leaves.
+func Example421Steps(alpha, depth int) int {
+	beta := 1 << uint(alpha)
+	steps := 1 // visit(leaf) = 1
+	for d := 1; d <= depth; d++ {
+		steps = beta * (2 + 2*steps)
+	}
+	return steps
+}
+
+// String renders the automaton size for reports.
+func (a *QAr) String() string {
+	return fmt.Sprintf("QAr{states: %d, up: %d, down: %d, leaf: %d, root: %d}",
+		a.NumStates, len(a.DeltaUp), len(a.DeltaDown), len(a.DeltaLeaf), len(a.DeltaRoot))
+}

@@ -1,0 +1,320 @@
+package qa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdlog/internal/eval"
+	"mdlog/internal/paperex"
+	"mdlog/internal/tree"
+)
+
+// TestExample49Run reproduces the run of Example 4.9: the 3-node tree
+// (root n0 with children n1, n2, all labeled a) yields the transition
+// sequence down(n0), leaf(n1), leaf(n2), up(n0) — configurations
+// c0 → c4 in the paper — with an empty query result.
+func TestExample49Run(t *testing.T) {
+	a := Example49("a")
+	tr := tree.MustParse("a(a,a)")
+	run, err := a.Run(tr, RunOptions{KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Steps != 4 {
+		t.Fatalf("got %d steps, want 4 (c0..c4); trace: %v", run.Steps, run.Trace)
+	}
+	wantKinds := []StepKind{StepDown, StepLeaf, StepLeaf, StepUp}
+	wantNodes := []int{0, 1, 2, 0}
+	for i, st := range run.Trace {
+		if st.Kind != wantKinds[i] || st.Node != wantNodes[i] {
+			t.Errorf("step %d: %s at %d, want %s at %d", i, st.Kind, st.Node, wantKinds[i], wantNodes[i])
+		}
+	}
+	if !run.Accepting {
+		t.Error("run must accept (both s0 and s1 are final)")
+	}
+	// All three subtrees contain an odd number of a's: empty result.
+	if len(run.Selected) != 0 {
+		t.Errorf("Selected = %v, want empty", run.Selected)
+	}
+	// History: n0 was assigned s↓ (0) and s0 (1).
+	if !run.History[0][0] || !run.History[0][1] || run.History[0][2] {
+		t.Errorf("history of n0 = %v", run.History[0])
+	}
+}
+
+// TestExample49SelectsEvenA checks the automaton's query against the
+// reference semantics on random full binary trees.
+func TestExample49SelectsEvenA(t *testing.T) {
+	a := Example49("a", "b")
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 40; i++ {
+		tr := tree.RandomBinary(rng, 3+rng.Intn(20), []string{"a", "b"}, []string{"a", "b"})
+		run, err := a.Run(tr, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Accepting {
+			t.Fatalf("run must accept on %s", tr)
+		}
+		want := paperex.EvenASpec(tr)
+		if fmt.Sprint(run.Selected) != fmt.Sprint(want) {
+			t.Errorf("on %s: selected %v, want %v", tr, run.Selected, want)
+		}
+	}
+}
+
+// TestQArToDatalogEquivalence is the Theorem 4.11 check: the monadic
+// datalog translation computes the same query as the direct run.
+func TestQArToDatalogEquivalence(t *testing.T) {
+	a := Example49("a", "b")
+	prog := a.ToDatalog("query")
+	if !prog.IsMonadic() {
+		t.Fatal("translation is not monadic")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.RandomBinary(rng, 3+rng.Intn(16), []string{"a", "b"}, []string{"a", "b"})
+		run, err := a.Run(tr, RunOptions{})
+		if err != nil {
+			return false
+		}
+		res, err := eval.LinearTree(prog, tr)
+		if err != nil {
+			t.Logf("linear eval: %v", err)
+			return false
+		}
+		return fmt.Sprint(res.UnarySet("query")) == fmt.Sprint(run.Selected)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExample421Steps verifies the superpolynomial run length of the
+// A_β family: the engine's step count matches the closed recurrence
+// steps(d) = β·(2 + 2·steps(d-1)), steps(0) = 1.
+func TestExample421Steps(t *testing.T) {
+	for _, alpha := range []int{1, 2} {
+		a := Example421(alpha)
+		for depth := 0; depth <= 4; depth++ {
+			tr := tree.CompleteBinary(depth, "a")
+			run, err := a.Run(tr, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Example421Steps(alpha, depth)
+			if run.Steps != want {
+				t.Errorf("alpha=%d depth=%d: %d steps, want %d", alpha, depth, run.Steps, want)
+			}
+			if !run.Accepting {
+				t.Errorf("alpha=%d depth=%d: run must accept", alpha, depth)
+			}
+		}
+	}
+	// The separation: at depth d the step count grows like
+	// n·((n+1)/2)^α, superlinear in the tree size n = 2^(d+1)-1.
+	a1 := Example421(1)
+	s3, _ := a1.Run(tree.CompleteBinary(3, "a"), RunOptions{})
+	s4, _ := a1.Run(tree.CompleteBinary(4, "a"), RunOptions{})
+	n3, n4 := 15.0, 31.0
+	if float64(s4.Steps)/float64(s3.Steps) <= n4/n3 {
+		t.Errorf("steps must grow superlinearly: %d -> %d", s3.Steps, s4.Steps)
+	}
+}
+
+// TestExample421DatalogLinear: the datalog translation of A_β answers
+// the same (empty) query and, unlike the direct run, touches each node
+// a bounded number of times.
+func TestExample421DatalogLinear(t *testing.T) {
+	a := Example421(1)
+	prog := a.ToDatalog("query")
+	tr := tree.CompleteBinary(5, "a")
+	res, err := eval.LinearTree(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnarySet("query")) != 0 {
+		t.Error("A_β selects nothing")
+	}
+	// Acceptance must still be derived.
+	if len(res.UnarySet("accept")) != 1 {
+		t.Errorf("accept = %v", res.UnarySet("accept"))
+	}
+	run, err := a.Run(tr, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Accepting {
+		t.Error("direct run must accept")
+	}
+}
+
+// TestExample415Stages reproduces Figure 2: the stage predicates of
+// the down-transition encoding on a node with four children.
+func TestExample415Stages(t *testing.T) {
+	a := Example415SQAu()
+	prog := a.ToDatalog("query")
+	tr := tree.MustParse("a(a,a,a,a)")
+	res, err := eval.LinearTree(prog, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage predicates: tag = q_labelIdx_subexpr with q = 0, label a = 0.
+	checks := []struct {
+		pred string
+		want string
+	}{
+		{"dtw_0_0_1_1", "[4]"},        // (b) wtmp_{q,2,1} marks n4
+		{"dtbw_0_0_0", "[1 2 3 4]"},   // (c) bwtmp_{q,1}: all children
+		{"dtbw_0_0_1", "[1 2 3]"},     // (c) bwtmp_{q,2}: before w
+		{"dtv_0_0_0_1", "[1 3]"},      // (d) vtmp_{q,1,1}
+		{"dtv_0_0_0_2", "[2 4]"},      // (d) vtmp_{q,1,2}
+		{"dtv_0_0_1_1", "[1 3]"},      // (d) vtmp_{q,2,1}
+		{"dtv_0_0_1_2", "[2]"},        // (d) vtmp_{q,2,2}: n4 blocked
+		{"dtsucc_0_0_0", "[1 2 3 4]"}, // (e) subexpression 1 succeeds
+		{"dtsucc_0_0_1", "[]"},        // (e) subexpression 2 fails
+		{"st_0_1", "[1 3]"},           // (f) ⟨q,q1⟩ on n1, n3
+		{"st_0_2", "[2 4]"},           // (f) ⟨q,q0⟩ on n2, n4
+	}
+	for _, c := range checks {
+		if got := fmt.Sprint(res.UnarySet(c.pred)); got != c.want {
+			t.Errorf("%s = %s, want %s", c.pred, got, c.want)
+		}
+	}
+	// The direct run performs the same down transition.
+	run, err := a.Run(tr, RunOptions{KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trace) != 1 || run.Trace[0].Kind != StepDown {
+		t.Fatalf("trace = %v", run.Trace)
+	}
+	wantAssign := [][2]int{{1, 1}, {2, 2}, {3, 1}, {4, 2}}
+	if fmt.Sprint(run.Trace[0].Assigned) != fmt.Sprint(wantAssign) {
+		t.Errorf("down assigned %v, want %v", run.Trace[0].Assigned, wantAssign)
+	}
+}
+
+// TestSQAuParity checks the unranked parity automaton against the
+// reference semantics and its Theorem 4.14 datalog translation.
+func TestSQAuParity(t *testing.T) {
+	a := ParitySQAu("a", "b")
+	prog := a.ToDatalog("query")
+	if !prog.IsMonadic() {
+		t.Fatal("translation is not monadic")
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		tr := tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b"}, Size: 1 + rng.Intn(25), MaxChildren: 4})
+		run, err := a.Run(tr, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Accepting {
+			t.Fatalf("parity SQAu must accept on %s", tr)
+		}
+		want := paperex.EvenASpec(tr)
+		if fmt.Sprint(run.Selected) != fmt.Sprint(want) {
+			t.Errorf("direct on %s: %v, want %v", tr, run.Selected, want)
+		}
+		res, err := eval.LinearTree(prog, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(res.UnarySet("query")); got != fmt.Sprint(want) {
+			t.Errorf("datalog on %s: %s, want %v", tr, got, want)
+		}
+	}
+}
+
+// TestSQAuStay checks stay transitions (2DFA) directly and through the
+// datalog encoding: on a flat tree, the even-position children are
+// selected.
+func TestSQAuStay(t *testing.T) {
+	a := StaySQAu()
+	prog := a.ToDatalog("query")
+	for m := 1; m <= 7; m++ {
+		tr := tree.Flat(m+1, "a")
+		run, err := a.Run(tr, RunOptions{KeepTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Accepting {
+			t.Fatalf("m=%d: must accept", m)
+		}
+		var want []int
+		for i := 0; i < m; i += 2 {
+			want = append(want, i+1) // child ids are 1..m
+		}
+		if fmt.Sprint(run.Selected) != fmt.Sprint(want) {
+			t.Errorf("m=%d: direct selected %v, want %v", m, run.Selected, want)
+		}
+		// A stay step must occur.
+		hasStay := false
+		for _, st := range run.Trace {
+			hasStay = hasStay || st.Kind == StepStay
+		}
+		if !hasStay {
+			t.Errorf("m=%d: no stay transition in trace", m)
+		}
+		res, err := eval.LinearTree(prog, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(res.UnarySet("query")); got != fmt.Sprint(want) {
+			t.Errorf("m=%d: datalog selected %s, want %v", m, got, want)
+		}
+	}
+}
+
+// TestSQAuSingleNode: a single-node tree takes the leaf transition and
+// ends in a non-final state for the stay automaton.
+func TestSQAuSingleNode(t *testing.T) {
+	a := StaySQAu()
+	run, err := a.Run(tree.MustParse("a"), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Accepting {
+		t.Error("single node must not accept (final state unreachable)")
+	}
+	if len(run.Selected) != 0 {
+		t.Error("no selection without acceptance")
+	}
+}
+
+func TestUpKeyRoundTrip(t *testing.T) {
+	pairs := []SL{{3, "ab"}, {0, "c"}, {12, "x_y"}}
+	got := decodeUpKey(UpKey(pairs))
+	if fmt.Sprint(got) != fmt.Sprint(pairs) {
+		t.Errorf("round trip: %v vs %v", got, pairs)
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	// An automaton that ping-pongs forever: down then up to a D-state.
+	alpha := map[string]int{"a": 2}
+	a := NewQAr(1, alpha)
+	a.Start = 0
+	a.Down[SL{0, "a"}] = true
+	a.DeltaDown[SL{0, "a"}] = []State{0, 0}
+	a.DeltaLeaf[SL{0, "a"}] = 0 // leaf keeps the D-state: loops forever
+	if _, err := a.Run(tree.MustParse("a(a,a)"), RunOptions{MaxSteps: 100}); err == nil {
+		t.Error("expected non-termination error")
+	}
+}
+
+func TestQArString(t *testing.T) {
+	a := Example49("a")
+	if a.String() == "" || Example421(1).String() == "" {
+		t.Error("String must be nonempty")
+	}
+	s := ParitySQAu("a")
+	if s.String() == "" {
+		t.Error("SQAu String must be nonempty")
+	}
+}

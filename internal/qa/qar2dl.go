@@ -1,0 +1,148 @@
+package qa
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+)
+
+// ToDatalog implements Theorem 4.11: the translation of a ranked query
+// automaton into an equivalent monadic datalog program over τ_rk. The
+// encoding follows the paper exactly:
+//
+//   - predicates are pairs ⟨q0, q⟩ — rendered st_<q0>_<q> with ∇
+//     rendered "inf" — meaning "node x was assigned q at some point
+//     when its parent's most recent assignment was q0";
+//   - one rule per automaton transition, quantified over q0 ∈ Q ∪ {∇}
+//     (and over the parent state q for up transitions), which is where
+//     the quadratic size bound comes from;
+//   - accept(x) ← root(x), ⟨q0,q⟩(x) for final q, and
+//     query(x) ← ⟨q0,q⟩(x), label_a(x), accept(y) for λ(q,a) = 1.
+//
+// The output program is monadic datalog over τ_rk (child_k relations)
+// and evaluates in O(|P|·|dom|) by Theorem 4.2, in contrast to the
+// superpolynomial direct runs of Example 4.21.
+
+// nabla is the rendering of the paper's ∇ dummy parent state.
+const nabla = -1
+
+func pairPred(q0, q State) string {
+	if q0 == nabla {
+		return fmt.Sprintf("st_inf_%d", q)
+	}
+	return fmt.Sprintf("st_%d_%d", q0, q)
+}
+
+// ToDatalog translates the automaton; queryPred names the selection
+// predicate (default "query").
+func (a *QAr) ToDatalog(queryPred string) *datalog.Program {
+	if queryPred == "" {
+		queryPred = "query"
+	}
+	p := &datalog.Program{Query: queryPred}
+	V, At, R := datalog.V, datalog.At, datalog.R
+	allQ0 := make([]State, 0, a.NumStates+1)
+	allQ0 = append(allQ0, nabla)
+	for q := 0; q < a.NumStates; q++ {
+		allQ0 = append(allQ0, q)
+	}
+
+	// (1) Start state.
+	p.Add(R(At(pairPred(nabla, a.Start), V("X")), At("root", V("X"))))
+
+	// (2) Up transitions: δ↑(⟨q1,a1⟩,...,⟨qm,am⟩) = q′.
+	for key, qp := range a.DeltaUp {
+		pairs := decodeUpKey(key)
+		for _, q0 := range allQ0 {
+			for q := 0; q < a.NumStates; q++ {
+				body := []datalog.Atom{At(pairPred(q0, q), V("X"))}
+				for i, pr := range pairs {
+					xi := fmt.Sprintf("X%d", i+1)
+					body = append(body,
+						At(childK(i+1), V("X"), V(xi)),
+						At(pairPred(q, pr.Q), V(xi)),
+						At("label_"+pr.A, V(xi)))
+				}
+				p.Add(R(At(pairPred(q0, qp), V("X")), body...))
+			}
+		}
+	}
+
+	// (3) Down transitions: δ↓(q, a, m) = q1 ... qm.
+	for sl, states := range a.DeltaDown {
+		for i, qi := range states {
+			for _, q0 := range allQ0 {
+				p.Add(R(At(pairPred(sl.Q, qi), V("Xi")),
+					At(pairPred(q0, sl.Q), V("X")),
+					At(childK(i+1), V("X"), V("Xi")),
+					At("label_"+sl.A, V("X"))))
+			}
+		}
+	}
+
+	// (4) Root transitions: δroot(q, a) = q′.
+	for sl, qp := range a.DeltaRoot {
+		p.Add(R(At(pairPred(nabla, qp), V("X")),
+			At(pairPred(nabla, sl.Q), V("X")),
+			At("label_"+sl.A, V("X")),
+			At("root", V("X"))))
+	}
+
+	// (5) Leaf transitions: δleaf(q, a) = q′.
+	for sl, qp := range a.DeltaLeaf {
+		for _, q0 := range allQ0 {
+			p.Add(R(At(pairPred(q0, qp), V("X")),
+				At(pairPred(q0, sl.Q), V("X")),
+				At("label_"+sl.A, V("X")),
+				At("leaf", V("X"))))
+		}
+	}
+
+	// (6) Acceptance.
+	for q := range a.Final {
+		for _, q0 := range allQ0 {
+			p.Add(R(At("accept", V("X")),
+				At("root", V("X")), At(pairPred(q0, q), V("X"))))
+		}
+	}
+
+	// (7) Selection function.
+	for sl, sel := range a.Select {
+		if !sel {
+			continue
+		}
+		for _, q0 := range allQ0 {
+			p.Add(R(At(queryPred, V("X")),
+				At(pairPred(q0, sl.Q), V("X")),
+				At("label_"+sl.A, V("X")),
+				At("accept", V("Y"))))
+		}
+	}
+	return p
+}
+
+func childK(k int) string { return fmt.Sprintf("child_%d", k) }
+
+// decodeUpKey inverts UpKey.
+func decodeUpKey(key string) []SL {
+	var out []SL
+	for i := 0; i < len(key); {
+		if key[i] != '(' {
+			panic("qa: malformed up key")
+		}
+		j := i + 1
+		q := 0
+		for key[j] != ',' {
+			q = q*10 + int(key[j]-'0')
+			j++
+		}
+		j++
+		k := j
+		for key[k] != ')' {
+			k++
+		}
+		out = append(out, SL{q, key[j:k]})
+		i = k + 1
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package qa
+
+import (
+	"fmt"
+
+	"mdlog/internal/automata"
+	"mdlog/internal/datalog"
+)
+
+// ToDatalog implements Theorem 4.14: the translation of a strong
+// unranked query automaton into an equivalent monadic datalog program
+// over τ_ur ∪ {lastchild}. The encoding follows the paper:
+//
+//   - down transitions via the (a)–(f) marking construction for each
+//     subexpression u v* w of L↓(q, a) (Example 4.15 / Figure 2),
+//     generalized to empty u / v / w components;
+//   - up transitions by traversing the children left-to-right through
+//     the NFA of L↑(q0), walking back on acceptance ((a)–(c) of the
+//     up construction);
+//   - stay transitions by simulating the 2DFA with one predicate per
+//     (parent state, 2DFA state), plus its Ustay guard;
+//   - start/root/leaf/acceptance/selection rules as in Theorem 4.11.
+func (a *SQAu) ToDatalog(queryPred string) *datalog.Program {
+	if queryPred == "" {
+		queryPred = "query"
+	}
+	p := &datalog.Program{Query: queryPred}
+	V, At, R := datalog.V, datalog.At, datalog.R
+	allQ0 := make([]State, 0, a.NumStates+1)
+	allQ0 = append(allQ0, nabla)
+	for q := 0; q < a.NumStates; q++ {
+		allQ0 = append(allQ0, q)
+	}
+
+	// (1) Start state.
+	p.Add(R(At(pairPred(nabla, a.Start), V("X")), At("root", V("X"))))
+
+	// (2) Down transitions.
+	for sl, langs := range a.DeltaDown {
+		for i, l := range langs {
+			a.downRules(p, sl, i, l, allQ0)
+		}
+	}
+
+	// (3) Up transitions.
+	for ui, ul := range a.Up {
+		a.upRules(p, ui, ul, allQ0)
+	}
+
+	// (4) Stay transitions.
+	if a.Stay != nil {
+		a.stayRules(p, allQ0)
+	}
+
+	// (5) Root transitions.
+	for sl, qp := range a.DeltaRoot {
+		p.Add(R(At(pairPred(nabla, qp), V("X")),
+			At(pairPred(nabla, sl.Q), V("X")),
+			At("label_"+sl.A, V("X")),
+			At("root", V("X"))))
+	}
+
+	// (6) Leaf transitions.
+	for sl, qp := range a.DeltaLeaf {
+		for _, q0 := range allQ0 {
+			p.Add(R(At(pairPred(q0, qp), V("X")),
+				At(pairPred(q0, sl.Q), V("X")),
+				At("label_"+sl.A, V("X")),
+				At("leaf", V("X"))))
+		}
+	}
+
+	// (7) Acceptance.
+	for q := range a.Final {
+		for _, q0 := range allQ0 {
+			p.Add(R(At("accept", V("X")),
+				At("root", V("X")), At(pairPred(q0, q), V("X"))))
+		}
+	}
+
+	// (8) Selection.
+	for sl, sel := range a.Select {
+		if !sel {
+			continue
+		}
+		for _, q0 := range allQ0 {
+			p.Add(R(At(queryPred, V("X")),
+				At(pairPred(q0, sl.Q), V("X")),
+				At("label_"+sl.A, V("X")),
+				At("accept", V("Y"))))
+		}
+	}
+	return p
+}
+
+// downRules emits the (a)–(f) construction for one subexpression
+// u v* w of L↓(q, a) (index i). Predicate names carry (q, labelIdx, i).
+func (a *SQAu) downRules(p *datalog.Program, sl SL, i int, l automata.UVW, allQ0 []State) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	q := sl.Q
+	li := a.labelIdx[sl.A]
+	tag := fmt.Sprintf("%d_%d_%d", q, li, i)
+	utmp := func(k int) string { return fmt.Sprintf("dtu_%s_%d", tag, k) }
+	wtmp := func(k int) string { return fmt.Sprintf("dtw_%s_%d", tag, k) }
+	vtmp := func(k int) string { return fmt.Sprintf("dtv_%s_%d", tag, k) }
+	bw := "dtbw_" + tag
+	succ := "dtsucc_" + tag
+	labelAtom := At("label_"+sl.A, V("X"))
+
+	// (a) Mark the |u| leftmost children.
+	if len(l.U) > 0 {
+		for _, q0 := range allQ0 {
+			p.Add(R(At(utmp(1), V("X1")),
+				At(pairPred(q0, q), V("X")), At("firstchild", V("X"), V("X1")), labelAtom))
+		}
+		for k := 1; k < len(l.U); k++ {
+			p.Add(R(At(utmp(k+1), V("X1")),
+				At(utmp(k), V("X0")), At("nextsibling", V("X0"), V("X1"))))
+		}
+	}
+
+	// (b) Mark the |w| rightmost children.
+	if len(l.W) > 0 {
+		for _, q0 := range allQ0 {
+			p.Add(R(At(wtmp(len(l.W)), V("X1")),
+				At(pairPred(q0, q), V("X")), At("lastchild", V("X"), V("X1")), labelAtom))
+		}
+		for k := len(l.W); k > 1; k-- {
+			p.Add(R(At(wtmp(k-1), V("X1")),
+				At(wtmp(k), V("X0")), At("nextsibling", V("X1"), V("X0"))))
+		}
+		// (c) Everything strictly left of the w block.
+		p.Add(R(At(bw, V("X1")),
+			At(wtmp(1), V("X0")), At("nextsibling", V("X1"), V("X0"))))
+		p.Add(R(At(bw, V("X1")),
+			At(bw, V("X0")), At("nextsibling", V("X1"), V("X0"))))
+	} else {
+		// (c') With w = ε every child may carry v symbols.
+		for _, q0 := range allQ0 {
+			p.Add(R(At(bw, V("X1")),
+				At(pairPred(q0, q), V("X")), At("lastchild", V("X"), V("X1")), labelAtom))
+		}
+		p.Add(R(At(bw, V("X1")),
+			At(bw, V("X0")), At("nextsibling", V("X1"), V("X0"))))
+	}
+
+	// (d) v-repetition markings.
+	if len(l.V) > 0 {
+		if len(l.U) > 0 {
+			p.Add(R(At(vtmp(1), V("X1")),
+				At(utmp(len(l.U)), V("X0")), At("nextsibling", V("X0"), V("X1")), At(bw, V("X1"))))
+		} else {
+			for _, q0 := range allQ0 {
+				p.Add(R(At(vtmp(1), V("X1")),
+					At(pairPred(q0, q), V("X")), At("firstchild", V("X"), V("X1")), labelAtom, At(bw, V("X1"))))
+			}
+		}
+		for m := 1; m < len(l.V); m++ {
+			p.Add(R(At(vtmp(m+1), V("X1")),
+				At(vtmp(m), V("X0")), At("nextsibling", V("X0"), V("X1")), At(bw, V("X1"))))
+		}
+		p.Add(R(At(vtmp(1), V("X1")),
+			At(vtmp(len(l.V)), V("X0")), At("nextsibling", V("X0"), V("X1")), At(bw, V("X1"))))
+	}
+
+	// (e) Success detection: the word length fits.
+	switch {
+	case len(l.U) > 0 && len(l.W) > 0:
+		p.Add(R(At(succ, V("X0")),
+			At(utmp(len(l.U)), V("X0")), At("nextsibling", V("X0"), V("X1")), At(wtmp(1), V("X1"))))
+	case len(l.U) > 0: // w = ε
+		p.Add(R(At(succ, V("X0")),
+			At(utmp(len(l.U)), V("X0")), At("lastsibling", V("X0"))))
+	case len(l.W) > 0: // u = ε, k = 0: the w block starts at child 1.
+		for _, q0 := range allQ0 {
+			p.Add(R(At(succ, V("X1")),
+				At(pairPred(q0, q), V("X")), At("firstchild", V("X"), V("X1")), labelAtom, At(wtmp(1), V("X1"))))
+		}
+	}
+	if len(l.V) > 0 {
+		if len(l.W) > 0 {
+			p.Add(R(At(succ, V("X0")),
+				At(vtmp(len(l.V)), V("X0")), At("nextsibling", V("X0"), V("X1")), At(wtmp(1), V("X1"))))
+		} else {
+			p.Add(R(At(succ, V("X0")),
+				At(vtmp(len(l.V)), V("X0")), At("lastsibling", V("X0"))))
+		}
+	}
+	p.Add(R(At(succ, V("X1")), At(succ, V("X0")), At("nextsibling", V("X0"), V("X1"))))
+	p.Add(R(At(succ, V("X1")), At(succ, V("X0")), At("nextsibling", V("X1"), V("X0"))))
+
+	// (f) Write the new state assignments.
+	emit := func(marker string, sigma State) {
+		p.Add(R(At(pairPred(q, sigma), V("X")),
+			At(succ, V("X")), At(marker, V("X"))))
+	}
+	for j, s := range l.U {
+		emit(utmp(j+1), s)
+	}
+	for m, s := range l.V {
+		emit(vtmp(m+1), s)
+	}
+	for j, s := range l.W {
+		emit(wtmp(j+1), s)
+	}
+}
+
+// upRules emits the NFA traversal for one up language L↑(target)
+// ((a)–(c) of the Theorem 4.14 up construction).
+func (a *SQAu) upRules(p *datalog.Program, ui int, ul UpLang, allQ0 []State) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	tmp := func(q2 State, s int) string { return fmt.Sprintf("ut_%d_%d_%d", ui, q2, s) }
+	bck := func(q2 State) string { return fmt.Sprintf("ubck_%d_%d", ui, q2) }
+
+	// Collect the NFA transitions, with ε-transitions eliminated by
+	// working over ε-closures.
+	nfa := ul.Lang
+	for q2 := 0; q2 < a.NumStates; q2++ {
+		// (a) First child: s' reachable from the start by one symbol.
+		start := nfa.StartSet()
+		for q := 0; q < a.NumStates; q++ {
+			for _, lbl := range a.Alphabet {
+				sym := a.PairSym(q, lbl)
+				if a.Down[SL{q, lbl}] {
+					continue // the NFA alphabet is U
+				}
+				next := nfa.Step(start, sym)
+				for sp, in := range next {
+					if !in {
+						continue
+					}
+					p.Add(R(At(tmp(q2, sp), V("X")),
+						At("firstchild", V("X0"), V("X")),
+						At(pairPred(q2, q), V("X")),
+						At("label_"+lbl, V("X"))))
+				}
+			}
+		}
+		// (b) Subsequent children.
+		for s := 0; s < nfa.NumStates; s++ {
+			single := make([]bool, nfa.NumStates)
+			single[s] = true
+			for q := 0; q < a.NumStates; q++ {
+				for _, lbl := range a.Alphabet {
+					if a.Down[SL{q, lbl}] {
+						continue
+					}
+					sym := a.PairSym(q, lbl)
+					next := nfa.Step(single, sym)
+					for sp, in := range next {
+						if !in {
+							continue
+						}
+						p.Add(R(At(tmp(q2, sp), V("X1")),
+							At(tmp(q2, s), V("X0")),
+							At("nextsibling", V("X0"), V("X1")),
+							At(pairPred(q2, q), V("X1")),
+							At("label_"+lbl, V("X1"))))
+					}
+				}
+			}
+		}
+		// (c) Accepting at the last sibling: walk back and move up.
+		// Acceptance must respect ε-closure of reached states.
+		closure := make([]bool, nfa.NumStates)
+		for s := 0; s < nfa.NumStates; s++ {
+			for i := range closure {
+				closure[i] = false
+			}
+			closure[s] = true
+			if acceptsViaEps(nfa, closure) {
+				p.Add(R(At(bck(q2), V("X")),
+					At(tmp(q2, s), V("X")), At("lastsibling", V("X"))))
+			}
+		}
+		p.Add(R(At(bck(q2), V("X0")),
+			At("nextsibling", V("X0"), V("X1")), At(bck(q2), V("X1"))))
+		for _, q1 := range allQ0 {
+			p.Add(R(At(pairPred(q1, ul.Target), V("X0")),
+				At(pairPred(q1, q2), V("X0")),
+				At("firstchild", V("X0"), V("X")),
+				At(bck(q2), V("X"))))
+		}
+	}
+}
+
+// acceptsViaEps reports whether the ε-closure of the set contains an
+// accepting state.
+func acceptsViaEps(nfa *automata.NFA, set []bool) bool {
+	// Step with no symbol: reuse StartSet-style closure by stepping the
+	// identity — the NFA interface exposes closures via Step on an
+	// empty word; emulate by checking the closure manually.
+	closed := append([]bool(nil), set...)
+	changed := true
+	for changed {
+		changed = false
+		nfa.EpsTransitions(func(q, r int) {
+			if closed[q] && !closed[r] {
+				closed[r] = true
+				changed = true
+			}
+		})
+	}
+	for s, in := range closed {
+		if in && nfa.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// stayRules emits the Ustay guard traversal plus the 2DFA simulation.
+func (a *SQAu) stayRules(p *datalog.Program, allQ0 []State) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	guard := a.Stay.Guard
+	b := a.Stay.B
+	gtmp := func(q2 State, s int) string { return fmt.Sprintf("gt_%d_%d", q2, s) }
+	gbck := func(q2 State) string { return fmt.Sprintf("gbck_%d", q2) }
+	sy := func(q2 State, s int) string { return fmt.Sprintf("sy_%d_%d", q2, s) }
+
+	for q2 := 0; q2 < a.NumStates; q2++ {
+		// Guard traversal (same shape as upRules).
+		start := guard.StartSet()
+		for q := 0; q < a.NumStates; q++ {
+			for _, lbl := range a.Alphabet {
+				if a.Down[SL{q, lbl}] {
+					continue
+				}
+				sym := a.PairSym(q, lbl)
+				for sp, in := range guard.Step(start, sym) {
+					if !in {
+						continue
+					}
+					p.Add(R(At(gtmp(q2, sp), V("X")),
+						At("firstchild", V("X0"), V("X")),
+						At(pairPred(q2, q), V("X")),
+						At("label_"+lbl, V("X"))))
+				}
+			}
+		}
+		for s := 0; s < guard.NumStates; s++ {
+			single := make([]bool, guard.NumStates)
+			single[s] = true
+			for q := 0; q < a.NumStates; q++ {
+				for _, lbl := range a.Alphabet {
+					if a.Down[SL{q, lbl}] {
+						continue
+					}
+					sym := a.PairSym(q, lbl)
+					for sp, in := range guard.Step(single, sym) {
+						if !in {
+							continue
+						}
+						p.Add(R(At(gtmp(q2, sp), V("X1")),
+							At(gtmp(q2, s), V("X0")),
+							At("nextsibling", V("X0"), V("X1")),
+							At(pairPred(q2, q), V("X1")),
+							At("label_"+lbl, V("X1"))))
+					}
+				}
+			}
+		}
+		for s := 0; s < guard.NumStates; s++ {
+			single := make([]bool, guard.NumStates)
+			single[s] = true
+			if acceptsViaEps(guard, single) {
+				p.Add(R(At(gbck(q2), V("X")),
+					At(gtmp(q2, s), V("X")), At("lastsibling", V("X"))))
+			}
+		}
+		p.Add(R(At(gbck(q2), V("X0")),
+			At("nextsibling", V("X0"), V("X1")), At(gbck(q2), V("X1"))))
+
+		// 2DFA head start: state s0 on the first child, provided the
+		// guard matched (gbck has propagated back to the first child).
+		for _, q1 := range allQ0 {
+			p.Add(R(At(sy(q2, b.Start), V("X")),
+				At(pairPred(q1, q2), V("X0")),
+				At("firstchild", V("X0"), V("X")),
+				At(gbck(q2), V("X"))))
+		}
+
+		// 2DFA moves.
+		for key, next := range b.Delta {
+			s, sym := key[0], key[1]
+			q, li := sym/len(a.Alphabet), sym%len(a.Alphabet)
+			lbl := a.Alphabet[li]
+			sp, dir := next[0], next[1]
+			if dir > 0 {
+				p.Add(R(At(sy(q2, sp), V("X1")),
+					At(sy(q2, s), V("X0")),
+					At(pairPred(q2, q), V("X0")),
+					At("label_"+lbl, V("X0")),
+					At("nextsibling", V("X0"), V("X1"))))
+			} else {
+				p.Add(R(At(sy(q2, sp), V("X1")),
+					At(sy(q2, s), V("X0")),
+					At(pairPred(q2, q), V("X0")),
+					At("label_"+lbl, V("X0")),
+					At("nextsibling", V("X1"), V("X0"))))
+			}
+		}
+
+		// λB assignments.
+		for key, sigma := range b.Assign {
+			s, sym := key[0], key[1]
+			q, li := sym/len(a.Alphabet), sym%len(a.Alphabet)
+			lbl := a.Alphabet[li]
+			p.Add(R(At(pairPred(q2, sigma), V("X")),
+				At(sy(q2, s), V("X")),
+				At(pairPred(q2, q), V("X")),
+				At("label_"+lbl, V("X"))))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package qa
+
+import "mdlog/internal/automata"
+
+// ParitySQAu builds a strong unranked query automaton selecting the
+// nodes whose subtree contains an even number of "a"-labeled nodes —
+// the unranked counterpart of Example 4.9, exercising uv*w down
+// languages and NFA up languages.
+//
+// States: 0 = s↓ (descending, D), 1 = q0 (even number of a's strictly
+// below), 2 = q1 (odd below). The up language L↑(q_p) accepts the
+// children words whose full-subtree parities sum to p; selection
+// λ(q0, ¬a) = λ(q1, a) = 1 picks exactly the even-subtree nodes.
+func ParitySQAu(labels ...string) *SQAu {
+	if len(labels) == 0 {
+		labels = []string{"a"}
+	}
+	a := NewSQAu(3, labels)
+	const sDown, q0, q1 = 0, 1, 2
+	a.Start = sDown
+	a.Final[q0] = true
+	a.Final[q1] = true
+	for _, l := range a.Alphabet {
+		a.Down[SL{sDown, l}] = true
+		// L↓(s↓, l) = s↓* — every child descends.
+		a.DeltaDown[SL{sDown, l}] = []automata.UVW{{V: []State{sDown}}}
+		// δleaf(s↓, l) = q0 (zero a's strictly below a leaf).
+		a.DeltaLeaf[SL{sDown, l}] = q0
+		if l == "a" {
+			a.Select[SL{q1, l}] = true
+		} else {
+			a.Select[SL{q0, l}] = true
+		}
+	}
+	// L↑(q_p): parity automaton over pair symbols. Child pair (q_i, l)
+	// contributes i + χ(l = a) mod 2 (its full subtree parity).
+	parityNFA := func(accept int) *automata.NFA {
+		n := automata.NewNFA(2, a.NumPairSyms())
+		for _, l := range a.Alphabet {
+			for _, q := range []State{q0, q1} {
+				contrib := q - q0
+				if l == "a" {
+					contrib++
+				}
+				sym := a.PairSym(q, l)
+				n.AddTransition(0, sym, contrib%2)
+				n.AddTransition(1, sym, (1+contrib)%2)
+			}
+		}
+		n.Accept[accept] = true
+		return n
+	}
+	a.Up = []UpLang{
+		{Target: q0, Lang: parityNFA(0)},
+		{Target: q1, Lang: parityNFA(1)},
+	}
+	return a
+}
+
+// StaySQAu builds an SQAu that exercises stay transitions: on a flat
+// tree (root with m leaf children, all labeled "a") the children first
+// descend and return to state p; the stay transition's 2DFA walks the
+// children left to right re-labeling them alternately r0, r1; the up
+// transition then sends the root to qTop. The selection function picks
+// the children in state r0 — the even positions (0-based).
+//
+// States: 0 = s↓, 1 = p, 2 = r0, 3 = r1, 4 = qTop.
+func StaySQAu() *SQAu {
+	a := NewSQAu(5, []string{"a"})
+	const sDown, pSt, r0, r1, qTop = 0, 1, 2, 3, 4
+	a.Start = sDown
+	a.Final[qTop] = true
+	a.Down[SL{sDown, "a"}] = true
+	a.DeltaDown[SL{sDown, "a"}] = []automata.UVW{{V: []State{sDown}}}
+	a.DeltaLeaf[SL{sDown, "a"}] = pSt
+	a.Select[SL{r0, "a"}] = true
+
+	pSym := a.PairSym(pSt, "a")
+	// Ustay = p⁺.
+	guard := automata.NewNFA(2, a.NumPairSyms())
+	guard.AddTransition(0, pSym, 1)
+	guard.AddTransition(1, pSym, 1)
+	guard.Accept[1] = true
+	// 2DFA: alternate assignments r0 / r1 while moving right.
+	b := &TwoDFA{NumStates: 2, Start: 0,
+		Delta:  map[[2]int][2]int{},
+		Assign: map[[2]int]State{},
+	}
+	b.Delta[[2]int{0, pSym}] = [2]int{1, +1}
+	b.Delta[[2]int{1, pSym}] = [2]int{0, +1}
+	b.Assign[[2]int{0, pSym}] = r0
+	b.Assign[[2]int{1, pSym}] = r1
+	a.Stay = &StayRule{Guard: guard, B: b}
+
+	// Uup = (r0 | r1)⁺ → qTop.
+	up := automata.NewNFA(2, a.NumPairSyms())
+	for _, r := range []State{r0, r1} {
+		up.AddTransition(0, a.PairSym(r, "a"), 1)
+		up.AddTransition(1, a.PairSym(r, "a"), 1)
+	}
+	up.Accept[1] = true
+	a.Up = []UpLang{{Target: qTop, Lang: up}}
+	return a
+}
+
+// Example415SQAu builds the down-transition scenario of Example 4.15 /
+// Figure 2: a state q whose down language is L↓(q, a) =
+// (q1 q0)* ∪ (q1 q0)* q1. States: 0 = q, 1 = q1, 2 = q0.
+func Example415SQAu() *SQAu {
+	a := NewSQAu(3, []string{"a"})
+	const q, s1, s0 = 0, 1, 2
+	a.Start = q
+	a.Down[SL{q, "a"}] = true
+	a.DeltaDown[SL{q, "a"}] = []automata.UVW{
+		{V: []State{s1, s0}},
+		{V: []State{s1, s0}, W: []State{s1}},
+	}
+	// Leaves in q1/q0 are inert (no leaf transitions): the children are
+	// in D? No: (q1, a) and (q0, a) are in U by default, and no up
+	// language is defined, so the run halts after the down transition —
+	// exactly the fragment Figure 2 illustrates.
+	return a
+}

@@ -1,0 +1,583 @@
+// Package tmnf implements Section 5 of Gottlob & Koch (PODS 2002): the
+// Tree-Marking Normal Form for monadic datalog over trees and the
+// linear-time translation into it (Theorem 5.2), via
+//
+//   - acyclic rewriting of rules using depth-index maps and the
+//     functional dependencies of the tree relations (Lemma 5.4 for
+//     ranked τ_rk, Lemmas 5.5/5.6 for τ_ur ∪ {child, lastchild};
+//     Figure 3 illustrates the unranked rewrite);
+//   - connection of disconnected rules through the total caterpillar
+//     relation ≺ ∪ ε ∪ ≻ (document order, Example 2.5);
+//   - ear decomposition into rules with at most two body atoms
+//     (Lemmas 5.7 and 5.8);
+//   - elimination of the introduced caterpillar atoms (nextsibling*
+//     and the document-order connector) by Lemma 5.9.
+package tmnf
+
+import (
+	"fmt"
+	"sort"
+
+	"mdlog/internal/datalog"
+)
+
+// Special binary predicates used in intermediate rules.
+const (
+	// predNSStar is nextsibling* (output vocabulary of Lemma 5.5).
+	predNSStar = "ns_star"
+	// predDocAny is the total relation ≺ ∪ ε ∪ ≻ used to connect
+	// disconnected rules (proof of Theorem 5.2).
+	predDocAny = "doc_any"
+)
+
+// unionFind over variable names.
+type unionFind struct{ parent map[string]string }
+
+func newUF() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	r := u.find(p)
+	u.parent[x] = r
+	return r
+}
+
+func (u *unionFind) union(x, y string) {
+	rx, ry := u.find(x), u.find(y)
+	if rx != ry {
+		u.parent[rx] = ry
+	}
+}
+
+// workRule is a rule under rewriting: unary atoms plus binary atoms
+// bucketed by relation, all over variables only.
+type workRule struct {
+	head  datalog.Atom
+	unary []datalog.Atom
+	// binary atom lists: [2]string{from, to}.
+	f, c, n, ns [][2]string
+}
+
+func (w *workRule) apply(u *unionFind) {
+	sub := func(v string) string { return u.find(v) }
+	for i := range w.head.Args {
+		w.head.Args[i] = datalog.V(sub(w.head.Args[i].Var))
+	}
+	for i := range w.unary {
+		w.unary[i].Args[0] = datalog.V(sub(w.unary[i].Args[0].Var))
+	}
+	for _, lst := range [][][2]string{w.f, w.c, w.n, w.ns} {
+		for i := range lst {
+			lst[i][0], lst[i][1] = sub(lst[i][0]), sub(lst[i][1])
+		}
+	}
+	w.dedupe()
+}
+
+func (w *workRule) dedupe() {
+	dd := func(lst [][2]string) [][2]string {
+		seen := map[[2]string]bool{}
+		out := lst[:0]
+		for _, e := range lst {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	w.f, w.c, w.n, w.ns = dd(w.f), dd(w.c), dd(w.n), dd(w.ns)
+	seen := map[string]bool{}
+	uo := w.unary[:0]
+	for _, a := range w.unary {
+		k := a.Pred + "/" + a.Args[0].Var
+		if !seen[k] {
+			seen[k] = true
+			uo = append(uo, a)
+		}
+	}
+	w.unary = uo
+}
+
+// vars returns the variable set of the rule.
+func (w *workRule) vars() []string {
+	set := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if !set[v] {
+			set[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, t := range w.head.Args {
+		add(t.Var)
+	}
+	for _, a := range w.unary {
+		add(a.Args[0].Var)
+	}
+	for _, lst := range [][][2]string{w.f, w.c, w.n, w.ns} {
+		for _, e := range lst {
+			add(e[0])
+			add(e[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// toRule converts back to a datalog rule (c must be empty).
+func (w *workRule) toRule() datalog.Rule {
+	r := datalog.Rule{Head: w.head.Clone()}
+	for _, a := range w.unary {
+		r.Body = append(r.Body, a.Clone())
+	}
+	emit := func(pred string, lst [][2]string) {
+		for _, e := range lst {
+			r.Body = append(r.Body, datalog.At(pred, datalog.V(e[0]), datalog.V(e[1])))
+		}
+	}
+	emit("firstchild", w.f)
+	emit("child", w.c)
+	emit("nextsibling", w.n)
+	emit(predNSStar, w.ns)
+	return r
+}
+
+// parseWorkRule buckets a rule's atoms, expanding lastchild (Lemma
+// 5.6) and rejecting unsupported shapes.
+func parseWorkRule(r datalog.Rule) (*workRule, error) {
+	w := &workRule{head: r.Head.Clone()}
+	if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
+		return nil, fmt.Errorf("tmnf: head must be unary over a variable: %s", r)
+	}
+	for _, b := range r.Body {
+		for _, t := range b.Args {
+			if !t.IsVar() {
+				return nil, fmt.Errorf("tmnf: constants are not supported: %s", r)
+			}
+		}
+		switch len(b.Args) {
+		case 1:
+			w.unary = append(w.unary, b.Clone())
+		case 2:
+			e := [2]string{b.Args[0].Var, b.Args[1].Var}
+			switch b.Pred {
+			case "firstchild":
+				w.f = append(w.f, e)
+			case "child":
+				w.c = append(w.c, e)
+			case "nextsibling":
+				w.n = append(w.n, e)
+			case predNSStar:
+				w.ns = append(w.ns, e)
+			case "lastchild":
+				// Lemma 5.6: lastchild(x,y) ⇒ child(x,y) ∧ lastsibling(y).
+				w.c = append(w.c, e)
+				w.unary = append(w.unary, datalog.At("lastsibling", datalog.V(e[1])))
+			default:
+				return nil, fmt.Errorf("tmnf: unsupported binary predicate %s in %s", b.Pred, r)
+			}
+		default:
+			return nil, fmt.Errorf("tmnf: unsupported atom arity in %s", r)
+		}
+	}
+	w.dedupe()
+	return w, nil
+}
+
+// depthIndex computes a depth-index map (Proposition 5.3) on the
+// digraph with the given edges over nodes; returns nil if none exists
+// (all paths between two nodes must have equal length).
+func depthIndex(nodes []string, edges [][2]string) map[string]int {
+	adj := map[string][][2]interface{}{}
+	addAdj := func(a, b string, delta int) {
+		adj[a] = append(adj[a], [2]interface{}{b, delta})
+	}
+	for _, e := range edges {
+		addAdj(e[0], e[1], +1)
+		addAdj(e[1], e[0], -1)
+	}
+	d := map[string]int{}
+	for _, start := range nodes {
+		if _, ok := d[start]; ok {
+			continue
+		}
+		d[start] = 0
+		queue := []string{start}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[x] {
+				y, delta := nb[0].(string), nb[1].(int)
+				want := d[x] + delta
+				if have, ok := d[y]; ok {
+					if have != want {
+						return nil
+					}
+				} else {
+					d[y] = want
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// nsComponents returns the connected components of the nextsibling
+// graph over all rule variables (singletons included), as sorted
+// var lists keyed by representative.
+func (w *workRule) nsComponents() map[string][]string {
+	comp := newUF()
+	for _, e := range w.n {
+		comp.union(e[0], e[1])
+	}
+	out := map[string][]string{}
+	for _, v := range w.vars() {
+		out[comp.find(v)] = append(out[comp.find(v)], v)
+	}
+	for k := range out {
+		sort.Strings(out[k])
+	}
+	return out
+}
+
+// AcyclicizeUnranked implements Lemmas 5.5 and 5.6 for one rule over
+// τ_ur ∪ {child, lastchild}: it returns an equivalent acyclic rule
+// over τ_ur ∪ {nextsibling*}, or ok=false if the rule is unsatisfiable
+// on trees.
+func AcyclicizeUnranked(r datalog.Rule) (datalog.Rule, bool, error) {
+	w, err := parseWorkRule(r)
+	if err != nil {
+		return datalog.Rule{}, false, err
+	}
+	if len(w.ns) > 0 {
+		return datalog.Rule{}, false, fmt.Errorf("tmnf: input rule already contains %s: %s", predNSStar, r)
+	}
+	uf := newUF()
+
+	// Iterate the merge phases to a fixpoint: each merge is justified by
+	// a functional dependency, so merging is always sound; iterating
+	// cannot over-merge and guarantees a clean final structure.
+	for round := 0; ; round++ {
+		if round > len(r.Body)+4 {
+			return datalog.Rule{}, false, fmt.Errorf("tmnf: acyclicize did not converge on %s", r)
+		}
+		changed, unsat, err := acyclicRound(w, uf)
+		if err != nil {
+			return datalog.Rule{}, false, err
+		}
+		if unsat {
+			return datalog.Rule{}, false, nil
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Step (5): replace child atoms.
+	fresh := 0
+	type key struct{ parent, comp string }
+	compOf := newUF()
+	for _, e := range w.n {
+		compOf.union(e[0], e[1])
+	}
+	// firstchild targets per parent (post-merging there is at most one
+	// per parent; duplicates merged above).
+	fcOf := map[string]string{}
+	for _, e := range w.f {
+		fcOf[e[0]] = e[1]
+	}
+	handled := map[key]bool{}
+	for _, e := range w.c {
+		x, y := e[0], e[1]
+		k := key{x, compOf.find(y)}
+		if handled[k] {
+			continue
+		}
+		handled[k] = true
+		if yp, ok := fcOf[x]; ok {
+			if compOf.find(yp) == compOf.find(y) {
+				continue // position of y implied by the ns-chain from yp
+			}
+			// The first child exists but lies in another component: the
+			// component of y hangs off it via nextsibling*.
+			w.ns = append(w.ns, [2]string{yp, y})
+			continue
+		}
+		// No first child known: invent one.
+		y0 := fmt.Sprintf("tmnf_y%d", fresh)
+		fresh++
+		w.f = append(w.f, [2]string{x, y0})
+		w.ns = append(w.ns, [2]string{y0, y})
+		fcOf[x] = y0
+	}
+	w.c = nil
+	w.dedupe()
+
+	// Simplify parallel edges and self-loops until stable. On trees:
+	// firstchild/nextsibling self-loops and any pair carrying both a
+	// child-type and a sibling-type constraint are unsatisfiable;
+	// ns*(x,y) ∧ ns*(y,x) forces x = y (merge); ns* parallel to an
+	// explicit nextsibling of the same orientation is subsumed.
+	for {
+		unsat2, merged2, err := simplifyParallel(w, uf)
+		if err != nil {
+			return datalog.Rule{}, false, err
+		}
+		if unsat2 {
+			return datalog.Rule{}, false, nil
+		}
+		if !merged2 {
+			break
+		}
+	}
+
+	out := w.toRule()
+	if !isAcyclicRule(out) {
+		return datalog.Rule{}, false, fmt.Errorf("tmnf: rule still cyclic after rewriting: %s", out)
+	}
+	return out, true, nil
+}
+
+// acyclicRound performs one pass of steps (1)–(4) of the Lemma 5.5
+// algorithm, reporting whether any variables were merged.
+func acyclicRound(w *workRule, uf *unionFind) (changed, unsat bool, err error) {
+	// (1) Depth indices on the component graph of child/firstchild
+	// edges coarsened over nextsibling components.
+	comp := newUF()
+	for _, e := range w.n {
+		comp.union(e[0], e[1])
+	}
+	var compNodes []string
+	seenComp := map[string]bool{}
+	for _, v := range w.vars() {
+		c := comp.find(v)
+		if !seenComp[c] {
+			seenComp[c] = true
+			compNodes = append(compNodes, c)
+		}
+	}
+	var chEdges [][2]string
+	for _, lst := range [][][2]string{w.f, w.c} {
+		for _, e := range lst {
+			chEdges = append(chEdges, [2]string{comp.find(e[0]), comp.find(e[1])})
+		}
+	}
+	d := depthIndex(compNodes, chEdges)
+	if d == nil {
+		return false, true, nil
+	}
+
+	// (2) Bottom-up bipartite merging: parents pointing into the same
+	// nextsibling component are equal (child: $2 → $1).
+	merged := false
+	byDepth := map[int][]string{}
+	for _, c := range compNodes {
+		byDepth[d[c]] = append(byDepth[d[c]], c)
+	}
+	var depths []int
+	for dep := range byDepth {
+		depths = append(depths, dep)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(depths)))
+	for _, dep := range depths {
+		// Bipartite graph: variables x with f/c edges into components at
+		// this depth; merge all x sharing a component.
+		parentsOf := map[string][]string{}
+		for _, lst := range [][][2]string{w.f, w.c} {
+			for _, e := range lst {
+				c := comp.find(e[1])
+				if d[c] == dep {
+					parentsOf[c] = append(parentsOf[c], e[0])
+				}
+			}
+		}
+		for _, ps := range parentsOf {
+			for i := 1; i < len(ps); i++ {
+				if uf.find(ps[0]) != uf.find(ps[i]) {
+					uf.union(ps[0], ps[i])
+					merged = true
+				}
+			}
+		}
+	}
+	if merged {
+		w.apply(uf)
+		return true, false, nil
+	}
+
+	// (3)+(4) Sibling-chain depth merging within each nextsibling
+	// component, and first-child merging (firstchild: $1 → $2).
+	for _, vs := range w.nsComponents() {
+		var edges [][2]string
+		inComp := map[string]bool{}
+		for _, v := range vs {
+			inComp[v] = true
+		}
+		for _, e := range w.n {
+			if inComp[e[0]] {
+				edges = append(edges, e)
+			}
+		}
+		dc := depthIndex(vs, edges)
+		if dc == nil {
+			return false, true, nil
+		}
+		byIdx := map[int][]string{}
+		for _, v := range vs {
+			byIdx[dc[v]] = append(byIdx[dc[v]], v)
+		}
+		for _, group := range byIdx {
+			for i := 1; i < len(group); i++ {
+				if uf.find(group[0]) != uf.find(group[i]) {
+					uf.union(group[0], group[i])
+					merged = true
+				}
+			}
+		}
+	}
+	// First-child merging.
+	fcOf := map[string][]string{}
+	for _, e := range w.f {
+		fcOf[e[0]] = append(fcOf[e[0]], e[1])
+	}
+	for _, ys := range fcOf {
+		for i := 1; i < len(ys); i++ {
+			if uf.find(ys[0]) != uf.find(ys[i]) {
+				uf.union(ys[0], ys[i])
+				merged = true
+			}
+		}
+	}
+	if merged {
+		w.apply(uf)
+	}
+	return merged, false, nil
+}
+
+// simplifyParallel removes redundant parallel binary atoms and
+// detects unsatisfiable combinations. Returns merged=true if variables
+// were unified (caller must iterate).
+func simplifyParallel(w *workRule, uf *unionFind) (unsat, merged bool, err error) {
+	// Self-loops.
+	for _, e := range w.f {
+		if e[0] == e[1] {
+			return true, false, nil
+		}
+	}
+	for _, e := range w.n {
+		if e[0] == e[1] {
+			return true, false, nil
+		}
+	}
+	var ns2 [][2]string
+	for _, e := range w.ns {
+		if e[0] != e[1] { // ns*(x,x) is trivially true
+			ns2 = append(ns2, e)
+		}
+	}
+	w.ns = ns2
+
+	type edgeInfo struct {
+		rel string
+		fwd bool
+	}
+	pairs := map[[2]string][]edgeInfo{}
+	addPair := func(rel string, e [2]string) {
+		k := [2]string{e[0], e[1]}
+		fwd := true
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+			fwd = false
+		}
+		pairs[k] = append(pairs[k], edgeInfo{rel, fwd})
+	}
+	for _, e := range w.f {
+		addPair("f", e)
+	}
+	for _, e := range w.n {
+		addPair("n", e)
+	}
+	for _, e := range w.ns {
+		addPair("ns", e)
+	}
+	for k, infos := range pairs {
+		if len(infos) < 2 {
+			continue
+		}
+		// Classify the conflict on the unordered pair k.
+		hasF, nFwd, nBwd, nsFwd, nsBwd := false, false, false, false, false
+		for _, in := range infos {
+			switch in.rel {
+			case "f":
+				hasF = true
+			case "n":
+				if in.fwd {
+					nFwd = true
+				} else {
+					nBwd = true
+				}
+			case "ns":
+				if in.fwd {
+					nsFwd = true
+				} else {
+					nsBwd = true
+				}
+			}
+		}
+		switch {
+		case hasF:
+			// firstchild parallel to anything else on the same pair is
+			// unsatisfiable (child vs. sibling, or two child directions).
+			return true, false, nil
+		case nFwd && nBwd:
+			// nextsibling in both orientations: unsatisfiable.
+			return true, false, nil
+		case (nFwd && nsBwd) || (nBwd && nsFwd):
+			// Sibling positions contradict.
+			return true, false, nil
+		case (nFwd && nsFwd) || (nBwd && nsBwd):
+			// ns* subsumed by the explicit nextsibling.
+			var keep [][2]string
+			for _, e := range w.ns {
+				kk := [2]string{e[0], e[1]}
+				if kk[0] > kk[1] {
+					kk[0], kk[1] = kk[1], kk[0]
+				}
+				if kk != k {
+					keep = append(keep, e)
+				}
+			}
+			w.ns = keep
+			return false, true, nil // structure changed; re-run
+		case nsFwd && nsBwd:
+			// ns*(x,y) ∧ ns*(y,x) ⇒ x = y.
+			uf.union(k[0], k[1])
+			w.apply(uf)
+			return false, true, nil
+		}
+	}
+	return false, false, nil
+}
+
+// isAcyclicRule checks acyclicity of the rule's query multigraph
+// (Section 5: vertices are variables, one edge per binary atom;
+// parallel edges count as cycles).
+func isAcyclicRule(r datalog.Rule) bool {
+	uf := newUF()
+	for _, b := range r.Body {
+		if len(b.Args) != 2 {
+			continue
+		}
+		x, y := b.Args[0].Var, b.Args[1].Var
+		if uf.find(x) == uf.find(y) {
+			return false // closes a cycle (or parallel edge / self-loop)
+		}
+		uf.union(x, y)
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package tmnf
+
+import (
+	"fmt"
+	"sort"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+)
+
+// AcyclicizeRanked implements Lemma 5.4: a rule over τ_rk (child_k
+// relations plus unary atoms) is rewritten into an equivalent acyclic
+// rule, or reported unsatisfiable (ok = false). Variables at the same
+// depth index within a child_k-connected component denote the same
+// node (the bidirectional functional dependencies of Proposition 4.1)
+// and are merged; if a cycle survives merging, the rule constrains
+// some node to be the k-th and j-th child of two parents (k ≠ j) and
+// is unsatisfiable on trees.
+func AcyclicizeRanked(r datalog.Rule) (datalog.Rule, bool, error) {
+	type binAtom struct {
+		k    int
+		x, y string
+	}
+	var bins []binAtom
+	var unary []datalog.Atom
+	head := r.Head.Clone()
+	if len(head.Args) != 1 || !head.Args[0].IsVar() {
+		return datalog.Rule{}, false, fmt.Errorf("tmnf: head must be unary over a variable: %s", r)
+	}
+	for _, b := range r.Body {
+		for _, t := range b.Args {
+			if !t.IsVar() {
+				return datalog.Rule{}, false, fmt.Errorf("tmnf: constants unsupported: %s", r)
+			}
+		}
+		switch len(b.Args) {
+		case 1:
+			unary = append(unary, b.Clone())
+		case 2:
+			k, ok := eval.IsChildKPred(b.Pred)
+			if !ok {
+				return datalog.Rule{}, false, fmt.Errorf("tmnf: ranked rules may only use child_k relations, got %s", b.Pred)
+			}
+			bins = append(bins, binAtom{k, b.Args[0].Var, b.Args[1].Var})
+		default:
+			return datalog.Rule{}, false, fmt.Errorf("tmnf: unsupported atom arity in %s", r)
+		}
+	}
+
+	uf := newUF()
+	apply := func() {
+		for i := range bins {
+			bins[i].x, bins[i].y = uf.find(bins[i].x), uf.find(bins[i].y)
+		}
+		for i := range unary {
+			unary[i].Args[0] = datalog.V(uf.find(unary[i].Args[0].Var))
+		}
+		head.Args[0] = datalog.V(uf.find(head.Args[0].Var))
+		// Deduplicate binary atoms.
+		seen := map[binAtom]bool{}
+		out := bins[:0]
+		for _, b := range bins {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+		bins = out
+	}
+
+	varsOf := func() []string {
+		set := map[string]bool{}
+		var out []string
+		add := func(v string) {
+			if !set[v] {
+				set[v] = true
+				out = append(out, v)
+			}
+		}
+		add(head.Args[0].Var)
+		for _, u := range unary {
+			add(u.Args[0].Var)
+		}
+		for _, b := range bins {
+			add(b.x)
+			add(b.y)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for round := 0; ; round++ {
+		if round > len(r.Body)+4 {
+			return datalog.Rule{}, false, fmt.Errorf("tmnf: ranked acyclicize did not converge: %s", r)
+		}
+		// Depth-index map over the full child graph.
+		var edges [][2]string
+		for _, b := range bins {
+			edges = append(edges, [2]string{b.x, b.y})
+		}
+		d := depthIndex(varsOf(), edges)
+		if d == nil {
+			return datalog.Rule{}, false, nil // unsatisfiable
+		}
+		// Per-k component merging at equal depths.
+		merged := false
+		ks := map[int]bool{}
+		for _, b := range bins {
+			ks[b.k] = true
+		}
+		for k := range ks {
+			comp := newUF()
+			for _, b := range bins {
+				if b.k == k {
+					comp.union(b.x, b.y)
+				}
+			}
+			groups := map[string][]string{}
+			for _, v := range varsOf() {
+				key := fmt.Sprintf("%s@%d", comp.find(v), d[v])
+				groups[key] = append(groups[key], v)
+			}
+			for _, g := range groups {
+				// Only merge within genuine components (component find of
+				// singleton vars is themselves; a group of size 1 is inert).
+				for i := 1; i < len(g); i++ {
+					if comp.find(g[0]) == comp.find(g[i]) && uf.find(g[0]) != uf.find(g[i]) {
+						uf.union(g[0], g[i])
+						merged = true
+					}
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+		apply()
+	}
+
+	// Self-loops are unsatisfiable; duplicate-pair atoms with different
+	// k likewise.
+	for _, b := range bins {
+		if b.x == b.y {
+			return datalog.Rule{}, false, nil
+		}
+	}
+	out := datalog.Rule{Head: head}
+	for _, u := range unary {
+		out.Body = append(out.Body, u)
+	}
+	for _, b := range bins {
+		out.Body = append(out.Body, datalog.At(eval.ChildKPred(b.k), datalog.V(b.x), datalog.V(b.y)))
+	}
+	if !isAcyclicRule(out) {
+		// Surviving cycles involve a node forced to be the k-th and j-th
+		// child (k ≠ j) or child of two distinct parents: unsatisfiable.
+		return datalog.Rule{}, false, nil
+	}
+	return out, true, nil
+}

@@ -1,0 +1,329 @@
+package tmnf
+
+import (
+	"fmt"
+
+	"mdlog/internal/caterpillar"
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+)
+
+// This file assembles the Theorem 5.2 pipeline and the TMNF validator
+// (Definition 5.1).
+
+// domPred is the "any node" pattern of the Theorem 6.5 proof, used
+// where an ear has no unary atoms: dom(x) holds for every node and is
+// defined by a small recursive TMNF program.
+const domPred = "tmnf_dom"
+
+func domRules() []datalog.Rule {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	return []datalog.Rule{
+		R(At(domPred, V("X")), At("root", V("X"))),
+		R(At(domPred, V("Y")), At(domPred, V("X")), At("firstchild", V("X"), V("Y"))),
+		R(At(domPred, V("Y")), At(domPred, V("X")), At("nextsibling", V("X"), V("Y"))),
+	}
+}
+
+// IsTMNF reports whether every rule of p is in Tree-Marking Normal
+// Form (Definition 5.1): p(x) ← p0(x). or p(x) ← p0(x0), B(x0,x). or
+// p(x) ← p0(x), p1(x). where B is firstchild, nextsibling or an
+// inverse thereof (encoded by argument order), and all unary body
+// predicates are intensional or unary τ_ur relations.
+func IsTMNF(p *datalog.Program) error {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	unaryOK := func(pred string) bool {
+		if idb[pred] {
+			return true
+		}
+		switch pred {
+		case eval.PredRoot, eval.PredLeaf, eval.PredLastSibling:
+			return true
+		}
+		_, isLabel := eval.IsLabelPred(pred)
+		return isLabel
+	}
+	for _, r := range p.Rules {
+		if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
+			return fmt.Errorf("tmnf: non-unary head: %s", r)
+		}
+		hv := r.Head.Args[0].Var
+		switch len(r.Body) {
+		case 1:
+			b := r.Body[0]
+			if len(b.Args) != 1 || b.Args[0].Var != hv || !unaryOK(b.Pred) {
+				return fmt.Errorf("tmnf: not form (1): %s", r)
+			}
+		case 2:
+			a1, a2 := r.Body[0], r.Body[1]
+			// Normalize: unary first.
+			if len(a1.Args) == 2 {
+				a1, a2 = a2, a1
+			}
+			switch {
+			case len(a1.Args) == 1 && len(a2.Args) == 1:
+				// Form (3): both unary over the head variable.
+				if a1.Args[0].Var != hv || a2.Args[0].Var != hv ||
+					!unaryOK(a1.Pred) || !unaryOK(a2.Pred) {
+					return fmt.Errorf("tmnf: not form (3): %s", r)
+				}
+			case len(a1.Args) == 1 && len(a2.Args) == 2:
+				// Form (2): p(x) ← p0(x0), B(x0, x) with B = R or R⁻¹.
+				if a2.Pred != eval.PredFirstChild && a2.Pred != eval.PredNextSibling {
+					return fmt.Errorf("tmnf: binary predicate %s not in τ_ur: %s", a2.Pred, r)
+				}
+				x0 := a1.Args[0].Var
+				fwd := a2.Args[0].Var == x0 && a2.Args[1].Var == hv
+				bwd := a2.Args[1].Var == x0 && a2.Args[0].Var == hv
+				if !unaryOK(a1.Pred) || x0 == hv || (!fwd && !bwd) {
+					return fmt.Errorf("tmnf: not form (2): %s", r)
+				}
+			default:
+				return fmt.Errorf("tmnf: not a TMNF rule: %s", r)
+			}
+		default:
+			return fmt.Errorf("tmnf: rule has %d body atoms: %s", len(r.Body), r)
+		}
+	}
+	return nil
+}
+
+// nameGen doles out fresh predicate names.
+type nameGen struct {
+	prefix string
+	n      int
+}
+
+func (g *nameGen) fresh() string {
+	g.n++
+	return fmt.Sprintf("%s%d", g.prefix, g.n)
+}
+
+// Transform implements Theorem 5.2 for the unranked signature: it
+// rewrites an arbitrary monadic datalog program over
+// τ_ur ∪ {child, lastchild} into an equivalent TMNF program over τ_ur.
+// Unsatisfiable rules are dropped. The query predicate is preserved.
+func Transform(p *datalog.Program) (*datalog.Program, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	out := &datalog.Program{Query: p.Query}
+	g := &nameGen{prefix: "tm_"}
+	needDom := false
+	for _, r := range p.Rules {
+		ac, ok, err := AcyclicizeUnranked(r)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // unsatisfiable on trees
+		}
+		nd, err := decomposeRule(ac, out, g)
+		if err != nil {
+			return nil, err
+		}
+		needDom = needDom || nd
+	}
+	if needDom {
+		out.Rules = append(out.Rules, domRules()...)
+	}
+	final := &datalog.Program{Query: out.Query}
+	if err := eliminateSpecial(out, final, g); err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// decomposeRule connects, ear-decomposes and appends TMNF-shaped rules
+// (possibly still containing ns_star/doc_any atoms) to out. Reports
+// whether the dom pattern is needed.
+func decomposeRule(r datalog.Rule, out *datalog.Program, g *nameGen) (needDom bool, err error) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	type edge struct {
+		pred string
+		x, y string
+	}
+	var edges []edge
+	unary := map[string][]string{} // var -> unary predicates
+	hv := r.Head.Args[0].Var
+	vars := map[string]bool{hv: true}
+	for _, b := range r.Body {
+		switch len(b.Args) {
+		case 1:
+			unary[b.Args[0].Var] = append(unary[b.Args[0].Var], b.Pred)
+			vars[b.Args[0].Var] = true
+		case 2:
+			edges = append(edges, edge{b.Pred, b.Args[0].Var, b.Args[1].Var})
+			vars[b.Args[0].Var] = true
+			vars[b.Args[1].Var] = true
+		}
+	}
+
+	// Connect components to the head variable's component via doc_any
+	// (the total caterpillar relation ≺ ∪ ε ∪ ≻, proof of Theorem 5.2).
+	uf := newUF()
+	for _, e := range edges {
+		uf.union(e.x, e.y)
+	}
+	reps := map[string]string{} // component -> a representative var
+	for v := range vars {
+		if _, ok := reps[uf.find(v)]; !ok {
+			reps[uf.find(v)] = v
+		}
+	}
+	for c, rep := range reps {
+		if c == uf.find(hv) {
+			continue
+		}
+		edges = append(edges, edge{predDocAny, hv, rep})
+	}
+
+	// Ear decomposition (Lemmas 5.7 / 5.8): repeatedly strip a
+	// non-head variable incident to exactly one binary atom.
+	for {
+		deg := map[string]int{}
+		for _, e := range edges {
+			deg[e.x]++
+			deg[e.y]++
+		}
+		earIdx, earVar := -1, ""
+		for i, e := range edges {
+			if e.x != hv && deg[e.x] == 1 {
+				earIdx, earVar = i, e.x
+				break
+			}
+			if e.y != hv && deg[e.y] == 1 {
+				earIdx, earVar = i, e.y
+				break
+			}
+		}
+		if earIdx == -1 {
+			break
+		}
+		e := edges[earIdx]
+		edges = append(edges[:earIdx], edges[earIdx+1:]...)
+		other := e.x
+		if other == earVar {
+			other = e.y
+		}
+		// base(earVar): the combined unary predicate on the ear.
+		base, nd, err := combineUnary(unary[earVar], earVar, out, g)
+		if err != nil {
+			return needDom, err
+		}
+		needDom = needDom || nd
+		delete(unary, earVar)
+		newPred := g.fresh()
+		// newPred(other) ← base(earVar), R(...) — form (2) with B = R or R⁻¹.
+		out.Rules = append(out.Rules, R(At(newPred, V(other)),
+			At(base, V(earVar)),
+			At(e.pred, V(e.x), V(e.y))))
+		unary[other] = append(unary[other], newPred)
+	}
+	if len(edges) > 0 {
+		return needDom, fmt.Errorf("tmnf: ear decomposition left %d edges in %s (rule not acyclic?)", len(edges), r)
+	}
+
+	// The remaining rule is p(hv) ← unary atoms on hv.
+	preds := unary[hv]
+	if len(preds) == 0 {
+		return needDom, fmt.Errorf("tmnf: head variable lost its atoms in %s", r)
+	}
+	if len(preds) == 1 {
+		out.Rules = append(out.Rules, R(At(r.Head.Pred, V(hv)), At(preds[0], V(hv))))
+		return needDom, nil
+	}
+	// Pair up (form (3)), chaining through fresh predicates.
+	cur := preds[0]
+	for i := 1; i < len(preds)-1; i++ {
+		np := g.fresh()
+		out.Rules = append(out.Rules, R(At(np, V(hv)), At(cur, V(hv)), At(preds[i], V(hv))))
+		cur = np
+	}
+	out.Rules = append(out.Rules, R(At(r.Head.Pred, V(hv)),
+		At(cur, V(hv)), At(preds[len(preds)-1], V(hv))))
+	return needDom, nil
+}
+
+// combineUnary reduces a list of unary predicates on one variable to a
+// single predicate, emitting form (3) chain rules; an empty list
+// yields the dom pattern.
+func combineUnary(preds []string, v string, out *datalog.Program, g *nameGen) (string, bool, error) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	switch len(preds) {
+	case 0:
+		return domPred, true, nil
+	case 1:
+		return preds[0], false, nil
+	}
+	cur := preds[0]
+	for i := 1; i < len(preds); i++ {
+		np := g.fresh()
+		out.Rules = append(out.Rules, R(At(np, V(v)), At(cur, V(v)), At(preds[i], V(v))))
+		cur = np
+	}
+	return cur, false, nil
+}
+
+// eliminateSpecial rewrites ns_star and doc_any atoms via Lemma 5.9
+// into TMNF rules over τ_ur. Input rules are TMNF-shaped except that
+// form (2) binary atoms may be special.
+func eliminateSpecial(in *datalog.Program, out *datalog.Program, g *nameGen) error {
+	for _, r := range in.Rules {
+		special := -1
+		for i, b := range r.Body {
+			if b.Pred == predNSStar || b.Pred == predDocAny {
+				special = i
+				break
+			}
+		}
+		if special == -1 {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		if len(r.Body) != 2 {
+			return fmt.Errorf("tmnf: special atom in non-binary-form rule: %s", r)
+		}
+		unaryAtom := r.Body[1-special]
+		bin := r.Body[special]
+		hv := r.Head.Args[0].Var
+		// Orientation: the expression must map the unary atom's variable
+		// to the head variable.
+		var e caterpillar.Expr
+		switch bin.Pred {
+		case predNSStar:
+			e = caterpillar.Star{E: caterpillar.Rel{Name: "nextsibling"}}
+		case predDocAny:
+			e = docAnyExpr()
+		}
+		if bin.Args[0].Var == unaryAtom.Args[0].Var && bin.Args[1].Var == hv {
+			// forward
+		} else if bin.Args[1].Var == unaryAtom.Args[0].Var && bin.Args[0].Var == hv {
+			e = caterpillar.Inv{E: e}
+		} else {
+			return fmt.Errorf("tmnf: cannot orient special atom in %s", r)
+		}
+		outPred := g.fresh()
+		rules := caterpillar.ToDatalog(e, unaryAtom.Pred, outPred, g.fresh())
+		out.Rules = append(out.Rules, rules...)
+		out.Rules = append(out.Rules, datalog.R(
+			datalog.At(r.Head.Pred, datalog.V(hv)),
+			datalog.At(outPred, datalog.V(hv))))
+	}
+	return nil
+}
+
+// docAnyExpr denotes the total relation on tree nodes, equivalent to
+// ≺ ∪ ε ∪ ≻ of the Theorem 5.2 proof (document order is a total
+// order, Example 2.5). We use the equivalent (child⁻¹)*.child* — climb
+// to a common ancestor, descend to the target — which stays within
+// τ_ur after expansion.
+func docAnyExpr() caterpillar.Expr {
+	return caterpillar.Concat{
+		L: caterpillar.Star{E: caterpillar.Inv{E: caterpillar.Rel{Name: "child"}}},
+		R: caterpillar.Star{E: caterpillar.Rel{Name: "child"}},
+	}
+}

@@ -1,0 +1,390 @@
+package tmnf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/tree"
+)
+
+// evalBoth evaluates the original program (which may use child and
+// lastchild) with the generic engine and the transformed program with
+// the linear engine, comparing the extension of the given predicate.
+func evalBoth(t *testing.T, orig, tm *datalog.Program, pred string, tr *tree.Tree) {
+	t.Helper()
+	db := eval.TreeDB(tr, eval.WithChild(), eval.WithLastChild())
+	full, err := datalog.SemiNaiveEval(orig, db)
+	if err != nil {
+		t.Fatalf("orig eval: %v", err)
+	}
+	want := full.UnarySet(pred)
+	res, err := eval.LinearTree(tm, tr)
+	if err != nil {
+		t.Fatalf("tmnf eval: %v", err)
+	}
+	got := res.UnarySet(pred)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("pred %s on %s:\n  tmnf %v\n  orig %v\nprogram:\n%s\ntransformed:\n%s",
+			pred, tr, got, want, orig, tm)
+	}
+}
+
+func randomTrees(seed int64, n int) []*tree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tree.Tree, n)
+	for i := range out {
+		out[i] = tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b", "c"}, Size: 1 + rng.Intn(18), MaxChildren: 4})
+	}
+	return out
+}
+
+func TestIsTMNF(t *testing.T) {
+	good := datalog.MustParseProgram(`
+p(X) :- root(X).
+p(X) :- p(X0), firstchild(X0,X).
+p(X) :- p(X0), firstchild(X,X0).
+q(X) :- p(X), label_a(X).
+r(X) :- q(X).
+`)
+	if err := IsTMNF(good); err != nil {
+		t.Errorf("good program rejected: %v", err)
+	}
+	bad := []string{
+		`p(X) :- q(X), r(X), s(X).`,            // 3 atoms
+		`p(X) :- child(X0,X), q(X0).`,          // child not in τ_ur
+		`p(X) :- firstchild(X0,X).`,            // no unary atom
+		`p(X,Y) :- firstchild(X,Y).`,           // binary head
+		`p(X) :- q(Y), firstchild(Y,Z), r(X).`, // stray variable
+		`p(X) :- mystery(X).`,                  // unknown unary EDB
+	}
+	for _, src := range bad {
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			continue // some are rejected by the parser (unsafe)
+		}
+		if IsTMNF(p) == nil {
+			t.Errorf("accepted non-TMNF: %s", src)
+		}
+	}
+}
+
+// TestFigure3Rewrite checks the Lemma 5.5 stages on a rule in the
+// spirit of Figure 3 (the figure's exact rule is typographically
+// garbled in the source; this analog exhibits the same phenomena:
+// parent merging through shared sibling components, and the
+// introduction of firstchild + nextsibling* for dangling child atoms).
+func TestFigure3Rewrite(t *testing.T) {
+	r := datalog.MustParseProgram(`
+q(X1) :- firstchild(X1,X5), child(X3,X6), nextsibling(X5,X6), child(X2,X9), label_a(X9).
+`).Rules[0]
+	ac, ok, err := AcyclicizeUnranked(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("rule wrongly declared unsatisfiable")
+	}
+	// X1 and X3 must merge (parents of the siblings X5, X6); the
+	// child(X2, X9) atom becomes firstchild(X2, y0), ns*(y0, X9).
+	s := ac.String()
+	if strings.Contains(s, "child(") && !strings.Contains(s, "firstchild(") {
+		t.Errorf("child atoms not eliminated: %s", s)
+	}
+	counts := map[string]int{}
+	for _, b := range ac.Body {
+		counts[b.Pred]++
+	}
+	if counts["firstchild"] != 2 || counts["nextsibling"] != 1 ||
+		counts[predNSStar] != 1 || counts["child"] != 0 || counts["label_a"] != 1 {
+		t.Errorf("atom counts wrong: %v in %s", counts, s)
+	}
+	if len(ac.Vars()) != 6 { // X1=X3 merged; +fresh y0
+		t.Errorf("vars = %v", ac.Vars())
+	}
+	if !ac.IsConnected() {
+		// Two components: {X1, X5, X6} and {X2, y0, X9} — connection is
+		// the job of the later pipeline stage, not of Lemma 5.5.
+		t.Log("rule has two components, as expected")
+	}
+	// Semantics must be preserved end-to-end through the full pipeline.
+	p := datalog.NewProgram(r.Clone())
+	p.Query = "q"
+	tm, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := IsTMNF(tm); err != nil {
+		t.Fatalf("not TMNF: %v", err)
+	}
+	for _, tr := range randomTrees(31, 20) {
+		evalBoth(t, p, tm, "q", tr)
+	}
+}
+
+func TestAcyclicizeUnsat(t *testing.T) {
+	unsat := []string{
+		`p(X) :- firstchild(X,Y), firstchild(Y,X).`,   // cycle
+		`p(X) :- nextsibling(X,Y), nextsibling(Y,X).`, // sibling cycle
+		`p(X) :- firstchild(X,X).`,                    // self-loop
+		`p(X) :- nextsibling(X,X).`,                   // self-loop
+		`p(X) :- firstchild(X,Y), nextsibling(X,Y).`,  // child & sibling
+		`p(X) :- child(X,Y), child(Y,X).`,             // parent cycle
+	}
+	for _, src := range unsat {
+		r := datalog.MustParseProgram(src).Rules[0]
+		_, ok, err := AcyclicizeUnranked(r)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if ok {
+			t.Errorf("%s: should be unsatisfiable", src)
+		}
+	}
+}
+
+func TestAcyclicizeMergesParents(t *testing.T) {
+	// Two parents of the same node merge (child: $2→$1).
+	r := datalog.MustParseProgram(`p(X) :- child(X,Z), child(Y,Z), label_a(Y).`).Rules[0]
+	ac, ok, err := AcyclicizeUnranked(r)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	if len(ac.Vars()) != 3 { // X=Y, Z, fresh y0
+		t.Errorf("vars = %v in %s", ac.Vars(), ac)
+	}
+	// The label_a constraint must now apply to X.
+	found := false
+	for _, b := range ac.Body {
+		if b.Pred == "label_a" && b.Args[0].Var == ac.Head.Args[0].Var {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged unary constraint missing: %s", ac)
+	}
+}
+
+func TestAcyclicizeSiblingDepthMerge(t *testing.T) {
+	// Two nextsibling chains of equal length from a shared firstchild
+	// target merge node-by-node.
+	r := datalog.MustParseProgram(`
+p(X) :- firstchild(X,A), firstchild(X,B), nextsibling(A,C), nextsibling(B,D), label_a(D).
+`).Rules[0]
+	ac, ok, err := AcyclicizeUnranked(r)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	// A=B and C=D: 3 variables remain.
+	if len(ac.Vars()) != 3 {
+		t.Errorf("vars = %v in %s", ac.Vars(), ac)
+	}
+}
+
+// TestTransformTMNFShape: every output rule is syntactically TMNF.
+func TestTransformTMNFShape(t *testing.T) {
+	programs := []string{
+		`q(X) :- label_a(X).`,
+		`q(X) :- child(X,Y), label_b(Y).`,
+		`q(X) :- child(Y,X), label_b(Y), leaf(X).`,
+		`q(X) :- lastchild(X,Y), label_a(Y).`,
+		`q(X) :- label_a(X), label_b(Y).`, // disconnected
+		`q(X) :- firstchild(X,Y), nextsibling(Y,Z), child(Z,W), leaf(W).`,
+		`q(X) :- q0(X), child(X,Y), q1(Y).
+q0(X) :- root(X).
+q1(X) :- label_a(X).`,
+	}
+	for _, src := range programs {
+		p := datalog.MustParseProgram(src)
+		p.Query = "q"
+		tm, err := Transform(p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if err := IsTMNF(tm); err != nil {
+			t.Errorf("%s: output not TMNF: %v\n%s", src, err, tm)
+		}
+	}
+}
+
+// TestTMNFEquivalence is the Theorem 5.2 semantic check across a
+// program battery and random trees.
+func TestTMNFEquivalence(t *testing.T) {
+	programs := []string{
+		`q(X) :- label_a(X).`,
+		`q(X) :- child(X,Y), label_b(Y).`,
+		`q(X) :- child(Y,X), label_a(Y).`,
+		`q(X) :- lastchild(X,Y), label_a(Y).`,
+		`q(X) :- lastchild(Y,X).`,
+		`q(X) :- label_a(X), label_b(Y).`,
+		`q(X) :- firstchild(X,Y), nextsibling(Y,Z), leaf(Z).`,
+		`q(X) :- child(X,Y), child(Y,Z), label_c(Z).`,
+		`q(X) :- child(X,Y), child(X,Z), nextsibling(Y,Z), label_a(Y), label_b(Z).`,
+		`q(X) :- q(X0), child(X0,X).
+q(X) :- root(X).`,
+		`q(X) :- leaf(X), child(Y,X), root(Y).`,
+	}
+	for _, src := range programs {
+		p := datalog.MustParseProgram(src)
+		p.Query = "q"
+		tm, err := Transform(p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, tr := range randomTrees(int64(len(src)), 12) {
+			evalBoth(t, p, tm, "q", tr)
+		}
+	}
+}
+
+// TestTMNFEquivalenceQuick drives random rule shapes through the
+// pipeline.
+func TestTMNFEquivalenceQuick(t *testing.T) {
+	gen := func(rng *rand.Rand) *datalog.Program {
+		// Random tree-shaped rule bodies over {child, firstchild,
+		// nextsibling, lastchild} with random unary constraints.
+		nvars := 2 + rng.Intn(4)
+		vars := make([]string, nvars)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("V%d", i)
+		}
+		var body []datalog.Atom
+		rels := []string{"child", "firstchild", "nextsibling", "lastchild"}
+		for i := 1; i < nvars; i++ {
+			// connect V_i to a random earlier variable (random direction)
+			j := rng.Intn(i)
+			rel := rels[rng.Intn(len(rels))]
+			if rng.Intn(2) == 0 {
+				body = append(body, datalog.At(rel, datalog.V(vars[j]), datalog.V(vars[i])))
+			} else {
+				body = append(body, datalog.At(rel, datalog.V(vars[i]), datalog.V(vars[j])))
+			}
+		}
+		unaries := []string{"label_a", "label_b", "leaf", "root", "lastsibling"}
+		for _, v := range vars {
+			if rng.Intn(3) == 0 {
+				body = append(body, datalog.At(unaries[rng.Intn(len(unaries))], datalog.V(v)))
+			}
+		}
+		p := datalog.NewProgram(datalog.Rule{
+			Head: datalog.At("q", datalog.V(vars[rng.Intn(nvars)])),
+			Body: body,
+		})
+		p.Query = "q"
+		return p
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen(rng)
+		tm, err := Transform(p)
+		if err != nil {
+			t.Logf("transform error on %s: %v", p, err)
+			return false
+		}
+		if err := IsTMNF(tm); err != nil {
+			t.Logf("not TMNF: %v", err)
+			return false
+		}
+		tr := tree.Random(rng, tree.RandomOptions{
+			Labels: []string{"a", "b"}, Size: 1 + rng.Intn(15), MaxChildren: 3})
+		db := eval.TreeDB(tr, eval.WithChild(), eval.WithLastChild())
+		full, err := datalog.SemiNaiveEval(p, db)
+		if err != nil {
+			return false
+		}
+		res, err := eval.LinearTree(tm, tr)
+		if err != nil {
+			t.Logf("linear: %v", err)
+			return false
+		}
+		if fmt.Sprint(res.UnarySet("q")) != fmt.Sprint(full.UnarySet("q")) {
+			t.Logf("mismatch on %s:\norig %v vs tmnf %v\nprogram %s", tr,
+				full.UnarySet("q"), res.UnarySet("q"), p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcyclicizeRanked(t *testing.T) {
+	// Merging: two names for the 1st child of X.
+	r := datalog.MustParseProgram(`p(X) :- child_1(X,Y), child_1(X,Z), label_a(Z).`).Rules[0]
+	ac, ok, err := AcyclicizeRanked(r)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	if len(ac.Vars()) != 2 {
+		t.Errorf("vars = %v in %s", ac.Vars(), ac)
+	}
+	// Merging parents: child_2: $2→$1.
+	r2 := datalog.MustParseProgram(`p(X) :- child_2(X,Z), child_2(Y,Z), label_b(Y).`).Rules[0]
+	ac2, ok, err := AcyclicizeRanked(r2)
+	if err != nil || !ok {
+		t.Fatalf("%v %v", ok, err)
+	}
+	if len(ac2.Vars()) != 2 {
+		t.Errorf("vars = %v in %s", ac2.Vars(), ac2)
+	}
+	// Unsatisfiable: a node that is both 1st and 2nd child of the same
+	// parent.
+	r3 := datalog.MustParseProgram(`p(X) :- child_1(X,Y), child_2(X,Y).`).Rules[0]
+	if _, ok, _ := AcyclicizeRanked(r3); ok {
+		t.Error("child_1 ∧ child_2 on the same pair must be unsatisfiable")
+	}
+	// Unsatisfiable: cyclic child chain.
+	r4 := datalog.MustParseProgram(`p(X) :- child_1(X,Y), child_1(Y,X).`).Rules[0]
+	if _, ok, _ := AcyclicizeRanked(r4); ok {
+		t.Error("cyclic rule must be unsatisfiable")
+	}
+	// Semantics check on a binary tree.
+	p := datalog.NewProgram(r.Clone())
+	tr := tree.MustParse("f(a,b)")
+	db := eval.TreeDB(tr, eval.WithChildK(2))
+	want, err := datalog.SemiNaiveEval(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pac := datalog.NewProgram(ac.Clone())
+	got, err := datalog.SemiNaiveEval(pac, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.UnarySet("p")) != fmt.Sprint(want.UnarySet("p")) {
+		t.Errorf("ranked acyclicize changed semantics: %v vs %v",
+			got.UnarySet("p"), want.UnarySet("p"))
+	}
+}
+
+func TestTransformPreservesQueryPred(t *testing.T) {
+	p := datalog.MustParseProgram(`q(X) :- child(X,Y), leaf(Y).`)
+	p.Query = "q"
+	tm, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Query != "q" {
+		t.Errorf("query pred lost: %q", tm.Query)
+	}
+}
+
+func TestTransformRejects(t *testing.T) {
+	bad := []string{
+		`p(X,Y) :- child(X,Y).`,      // non-monadic head
+		`p(X) :- before(X,Y), q(Y).`, // unknown binary predicate
+		`p(3).`,                      // constants
+	}
+	for _, src := range bad {
+		p := datalog.MustParseProgram(src)
+		if _, err := Transform(p); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package tree
+
+import "math/rand"
+
+// RandomOptions controls the shape of randomly generated trees.
+type RandomOptions struct {
+	// Labels is the alphabet to draw node labels from. Must be nonempty.
+	Labels []string
+	// MaxChildren bounds the number of children of any node (≥ 0).
+	MaxChildren int
+	// Size is the target number of nodes (the result has exactly this
+	// many nodes when Size ≥ 1).
+	Size int
+}
+
+// Random generates a uniformly-shaped random unranked tree with exactly
+// opts.Size nodes using the given source of randomness. Shapes are
+// produced by attaching each new node to a random existing node whose
+// child count is below MaxChildren, which yields a good mix of deep
+// and bushy trees for property testing.
+func Random(rng *rand.Rand, opts RandomOptions) *Tree {
+	if opts.Size < 1 {
+		opts.Size = 1
+	}
+	if opts.MaxChildren < 1 {
+		opts.MaxChildren = 4
+	}
+	if len(opts.Labels) == 0 {
+		opts.Labels = []string{"a", "b"}
+	}
+	pick := func() string { return opts.Labels[rng.Intn(len(opts.Labels))] }
+	root := &Node{Label: pick()}
+	open := []*Node{root}
+	total := 1
+	for total < opts.Size {
+		i := rng.Intn(len(open))
+		parent := open[i]
+		child := &Node{Label: pick()}
+		parent.Add(child)
+		total++
+		open = append(open, child)
+		if len(parent.Children) >= opts.MaxChildren {
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+	}
+	return NewTree(root)
+}
+
+// RandomBinary generates a random full binary tree (every internal node
+// has exactly two children) with at least size nodes, over the given
+// internal/leaf alphabets. Useful for ranked-tree tests with K = 2.
+func RandomBinary(rng *rand.Rand, size int, internalLabels, leafLabels []string) *Tree {
+	if len(internalLabels) == 0 {
+		internalLabels = []string{"a"}
+	}
+	if len(leafLabels) == 0 {
+		leafLabels = internalLabels
+	}
+	var build func(budget int) *Node
+	build = func(budget int) *Node {
+		if budget <= 1 {
+			return &Node{Label: leafLabels[rng.Intn(len(leafLabels))]}
+		}
+		left := 1 + rng.Intn(budget-1)
+		n := &Node{Label: internalLabels[rng.Intn(len(internalLabels))]}
+		n.Add(build(left), build(budget-1-left))
+		return n
+	}
+	if size < 3 {
+		size = 3
+	}
+	if size%2 == 0 {
+		size++ // full binary trees have an odd number of nodes
+	}
+	return NewTree(build(size))
+}
+
+// CompleteBinary builds the complete binary tree of the given depth
+// (depth 0 is a single node), all nodes labeled label. Used by the
+// Example 4.21 benchmarks.
+func CompleteBinary(depth int, label string) *Tree {
+	var build func(d int) *Node
+	build = func(d int) *Node {
+		n := &Node{Label: label}
+		if d > 0 {
+			n.Add(build(d-1), build(d-1))
+		}
+		return n
+	}
+	return NewTree(build(depth))
+}
+
+// Chain builds a degenerate tree that is a single path of the given
+// length (number of nodes), all labeled label. Worst case for depth.
+func Chain(length int, label string) *Tree {
+	if length < 1 {
+		length = 1
+	}
+	root := &Node{Label: label}
+	cur := root
+	for i := 1; i < length; i++ {
+		next := &Node{Label: label}
+		cur.Add(next)
+		cur = next
+	}
+	return NewTree(root)
+}
+
+// Flat builds a tree of the given total size where the root has
+// size-1 children (maximal fan-out), all labeled label.
+func Flat(size int, label string) *Tree {
+	root := &Node{Label: label}
+	for i := 1; i < size; i++ {
+		root.Add(&Node{Label: label})
+	}
+	return NewTree(root)
+}

@@ -1,0 +1,368 @@
+// Package tree implements the ordered labeled trees of Gottlob & Koch
+// (PODS 2002), both unranked and ranked, together with the relational
+// views τ_ur and τ_rk of Section 2 of the paper.
+//
+// An unranked ordered tree is exposed as the relational structure
+//
+//	τ_ur = ⟨dom, root, leaf, (label_a)_{a∈Σ}, firstchild, nextsibling, lastsibling⟩
+//
+// and a ranked tree (with maximum rank K) as
+//
+//	τ_rk = ⟨dom, root, leaf, (child_k)_{k≤K}, (label_a)_{a∈Σ}⟩.
+//
+// Nodes are identified by their document-order (preorder) index, which
+// coincides with the document order relation ≺ of Example 2.5.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a node of an ordered, labeled, unranked tree. Children are
+// ordered left to right. The zero value is not useful; construct trees
+// with New and (*Node).Add, or via Parse.
+type Node struct {
+	// Label is the node's symbol from the (conceptually finite) alphabet Σ.
+	Label string
+	// Text carries optional character data (used by the HTML substrate
+	// for #text nodes). It is not part of the τ_ur signature.
+	Text string
+	// Attrs carries optional attributes (HTML substrate). Not part of τ_ur.
+	Attrs map[string]string
+
+	// ID is the document-order (preorder) index of the node, assigned by
+	// Tree.index. IDs are dense in [0, |dom|).
+	ID int
+
+	Parent   *Node
+	Children []*Node
+}
+
+// New returns a fresh node with the given label and children,
+// setting parent pointers.
+func New(label string, children ...*Node) *Node {
+	n := &Node{Label: label, Children: children}
+	for _, c := range children {
+		c.Parent = n
+	}
+	return n
+}
+
+// Text returns a fresh #text node carrying the given character data.
+// The label "#text" is the reserved text-node symbol of the HTML substrate.
+func NewText(text string) *Node {
+	return &Node{Label: "#text", Text: text}
+}
+
+// Add appends children to n, setting their parent pointers, and
+// returns n for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+	}
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// FirstChild returns the leftmost child of n, or nil.
+func (n *Node) FirstChild() *Node {
+	if len(n.Children) == 0 {
+		return nil
+	}
+	return n.Children[0]
+}
+
+// LastChild returns the rightmost child of n, or nil.
+func (n *Node) LastChild() *Node {
+	if len(n.Children) == 0 {
+		return nil
+	}
+	return n.Children[len(n.Children)-1]
+}
+
+// childIndex returns i such that n is the i-th child (0-based) of its
+// parent, or -1 if n has no parent.
+func (n *Node) childIndex() int {
+	if n.Parent == nil {
+		return -1
+	}
+	for i, c := range n.Parent.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// NextSibling returns the sibling immediately to the right of n, or nil.
+func (n *Node) NextSibling() *Node {
+	i := n.childIndex()
+	if i < 0 || i+1 >= len(n.Parent.Children) {
+		return nil
+	}
+	return n.Parent.Children[i+1]
+}
+
+// PrevSibling returns the sibling immediately to the left of n, or nil.
+func (n *Node) PrevSibling() *Node {
+	i := n.childIndex()
+	if i <= 0 {
+		return nil
+	}
+	return n.Parent.Children[i-1]
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// IsRoot reports whether n has no parent.
+func (n *Node) IsRoot() bool { return n.Parent == nil }
+
+// IsLastSibling reports whether n is the rightmost child of its parent.
+// Following the paper, the root is NOT a last sibling (it has no parent).
+func (n *Node) IsLastSibling() bool {
+	return n.Parent != nil && n.Parent.Children[len(n.Parent.Children)-1] == n
+}
+
+// IsFirstSibling reports whether n is the leftmost child of its parent.
+// Symmetrically to IsLastSibling, the root is not a first sibling.
+func (n *Node) IsFirstSibling() bool {
+	return n.Parent != nil && n.Parent.Children[0] == n
+}
+
+// Tree is an indexed unranked ordered tree: a root plus the node list
+// in document order. Node IDs index into Nodes.
+type Tree struct {
+	Root *Node
+	// Nodes lists all nodes in document order; Nodes[i].ID == i.
+	Nodes []*Node
+}
+
+// NewTree indexes the tree rooted at root and returns it. It assigns
+// document-order IDs and fixes parent pointers (so hand-built trees
+// need not set them).
+func NewTree(root *Node) *Tree {
+	t := &Tree{Root: root}
+	t.Reindex()
+	return t
+}
+
+// Reindex reassigns document-order IDs after structural modification.
+func (t *Tree) Reindex() {
+	t.Nodes = t.Nodes[:0]
+	var walk func(n, parent *Node)
+	walk = func(n, parent *Node) {
+		n.Parent = parent
+		n.ID = len(t.Nodes)
+		t.Nodes = append(t.Nodes, n)
+		for _, c := range n.Children {
+			walk(c, n)
+		}
+	}
+	walk(t.Root, nil)
+}
+
+// Size returns |dom|, the number of nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Labels returns the sorted set of labels occurring in the tree.
+func (t *Tree) Labels() []string {
+	set := map[string]bool{}
+	for _, n := range t.Nodes {
+		set[n.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxRank returns the maximum number of children of any node.
+func (t *Tree) MaxRank() int {
+	k := 0
+	for _, n := range t.Nodes {
+		if len(n.Children) > k {
+			k = len(n.Children)
+		}
+	}
+	return k
+}
+
+// Depth returns the length of the longest root-to-leaf path, counted
+// in edges (a single-node tree has depth 0).
+func (t *Tree) Depth() int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		d := -1
+		for _, c := range n.Children {
+			if cd := rec(c); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	}
+	return rec(t.Root)
+}
+
+// DocBefore reports n1 ≺ n2 in document order (Example 2.5). With
+// preorder IDs this is simply ID comparison; the caterpillar package
+// proves the equivalence with the paper's expression.
+func (t *Tree) DocBefore(n1, n2 *Node) bool { return n1.ID < n2.ID }
+
+// Clone returns a deep copy of the tree (Attrs maps are copied).
+func (t *Tree) Clone() *Tree {
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		m := &Node{Label: n.Label, Text: n.Text}
+		if n.Attrs != nil {
+			m.Attrs = make(map[string]string, len(n.Attrs))
+			for k, v := range n.Attrs {
+				m.Attrs[k] = v
+			}
+		}
+		for _, c := range n.Children {
+			m.Add(cp(c))
+		}
+		return m
+	}
+	return NewTree(cp(t.Root))
+}
+
+// Equal reports structural equality of labels, shapes and text.
+func (t *Tree) Equal(u *Tree) bool {
+	var eq func(a, b *Node) bool
+	eq = func(a, b *Node) bool {
+		if a.Label != b.Label || a.Text != b.Text || len(a.Children) != len(b.Children) {
+			return false
+		}
+		for i := range a.Children {
+			if !eq(a.Children[i], b.Children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(t.Root, u.Root)
+}
+
+// String renders the tree in the term syntax accepted by Parse,
+// e.g. "a(b,c(d))".
+func (t *Tree) String() string {
+	var b strings.Builder
+	writeTerm(&b, t.Root)
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, n *Node) {
+	b.WriteString(n.Label)
+	if len(n.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeTerm(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// Pretty renders the tree with one node per line, indented by depth,
+// annotating each node with its document-order ID.
+func (t *Tree) Pretty() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s [%d]\n", strings.Repeat("  ", depth), n.Label, n.ID)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}
+
+// Parse reads a tree in term syntax: label, optionally followed by a
+// parenthesized comma-separated list of subtrees. Labels consist of
+// letters, digits, '_', '#', and '-'. Whitespace is ignored.
+//
+//	a(b, c(d, e), f)
+func Parse(s string) (*Tree, error) {
+	p := &termParser{src: s}
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: trailing input at offset %d in %q", p.pos, s)
+	}
+	return NewTree(n), nil
+}
+
+// MustParse is Parse, panicking on error. Intended for tests and examples.
+func MustParse(s string) *Tree {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func isLabelByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' ||
+		b == '_' || b == '#' || b == '-'
+}
+
+func (p *termParser) parseNode() (*Node, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isLabelByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("tree: expected label at offset %d in %q", p.pos, p.src)
+	}
+	n := &Node{Label: p.src[start:p.pos]}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			c, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Add(c)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("tree: unclosed '(' in %q", p.src)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return n, nil
+			default:
+				return nil, fmt.Errorf("tree: unexpected %q at offset %d in %q", p.src[p.pos], p.pos, p.src)
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,126 @@
+package wrap
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/elog"
+	"mdlog/internal/tree"
+)
+
+func TestBuildOutput(t *testing.T) {
+	doc := tree.MustParse("html(body(table(tr(td,td),tr(td))))")
+	// ids: html0 body1 table2 tr3 td4 td5 tr6 td7
+	a := Assignment{
+		"row":  {3, 6},
+		"cell": {4, 5, 7},
+	}
+	out := BuildOutput(doc, a, Options{})
+	want := "result(row(cell,cell),row(cell))"
+	if out.String() != want {
+		t.Errorf("output = %s, want %s", out, want)
+	}
+}
+
+func TestBuildOutputMultiPattern(t *testing.T) {
+	doc := tree.MustParse("a(b)")
+	a := Assignment{"x": {1}, "y": {1}}
+	out := BuildOutput(doc, a, Options{})
+	if out.String() != "result(x+y)" {
+		t.Errorf("output = %s", out)
+	}
+	out2 := BuildOutput(doc, a, Options{LabelSep: "_"})
+	if out2.String() != "result(x_y)" {
+		t.Errorf("output = %s", out2)
+	}
+}
+
+func TestBuildOutputKeepsDocumentOrder(t *testing.T) {
+	doc := tree.MustParse("r(a,b,c,d)")
+	a := Assignment{"pick": {4, 2, 1}} // d, b, a — ids out of order
+	out := BuildOutput(doc, a, Options{RootLabel: "picked"})
+	if out.String() != "picked(pick,pick,pick)" {
+		t.Errorf("output = %s", out)
+	}
+	if out.Root.Label != "picked" {
+		t.Errorf("root label = %s", out.Root.Label)
+	}
+}
+
+func TestBuildOutputText(t *testing.T) {
+	doc := tree.NewTree(tree.New("p", tree.NewText("hello")))
+	a := Assignment{"t": {1}}
+	out := BuildOutput(doc, a, Options{KeepText: true})
+	if out.Root.Children[0].Text != "hello" {
+		t.Error("text lost")
+	}
+	out2 := BuildOutput(doc, a, Options{})
+	if out2.Root.Children[0].Text != "" {
+		t.Error("text kept without KeepText")
+	}
+}
+
+func TestWrapperRun(t *testing.T) {
+	p := datalog.MustParseProgram(`
+row(X)  :- label_tr(X).
+cell(X) :- row(Y), firstchild(Y,X).
+`)
+	doc := tree.MustParse("html(table(tr(td,td),tr(td)))")
+	w := &Wrapper{Program: p}
+	out, a, err := w.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a["row"]) != "[2 5]" || fmt.Sprint(a["cell"]) != "[3 6]" {
+		t.Errorf("assignment = %v", a)
+	}
+	if out.String() != "result(row(cell),row(cell))" {
+		t.Errorf("output = %s", out)
+	}
+	// Restricting Extract drops the other pattern.
+	w2 := &Wrapper{Program: p, Extract: []string{"cell"}}
+	out2, _, err := w2.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != "result(cell,cell)" {
+		t.Errorf("output = %s", out2)
+	}
+}
+
+func TestElogWrapperRun(t *testing.T) {
+	ep := elog.MustParseProgram(`
+row(x)  :- root(x0), subelem("tr", x0, x).
+cell(x) :- row(x0), subelem("td", x0, x).
+`)
+	doc := tree.MustParse("html(tr(td,td),tr(td))")
+	w := &ElogWrapper{Program: ep}
+	out, a, err := w.Run(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a["row"]) != 2 || len(a["cell"]) != 3 {
+		t.Errorf("assignment = %v", a)
+	}
+	if out.String() != "result(row(cell,cell),row(cell))" {
+		t.Errorf("output = %s", out)
+	}
+}
+
+func TestWriteXML(t *testing.T) {
+	doc := tree.NewTree(tree.New("result",
+		tree.New("item", &tree.Node{Label: "name", Text: "a <b> & c"}),
+		tree.New("empty")))
+	var b strings.Builder
+	if err := WriteXML(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"<result>", "<item>", "<name>a &lt;b&gt; &amp; c</name>", "<empty/>", "</result>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("XML missing %q:\n%s", frag, out)
+		}
+	}
+}

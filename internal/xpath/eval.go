@@ -1,0 +1,151 @@
+package xpath
+
+import (
+	"mdlog/internal/tree"
+)
+
+// Direct evaluation of Core XPath on trees — the reference semantics
+// for the datalog translation, with full support for not(·).
+
+// Select evaluates the path on the document. Absolute paths start at
+// the root; relative paths are evaluated with the root as context (the
+// common convention for whole-document queries).
+func Select(p *Path, t *tree.Tree) []int {
+	ctx := make([]bool, t.Size())
+	ctx[t.Root.ID] = true
+	res := evalPath(p.expandComposite(), t, ctx)
+	var out []int
+	for id, in := range res {
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func evalPath(p *Path, t *tree.Tree, ctx []bool) []bool {
+	cur := ctx
+	for _, st := range p.Steps {
+		cur = evalStep(st, t, cur)
+	}
+	return cur
+}
+
+func evalStep(st Step, t *tree.Tree, cur []bool) []bool {
+	next := make([]bool, t.Size())
+	addAxis(st.Axis, t, cur, next)
+	// Node test. Core XPath is defined over plain labeled trees: '*'
+	// matches any node (text nodes are ordinary leaves labeled #text,
+	// matched explicitly by text()).
+	for id := range next {
+		if !next[id] {
+			continue
+		}
+		if st.Test != "*" && t.Nodes[id].Label != st.Test {
+			next[id] = false
+		}
+	}
+	// Predicates.
+	for _, e := range st.Preds {
+		for id := range next {
+			if next[id] && !evalExpr(e, t, id) {
+				next[id] = false
+			}
+		}
+	}
+	return next
+}
+
+func addAxis(ax Axis, t *tree.Tree, cur, next []bool) {
+	switch ax {
+	case AxisSelf:
+		copy(next, cur)
+	case AxisChild:
+		for id, in := range cur {
+			if !in {
+				continue
+			}
+			for _, c := range t.Nodes[id].Children {
+				next[c.ID] = true
+			}
+		}
+	case AxisDescendant, AxisDescendantOrSelf:
+		var mark func(n *tree.Node)
+		mark = func(n *tree.Node) {
+			next[n.ID] = true
+			for _, c := range n.Children {
+				mark(c)
+			}
+		}
+		for id, in := range cur {
+			if !in {
+				continue
+			}
+			if ax == AxisDescendantOrSelf {
+				mark(t.Nodes[id])
+			} else {
+				for _, c := range t.Nodes[id].Children {
+					mark(c)
+				}
+			}
+		}
+	case AxisParent:
+		for id, in := range cur {
+			if in && t.Nodes[id].Parent != nil {
+				next[t.Nodes[id].Parent.ID] = true
+			}
+		}
+	case AxisAncestor, AxisAncestorOrSelf:
+		for id, in := range cur {
+			if !in {
+				continue
+			}
+			if ax == AxisAncestorOrSelf {
+				next[id] = true
+			}
+			for a := t.Nodes[id].Parent; a != nil; a = a.Parent {
+				next[a.ID] = true
+			}
+		}
+	case AxisFollowingSibling:
+		for id, in := range cur {
+			if !in {
+				continue
+			}
+			for s := t.Nodes[id].NextSibling(); s != nil; s = s.NextSibling() {
+				next[s.ID] = true
+			}
+		}
+	case AxisPrecedingSibling:
+		for id, in := range cur {
+			if !in {
+				continue
+			}
+			for s := t.Nodes[id].PrevSibling(); s != nil; s = s.PrevSibling() {
+				next[s.ID] = true
+			}
+		}
+	}
+}
+
+func evalExpr(e Expr, t *tree.Tree, id int) bool {
+	switch g := e.(type) {
+	case ExprPath:
+		ctx := make([]bool, t.Size())
+		ctx[id] = true
+		res := evalPath(g.Path, t, ctx)
+		for _, in := range res {
+			if in {
+				return true
+			}
+		}
+		return false
+	case ExprAnd:
+		return evalExpr(g.L, t, id) && evalExpr(g.R, t, id)
+	case ExprOr:
+		return evalExpr(g.L, t, id) || evalExpr(g.R, t, id)
+	case ExprNot:
+		return !evalExpr(g.E, t, id)
+	}
+	return false
+}

@@ -1,0 +1,266 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a Core XPath expression:
+//
+//	/html/body//div[a and not(self::div[@...])]   (no attributes — Core XPath)
+//	//table/tr[td/b]/td
+//	//li[following-sibling::li]
+//
+// Abbreviations: a leading '/' makes the path absolute; '//' stands
+// for /descendant-or-self::*/ ; a bare name means child::name;
+// 'text()' matches text nodes; '..' is parent::*; '.' is self::*.
+func Parse(src string) (*Path, error) {
+	p := &xparser{src: strings.TrimSpace(src)}
+	path, err := p.path()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input at %d in %q", p.pos, src)
+	}
+	return path, nil
+}
+
+// MustParse panics on error.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type xparser struct {
+	src string
+	pos int
+}
+
+func (p *xparser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *xparser) peekStr(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *xparser) path() (*Path, error) {
+	path := &Path{}
+	p.skip()
+	switch {
+	case p.peekStr("//"):
+		path.Absolute = true
+		p.pos += 2
+		path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: "*"})
+	case p.peekStr("/"):
+		path.Absolute = true
+		p.pos++
+		if p.pos >= len(p.src) { // "/" alone selects the root
+			path.Steps = append(path.Steps, Step{Axis: AxisSelf, Test: "*"})
+			return path, nil
+		}
+	}
+	for {
+		st, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, st)
+		p.skip()
+		switch {
+		case p.peekStr("//"):
+			p.pos += 2
+			path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: "*"})
+		case p.peekStr("/"):
+			p.pos++
+		default:
+			return path, nil
+		}
+	}
+}
+
+func (p *xparser) name() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '#' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *xparser) step() (Step, error) {
+	p.skip()
+	st := Step{Axis: AxisChild, Test: "*"}
+	switch {
+	case p.peekStr(".."):
+		p.pos += 2
+		st.Axis, st.Test = AxisParent, "*"
+	case p.peekStr("."):
+		p.pos++
+		st.Axis, st.Test = AxisSelf, "*"
+	default:
+		save := p.pos
+		n := p.name()
+		if n == "" && p.peekStr("*") {
+			p.pos++
+			n = "*"
+		}
+		if n == "" {
+			return st, fmt.Errorf("xpath: expected step at %d in %q", p.pos, p.src)
+		}
+		if p.peekStr("::") {
+			ax, ok := axisNames[n]
+			if !ok {
+				return st, fmt.Errorf("xpath: unknown axis %q", n)
+			}
+			st.Axis = ax
+			p.pos += 2
+			n = p.name()
+			if n == "" && p.peekStr("*") {
+				p.pos++
+				n = "*"
+			}
+			if n == "" {
+				return st, fmt.Errorf("xpath: expected node test after %s::", ax)
+			}
+		} else if n != "*" && p.peekStr("()") {
+			// text() node test.
+			if n != "text" {
+				return st, fmt.Errorf("xpath: unsupported node test %s()", n)
+			}
+			p.pos += 2
+			st.Test = "#text"
+			_ = save
+			return p.preds(st)
+		}
+		if n == "text" && p.peekStr("()") {
+			p.pos += 2
+			n = "#text"
+		}
+		st.Test = n
+	}
+	return p.preds(st)
+}
+
+func (p *xparser) preds(st Step) (Step, error) {
+	for {
+		p.skip()
+		if !p.peekStr("[") {
+			return st, nil
+		}
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return st, err
+		}
+		p.skip()
+		if !p.peekStr("]") {
+			return st, fmt.Errorf("xpath: expected ']' at %d", p.pos)
+		}
+		p.pos++
+		st.Preds = append(st.Preds, e)
+	}
+}
+
+func (p *xparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if !p.keyword("or") {
+			return l, nil
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ExprOr{l, r}
+	}
+}
+
+func (p *xparser) andExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if !p.keyword("and") {
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ExprAnd{l, r}
+	}
+}
+
+// keyword consumes an identifier-like keyword if present.
+func (p *xparser) keyword(kw string) bool {
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	if after < len(p.src) {
+		c := p.src[after]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '-' || c == ':' {
+			return false
+		}
+	}
+	p.pos = after
+	return true
+}
+
+func (p *xparser) unaryExpr() (Expr, error) {
+	p.skip()
+	switch {
+	case p.keyword("not"):
+		p.skip()
+		if !p.peekStr("(") {
+			return nil, fmt.Errorf("xpath: expected '(' after not")
+		}
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if !p.peekStr(")") {
+			return nil, fmt.Errorf("xpath: expected ')' after not(...")
+		}
+		p.pos++
+		return ExprNot{e}, nil
+	case p.peekStr("("):
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if !p.peekStr(")") {
+			return nil, fmt.Errorf("xpath: expected ')'")
+		}
+		p.pos++
+		return e, nil
+	default:
+		path, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		return ExprPath{path}, nil
+	}
+}

@@ -1,0 +1,267 @@
+package xpath
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+)
+
+// ToDatalog translates a positive Core XPath query (no not(·)) into a
+// monadic datalog program over τ_ur ∪ {child} whose query predicate
+// selects exactly the path's result — the Section 7 mapping. The
+// output composes with tmnf.Transform and the Theorem 4.2 engine, so
+// Core XPath inherits the O(|P|·|dom|) evaluation bound.
+//
+// Forward chain: cur_j holds the nodes reachable after j steps.
+// Transitive axes unfold into recursive monadic rules. Filter
+// predicates compile to "sat" predicates that walk their relative
+// paths backward-free: sat(x) holds iff the filter path can be
+// completed starting at x.
+func ToDatalog(p *Path, queryPred string) (*datalog.Program, error) {
+	if queryPred == "" {
+		queryPred = "xpath"
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("xpath: not(·) is not expressible in positive monadic datalog; use Select")
+	}
+	g := &gen{prog: &datalog.Program{Query: queryPred}}
+	ep := p.expandComposite()
+	cur := g.fresh("ctx")
+	// Context: the root (both for absolute and whole-document relative
+	// queries, matching Select).
+	g.add(datalog.R(datalog.At(cur, datalog.V("X")), datalog.At("root", datalog.V("X"))))
+	for _, st := range ep.Steps {
+		var err error
+		cur, err = g.step(st, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.add(datalog.R(datalog.At(queryPred, datalog.V("X")), datalog.At(cur, datalog.V("X"))))
+	if err := g.prog.Check(); err != nil {
+		return nil, err
+	}
+	return g.prog, nil
+}
+
+type gen struct {
+	prog *datalog.Program
+	n    int
+}
+
+func (g *gen) fresh(kind string) string {
+	g.n++
+	return fmt.Sprintf("xp_%s%d", kind, g.n)
+}
+
+func (g *gen) add(rs ...datalog.Rule) { g.prog.Rules = append(g.prog.Rules, rs...) }
+
+// axisRules emits rules deriving out(y) for every y reachable from
+// some x with in(x) via the axis.
+func (g *gen) axisRules(ax Axis, in, out string) error {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	x, y := V("X"), V("Y")
+	switch ax {
+	case AxisSelf:
+		g.add(R(At(out, x), At(in, x)))
+	case AxisChild:
+		g.add(R(At(out, y), At(in, x), At("child", x, y)))
+	case AxisDescendant:
+		g.add(R(At(out, y), At(in, x), At("child", x, y)))
+		g.add(R(At(out, y), At(out, x), At("child", x, y)))
+	case AxisDescendantOrSelf:
+		g.add(R(At(out, x), At(in, x)))
+		g.add(R(At(out, y), At(out, x), At("child", x, y)))
+	case AxisParent:
+		g.add(R(At(out, y), At(in, x), At("child", y, x)))
+	case AxisAncestor:
+		g.add(R(At(out, y), At(in, x), At("child", y, x)))
+		g.add(R(At(out, y), At(out, x), At("child", y, x)))
+	case AxisAncestorOrSelf:
+		g.add(R(At(out, x), At(in, x)))
+		g.add(R(At(out, y), At(out, x), At("child", y, x)))
+	case AxisFollowingSibling:
+		g.add(R(At(out, y), At(in, x), At("nextsibling", x, y)))
+		g.add(R(At(out, y), At(out, x), At("nextsibling", x, y)))
+	case AxisPrecedingSibling:
+		g.add(R(At(out, y), At(in, x), At("nextsibling", y, x)))
+		g.add(R(At(out, y), At(out, x), At("nextsibling", y, x)))
+	default:
+		return fmt.Errorf("xpath: composite axis %v must be expanded first", ax)
+	}
+	return nil
+}
+
+// step emits the rules for one step and returns the new frontier
+// predicate.
+func (g *gen) step(st Step, cur string) (string, error) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	reach := g.fresh("ax")
+	if err := g.axisRules(st.Axis, cur, reach); err != nil {
+		return "", err
+	}
+	// Node test and predicates stack as conjunctive refinements.
+	filtered := reach
+	if st.Test != "*" {
+		next := g.fresh("test")
+		g.add(R(At(next, V("X")), At(filtered, V("X")), At("label_"+st.Test, V("X"))))
+		filtered = next
+	}
+	for _, e := range st.Preds {
+		sat, err := g.exprPred(e)
+		if err != nil {
+			return "", err
+		}
+		next := g.fresh("flt")
+		g.add(R(At(next, V("X")), At(filtered, V("X")), At(sat, V("X"))))
+		filtered = next
+	}
+	return filtered, nil
+}
+
+// exprPred returns a predicate holding for the nodes satisfying the
+// filter expression.
+func (g *gen) exprPred(e Expr) (string, error) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	switch ge := e.(type) {
+	case ExprAnd:
+		l, err := g.exprPred(ge.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.exprPred(ge.R)
+		if err != nil {
+			return "", err
+		}
+		out := g.fresh("and")
+		g.add(R(At(out, V("X")), At(l, V("X")), At(r, V("X"))))
+		return out, nil
+	case ExprOr:
+		l, err := g.exprPred(ge.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.exprPred(ge.R)
+		if err != nil {
+			return "", err
+		}
+		out := g.fresh("or")
+		g.add(R(At(out, V("X")), At(l, V("X"))))
+		g.add(R(At(out, V("X")), At(r, V("X"))))
+		return out, nil
+	case ExprNot:
+		return "", fmt.Errorf("xpath: not(·) reached the datalog generator")
+	case ExprPath:
+		return g.pathSat(ge.Path)
+	}
+	return "", fmt.Errorf("xpath: unknown expression %T", e)
+}
+
+// pathSat returns a predicate sat(x) := "the relative path can be
+// completed starting at x", built back to front: sat_k(x) holds iff
+// step k..n succeed from x.
+func (g *gen) pathSat(p *Path) (string, error) {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	// satAfter: satisfied after the last step — trivially true. Build
+	// from the last step backwards.
+	cur := "" // empty means "no further requirement"
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		st := p.Steps[i]
+		// hit(y): y passes this step's test+preds and the rest of the
+		// path from y succeeds.
+		hit := g.fresh("hit")
+		var conds []datalog.Atom
+		if st.Test != "*" {
+			conds = append(conds, At("label_"+st.Test, V("Y")))
+		}
+		for _, e := range st.Preds {
+			sat, err := g.exprPred(e)
+			if err != nil {
+				return "", err
+			}
+			conds = append(conds, At(sat, V("Y")))
+		}
+		if cur != "" {
+			conds = append(conds, At(cur, V("Y")))
+		}
+		if len(conds) == 0 {
+			// Unconstrained: any node reachable by the axis counts; use a
+			// trivially true predicate via the dom pattern.
+			conds = append(conds, At(g.domPred(), V("Y")))
+		}
+		body := append([]datalog.Atom{}, conds...)
+		g.add(R(At(hit, V("Y")), body...))
+		// sat(x): some axis-reachable y has hit(y).
+		sat := g.fresh("sat")
+		if err := g.axisSatRules(st.Axis, hit, sat); err != nil {
+			return "", err
+		}
+		cur = sat
+	}
+	if cur == "" {
+		return g.domPred(), nil
+	}
+	return cur, nil
+}
+
+// axisSatRules emits sat(x) ← ∃y: axis(x, y) ∧ hit(y).
+func (g *gen) axisSatRules(ax Axis, hit, sat string) error {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	x, y := V("X"), V("Y")
+	switch ax {
+	case AxisSelf:
+		g.add(R(At(sat, x), At(hit, x)))
+	case AxisChild:
+		g.add(R(At(sat, x), At("child", x, y), At(hit, y)))
+	case AxisDescendant, AxisDescendantOrSelf:
+		// mid(y): hit holds somewhere in the subtree of y (inclusive).
+		mid := g.fresh("mid")
+		g.add(R(At(mid, x), At(hit, x)))
+		g.add(R(At(mid, x), At("child", x, y), At(mid, y)))
+		if ax == AxisDescendant {
+			g.add(R(At(sat, x), At("child", x, y), At(mid, y)))
+		} else {
+			g.add(R(At(sat, x), At(mid, x)))
+		}
+	case AxisParent:
+		g.add(R(At(sat, x), At("child", y, x), At(hit, y)))
+	case AxisAncestor, AxisAncestorOrSelf:
+		mid := g.fresh("mid")
+		g.add(R(At(mid, x), At(hit, x)))
+		g.add(R(At(mid, x), At("child", y, x), At(mid, y)))
+		if ax == AxisAncestor {
+			g.add(R(At(sat, x), At("child", y, x), At(mid, y)))
+		} else {
+			g.add(R(At(sat, x), At(mid, x)))
+		}
+	case AxisFollowingSibling:
+		mid := g.fresh("mid")
+		g.add(R(At(mid, x), At(hit, x)))
+		g.add(R(At(mid, x), At("nextsibling", x, y), At(mid, y)))
+		g.add(R(At(sat, x), At("nextsibling", x, y), At(mid, y)))
+	case AxisPrecedingSibling:
+		mid := g.fresh("mid")
+		g.add(R(At(mid, x), At(hit, x)))
+		g.add(R(At(mid, x), At("nextsibling", y, x), At(mid, y)))
+		g.add(R(At(sat, x), At("nextsibling", y, x), At(mid, y)))
+	default:
+		return fmt.Errorf("xpath: composite axis %v must be expanded first", ax)
+	}
+	return nil
+}
+
+// domPred lazily defines the "any node" pattern.
+func (g *gen) domPred() string {
+	const name = "xp_dom"
+	for _, r := range g.prog.Rules {
+		if r.Head.Pred == name {
+			return name
+		}
+	}
+	V, At, R := datalog.V, datalog.At, datalog.R
+	g.add(
+		R(At(name, V("X")), At("root", V("X"))),
+		R(At(name, V("Y")), At(name, V("X")), At("child", V("X"), V("Y"))),
+	)
+	return name
+}

@@ -1,0 +1,196 @@
+// Package mdlog is a from-scratch Go implementation of
+//
+//	Georg Gottlob and Christoph Koch:
+//	"Monadic Datalog and the Expressive Power of Languages for Web
+//	Information Extraction", PODS 2002.
+//
+// It provides monadic datalog over unranked and ranked trees with the
+// paper's linear-time combined-complexity evaluation (Theorem 4.2),
+// MSO over trees compiled to tree automata and to monadic datalog
+// (Theorem 4.4), query automata with their reductions to datalog
+// (Theorems 4.11/4.14), the TMNF normal form (Theorem 5.2),
+// caterpillar expressions (Section 2 / Lemma 5.9), and the Elog⁻ /
+// Elog⁻Δ wrapping languages (Section 6) with an HTML front end.
+//
+// This file is a façade re-exporting the user-facing surface of the
+// internal packages; see DESIGN.md for the full system inventory and
+// EXPERIMENTS.md for the reproduction of the paper's results.
+package mdlog
+
+import (
+	"mdlog/internal/caterpillar"
+	"mdlog/internal/datalog"
+	"mdlog/internal/elog"
+	"mdlog/internal/eval"
+	"mdlog/internal/html"
+	"mdlog/internal/mso"
+	"mdlog/internal/qa"
+	"mdlog/internal/tmnf"
+	"mdlog/internal/tree"
+	"mdlog/internal/wrap"
+	"mdlog/internal/xpath"
+)
+
+// Trees (Section 2).
+type (
+	// Tree is an ordered unranked labeled tree with document-order ids.
+	Tree = tree.Tree
+	// Node is a tree node.
+	Node = tree.Node
+	// RankedAlphabet assigns arities for ranked trees (τ_rk).
+	RankedAlphabet = tree.RankedAlphabet
+)
+
+// ParseTree reads term syntax, e.g. "a(b,c(d))".
+func ParseTree(s string) (*Tree, error) { return tree.Parse(s) }
+
+// NewTree indexes a hand-built tree.
+func NewTree(root *Node) *Tree { return tree.NewTree(root) }
+
+// NewNode builds a node with children.
+func NewNode(label string, children ...*Node) *Node { return tree.New(label, children...) }
+
+// ParseHTML parses an HTML document into its tree (the pre-parsed
+// document model the paper assumes as a front end).
+func ParseHTML(src string) *Tree { return html.Parse(src) }
+
+// Datalog (Section 3).
+type (
+	// Program is a datalog program.
+	Program = datalog.Program
+	// Rule is a datalog rule.
+	Rule = datalog.Rule
+	// Atom is a datalog atom.
+	Atom = datalog.Atom
+	// Term is a variable or constant.
+	Term = datalog.Term
+	// Database is a finite relational structure.
+	Database = datalog.Database
+)
+
+// ParseProgram reads datalog syntax ("p(X) :- q(X,Y)." with an
+// optional "?- p." query directive).
+func ParseProgram(src string) (*Program, error) { return datalog.ParseProgram(src) }
+
+// TreeDB materializes τ_ur (see eval options for extensions).
+func TreeDB(t *Tree, opts ...eval.TreeDBOption) *Database { return eval.TreeDB(t, opts...) }
+
+// Evaluation engines (Sections 3.2 and 4.1).
+type Engine = eval.Engine
+
+const (
+	// EngineLinear is the Theorem 4.2 O(|P|·|dom|) engine.
+	EngineLinear = eval.EngineLinear
+	// EngineSemiNaive is generic semi-naive evaluation.
+	EngineSemiNaive = eval.EngineSemiNaive
+	// EngineNaive is the reference naive fixpoint.
+	EngineNaive = eval.EngineNaive
+	// EngineLIT is the monadic Datalog LIT engine (Proposition 3.7).
+	EngineLIT = eval.EngineLIT
+)
+
+// EvalOnTree evaluates a monadic program on a tree with the chosen
+// engine, returning the intensional relations.
+func EvalOnTree(p *Program, t *Tree, e Engine) (*Database, error) {
+	return eval.EvalOnTree(p, t, e)
+}
+
+// Query evaluates the program's distinguished query predicate with the
+// linear engine (Theorem 4.2) and returns the selected node ids.
+func Query(p *Program, t *Tree) ([]int, error) { return eval.Query(p, t) }
+
+// MSO (Sections 2 and 4.2).
+type (
+	// MSOFormula is a monadic second-order formula over τ_ur.
+	MSOFormula = mso.Formula
+	// MSOQuery is a compiled unary MSO query.
+	MSOQuery = mso.UnaryQuery
+	// MSOSentence is a compiled MSO sentence (regular tree language).
+	MSOSentence = mso.Sentence
+)
+
+// ParseMSO reads an MSO formula, e.g.
+// "exists y (child(x,y) & label_b(y))".
+func ParseMSO(src string) (MSOFormula, error) { return mso.Parse(src) }
+
+// CompileMSOQuery compiles φ(x) to a deterministic tree automaton for
+// linear-time evaluation (Select) and datalog generation (ToDatalog —
+// the constructive Theorem 4.4).
+func CompileMSOQuery(f MSOFormula) (*MSOQuery, error) { return mso.CompileQuery(f) }
+
+// CompileMSOSentence compiles a sentence (Proposition 2.1).
+func CompileMSOSentence(f MSOFormula) (*MSOSentence, error) { return mso.CompileSentence(f) }
+
+// Query automata (Section 4.3).
+type (
+	// QAr is a ranked query automaton (Definition 4.8).
+	QAr = qa.QAr
+	// SQAu is a strong unranked query automaton (Definition 4.12).
+	SQAu = qa.SQAu
+)
+
+// TMNF (Section 5).
+
+// ToTMNF rewrites a monadic datalog program over τ_ur ∪ {child,
+// lastchild} into the Tree-Marking Normal Form over τ_ur
+// (Theorem 5.2).
+func ToTMNF(p *Program) (*Program, error) { return tmnf.Transform(p) }
+
+// IsTMNF validates Definition 5.1.
+func IsTMNF(p *Program) error { return tmnf.IsTMNF(p) }
+
+// Caterpillar expressions (Section 2, Lemma 5.9, Corollary 5.12).
+type CaterpillarExpr = caterpillar.Expr
+
+// ParseCaterpillar reads e.g. "child+ | (child^-1)*.nextsibling+.child*".
+func ParseCaterpillar(src string) (CaterpillarExpr, error) { return caterpillar.Parse(src) }
+
+// CaterpillarSelect evaluates the unary query root.E.
+func CaterpillarSelect(e CaterpillarExpr, t *Tree) []int {
+	return caterpillar.SelectFromRoot(e, t)
+}
+
+// Elog (Section 6).
+type (
+	// ElogProgram is an Elog⁻ / Elog⁻Δ program.
+	ElogProgram = elog.Program
+	// ElogBuilder is the visual-specification session of Section 6.2.
+	ElogBuilder = elog.Builder
+)
+
+// ParseElog reads Elog⁻ syntax, e.g.
+//
+//	item(x) :- root(x0), subelem("table._.tr", x0, x).
+func ParseElog(src string) (*ElogProgram, error) { return elog.ParseProgram(src) }
+
+// NewElogBuilder starts a visual wrapper-specification session on an
+// example document.
+func NewElogBuilder(doc *Tree) *ElogBuilder { return elog.NewBuilder(doc) }
+
+// Core XPath (the Section 7 remark: Core XPath maps to monadic
+// datalog and inherits its evaluation bounds).
+type XPath = xpath.Path
+
+// ParseXPath reads a Core XPath expression, e.g. "//table/tr[td/b]/td".
+func ParseXPath(src string) (*XPath, error) { return xpath.Parse(src) }
+
+// XPathSelect evaluates a Core XPath query directly (reference
+// semantics; supports not(·)).
+func XPathSelect(p *XPath, t *Tree) []int { return xpath.Select(p, t) }
+
+// XPathToDatalog translates a positive Core XPath query into monadic
+// datalog over τ_ur ∪ {child}; compose with ToTMNF for the linear-time
+// engine.
+func XPathToDatalog(p *XPath, queryPred string) (*Program, error) {
+	return xpath.ToDatalog(p, queryPred)
+}
+
+// Wrapping (Section 6 intro).
+type (
+	// Wrapper runs a monadic datalog program as a wrapper.
+	Wrapper = wrap.Wrapper
+	// ElogWrapper runs an Elog program as a wrapper.
+	ElogWrapper = wrap.ElogWrapper
+	// Assignment maps patterns to selected nodes.
+	Assignment = wrap.Assignment
+)
