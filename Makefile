@@ -1,0 +1,26 @@
+# Tier-1 verification and CI entry points.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: catches bit-rot without burning CI time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -5,6 +5,7 @@
 package mdlog
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -356,6 +357,82 @@ func BenchmarkXPathBridge(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCompileOnceAmortization — EXT-AMORTIZE: what the unified
+// compile-once/run-many API buys. "legacy" re-prepares the program and
+// navigation arrays and re-solves on every call (the old free-function
+// path); "compiled" reuses one CompiledQuery whose TreeCache memoizes
+// per-document state and the per-(query, tree) result; "compiled-
+// nocache" isolates plan reuse alone from the memoization.
+func BenchmarkCompileOnceAmortization(b *testing.B) {
+	ctx := context.Background()
+	p := paperex.EvenAProgram("b")
+	for _, n := range []int{1000, 8000} {
+		rng := rand.New(rand.NewSource(42))
+		tr := tree.Random(rng, tree.RandomOptions{Labels: []string{"a", "b"}, Size: n, MaxChildren: 5})
+		b.Run(fmt.Sprintf("legacy/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Query(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/n=%d", n), func(b *testing.B) {
+			q, err := CompileProgram(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Select(ctx, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("compiled-nocache/n=%d", n), func(b *testing.B) {
+			q, err := CompileProgram(p, WithoutCache())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Select(ctx, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerFanOut — EXT-RUNNER: one compiled Elog⁻ wrapper
+// fanned over a batch of product pages, sequential vs worker pool.
+func BenchmarkRunnerFanOut(b *testing.B) {
+	ctx := context.Background()
+	q, err := Compile(`
+item(x)   :- root(x0), subelem("html.body.table.tr", x0, x).
+price(x)  :- item(x0), subelem("td.b.#text", x0, x).
+`, LangElog, WithQueryPred("item"), WithoutCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	docs := make([]*Tree, 16)
+	for i := range docs {
+		docs[i] = ParseHTML(html.ProductListing(rng, 100))
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := Runner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				for _, res := range r.SelectAll(ctx, q, docs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCaterpillarDocumentOrder — EX-2.5: evaluating the document

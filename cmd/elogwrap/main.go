@@ -1,61 +1,75 @@
-// Command elogwrap runs an Elog⁻ / Elog⁻Δ wrapper on an HTML document
-// and prints the extracted tree as XML:
+// Command elogwrap compiles an Elog⁻ / Elog⁻Δ wrapper once and runs
+// it on one or more HTML documents, printing each extracted tree as
+// XML:
 //
-//	elogwrap -program wrapper.elog -html page.html
-//	elogwrap -program wrapper.elog -html page.html -patterns item,price
+//	elogwrap -program wrapper.elog page.html
+//	elogwrap -program wrapper.elog -patterns item,price p1.html p2.html
+//
+// With several documents the wrapper fans out over a bounded worker
+// pool; outputs print in input order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"mdlog/internal/elog"
-	"mdlog/internal/html"
+	mdlog "mdlog"
 	"mdlog/internal/wrap"
 )
 
 func main() {
 	var (
 		programFile = flag.String("program", "", "Elog program file (required)")
-		htmlFile    = flag.String("html", "", "HTML document file (required)")
 		patterns    = flag.String("patterns", "", "comma-separated patterns to extract (default: all)")
 		keepText    = flag.Bool("text", true, "copy #text content into the output")
 		showAssign  = flag.Bool("assign", false, "also print the node assignment per pattern")
+		workers     = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *programFile == "" || *htmlFile == "" {
-		fail("need -program and -html")
+	if *programFile == "" || flag.NArg() == 0 {
+		fail("need -program and at least one HTML file argument")
 	}
 	src, err := os.ReadFile(*programFile)
 	if err != nil {
 		fail("%v", err)
 	}
-	prog, err := elog.ParseProgram(string(src))
-	if err != nil {
-		fail("%v", err)
-	}
-	page, err := os.ReadFile(*htmlFile)
-	if err != nil {
-		fail("%v", err)
-	}
-	doc := html.Parse(string(page))
-	w := &wrap.ElogWrapper{Program: prog, Options: wrap.Options{KeepText: *keepText}}
+	opts := []mdlog.Option{mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: *keepText})}
 	if *patterns != "" {
-		w.Extract = strings.Split(*patterns, ",")
+		opts = append(opts, mdlog.WithExtract(strings.Split(*patterns, ",")...))
 	}
-	out, assign, err := w.Run(doc)
+	q, err := mdlog.Compile(string(src), mdlog.LangElog, opts...)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *showAssign {
-		for pat, ids := range assign {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", pat, ids)
+
+	docs := make([]*mdlog.Tree, flag.NArg())
+	for i, f := range flag.Args() {
+		page, err := os.ReadFile(f)
+		if err != nil {
+			fail("%v", err)
 		}
+		docs[i] = mdlog.ParseHTML(string(page))
 	}
-	if err := wrap.WriteXML(os.Stdout, out); err != nil {
-		fail("%v", err)
+
+	results := (mdlog.Runner{Workers: *workers}).WrapAll(context.Background(), q, docs)
+	for i, res := range results {
+		if res.Err != nil {
+			fail("%s: %v", flag.Arg(i), res.Err)
+		}
+		if len(results) > 1 {
+			fmt.Printf("<!-- %s -->\n", flag.Arg(i))
+		}
+		if *showAssign {
+			for pat, ids := range res.Assignment {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", pat, ids)
+			}
+		}
+		if err := wrap.WriteXML(os.Stdout, res.Output); err != nil {
+			fail("%v", err)
+		}
 	}
 }
 

@@ -1,91 +1,153 @@
-// Command mdlog evaluates a monadic datalog program on a document
-// tree with a selectable engine:
+// Command mdlog compiles a query in any of the paper's formalisms and
+// runs it on one or more document trees through the unified
+// compile-once/run-many API:
 //
-//	mdlog -program wrapper.dl -tree 'a(b,c(d))' -engine linear
-//	mdlog -program wrapper.dl -html page.html -pred item
+//	mdlog -program wrapper.dl -tree 'a(b,c(d))'
+//	mdlog -lang xpath -query '//table/tr[td/b]/td' -html page.html
+//	mdlog -lang elog -program wrapper.elog -html p1.html -html p2.html
+//	mdlog -program wrapper.dl -html page.html -engine seminaive -stats
 //
-// The program may designate a query predicate with "?- pred."; -pred
-// restricts output to one predicate, otherwise all intensional
-// predicates are printed.
+// A datalog program may designate a query predicate with "?- pred.";
+// -pred overrides it. With several documents the compiled query fans
+// out over a bounded worker pool and results print in input order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"mdlog/internal/datalog"
-	"mdlog/internal/eval"
-	"mdlog/internal/html"
-	"mdlog/internal/tree"
+	mdlog "mdlog"
 )
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var (
-		programFile = flag.String("program", "", "datalog program file (required)")
-		treeArg     = flag.String("tree", "", "tree in term syntax, e.g. a(b,c)")
-		treeFile    = flag.String("treefile", "", "file containing a tree in term syntax")
-		htmlFile    = flag.String("html", "", "HTML document file")
-		engineArg   = flag.String("engine", "linear", "engine: linear, seminaive, naive, lit")
-		predArg     = flag.String("pred", "", "print only this predicate")
-		showTree    = flag.Bool("print-tree", false, "print the document tree with node ids")
+		langArg     = flag.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
+		programFile = flag.String("program", "", "query source file")
+		queryArg    = flag.String("query", "", "query source text (alternative to -program)")
+		treeArgs    multiFlag
+		treeFiles   multiFlag
+		htmlFiles   multiFlag
+		engineArg   = flag.String("engine", "linear", "datalog engine: linear, seminaive, naive, lit")
+		predArg     = flag.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
+		workers     = flag.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
+		showTree    = flag.Bool("print-tree", false, "print each document tree with node ids")
+		showStats   = flag.Bool("stats", false, "print compile/run statistics to stderr")
 	)
+	flag.Var(&treeArgs, "tree", "document in term syntax, e.g. a(b,c); repeatable")
+	flag.Var(&treeFiles, "treefile", "file containing a tree in term syntax; repeatable")
+	flag.Var(&htmlFiles, "html", "HTML document file; repeatable")
 	flag.Parse()
-	if *programFile == "" {
-		fail("missing -program")
+
+	if *programFile != "" && *queryArg != "" {
+		fail("-program and -query are alternatives; provide one")
 	}
-	src, err := os.ReadFile(*programFile)
+	src := *queryArg
+	if *programFile != "" {
+		b, err := os.ReadFile(*programFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		src = string(b)
+	}
+	if src == "" {
+		fail("provide -program or -query")
+	}
+	lang, err := mdlog.ParseLanguage(*langArg)
 	if err != nil {
 		fail("%v", err)
 	}
-	prog, err := datalog.ParseProgram(string(src))
+	engine, err := mdlog.ParseEngineFlag(*engineArg)
 	if err != nil {
 		fail("%v", err)
 	}
-	t, err := loadTree(*treeArg, *treeFile, *htmlFile)
+	opts := []mdlog.Option{mdlog.WithEngine(engine)}
+	if *predArg != "" {
+		opts = append(opts, mdlog.WithQueryPred(*predArg))
+	}
+	q, err := mdlog.Compile(src, lang, opts...)
 	if err != nil {
 		fail("%v", err)
 	}
-	engine, err := eval.ParseEngine(*engineArg)
+
+	docs, err := loadDocs(treeArgs, treeFiles, htmlFiles)
 	if err != nil {
 		fail("%v", err)
+	}
+	if len(docs) == 0 {
+		fail("provide at least one -tree, -treefile or -html")
 	}
 	if *showTree {
-		fmt.Print(t.Pretty())
+		for _, d := range docs {
+			fmt.Print(d.Pretty())
+		}
 	}
-	res, err := eval.EvalOnTree(prog, t, engine)
-	if err != nil {
-		fail("%v", err)
+
+	ctx := context.Background()
+	print := func(prefix string, db *mdlog.Database) {
+		preds := q.ExtractPreds()
+		if q.QueryPred() != "" {
+			preds = []string{q.QueryPred()}
+		}
+		for _, pred := range preds {
+			fmt.Printf("%s%s: %v\n", prefix, pred, db.UnarySet(pred))
+		}
 	}
-	preds := prog.IntensionalPreds()
-	if *predArg != "" {
-		preds = []string{*predArg}
-	} else if prog.Query != "" {
-		preds = []string{prog.Query}
+	if len(docs) == 1 {
+		db, err := q.Eval(ctx, docs[0])
+		if err != nil {
+			fail("%v", err)
+		}
+		print("", db)
+	} else {
+		for _, res := range (mdlog.Runner{Workers: *workers}).EvalAll(ctx, q, docs) {
+			if res.Err != nil {
+				fail("document %d: %v", res.Index, res.Err)
+			}
+			print(fmt.Sprintf("[doc %d] ", res.Index), res.DB)
+		}
 	}
-	for _, pred := range preds {
-		fmt.Printf("%s: %v\n", pred, res.UnarySet(pred))
+	if *showStats {
+		s := q.Stats()
+		fmt.Fprintf(os.Stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
+			s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
 	}
 }
 
-func loadTree(term, termFile, htmlFile string) (*tree.Tree, error) {
-	switch {
-	case term != "":
-		return tree.Parse(term)
-	case termFile != "":
-		b, err := os.ReadFile(termFile)
+func loadDocs(terms, termFiles, htmlFiles []string) ([]*mdlog.Tree, error) {
+	var docs []*mdlog.Tree
+	for _, s := range terms {
+		t, err := mdlog.ParseTree(s)
 		if err != nil {
 			return nil, err
 		}
-		return tree.Parse(string(b))
-	case htmlFile != "":
-		b, err := os.ReadFile(htmlFile)
-		if err != nil {
-			return nil, err
-		}
-		return html.Parse(string(b)), nil
+		docs = append(docs, t)
 	}
-	return nil, fmt.Errorf("provide -tree, -treefile or -html")
+	for _, f := range termFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		t, err := mdlog.ParseTree(string(b))
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, t)
+	}
+	for _, f := range htmlFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, mdlog.ParseHTML(string(b)))
+	}
+	return docs, nil
 }
 
 func fail(format string, args ...interface{}) {

@@ -3,17 +3,20 @@
 //
 //	msoc -formula 'exists y (child(x,y) & label_b(y))' -alphabet a,b
 //	msoc -formula 'leaf(x)' -alphabet a,b -tree 'a(b,a(b))'
+//
+// Evaluation cross-checks the unified Compile route (tree automaton)
+// against the Theorem 4.4 datalog translation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"mdlog/internal/eval"
+	mdlog "mdlog"
 	"mdlog/internal/mso"
-	"mdlog/internal/tree"
 )
 
 func main() {
@@ -46,16 +49,31 @@ func main() {
 		return
 	}
 	if *treeArg != "" {
-		t, err := tree.Parse(*treeArg)
+		t, err := mdlog.ParseTree(*treeArg)
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("automaton:  %v\n", q.Select(t))
-		res, err := eval.LinearTree(prog, t)
+		ctx := context.Background()
+		// Route 1: the unified API (compiles to the tree automaton).
+		cq, err := mdlog.Compile(*formula, mdlog.LangMSO)
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("datalog:    %v\n", res.UnarySet("mso_select"))
+		autoSel, err := cq.Select(ctx, t)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("automaton:  %v\n", autoSel)
+		// Route 2: the Theorem 4.4 translation through the datalog plan.
+		dq, err := mdlog.CompileProgram(prog, mdlog.WithQueryPred("mso_select"))
+		if err != nil {
+			fail("%v", err)
+		}
+		dlSel, err := dq.Select(ctx, t)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("datalog:    %v\n", dlSel)
 		return
 	}
 	fmt.Print(prog.String())

@@ -3,47 +3,87 @@
 // (Theorem 5.2) and prints the result:
 //
 //	tmnf -program wrapper.dl
+//	tmnf -program wrapper.dl -tree 'a(b,c)' -pred q
+//
+// With -tree the original and the normalized program are both run
+// through the unified Compile API and must select the same nodes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"mdlog/internal/datalog"
-	"mdlog/internal/tmnf"
+	mdlog "mdlog"
 )
 
 func main() {
 	programFile := flag.String("program", "", "datalog program file (required)")
 	stats := flag.Bool("stats", false, "print size statistics instead of the program")
+	treeArg := flag.String("tree", "", "verify the transformation on this tree (term syntax)")
+	predArg := flag.String("pred", "", "query predicate for -tree verification")
 	flag.Parse()
 	if *programFile == "" {
-		fmt.Fprintln(os.Stderr, "tmnf: missing -program")
-		os.Exit(1)
+		fail("missing -program")
 	}
 	src, err := os.ReadFile(*programFile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	prog, err := datalog.ParseProgram(string(src))
+	prog, err := mdlog.ParseProgram(string(src))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	out, err := tmnf.Transform(prog)
+	out, err := mdlog.ToTMNF(prog)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
-	if err := tmnf.IsTMNF(out); err != nil {
-		fmt.Fprintf(os.Stderr, "tmnf: internal error, output not TMNF: %v\n", err)
-		os.Exit(1)
+	if err := mdlog.IsTMNF(out); err != nil {
+		fail("internal error, output not TMNF: %v", err)
 	}
 	if *stats {
 		fmt.Printf("input rules:  %d\noutput rules: %d\n", len(prog.Rules), len(out.Rules))
 		return
 	}
+	if *treeArg != "" {
+		t, err := mdlog.ParseTree(*treeArg)
+		if err != nil {
+			fail("%v", err)
+		}
+		ctx := context.Background()
+		opts := []mdlog.Option{}
+		if *predArg != "" {
+			opts = append(opts, mdlog.WithQueryPred(*predArg))
+		}
+		// Compile normalizes the original internally; compiling the
+		// pre-normalized output must agree.
+		oq, err := mdlog.CompileProgram(prog, opts...)
+		if err != nil {
+			fail("%v", err)
+		}
+		nq, err := mdlog.CompileProgram(out, opts...)
+		if err != nil {
+			fail("%v", err)
+		}
+		a, err := oq.Select(ctx, t)
+		if err != nil {
+			fail("%v", err)
+		}
+		b, err := nq.Select(ctx, t)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("original: %v\ntmnf:     %v\n", a, b)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			fail("selection mismatch")
+		}
+		return
+	}
 	fmt.Print(out.String())
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tmnf: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -2,13 +2,17 @@
 // paper's three-rule program with distance tolerances classifies the
 // root as "anbn" exactly when its children read aⁿbⁿ — a non-regular
 // tree language no MSO query (and hence no monadic datalog program or
-// query automaton) can define.
+// query automaton) can define. The Δ program compiles through the
+// unified API like every other language; Compile routes it to the
+// native fixpoint evaluator since no datalog plan exists.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	mdlog "mdlog"
 	"mdlog/internal/elog"
 	"mdlog/internal/tree"
 )
@@ -19,19 +23,25 @@ func main() {
 	fmt.Print(p.String())
 	fmt.Println()
 
+	// One compilation, many membership tests.
+	q, err := mdlog.CompileElog(p, mdlog.WithQueryPred("anbn"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	words := []string{"ab", "aabb", "aaabbb", "", "a", "b", "ba", "aab", "abb", "abab", "bbaa"}
 	for _, w := range words {
 		root := tree.New("r")
 		for _, c := range w {
 			root.Add(tree.New(string(c)))
 		}
-		t := tree.NewTree(root)
-		res, err := p.EvalDirect(t)
+		sel, err := q.Select(ctx, tree.NewTree(root))
 		if err != nil {
 			log.Fatal(err)
 		}
 		verdict := "rejected"
-		if len(res["anbn"]) == 1 {
+		if len(sel) == 1 {
 			verdict = "ACCEPTED"
 		}
 		fmt.Printf("  children %-8q -> %s\n", w, verdict)

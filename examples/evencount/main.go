@@ -1,14 +1,17 @@
 // Example 3.2 of the paper, end to end: the monadic datalog program
 // that selects the nodes rooting subtrees with an even number of
 // "a"-labeled nodes, evaluated with a full T_P fixpoint trace on the
-// paper's own 4-node tree, then with the linear-time engine of
-// Theorem 4.2 on a larger document.
+// paper's own 4-node tree, then compiled once through the unified API
+// and run over a batch of larger documents with the Theorem 4.2
+// engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	mdlog "mdlog"
 	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
 	"mdlog/internal/paperex"
@@ -41,15 +44,24 @@ func main() {
 	fmt.Printf("\nQuery result c0 = %v (the paper derives C0(n1), i.e. node 0)\n",
 		final.UnarySet("c0"))
 
-	// The same query on a bigger tree via the Theorem 4.2 engine.
-	big := tree.MustParse("a(b(a,a),a(b,a(a)),b)")
-	fmt.Println("\nA larger tree:")
-	fmt.Print(big.Pretty())
-	p2 := paperex.EvenAProgram("b") // Σ = {a, b}
-	got, err := eval.Query(p2, big)
+	// The same query compiled ONCE and fanned over several documents
+	// via the Theorem 4.2 engine.
+	q, err := mdlog.CompileProgram(paperex.EvenAProgram("b")) // Σ = {a, b}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("even-a nodes (linear engine): %v\n", got)
-	fmt.Printf("reference count semantics:    %v\n", paperex.EvenASpec(big))
+	docs := []*mdlog.Tree{
+		tree.MustParse("a(b(a,a),a(b,a(a)),b)"),
+		tree.MustParse("a(a)"),
+		tree.MustParse("b(a(a,b),b(b))"),
+	}
+	ctx := context.Background()
+	for _, res := range (mdlog.Runner{}).SelectAll(ctx, q, docs) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("\nDocument %d:\n%s", res.Index, res.Doc.Pretty())
+		fmt.Printf("even-a nodes (linear engine): %v\n", res.Nodes)
+		fmt.Printf("reference count semantics:    %v\n", paperex.EvenASpec(res.Doc))
+	}
 }

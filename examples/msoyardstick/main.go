@@ -1,15 +1,17 @@
 // MSO as the expressiveness yardstick (Sections 2 and 4.2): a unary
-// MSO query is compiled to a deterministic bottom-up tree automaton
-// over the firstchild/nextsibling encoding, evaluated in linear time,
-// and translated into monadic datalog (the constructive Theorem 4.4);
-// all three routes — direct MSO semantics, automaton, datalog — agree.
+// MSO query is compiled through the unified API to a deterministic
+// bottom-up tree automaton over the firstchild/nextsibling encoding,
+// evaluated in linear time, and translated into monadic datalog (the
+// constructive Theorem 4.4) which compiles through the same API; all
+// three routes — direct MSO semantics, automaton, datalog — agree.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mdlog/internal/eval"
+	mdlog "mdlog"
 	"mdlog/internal/mso"
 	"mdlog/internal/tree"
 )
@@ -23,18 +25,29 @@ func main() {
 	}
 	fmt.Printf("MSO query φ(x) = %s\n\n", f)
 
+	// The unified route: Compile(…, LangMSO) builds the DTA.
+	ctx := context.Background()
+	cq, err := mdlog.Compile(src, mdlog.LangMSO)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Theorem 4.4 translation, compiled through the same API.
 	q, err := mso.CompileQuery(f)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Compiled DTA: %d states, %d transitions (alphabet: %v)\n",
 		q.C.DTA.NumStates, q.C.DTA.NumTransitions(), q.C.LabelList)
-
 	prog, err := q.ToDatalog([]string{"a", "b"}, "sel")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Theorem 4.4 translation: %d monadic datalog rules (Θ↑/Θ↓ types as up_q/ctx_q)\n\n", len(prog.Rules))
+	dq, err := mdlog.CompileProgram(prog, mdlog.WithQueryPred("sel"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := tree.MustParse("a(b(a,b),a(b),b(a(b)))")
 	fmt.Println("Document tree:")
@@ -44,14 +57,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	autoSel := q.Select(t)
-	res, err := eval.LinearTree(prog, t)
+	autoSel, err := cq.Select(ctx, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dlSel, err := dq.Select(ctx, t)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndirect MSO semantics: %v\n", naive)
 	fmt.Printf("tree automaton:       %v\n", autoSel)
-	fmt.Printf("monadic datalog:      %v\n", res.UnarySet("sel"))
+	fmt.Printf("monadic datalog:      %v\n", dlSel)
 
 	// A sentence: "every leaf is labeled b" — a regular tree language
 	// (Proposition 2.1).

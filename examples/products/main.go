@@ -2,44 +2,55 @@
 // synthetic product-listing page is wrapped twice — once with a
 // hand-written Elog⁻ program, once by simulating the visual
 // specification process of Section 6.2 (clicking example nodes and
-// letting the system infer and generalize the subelem paths). Both
-// wrappers are then run over a second, larger page from the same
-// generator, demonstrating the robustness argument of the paper:
-// wrappers describe the objects of interest, not the whole document.
+// letting the system infer and generalize the subelem paths). The
+// compiled wrappers then fan out over a batch of fresh pages from the
+// same generator through the Runner, demonstrating both the paper's
+// robustness argument (wrappers describe the objects of interest, not
+// the whole document) and the compile-once/run-many serving shape.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 
+	mdlog "mdlog"
 	"mdlog/internal/elog"
 	"mdlog/internal/html"
-	"mdlog/internal/tree"
 	"mdlog/internal/wrap"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
-	page := html.ProductListing(rng, 4)
-	doc := html.Parse(page)
+	doc := mdlog.ParseHTML(html.ProductListing(rng, 4))
+	ctx := context.Background()
 
-	// --- Route 1: hand-written Elog⁻ ---------------------------------
-	prog := elog.MustParseProgram(`
+	// --- Route 1: hand-written Elog⁻, compiled once -------------------
+	src := `
 item(x)   :- root(x0), subelem("html.body.table.tr", x0, x).
 name(x)   :- item(x0), subelem("td.#text", x0, x), firstsibling(x).
 price(x)  :- item(x0), subelem("td.b.#text", x0, x).
 status(x) :- item(x0), subelem("td.em.#text", x0, x).
-`)
+`
+	q, err := mdlog.Compile(src, mdlog.LangElog,
+		mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: true}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Hand-written wrapper:")
-	fmt.Print(prog.String())
+	fmt.Print(src)
 	fmt.Println("\nExtraction from the example page:")
-	run(prog, doc)
+	out, err := q.Wrap(ctx, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustXML(out)
 
 	// --- Route 2: visual specification (Section 6.2) ------------------
 	// The "user" clicks the first product row, then a price inside it.
-	b := elog.NewBuilder(doc)
+	b := mdlog.NewElogBuilder(doc)
 	rowNode, priceNode := -1, -1
 	for _, n := range doc.Nodes {
 		if n.Label == "tr" && n.Attrs["class"] == "item" && rowNode == -1 {
@@ -66,19 +77,31 @@ status(x) :- item(x0), subelem("td.em.#text", x0, x).
 	fmt.Println("\nVisually specified wrapper (inferred paths):")
 	fmt.Print(b.Program().String())
 
-	// Both run unchanged on a LARGER page with the same layout.
-	bigDoc := html.Parse(html.ProductListing(rng, 8))
-	fmt.Println("\nVisual wrapper on a new, larger page:")
-	run(b.Program(), bigDoc)
-}
-
-func run(prog *elog.Program, doc *tree.Tree) {
-	w := &wrap.ElogWrapper{Program: prog, Options: wrap.Options{KeepText: true}}
-	out, _, err := w.Run(doc)
+	// Compile the inferred program once...
+	vq, err := mdlog.CompileElog(b.Program(),
+		mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := wrap.WriteXML(os.Stdout, out); err != nil {
+	// ... and fan it out over a batch of new, larger pages.
+	docs := make([]*mdlog.Tree, 3)
+	for i := range docs {
+		docs[i] = mdlog.ParseHTML(html.ProductListing(rng, 6+2*i))
+	}
+	fmt.Println("\nVisual wrapper fanned out over new pages:")
+	for _, res := range (mdlog.Runner{Workers: 3}).WrapAll(ctx, vq, docs) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("<!-- page %d: %d rows extracted -->\n", res.Index, len(res.Assignment["row"]))
+		mustXML(res.Output)
+	}
+	s := vq.Stats()
+	fmt.Printf("compiled once (%v), %d runs, cumulative eval %v\n", s.Compile, s.Runs, s.Eval)
+}
+
+func mustXML(t *mdlog.Tree) {
+	if err := wrap.WriteXML(os.Stdout, t); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,10 +1,11 @@
-// Quickstart: parse an HTML page, write a three-rule Elog⁻ wrapper,
-// and print the extracted tree — the minimal end-to-end path through
-// the library (HTML front end → Elog⁻ → monadic datalog → TMNF →
+// Quickstart: parse an HTML page, compile a three-rule Elog⁻ wrapper
+// once, and run it — the minimal end-to-end path through the unified
+// API (HTML front end → Compile → Elog⁻ → monadic datalog → TMNF →
 // linear-time evaluation → output tree).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,21 +35,27 @@ func main() {
 	fmt.Println("Document tree:")
 	fmt.Print(doc.Pretty())
 
-	prog, err := mdlog.ParseElog(wrapper)
+	// Compile once: Elog⁻ → monadic datalog → TMNF → prepared plan.
+	q, err := mdlog.Compile(wrapper, mdlog.LangElog,
+		mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	w := &mdlog.ElogWrapper{Program: prog, Options: wrap.Options{KeepText: true}}
-	out, assign, err := w.Run(doc)
+
+	// Run many (here: once; see examples/products for the fan-out).
+	out, assign, err := q.WrapAssign(context.Background(), doc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Pattern assignment:")
-	for _, pat := range prog.Patterns() {
+	for _, pat := range q.ExtractPreds() {
 		fmt.Printf("  %-6s -> nodes %v\n", pat, assign[pat])
 	}
 	fmt.Println("\nExtracted tree:")
 	if err := wrap.WriteXML(os.Stdout, out); err != nil {
 		log.Fatal(err)
 	}
+
+	s := q.Stats()
+	fmt.Printf("\ncompiled in %v, evaluated in %v\n", s.Compile, s.Eval)
 }

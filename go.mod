@@ -1,0 +1,3 @@
+module mdlog
+
+go 1.24

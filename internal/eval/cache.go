@@ -1,0 +1,272 @@
+package eval
+
+import (
+	"sync"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/tree"
+)
+
+// Signature describes which extensional relations beyond the τ_ur core
+// a program reads, i.e. what a TreeDB materialization must contain for
+// the generic engines to be complete on it. Two programs with the same
+// Signature can share one materialized database per tree.
+type Signature struct {
+	Child, LastChild, FirstSibling, Dom bool
+	// ChildK is the largest k of any child_k atom (τ_rk), 0 if none.
+	ChildK int
+}
+
+// FullSignature requests every optional relation (what the legacy
+// EvalOnTree path materialized unconditionally, minus child_k).
+func FullSignature() Signature {
+	return Signature{Child: true, LastChild: true, FirstSibling: true, Dom: true}
+}
+
+// GenericSignature is the materialization the generic (set-oriented)
+// engines use for p: every optional relation plus p's child_k arity.
+func GenericSignature(p *datalog.Program) Signature {
+	s := FullSignature()
+	s.ChildK = SignatureOf(p).ChildK
+	return s
+}
+
+// SignatureOf scans the program's atoms for the extensional relations
+// it can read. Unknown predicates are ignored: they are either IDB or
+// will be rejected by the engine itself.
+func SignatureOf(p *datalog.Program) Signature {
+	var s Signature
+	see := func(a datalog.Atom) {
+		switch a.Pred {
+		case PredChild:
+			s.Child = true
+		case PredLastChild:
+			s.LastChild = true
+		case PredFirstSibling:
+			s.FirstSibling = true
+		case PredDom:
+			s.Dom = true
+		default:
+			if k, ok := IsChildKPred(a.Pred); ok && k > s.ChildK {
+				s.ChildK = k
+			}
+		}
+	}
+	for _, r := range p.Rules {
+		see(r.Head)
+		for _, b := range r.Body {
+			see(b)
+		}
+	}
+	return s
+}
+
+// Options converts the signature into TreeDB options.
+func (s Signature) Options() []TreeDBOption {
+	var opts []TreeDBOption
+	if s.Child {
+		opts = append(opts, WithChild())
+	}
+	if s.LastChild {
+		opts = append(opts, WithLastChild())
+	}
+	if s.FirstSibling {
+		opts = append(opts, WithFirstSibling())
+	}
+	if s.Dom {
+		opts = append(opts, WithDom())
+	}
+	if s.ChildK > 0 {
+		opts = append(opts, WithChildK(s.ChildK))
+	}
+	return opts
+}
+
+// TreeDB materializes the τ_ur extension the signature requires.
+func (s Signature) TreeDB(t *tree.Tree) *datalog.Database {
+	return TreeDB(t, s.Options()...)
+}
+
+// TreeCache memoizes per-document evaluation state — the navigation
+// arrays of the linear engine and the materialized TreeDB per
+// Signature — so a compiled query (or many queries sharing one cache)
+// pays the O(|dom|) materialization once per (tree, signature) instead
+// of once per call.
+//
+// Entries are keyed by tree identity (*tree.Tree); mutating a tree
+// after it has been cached gives stale results — call Forget first.
+// The cached databases are shared: callers must treat them as
+// read-only (the generic engines do: they Clone before writing).
+//
+// A TreeCache is safe for concurrent use. The zero value is NOT ready;
+// use NewTreeCache.
+type TreeCache struct {
+	mu      sync.Mutex
+	entries map[*tree.Tree]*treeCacheEntry
+
+	// MaxTrees bounds the number of distinct trees retained (0 =
+	// unbounded). When full, inserting a new tree evicts an arbitrary
+	// old entry — the cache targets "same document queried many times",
+	// not LRU-precise scan workloads.
+	MaxTrees int
+
+	hits, misses int64
+}
+
+type treeCacheEntry struct {
+	mu      sync.Mutex
+	nav     *Nav
+	dbs     map[Signature]*datalog.Database
+	results map[any]*datalog.Database
+}
+
+// NewTreeCache builds an empty cache; maxTrees ≤ 0 means unbounded.
+func NewTreeCache(maxTrees int) *TreeCache {
+	return &TreeCache{entries: map[*tree.Tree]*treeCacheEntry{}, MaxTrees: maxTrees}
+}
+
+func (c *TreeCache) entry(t *tree.Tree) *treeCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[t]
+	if !ok {
+		if c.MaxTrees > 0 && len(c.entries) >= c.MaxTrees {
+			for k := range c.entries {
+				delete(c.entries, k)
+				break
+			}
+		}
+		e = &treeCacheEntry{dbs: map[Signature]*datalog.Database{}}
+		c.entries[t] = e
+	}
+	return e
+}
+
+func (c *TreeCache) count(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// Nav returns the memoized navigation arrays for t.
+func (c *TreeCache) Nav(t *tree.Tree) *Nav {
+	nav, _ := c.NavCached(t)
+	return nav
+}
+
+// NavCached is Nav also reporting whether the arrays were already
+// built (a true cache hit, as opposed to a first materialization).
+func (c *TreeCache) NavCached(t *tree.Tree) (*Nav, bool) {
+	e := c.entry(t)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hit := e.nav != nil
+	if !hit {
+		e.nav = NewNav(t)
+	}
+	c.count(hit)
+	return e.nav, hit
+}
+
+// DB returns the memoized TreeDB of t for the signature, materializing
+// it on first use. The returned database is shared and must be treated
+// as read-only.
+func (c *TreeCache) DB(t *tree.Tree, sig Signature) *datalog.Database {
+	db, _ := c.DBCached(t, sig)
+	return db
+}
+
+// DBCached is DB also reporting whether the database for this exact
+// signature was already materialized.
+func (c *TreeCache) DBCached(t *tree.Tree, sig Signature) (*datalog.Database, bool) {
+	e := c.entry(t)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db, hit := e.dbs[sig]
+	if !hit {
+		db = sig.TreeDB(t)
+		e.dbs[sig] = db
+	}
+	c.count(hit)
+	return db, hit
+}
+
+// peek returns t's entry without creating one (and without touching
+// the hit/miss counters).
+func (c *TreeCache) peek(t *tree.Tree) *treeCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[t]
+}
+
+// Result returns the memoized evaluation result for (t, key), if any.
+// key identifies the computation — typically the compiled query or
+// plan pointer — so distinct queries sharing one cache never collide.
+// The returned database is shared and must be treated as read-only.
+func (c *TreeCache) Result(t *tree.Tree, key any) (*datalog.Database, bool) {
+	e := c.peek(t)
+	if e == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db, ok := e.results[key]
+	return db, ok
+}
+
+// SetResult memoizes an evaluation result for (t, key). Results live
+// exactly as long as the tree's cache entry: Forget, Purge, or an
+// eviction drops them together with the materialized state.
+func (c *TreeCache) SetResult(t *tree.Tree, key any, db *datalog.Database) {
+	e := c.entry(t)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.results == nil {
+		e.results = map[any]*datalog.Database{}
+	}
+	e.results[key] = db
+}
+
+// Contains reports whether t already has cached state (navigation
+// arrays or databases). Purely advisory: a concurrent Forget or
+// eviction can invalidate the answer immediately.
+func (c *TreeCache) Contains(t *tree.Tree) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[t]
+	return ok
+}
+
+// Forget drops all cached state for t.
+func (c *TreeCache) Forget(t *tree.Tree) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, t)
+}
+
+// Purge empties the cache.
+func (c *TreeCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[*tree.Tree]*treeCacheEntry{}
+}
+
+// Len returns the number of trees with cached state.
+func (c *TreeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// HitsMisses reports how many Nav/DB lookups were served from memo
+// (hits) vs had to materialize (misses). Result-memo lookups are not
+// counted here; CompiledQuery.Stats tracks those.
+func (c *TreeCache) HitsMisses() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

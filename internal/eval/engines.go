@@ -52,32 +52,10 @@ func ParseEngine(s string) (Engine, error) {
 	return 0, fmt.Errorf("eval: unknown engine %q (want linear, seminaive, naive or lit)", s)
 }
 
-// maxChildKUsed scans a program for child_k predicates and returns the
-// largest k (0 if none).
-func maxChildKUsed(p *datalog.Program) int {
-	maxK := 0
-	see := func(a datalog.Atom) {
-		if k, ok := IsChildKPred(a.Pred); ok && k > maxK {
-			maxK = k
-		}
-	}
-	for _, r := range p.Rules {
-		see(r.Head)
-		for _, b := range r.Body {
-			see(b)
-		}
-	}
-	return maxK
-}
-
 // fullTreeDB materializes every relation a generic engine might need
 // for the given program.
 func fullTreeDB(p *datalog.Program, t *tree.Tree) *datalog.Database {
-	opts := []TreeDBOption{WithChild(), WithLastChild(), WithFirstSibling(), WithDom()}
-	if k := maxChildKUsed(p); k > 0 {
-		opts = append(opts, WithChildK(k))
-	}
-	return TreeDB(t, opts...)
+	return GenericSignature(p).TreeDB(t)
 }
 
 // EvalOnTree evaluates a monadic datalog program on a tree using the

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"mdlog/internal/datalog"
-	"mdlog/internal/horn"
 	"mdlog/internal/tree"
 )
 
@@ -195,8 +194,10 @@ type linearRule struct {
 	idbProp []string
 }
 
-// compileLinear builds the grounding plan for a connected rule.
-func compileLinear(r datalog.Rule, idb map[string]bool, nav *Nav) (*linearRule, error) {
+// compileLinear builds the grounding plan for a connected rule. It is
+// tree-independent: the plan can be prepared once and run against any
+// number of documents.
+func compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
 	lr := &linearRule{src: r, headVar: -1, anchor: -1, headPred: r.Head.Pred}
 	slot := map[string]int{}
 	getSlot := func(t datalog.Term) (int, error) {
@@ -229,8 +230,7 @@ func compileLinear(r datalog.Rule, idb map[string]bool, nav *Nav) (*linearRule, 
 					pred string
 					v    int
 				}{b.Pred, v})
-			} else if _, ok := nav.unaryHolds(b.Pred, 0); ok {
-				// Probe with node 0 only to classify the predicate name.
+			} else if IsUnaryEDB(b.Pred) {
 				lr.unary = append(lr.unary, struct {
 					pred string
 					v    int
@@ -335,140 +335,14 @@ func compileLinear(r datalog.Rule, idb map[string]bool, nav *Nav) (*linearRule, 
 // LinearTree evaluates a monadic datalog program over the τ_ur / τ_rk
 // representation of t in time O(|P| · |dom|) (Theorem 4.2). The result
 // contains only the intensional relations.
+//
+// LinearTree prepares the grounding plan anew on every call; use
+// NewPlan + Plan.Run (or Plan.RunTree) to amortize that work across
+// many documents.
 func LinearTree(p *datalog.Program, t *tree.Tree) (*datalog.Database, error) {
-	if err := p.Check(); err != nil {
+	pl, err := NewPlan(p)
+	if err != nil {
 		return nil, err
 	}
-	if !p.IsMonadic() {
-		return nil, fmt.Errorf("eval: program is not monadic")
-	}
-	nav := NewNav(t)
-	return linearTreeNav(p, nav)
-}
-
-func linearTreeNav(p *datalog.Program, nav *Nav) (*datalog.Database, error) {
-	sp := SplitConnected(p)
-	idb := map[string]bool{}
-	for _, r := range sp.Rules {
-		idb[r.Head.Pred] = true
-	}
-	dom := nav.Tree.Size()
-
-	// Atom numbering: unary IDB pred i at node v ↦ i*dom+v, then
-	// propositional predicates in a trailing block.
-	unaryID := map[string]int{}
-	propID := map[string]int{}
-	var unaryPreds, propPreds []string
-	for _, r := range sp.Rules {
-		pred := r.Head.Pred
-		if len(r.Head.Args) == 1 {
-			if _, ok := unaryID[pred]; !ok {
-				unaryID[pred] = len(unaryPreds)
-				unaryPreds = append(unaryPreds, pred)
-			}
-		} else {
-			if _, ok := propID[pred]; !ok {
-				propID[pred] = len(propPreds)
-				propPreds = append(propPreds, pred)
-			}
-		}
-	}
-	// Predicates may appear in bodies as IDB without having rules; the
-	// maps above cover all head predicates, which is sufficient: body
-	// IDB atoms of unruled predicates can never hold, so rules
-	// containing them can be skipped. Detect them now.
-	rules := make([]*linearRule, 0, len(sp.Rules))
-	for _, r := range sp.Rules {
-		lr, err := compileLinear(r, idb, nav)
-		if err != nil {
-			return nil, err
-		}
-		if lr != nil { // nil means the rule is dead (references an empty predicate)
-			rules = append(rules, lr)
-		}
-	}
-
-	atomUnary := func(pred string, v int) int { return unaryID[pred]*dom + v }
-	propBase := len(unaryPreds) * dom
-	atomProp := func(pred string) int { return propBase + propID[pred] }
-
-	var solver horn.Solver
-	binding := make([]int, 32)
-	for _, lr := range rules {
-		if lr.nvars > len(binding) {
-			binding = make([]int, lr.nvars)
-		}
-		ground := func(anchorVal int) {
-			if lr.nvars > 0 {
-				for i := 0; i < lr.nvars; i++ {
-					binding[i] = -1
-				}
-				binding[lr.anchor] = anchorVal
-				for _, st := range lr.steps {
-					if st.forward {
-						w := st.edge.forward(nav, binding[st.edge.x])
-						if w == -1 {
-							return
-						}
-						binding[st.edge.y] = w
-					} else {
-						w := st.edge.backward(nav, binding[st.edge.y])
-						if w == -1 {
-							return
-						}
-						binding[st.edge.x] = w
-					}
-				}
-				for _, e := range lr.checks {
-					if st := e.forward(nav, binding[e.x]); st != binding[e.y] {
-						return
-					}
-				}
-				for _, u := range lr.unary {
-					holds, _ := nav.unaryHolds(u.pred, binding[u.v])
-					if !holds {
-						return
-					}
-				}
-			}
-			var head int
-			if lr.headVar >= 0 {
-				head = atomUnary(lr.headPred, binding[lr.headVar])
-			} else {
-				head = atomProp(lr.headPred)
-			}
-			body := make([]int, 0, len(lr.idbUnary)+len(lr.idbProp))
-			for _, u := range lr.idbUnary {
-				body = append(body, atomUnary(u.pred, binding[u.v]))
-			}
-			for _, pr := range lr.idbProp {
-				body = append(body, atomProp(pr))
-			}
-			solver.AddClause(head, body...)
-		}
-		if lr.nvars == 0 {
-			ground(0)
-		} else {
-			for v := 0; v < dom; v++ {
-				ground(v)
-			}
-		}
-	}
-
-	truth := solver.Solve(propBase + len(propPreds))
-	out := datalog.NewDatabase(dom)
-	for pi, pred := range unaryPreds {
-		rel := out.Rel(pred, 1)
-		for v := 0; v < dom; v++ {
-			if truth[pi*dom+v] {
-				rel.Add([]int{v})
-			}
-		}
-	}
-	for _, pred := range propPreds {
-		if truth[atomProp(pred)] {
-			out.Rel(pred, 0).Add(nil)
-		}
-	}
-	return out, nil
+	return pl.Run(NewNav(t))
 }

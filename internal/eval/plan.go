@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/horn"
+	"mdlog/internal/tree"
+)
+
+// Plan is a monadic datalog program prepared once for the linear-time
+// engine of Theorem 4.2 and runnable against any number of documents:
+// connected-rule splitting, atom numbering, and per-rule grounding
+// plans are computed at construction; Run only grounds the plan over
+// one tree and solves the resulting propositional Horn program.
+//
+// A Plan is immutable after NewPlan returns and safe for concurrent
+// use by multiple goroutines.
+type Plan struct {
+	src   *datalog.Program
+	split *datalog.Program
+	rules []*linearRule
+
+	// Atom numbering: unary IDB pred i at node v ↦ i*dom+v, then
+	// propositional predicates in a trailing block.
+	unaryID, propID       map[string]int
+	unaryPreds, propPreds []string
+}
+
+// NewPlan validates and prepares p for repeated linear-time
+// evaluation. The returned Plan never mutates p.
+func NewPlan(p *datalog.Program) (*Plan, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	if !p.IsMonadic() {
+		return nil, fmt.Errorf("eval: program is not monadic")
+	}
+	pl := &Plan{
+		src:     p,
+		split:   SplitConnected(p),
+		unaryID: map[string]int{},
+		propID:  map[string]int{},
+	}
+	idb := map[string]bool{}
+	for _, r := range pl.split.Rules {
+		idb[r.Head.Pred] = true
+	}
+	for _, r := range pl.split.Rules {
+		pred := r.Head.Pred
+		if len(r.Head.Args) == 1 {
+			if _, ok := pl.unaryID[pred]; !ok {
+				pl.unaryID[pred] = len(pl.unaryPreds)
+				pl.unaryPreds = append(pl.unaryPreds, pred)
+			}
+		} else {
+			if _, ok := pl.propID[pred]; !ok {
+				pl.propID[pred] = len(pl.propPreds)
+				pl.propPreds = append(pl.propPreds, pred)
+			}
+		}
+	}
+	// Predicates may appear in bodies as IDB without having rules; the
+	// maps above cover all head predicates, which is sufficient: body
+	// IDB atoms of unruled predicates can never hold, so rules
+	// containing them can be skipped (compileLinear returns nil).
+	for _, r := range pl.split.Rules {
+		lr, err := compileLinear(r, idb)
+		if err != nil {
+			return nil, err
+		}
+		if lr != nil {
+			pl.rules = append(pl.rules, lr)
+		}
+	}
+	return pl, nil
+}
+
+// Program returns the source program the plan was built from.
+func (pl *Plan) Program() *datalog.Program { return pl.src }
+
+// QueryPred returns the program's distinguished query predicate.
+func (pl *Plan) QueryPred() string { return pl.src.Query }
+
+// Run grounds the plan over the tree behind nav and solves it,
+// returning the intensional relations (the T_P^ω restriction computed
+// by LinearTree). It allocates all mutable state locally and may be
+// called concurrently.
+func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
+	dom := nav.Tree.Size()
+	atomUnary := func(pred string, v int) int { return pl.unaryID[pred]*dom + v }
+	propBase := len(pl.unaryPreds) * dom
+	atomProp := func(pred string) int { return propBase + pl.propID[pred] }
+
+	var solver horn.Solver
+	binding := make([]int, 32)
+	for _, lr := range pl.rules {
+		if lr.nvars > len(binding) {
+			binding = make([]int, lr.nvars)
+		}
+		ground := func(anchorVal int) {
+			if lr.nvars > 0 {
+				for i := 0; i < lr.nvars; i++ {
+					binding[i] = -1
+				}
+				binding[lr.anchor] = anchorVal
+				for _, st := range lr.steps {
+					if st.forward {
+						w := st.edge.forward(nav, binding[st.edge.x])
+						if w == -1 {
+							return
+						}
+						binding[st.edge.y] = w
+					} else {
+						w := st.edge.backward(nav, binding[st.edge.y])
+						if w == -1 {
+							return
+						}
+						binding[st.edge.x] = w
+					}
+				}
+				for _, e := range lr.checks {
+					if st := e.forward(nav, binding[e.x]); st != binding[e.y] {
+						return
+					}
+				}
+				for _, u := range lr.unary {
+					holds, _ := nav.unaryHolds(u.pred, binding[u.v])
+					if !holds {
+						return
+					}
+				}
+			}
+			var head int
+			if lr.headVar >= 0 {
+				head = atomUnary(lr.headPred, binding[lr.headVar])
+			} else {
+				head = atomProp(lr.headPred)
+			}
+			body := make([]int, 0, len(lr.idbUnary)+len(lr.idbProp))
+			for _, u := range lr.idbUnary {
+				body = append(body, atomUnary(u.pred, binding[u.v]))
+			}
+			for _, pr := range lr.idbProp {
+				body = append(body, atomProp(pr))
+			}
+			solver.AddClause(head, body...)
+		}
+		if lr.nvars == 0 {
+			ground(0)
+		} else {
+			for v := 0; v < dom; v++ {
+				ground(v)
+			}
+		}
+	}
+
+	truth := solver.Solve(propBase + len(pl.propPreds))
+	out := datalog.NewDatabase(dom)
+	for pi, pred := range pl.unaryPreds {
+		rel := out.Rel(pred, 1)
+		for v := 0; v < dom; v++ {
+			if truth[pi*dom+v] {
+				rel.Add([]int{v})
+			}
+		}
+	}
+	for _, pred := range pl.propPreds {
+		if truth[atomProp(pred)] {
+			out.Rel(pred, 0).Add(nil)
+		}
+	}
+	return out, nil
+}
+
+// RunTree is Run over a bare tree, building (or fetching from cache,
+// when cache is non-nil) the navigation arrays.
+func (pl *Plan) RunTree(t *tree.Tree, cache *TreeCache) (*datalog.Database, error) {
+	if cache != nil {
+		return pl.Run(cache.Nav(t))
+	}
+	return pl.Run(NewNav(t))
+}

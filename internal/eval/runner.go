@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"context"
+	"runtime"
+
+	"mdlog/internal/tree"
+)
+
+// Runner fans one prepared task over a stream of documents with a
+// bounded worker pool, yielding results in submission order. It is the
+// execution half of the compile-once/run-many contract: the task
+// (typically a Plan.Run or a CompiledQuery method) is assumed safe for
+// concurrent use; each document is processed exactly once.
+type Runner struct {
+	// Workers bounds concurrent task invocations; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is one document's outcome. Index is the document's position
+// in the input order.
+type Result[R any] struct {
+	Index int
+	Doc   *tree.Tree
+	Value R
+	Err   error
+}
+
+// MapAll runs f over docs with r's worker pool and returns one Result
+// per document, in input order. A canceled context marks the remaining
+// documents with ctx.Err() without invoking f on them.
+func MapAll[R any](ctx context.Context, r Runner, docs []*tree.Tree, f func(context.Context, *tree.Tree) (R, error)) []Result[R] {
+	out := make([]Result[R], len(docs))
+	if len(docs) == 0 {
+		return out
+	}
+	workers := r.workers()
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	next := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range next {
+				res := Result[R]{Index: i, Doc: docs[i]}
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+				} else {
+					res.Value, res.Err = f(ctx, docs[i])
+				}
+				out[i] = res
+			}
+		}()
+	}
+	for i := range docs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}
+
+// MapStream runs f over a stream of documents and yields results on
+// the returned channel in input order, with backpressure: at most
+// r.Workers documents are in flight and at most r.Workers finished
+// results are buffered ahead of the consumer. The output channel is
+// closed after the input channel closes and every accepted document
+// has been yielded. On context cancellation the already-accepted
+// documents are still yielded (unprocessed ones carry ctx.Err()) and
+// the channel is closed without waiting for docs to close — the
+// consumer must drain the returned channel, and the producer must
+// guard its sends with the same ctx (or close docs), else its own
+// goroutine blocks on the abandoned channel.
+func MapStream[R any](ctx context.Context, r Runner, docs <-chan *tree.Tree, f func(context.Context, *tree.Tree) (R, error)) <-chan Result[R] {
+	workers := r.workers()
+	out := make(chan Result[R])
+	type job struct {
+		index int
+		doc   *tree.Tree
+		res   chan Result[R]
+	}
+	jobs := make(chan job)
+	// pending preserves submission order; its capacity bounds how far
+	// the dispatcher can run ahead of the consumer.
+	pending := make(chan chan Result[R], workers)
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				res := Result[R]{Index: j.index, Doc: j.doc}
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+				} else {
+					res.Value, res.Err = f(ctx, j.doc)
+				}
+				j.res <- res
+			}
+		}()
+	}
+
+	// Dispatcher: assign indices and per-document result slots.
+	go func() {
+		defer close(jobs)
+		defer close(pending)
+		i := 0
+		for {
+			select {
+			case <-ctx.Done():
+				// Stop accepting. Returning closes pending, so the
+				// emitter yields the already-accepted documents and
+				// closes the output — the consumer never hangs, even
+				// if the producer abandons docs without closing it.
+				// Producers must guard their sends with the same ctx
+				// (or close docs); an unguarded sender blocks in its
+				// own goroutine, which is its bug to fix — draining it
+				// here would leak a receiver forever instead.
+				return
+			case doc, ok := <-docs:
+				if !ok {
+					return
+				}
+				slot := make(chan Result[R], 1)
+				pending <- slot
+				jobs <- job{index: i, doc: doc, res: slot}
+				i++
+			}
+		}
+	}()
+
+	// Emitter: forward per-document slots in order.
+	go func() {
+		defer close(out)
+		for slot := range pending {
+			out <- <-slot
+		}
+	}()
+	return out
+}

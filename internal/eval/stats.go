@@ -1,0 +1,46 @@
+package eval
+
+import "time"
+
+// Stats records where time went for one compiled query: the one-time
+// parse/compile phases and the per-run (or, when aggregated,
+// cumulative) materialization and evaluation phases.
+type Stats struct {
+	// Parse is the time spent turning source text into an AST.
+	Parse time.Duration
+	// Compile is the time spent normalizing and preparing the plan
+	// (datalog translation, TMNF rewriting, automaton construction,
+	// grounding-plan compilation).
+	Compile time.Duration
+	// Materialize is the time spent building navigation arrays or
+	// TreeDB relations; zero when a cache supplied them.
+	Materialize time.Duration
+	// Eval is the time spent in the engine proper.
+	Eval time.Duration
+	// Facts is the number of result facts (selected nodes for Select,
+	// tuples over all intensional relations for Eval).
+	Facts int64
+	// Runs is the number of executions aggregated into this Stats (1
+	// for a per-run value).
+	Runs int64
+	// CacheHits counts runs whose per-tree state came out of a
+	// TreeCache without materialization.
+	CacheHits int64
+}
+
+// Add accumulates o into s (compile-phase fields are kept from s
+// unless unset, so aggregating per-run stats into a query-lifetime
+// total preserves the one-time costs).
+func (s *Stats) Add(o Stats) {
+	if s.Parse == 0 {
+		s.Parse = o.Parse
+	}
+	if s.Compile == 0 {
+		s.Compile = o.Compile
+	}
+	s.Materialize += o.Materialize
+	s.Eval += o.Eval
+	s.Facts += o.Facts
+	s.Runs += o.Runs
+	s.CacheHits += o.CacheHits
+}

@@ -217,6 +217,20 @@ func (nav *Nav) ChildK(v, k int) int {
 	return nd.Children[k-1].ID
 }
 
+// IsUnaryEDB reports whether pred names a unary extensional relation
+// of τ_ur or one of its extensions (root, leaf, lastsibling,
+// firstsibling, dom, label_a). The classification depends only on the
+// predicate name, so rule compilation can happen before any tree is
+// seen.
+func IsUnaryEDB(pred string) bool {
+	switch pred {
+	case PredRoot, PredLeaf, PredLastSibling, PredFirstSibling, PredDom:
+		return true
+	}
+	_, isLabel := IsLabelPred(pred)
+	return isLabel
+}
+
 // unaryHolds evaluates the extensional unary predicates of τ_ur and
 // its extensions on node v; ok=false if pred is not a known unary EDB
 // predicate.

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	mdlog "mdlog"
 	"mdlog/internal/datalog"
 	"mdlog/internal/elog"
 	"mdlog/internal/eval"
@@ -94,19 +96,91 @@ func perUnit(d time.Duration, n int) string {
 }
 
 // All runs every experiment.
+// catalog is the single registry of experiments; All and Index both
+// derive from it so the two can never drift.
+var catalog = []struct {
+	ID, Title string
+	Run       func(Config) Table
+}{
+	{"CLAIM-T42-data", "Theorem 4.2: linear data complexity", Theorem42Data},
+	{"CLAIM-T42-program", "Theorem 4.2: linear program complexity", Theorem42Program},
+	{"ABLATION-engines", "Engine ablation: linear vs LIT vs semi-naive vs naive", EnginesAblation},
+	{"CLAIM-GROUND", "Proposition 3.5: ground program evaluation", GroundLinear},
+	{"CLAIM-GUARD", "Proposition 3.6: guarded program evaluation", GuardedScaling},
+	{"FIG-EX421", "Example 4.21: QA runs vs datalog translation", Example421Separation},
+	{"CLAIM-T411-size", "Theorem 4.11: QAr translation size", QArTranslationSize},
+	{"CLAIM-T52", "Theorem 5.2: TMNF transformation", TMNFTransform},
+	{"CLAIM-C64", "Corollary 6.4: Elog⁻ wrapper evaluation", ElogEvalScaling},
+	{"FIG-MSO-cost", "MSO compilation blow-up vs linear evaluation", MSOBlowup},
+	{"EXT-AMORTIZE", "Compile-once/run-many amortization", CompileOnceAmortization},
+}
+
 func All(cfg Config) []Table {
-	return []Table{
-		Theorem42Data(cfg),
-		Theorem42Program(cfg),
-		EnginesAblation(cfg),
-		GroundLinear(cfg),
-		GuardedScaling(cfg),
-		Example421Separation(cfg),
-		QArTranslationSize(cfg),
-		TMNFTransform(cfg),
-		ElogEvalScaling(cfg),
-		MSOBlowup(cfg),
+	out := make([]Table, len(catalog))
+	for i, e := range catalog {
+		out[i] = e.Run(cfg)
+		if out[i].ID != e.ID {
+			panic(fmt.Sprintf("experiments: catalog id %q but table id %q", e.ID, out[i].ID))
+		}
 	}
+	return out
+}
+
+// Index lists every experiment's id and title without running any
+// measurements.
+func Index() [][2]string {
+	out := make([][2]string, len(catalog))
+	for i, e := range catalog {
+		out[i] = [2]string{e.ID, e.Title}
+	}
+	return out
+}
+
+// CompileOnceAmortization: what the compile-once/run-many API buys —
+// a prepared Plan with memoized per-tree navigation vs the legacy
+// path that re-prepares everything on every call.
+func CompileOnceAmortization(cfg Config) Table {
+	repeats := 50
+	sizes := []int{500, 2000, 8000}
+	if cfg.Quick {
+		repeats = 10
+		sizes = []int{200, 1000}
+	}
+	p := paperex.EvenAProgram("b")
+	t := Table{
+		ID:      "EXT-AMORTIZE",
+		Title:   "Compile-once/run-many: CompiledQuery + TreeCache vs per-call preparation",
+		Headers: []string{"nodes", "runs", "legacy ms", "compiled ms", "speedup"},
+		Notes: fmt.Sprintf("Each row evaluates the even-a program %d times on one document. "+
+			"Legacy = eval.LinearTree per call (re-split, re-plan, re-build navigation, re-solve); "+
+			"compiled = mdlog.CompileProgram once, repeat runs hit the per-(query, tree) result memo.", repeats),
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(42))
+		doc := tree.Random(rng, tree.RandomOptions{Labels: []string{"a", "b"}, Size: n, MaxChildren: 5})
+		legacy := timeIt(func() {
+			for i := 0; i < repeats; i++ {
+				if _, err := eval.LinearTree(p, doc); err != nil {
+					panic(err)
+				}
+			}
+		})
+		q, err := mdlog.CompileProgram(p)
+		if err != nil {
+			panic(err)
+		}
+		ctx := context.Background()
+		compiled := timeIt(func() {
+			for i := 0; i < repeats; i++ {
+				if _, err := q.Select(ctx, doc); err != nil {
+					panic(err)
+				}
+			}
+		})
+		t.Rows = append(t.Rows, []string{fmt.Sprint(n), fmt.Sprint(repeats), ms(legacy), ms(compiled),
+			fmt.Sprintf("%.2fx", float64(legacy)/float64(compiled))})
+	}
+	return t
 }
 
 // Theorem42Data: O(|P|·|dom|) combined complexity — data axis. The

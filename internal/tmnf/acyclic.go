@@ -309,7 +309,9 @@ func AcyclicizeUnranked(r datalog.Rule) (datalog.Rule, bool, error) {
 			continue
 		}
 		// No first child known: invent one.
-		y0 := fmt.Sprintf("tmnf_y%d", fresh)
+		// Uppercase so the invented variable parses as a variable when
+		// the program is printed and re-read.
+		y0 := fmt.Sprintf("TMNF_Y%d", fresh)
 		fresh++
 		w.f = append(w.f, [2]string{x, y0})
 		w.ns = append(w.ns, [2]string{y0, y})

@@ -18,6 +18,9 @@
 package mdlog
 
 import (
+	"context"
+	"fmt"
+
 	"mdlog/internal/caterpillar"
 	"mdlog/internal/datalog"
 	"mdlog/internal/elog"
@@ -89,15 +92,39 @@ const (
 	EngineLIT = eval.EngineLIT
 )
 
+// ParseEngineFlag converts a CLI flag value ("linear", "seminaive",
+// "naive", "lit") into an Engine.
+func ParseEngineFlag(s string) (Engine, error) { return eval.ParseEngine(s) }
+
 // EvalOnTree evaluates a monadic program on a tree with the chosen
 // engine, returning the intensional relations.
+//
+// It is a single-shot shim over the compile-once path: each call pays
+// the full preparation cost. Use CompileProgram + CompiledQuery.Eval
+// to amortize it over many documents.
 func EvalOnTree(p *Program, t *Tree, e Engine) (*Database, error) {
-	return eval.EvalOnTree(p, t, e)
+	q, err := CompileProgram(p, WithEngine(e), WithoutCache())
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(context.Background(), t)
 }
 
 // Query evaluates the program's distinguished query predicate with the
 // linear engine (Theorem 4.2) and returns the selected node ids.
-func Query(p *Program, t *Tree) ([]int, error) { return eval.Query(p, t) }
+//
+// Single-shot shim; see CompileProgram + CompiledQuery.Select for the
+// amortized path.
+func Query(p *Program, t *Tree) ([]int, error) {
+	if p.Query == "" {
+		return nil, fmt.Errorf("eval: program has no distinguished query predicate")
+	}
+	q, err := CompileProgram(p, WithoutCache())
+	if err != nil {
+		return nil, err
+	}
+	return q.Select(context.Background(), t)
+}
 
 // MSO (Sections 2 and 4.2).
 type (
@@ -146,8 +173,22 @@ type CaterpillarExpr = caterpillar.Expr
 func ParseCaterpillar(src string) (CaterpillarExpr, error) { return caterpillar.Parse(src) }
 
 // CaterpillarSelect evaluates the unary query root.E.
+//
+// Single-shot shim over CompileCaterpillar: every call pays the full
+// translate/normalize/plan cost — use CompileCaterpillar directly to
+// amortize it. Expressions the datalog translation cannot prepare
+// fall back to the direct evaluator, preserving the never-fails
+// contract of the legacy signature.
 func CaterpillarSelect(e CaterpillarExpr, t *Tree) []int {
-	return caterpillar.SelectFromRoot(e, t)
+	q, err := CompileCaterpillar(e, WithoutCache())
+	if err != nil {
+		return caterpillar.SelectFromRoot(e, t)
+	}
+	ids, err := q.Select(context.Background(), t)
+	if err != nil {
+		return caterpillar.SelectFromRoot(e, t)
+	}
+	return ids
 }
 
 // Elog (Section 6).
@@ -174,9 +215,25 @@ type XPath = xpath.Path
 // ParseXPath reads a Core XPath expression, e.g. "//table/tr[td/b]/td".
 func ParseXPath(src string) (*XPath, error) { return xpath.Parse(src) }
 
-// XPathSelect evaluates a Core XPath query directly (reference
-// semantics; supports not(·)).
-func XPathSelect(p *XPath, t *Tree) []int { return xpath.Select(p, t) }
+// XPathSelect evaluates a Core XPath query (supports not(·) via the
+// direct-evaluator plan).
+//
+// Single-shot shim over CompileXPath: every call pays the full
+// translate/normalize/plan cost — use CompileXPath directly to
+// amortize it. Queries the datalog translation cannot prepare fall
+// back to the reference evaluator, preserving the never-fails
+// contract of the legacy signature.
+func XPathSelect(p *XPath, t *Tree) []int {
+	q, err := CompileXPath(p, WithoutCache())
+	if err != nil {
+		return xpath.Select(p, t)
+	}
+	ids, err := q.Select(context.Background(), t)
+	if err != nil {
+		return xpath.Select(p, t)
+	}
+	return ids
+}
 
 // XPathToDatalog translates a positive Core XPath query into monadic
 // datalog over τ_ur ∪ {child}; compose with ToTMNF for the linear-time

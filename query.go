@@ -1,0 +1,722 @@
+package mdlog
+
+// The unified compile-once / run-many query API. The paper proves six
+// formalisms equivalent in expressive power; this file makes them
+// equivalent in use: every source language compiles through
+// Compile(src, lang) into one CompiledQuery value whose Select / Eval
+// / Wrap methods execute a prepared plan against any number of
+// documents, concurrently, with per-document state memoized in a
+// TreeCache. See DESIGN.md for the architecture.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mdlog/internal/caterpillar"
+	"mdlog/internal/datalog"
+	"mdlog/internal/elog"
+	"mdlog/internal/eval"
+	"mdlog/internal/mso"
+	"mdlog/internal/tmnf"
+	"mdlog/internal/tree"
+	"mdlog/internal/wrap"
+	"mdlog/internal/xpath"
+)
+
+// Language enumerates the query formalisms Compile accepts — the six
+// languages the paper relates (query automata arrive via their
+// ToDatalog translations and LangDatalog).
+type Language int
+
+const (
+	// LangDatalog is monadic datalog over τ_ur ∪ {child, lastchild}
+	// (Section 3); programs using child/2 are normalized to TMNF for
+	// the linear engine (Theorem 5.2).
+	LangDatalog Language = iota
+	// LangTMNF is monadic datalog already in Tree-Marking Normal Form
+	// (Definition 5.1); Compile validates the shape instead of
+	// normalizing.
+	LangTMNF
+	// LangMSO is a unary MSO formula φ(x) compiled to a deterministic
+	// tree automaton (Theorem 4.4).
+	LangMSO
+	// LangXPath is Core XPath (Section 7 remark); positive queries are
+	// translated to monadic datalog and TMNF, queries using not(·)
+	// fall back to the direct evaluator.
+	LangXPath
+	// LangCaterpillar is a caterpillar expression E evaluated as the
+	// unary query root.E (Corollary 5.12).
+	LangCaterpillar
+	// LangElog is Elog⁻ / Elog⁻Δ (Section 6); Elog⁻ compiles through
+	// datalog and TMNF (Corollary 6.4), Δ programs use the direct
+	// evaluator.
+	LangElog
+)
+
+// String names the language for CLI flags and error messages.
+func (l Language) String() string {
+	switch l {
+	case LangDatalog:
+		return "datalog"
+	case LangTMNF:
+		return "tmnf"
+	case LangMSO:
+		return "mso"
+	case LangXPath:
+		return "xpath"
+	case LangCaterpillar:
+		return "caterpillar"
+	case LangElog:
+		return "elog"
+	}
+	return fmt.Sprintf("Language(%d)", int(l))
+}
+
+// ParseLanguage converts a CLI flag value into a Language.
+func ParseLanguage(s string) (Language, error) {
+	for _, l := range []Language{LangDatalog, LangTMNF, LangMSO, LangXPath, LangCaterpillar, LangElog} {
+		if s == l.String() {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("mdlog: unknown language %q (want datalog, tmnf, mso, xpath, caterpillar or elog)", s)
+}
+
+// Stats is the per-query / per-run timing and fact-count record.
+type Stats = eval.Stats
+
+// TreeCache memoizes per-document evaluation state (navigation
+// arrays, materialized tree databases) across runs and across queries
+// sharing the cache.
+type TreeCache = eval.TreeCache
+
+// NewTreeCache builds a cache retaining state for up to maxTrees
+// documents (≤ 0: unbounded).
+func NewTreeCache(maxTrees int) *TreeCache { return eval.NewTreeCache(maxTrees) }
+
+// WrapOptions controls output-tree construction for Wrap.
+type WrapOptions = wrap.Options
+
+// DefaultQueryPred is the query predicate name used for languages
+// without a natural one (MSO, XPath, caterpillar) unless WithQueryPred
+// overrides it.
+const DefaultQueryPred = "q"
+
+// DefaultCacheTrees bounds the per-query TreeCache created when no
+// WithCache/WithoutCache option is given: state for at most this many
+// distinct documents is retained, so streaming millions of
+// seen-once pages through a query cannot grow memory without bound.
+// Pass WithCache(NewTreeCache(0)) for an unbounded cache.
+const DefaultCacheTrees = 256
+
+// Option configures Compile.
+type Option func(*compileConfig)
+
+type compileConfig struct {
+	engine    Engine
+	queryPred string
+	extract   []string
+	wrapOpts  WrapOptions
+	cache     *TreeCache
+	noCache   bool
+}
+
+// WithEngine selects the datalog evaluation engine (default
+// EngineLinear). Only plans that execute datalog honor it; the MSO
+// automaton and the direct XPath/Elog⁻Δ evaluators ignore it.
+func WithEngine(e Engine) Option { return func(c *compileConfig) { c.engine = e } }
+
+// WithQueryPred sets the predicate Select reads (default: the
+// program's distinguished query predicate, the single Elog extraction
+// pattern, or DefaultQueryPred for MSO/XPath/caterpillar).
+func WithQueryPred(pred string) Option { return func(c *compileConfig) { c.queryPred = pred } }
+
+// WithExtract restricts the predicates / patterns Wrap extracts.
+func WithExtract(preds ...string) Option { return func(c *compileConfig) { c.extract = preds } }
+
+// WithWrapOptions sets output-tree construction options for Wrap.
+func WithWrapOptions(o WrapOptions) Option { return func(c *compileConfig) { c.wrapOpts = o } }
+
+// WithCache shares a TreeCache between several compiled queries, so
+// documents are materialized once for all of them.
+func WithCache(tc *TreeCache) Option { return func(c *compileConfig) { c.cache = tc } }
+
+// WithoutCache disables per-document memoization: every run rebuilds
+// its navigation arrays and tree database.
+func WithoutCache() Option { return func(c *compileConfig) { c.noCache = true } }
+
+// queryPlan is a prepared, immutable execution strategy. run returns
+// the visible result relations for one document plus per-run
+// measurements; implementations must be safe for concurrent use.
+type queryPlan interface {
+	run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error)
+}
+
+// CompiledQuery is a query parsed, normalized and planned exactly
+// once, ready for repeated and concurrent execution over documents.
+// All methods are safe for concurrent use by multiple goroutines.
+type CompiledQuery struct {
+	lang      Language
+	src       string
+	queryPred string // "" if the language provides none and no option was given
+	extract   []string
+	wrapOpts  WrapOptions
+	cache     *TreeCache
+	plan      queryPlan
+
+	mu  sync.Mutex
+	agg Stats
+}
+
+// Compile parses src in the given language, normalizes it onto one of
+// the engine-ready forms (datalog plan, tree automaton, or direct
+// evaluator), and prepares the execution plan. The result amortizes
+// all of that across every later Select / Eval / Wrap call.
+func Compile(src string, lang Language, opts ...Option) (*CompiledQuery, error) {
+	start := time.Now()
+	build, err := parseSource(src, lang, opts)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(start)
+	q, err := build()
+	if err != nil {
+		return nil, err
+	}
+	q.src = src
+	q.setParse(parse)
+	return q, nil
+}
+
+// parseSource parses src and returns the deferred AST-level compile
+// step, so Compile has exactly one success path for all languages.
+func parseSource(src string, lang Language, opts []Option) (func() (*CompiledQuery, error), error) {
+	switch lang {
+	case LangDatalog, LangTMNF:
+		p, err := datalog.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return compileDatalog(p, lang, newConfig(opts)) }, nil
+	case LangMSO:
+		f, err := mso.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return CompileMSO(f, opts...) }, nil
+	case LangXPath:
+		x, err := xpath.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return CompileXPath(x, opts...) }, nil
+	case LangCaterpillar:
+		e, err := caterpillar.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return CompileCaterpillar(e, opts...) }, nil
+	case LangElog:
+		p, err := elog.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return CompileElog(p, opts...) }, nil
+	}
+	return nil, fmt.Errorf("mdlog: unknown language %v", lang)
+}
+
+func newConfig(opts []Option) *compileConfig {
+	cfg := &compileConfig{engine: EngineLinear}
+	for _, o := range opts {
+		o(cfg)
+	}
+	return cfg
+}
+
+func (cfg *compileConfig) newQuery(lang Language, plan queryPlan, queryPred string, extract []string) *CompiledQuery {
+	cache := cfg.cache
+	if cache == nil && !cfg.noCache {
+		cache = NewTreeCache(DefaultCacheTrees)
+	}
+	if cfg.queryPred != "" {
+		queryPred = cfg.queryPred
+	}
+	if len(cfg.extract) > 0 {
+		extract = cfg.extract
+	}
+	return &CompiledQuery{
+		lang:      lang,
+		queryPred: queryPred,
+		extract:   extract,
+		wrapOpts:  cfg.wrapOpts,
+		cache:     cache,
+		plan:      plan,
+	}
+}
+
+func (q *CompiledQuery) setParse(d time.Duration) {
+	q.mu.Lock()
+	q.agg.Parse = d
+	q.mu.Unlock()
+}
+
+func (q *CompiledQuery) setCompile(d time.Duration) {
+	q.mu.Lock()
+	q.agg.Compile = d
+	q.mu.Unlock()
+}
+
+// CompileProgram prepares an already-parsed monadic datalog program
+// (the AST-level twin of Compile(src, LangDatalog)).
+func CompileProgram(p *Program, opts ...Option) (*CompiledQuery, error) {
+	return compileDatalog(p, LangDatalog, newConfig(opts))
+}
+
+func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQuery, error) {
+	start := time.Now()
+	extract := p.IntensionalPreds()
+	if lang == LangTMNF {
+		if err := tmnf.IsTMNF(p); err != nil {
+			return nil, err
+		}
+	}
+	var plan queryPlan
+	if cfg.engine == EngineLinear {
+		np := p
+		var project []string
+		// Normalize: the linear engine cannot use child/2 (no
+		// functional dependency, Proposition 4.1); Theorem 5.2
+		// eliminates it. Project the tm_* auxiliaries back out so the
+		// visible relations match the other engines.
+		if lang == LangDatalog && eval.SignatureOf(p).Child {
+			tp, err := tmnf.Transform(p)
+			if err != nil {
+				return nil, err
+			}
+			np, project = tp, extract
+		}
+		pl, err := eval.NewPlan(np)
+		if err != nil {
+			return nil, err
+		}
+		plan = &linearPlan{plan: pl, project: project}
+	} else {
+		if err := p.Check(); err != nil {
+			return nil, err
+		}
+		plan = &genericPlan{prog: p, engine: cfg.engine, sig: eval.GenericSignature(p)}
+	}
+	q := cfg.newQuery(lang, plan, p.Query, extract)
+	q.setCompile(time.Since(start))
+	return q, nil
+}
+
+// CompileMSO prepares an already-parsed unary MSO formula.
+func CompileMSO(f MSOFormula, opts ...Option) (*CompiledQuery, error) {
+	cfg := newConfig(opts)
+	start := time.Now()
+	uq, err := mso.CompileQuery(f)
+	if err != nil {
+		return nil, err
+	}
+	pred := cfg.queryPred
+	if pred == "" {
+		pred = DefaultQueryPred
+	}
+	q := cfg.newQuery(LangMSO, &msoPlan{q: uq, pred: pred}, pred, []string{pred})
+	q.setCompile(time.Since(start))
+	return q, nil
+}
+
+// CompileXPath prepares an already-parsed Core XPath query.
+func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
+	cfg := newConfig(opts)
+	start := time.Now()
+	pred := cfg.queryPred
+	if pred == "" {
+		pred = DefaultQueryPred
+	}
+	var plan queryPlan
+	if x.HasNegation() {
+		// not(·) has no positive datalog translation; use the direct
+		// evaluator (reference semantics).
+		plan = &xpathDirectPlan{x: x, pred: pred}
+	} else {
+		dp, err := xpath.ToDatalog(x, pred)
+		if err != nil {
+			return nil, err
+		}
+		tp, err := tmnf.Transform(dp)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := eval.NewPlan(tp)
+		if err != nil {
+			return nil, err
+		}
+		plan = &linearPlan{plan: pl, project: []string{pred}}
+	}
+	q := cfg.newQuery(LangXPath, plan, pred, []string{pred})
+	q.setCompile(time.Since(start))
+	return q, nil
+}
+
+// CompileCaterpillar prepares a caterpillar expression as the unary
+// query root.E (Corollary 5.12).
+func CompileCaterpillar(e CaterpillarExpr, opts ...Option) (*CompiledQuery, error) {
+	cfg := newConfig(opts)
+	start := time.Now()
+	pred := cfg.queryPred
+	if pred == "" {
+		pred = DefaultQueryPred
+	}
+	cp := caterpillar.QueryProgram(e, pred)
+	if eval.SignatureOf(cp).Child {
+		tp, err := tmnf.Transform(cp)
+		if err != nil {
+			return nil, err
+		}
+		cp = tp
+	}
+	pl, err := eval.NewPlan(cp)
+	if err != nil {
+		return nil, err
+	}
+	q := cfg.newQuery(LangCaterpillar, &linearPlan{plan: pl, project: []string{pred}}, pred, []string{pred})
+	q.setCompile(time.Since(start))
+	return q, nil
+}
+
+// CompileElog prepares an already-parsed Elog⁻ / Elog⁻Δ program.
+func CompileElog(p *ElogProgram, opts ...Option) (*CompiledQuery, error) {
+	cfg := newConfig(opts)
+	start := time.Now()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	patterns := p.Patterns()
+	// Effective extraction list: WithExtract > program Extract > all
+	// patterns; a unique entry doubles as Select's distinguished
+	// pattern (Select errors with guidance otherwise).
+	extract := p.Extract
+	if len(cfg.extract) > 0 {
+		extract = cfg.extract
+	}
+	if len(extract) == 0 {
+		extract = patterns
+	}
+	pred := ""
+	if len(extract) == 1 {
+		pred = extract[0]
+	} else if len(patterns) == 1 {
+		pred = patterns[0]
+	}
+	var plan queryPlan
+	if p.UsesDelta() {
+		plan = &elogDirectPlan{prog: p, patterns: patterns}
+	} else {
+		dp, err := p.CompileLinear() // ToDatalog + TMNF (Corollary 6.4)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := eval.NewPlan(dp)
+		if err != nil {
+			return nil, err
+		}
+		plan = &linearPlan{plan: pl, project: patterns}
+	}
+	q := cfg.newQuery(LangElog, plan, pred, extract)
+	q.setCompile(time.Since(start))
+	return q, nil
+}
+
+// Language returns the source language the query was compiled from.
+func (q *CompiledQuery) Language() Language { return q.lang }
+
+// Source returns the source text, if the query came from Compile.
+func (q *CompiledQuery) Source() string { return q.src }
+
+// QueryPred returns the predicate Select reads ("" if undetermined).
+func (q *CompiledQuery) QueryPred() string { return q.queryPred }
+
+// ExtractPreds returns the predicates / patterns Wrap extracts.
+func (q *CompiledQuery) ExtractPreds() []string { return append([]string(nil), q.extract...) }
+
+// Cache returns the query's TreeCache (nil when compiled with
+// WithoutCache), e.g. to Forget a mutated document.
+func (q *CompiledQuery) Cache() *TreeCache { return q.cache }
+
+// Stats returns a snapshot of the query's aggregate statistics: the
+// one-time parse/compile cost plus materialize/eval time, fact counts
+// and cache hits accumulated over all runs so far.
+func (q *CompiledQuery) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.agg
+}
+
+func (q *CompiledQuery) record(rs Stats) {
+	q.mu.Lock()
+	q.agg.Add(rs)
+	q.mu.Unlock()
+}
+
+// Eval runs the plan on one document and returns the visible result
+// relations (all intensional predicates for datalog programs, the
+// query predicate for MSO/XPath/caterpillar, every pattern for Elog).
+//
+// The returned database may be shared with the query's result memo
+// and with concurrent callers: treat it as read-only and Clone before
+// mutating.
+func (q *CompiledQuery) Eval(ctx context.Context, t *Tree) (*Database, error) {
+	db, _, err := q.EvalStats(ctx, t)
+	return db, err
+}
+
+// runCached consults the per-(query, tree) result memo before the
+// plan: on an immutable document the plan is deterministic, so a
+// repeat run is a map lookup (use TreeCache.Forget after mutating a
+// document, or WithoutCache to opt out). The cached database is
+// shared and must be treated as read-only.
+func (q *CompiledQuery) runCached(ctx context.Context, t *Tree) (*Database, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	if q.cache != nil {
+		if db, ok := q.cache.Result(t, q); ok {
+			return db, Stats{CacheHits: 1}, nil
+		}
+	}
+	db, rs, err := q.plan.run(ctx, t, q.cache)
+	if err == nil && q.cache != nil {
+		q.cache.SetResult(t, q, db)
+	}
+	return db, rs, err
+}
+
+// EvalStats is Eval returning per-run statistics. The returned
+// database is shared (see Eval) — read-only.
+func (q *CompiledQuery) EvalStats(ctx context.Context, t *Tree) (*Database, Stats, error) {
+	db, rs, err := q.runCached(ctx, t)
+	if err != nil {
+		return nil, rs, err
+	}
+	rs.Runs = 1
+	rs.Facts = int64(db.Size())
+	q.record(rs)
+	return db, rs, nil
+}
+
+// Select runs the plan on one document and returns the sorted
+// document-order ids of the nodes its query predicate selects — the
+// paper's unary-query interface, uniform across all six languages.
+func (q *CompiledQuery) Select(ctx context.Context, t *Tree) ([]int, error) {
+	ids, _, err := q.SelectStats(ctx, t)
+	return ids, err
+}
+
+// SelectStats is Select returning per-run statistics.
+func (q *CompiledQuery) SelectStats(ctx context.Context, t *Tree) ([]int, Stats, error) {
+	if q.queryPred == "" {
+		return nil, Stats{}, fmt.Errorf("mdlog: %v query has no distinguished query predicate; compile with WithQueryPred or add a ?- directive / Extract list", q.lang)
+	}
+	db, rs, err := q.runCached(ctx, t)
+	if err != nil {
+		return nil, rs, err
+	}
+	ids := db.UnarySet(q.queryPred)
+	rs.Runs = 1
+	rs.Facts = int64(len(ids))
+	q.record(rs)
+	return ids, rs, nil
+}
+
+// Wrap runs the plan as a wrapper (Section 6): the nodes selected by
+// the extraction predicates are kept, relabeled by pattern name, and
+// reconnected through the transitive closure of the edge relation.
+func (q *CompiledQuery) Wrap(ctx context.Context, t *Tree) (*Tree, error) {
+	out, _, err := q.WrapAssign(ctx, t)
+	return out, err
+}
+
+// WrapAssign is Wrap also returning the pattern → nodes assignment.
+func (q *CompiledQuery) WrapAssign(ctx context.Context, t *Tree) (*Tree, Assignment, error) {
+	db, rs, err := q.runCached(ctx, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := Assignment{}
+	var facts int64
+	for _, pred := range q.extract {
+		if ids := db.UnarySet(pred); len(ids) > 0 {
+			a[pred] = ids
+			facts += int64(len(ids))
+		}
+	}
+	rs.Runs = 1
+	rs.Facts = facts
+	q.record(rs)
+	return wrap.BuildOutput(t, a, q.wrapOpts), a, nil
+}
+
+// ---------------------------------------------------------------------
+// Plan implementations.
+
+// linearPlan executes a prepared Theorem 4.2 plan; project restricts
+// the visible predicates (nil: everything the program derives).
+type linearPlan struct {
+	plan    *eval.Plan
+	project []string
+}
+
+func (p *linearPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
+	var rs Stats
+	if err := ctx.Err(); err != nil {
+		return nil, rs, err
+	}
+	var nav *eval.Nav
+	start := time.Now()
+	if cache != nil {
+		var hit bool
+		nav, hit = cache.NavCached(t)
+		if hit {
+			rs.CacheHits = 1
+		}
+	} else {
+		nav = eval.NewNav(t)
+	}
+	rs.Materialize = time.Since(start)
+	start = time.Now()
+	db, err := p.plan.Run(nav)
+	rs.Eval = time.Since(start)
+	if err != nil {
+		return nil, rs, err
+	}
+	if p.project != nil {
+		db = db.Project(p.project)
+	}
+	return db, rs, nil
+}
+
+// genericPlan routes through the set-oriented engines (semi-naive,
+// naive, LIT) over a materialized — and memoized — tree database.
+type genericPlan struct {
+	prog   *datalog.Program
+	engine Engine
+	sig    eval.Signature
+}
+
+func (p *genericPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
+	var rs Stats
+	if err := ctx.Err(); err != nil {
+		return nil, rs, err
+	}
+	var edb *Database
+	start := time.Now()
+	if cache != nil {
+		var hit bool
+		edb, hit = cache.DBCached(t, p.sig)
+		if hit {
+			rs.CacheHits = 1
+		}
+	} else {
+		edb = p.sig.TreeDB(t)
+	}
+	rs.Materialize = time.Since(start)
+	start = time.Now()
+	var full *Database
+	var err error
+	switch p.engine {
+	case EngineSemiNaive:
+		full, err = datalog.SemiNaiveEval(p.prog, edb)
+	case EngineNaive:
+		full, err = datalog.NaiveEval(p.prog, edb)
+	case EngineLIT:
+		full, err = eval.LITEval(p.prog, edb)
+	default:
+		err = fmt.Errorf("mdlog: engine %v is not supported by the generic plan", p.engine)
+	}
+	rs.Eval = time.Since(start)
+	if err != nil {
+		return nil, rs, err
+	}
+	if p.engine != EngineLIT {
+		full = full.Project(p.prog.IntensionalPreds())
+	}
+	return full, rs, nil
+}
+
+// msoPlan runs the compiled tree automaton (two linear passes).
+type msoPlan struct {
+	q    *MSOQuery
+	pred string
+}
+
+func (p *msoPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
+	var rs Stats
+	if err := ctx.Err(); err != nil {
+		return nil, rs, err
+	}
+	start := time.Now()
+	ids := p.q.Select(t)
+	rs.Eval = time.Since(start)
+	return unaryDB(t, p.pred, ids), rs, nil
+}
+
+// xpathDirectPlan runs the reference Core XPath evaluator (needed for
+// not(·), which has no positive datalog translation).
+type xpathDirectPlan struct {
+	x    *XPath
+	pred string
+}
+
+func (p *xpathDirectPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
+	var rs Stats
+	if err := ctx.Err(); err != nil {
+		return nil, rs, err
+	}
+	start := time.Now()
+	ids := xpath.Select(p.x, t)
+	rs.Eval = time.Since(start)
+	return unaryDB(t, p.pred, ids), rs, nil
+}
+
+// elogDirectPlan runs the native Elog⁻Δ fixpoint (Theorem 6.6 lives
+// beyond MSO, so there is no datalog route).
+type elogDirectPlan struct {
+	prog     *ElogProgram
+	patterns []string
+}
+
+func (p *elogDirectPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
+	var rs Stats
+	if err := ctx.Err(); err != nil {
+		return nil, rs, err
+	}
+	start := time.Now()
+	res, err := p.prog.EvalDirect(t)
+	rs.Eval = time.Since(start)
+	if err != nil {
+		return nil, rs, err
+	}
+	db := datalog.NewDatabase(t.Size())
+	for _, pat := range p.patterns {
+		rel := db.Rel(pat, 1)
+		for _, id := range res[pat] {
+			rel.Add([]int{id})
+		}
+	}
+	return db, rs, nil
+}
+
+func unaryDB(t *tree.Tree, pred string, ids []int) *Database {
+	db := datalog.NewDatabase(t.Size())
+	rel := db.Rel(pred, 1)
+	for _, id := range ids {
+		rel.Add([]int{id})
+	}
+	return db
+}

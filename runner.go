@@ -1,0 +1,153 @@
+package mdlog
+
+// Runner fans a CompiledQuery (or a whole wrapper) across many
+// documents with a bounded worker pool — the serving shape of
+// "A Formal Comparison of Visual Web Wrapper Generators": one wrapper
+// compiled once, a stream of pages pushed through it. Results always
+// come back in input order, so downstream consumers need no
+// re-sequencing.
+
+import (
+	"context"
+
+	"mdlog/internal/eval"
+	"mdlog/internal/tree"
+)
+
+// Runner is a bounded worker pool for running compiled queries over
+// document collections and streams. The zero value uses
+// runtime.GOMAXPROCS(0) workers.
+type Runner struct {
+	// Workers bounds concurrency; ≤ 0 means GOMAXPROCS.
+	Workers int
+}
+
+// SelectResult is one document's Select outcome.
+type SelectResult struct {
+	// Index is the document's position in the input order.
+	Index int
+	Doc   *Tree
+	Nodes []int
+	Err   error
+}
+
+// EvalResult is one document's Eval outcome. DB may be shared with
+// the query's result memo — treat it as read-only (see
+// CompiledQuery.Eval).
+type EvalResult struct {
+	Index int
+	Doc   *Tree
+	DB    *Database
+	Err   error
+}
+
+// WrapResult is one document's Wrap outcome.
+type WrapResult struct {
+	Index      int
+	Doc        *Tree
+	Output     *Tree
+	Assignment Assignment
+	Err        error
+}
+
+func (r Runner) pool() eval.Runner { return eval.Runner{Workers: r.Workers} }
+
+// SelectAll runs q.Select over every document concurrently and
+// returns per-document results in input order.
+func (r Runner) SelectAll(ctx context.Context, q *CompiledQuery, docs []*Tree) []SelectResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) ([]int, error) {
+		return q.Select(ctx, t)
+	})
+	out := make([]SelectResult, len(res))
+	for i, x := range res {
+		out[i] = SelectResult{Index: x.Index, Doc: x.Doc, Nodes: x.Value, Err: x.Err}
+	}
+	return out
+}
+
+// SelectStream runs q.Select over a stream of documents, yielding
+// results in input order with backpressure bounded by the worker
+// count. The returned channel closes after docs closes (or the
+// context is canceled) and all accepted documents have been yielded.
+func (r Runner) SelectStream(ctx context.Context, q *CompiledQuery, docs <-chan *Tree) <-chan SelectResult {
+	res := eval.MapStream(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) ([]int, error) {
+		return q.Select(ctx, t)
+	})
+	out := make(chan SelectResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SelectResult{Index: x.Index, Doc: x.Doc, Nodes: x.Value, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// EvalAll runs q.Eval over every document concurrently, in input order.
+func (r Runner) EvalAll(ctx context.Context, q *CompiledQuery, docs []*Tree) []EvalResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) (*Database, error) {
+		return q.Eval(ctx, t)
+	})
+	out := make([]EvalResult, len(res))
+	for i, x := range res {
+		out[i] = EvalResult{Index: x.Index, Doc: x.Doc, DB: x.Value, Err: x.Err}
+	}
+	return out
+}
+
+type wrapped struct {
+	out    *tree.Tree
+	assign Assignment
+}
+
+// WrapAll runs q.Wrap over every document concurrently, in input order.
+func (r Runner) WrapAll(ctx context.Context, q *CompiledQuery, docs []*Tree) []WrapResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) (wrapped, error) {
+		out, a, err := q.WrapAssign(ctx, t)
+		return wrapped{out, a}, err
+	})
+	return wrapResults(res)
+}
+
+// WrapStream runs q.Wrap over a stream of documents, yielding results
+// in input order (see SelectStream for channel semantics).
+func (r Runner) WrapStream(ctx context.Context, q *CompiledQuery, docs <-chan *Tree) <-chan WrapResult {
+	res := eval.MapStream(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) (wrapped, error) {
+		out, a, err := q.WrapAssign(ctx, t)
+		return wrapped{out, a}, err
+	})
+	out := make(chan WrapResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- WrapResult{Index: x.Index, Doc: x.Doc, Output: x.Value.out, Assignment: x.Value.assign, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// RunWrapper fans a legacy datalog Wrapper over every document.
+func (r Runner) RunWrapper(ctx context.Context, w *Wrapper, docs []*Tree) []WrapResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(_ context.Context, t *tree.Tree) (wrapped, error) {
+		out, a, err := w.Run(t)
+		return wrapped{out, a}, err
+	})
+	return wrapResults(res)
+}
+
+// RunElogWrapper fans a legacy ElogWrapper over every document.
+func (r Runner) RunElogWrapper(ctx context.Context, w *ElogWrapper, docs []*Tree) []WrapResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(_ context.Context, t *tree.Tree) (wrapped, error) {
+		out, a, err := w.Run(t)
+		return wrapped{out, a}, err
+	})
+	return wrapResults(res)
+}
+
+func wrapResults(res []eval.Result[wrapped]) []WrapResult {
+	out := make([]WrapResult, len(res))
+	for i, x := range res {
+		out[i] = WrapResult{Index: x.Index, Doc: x.Doc, Output: x.Value.out, Assignment: x.Value.assign, Err: x.Err}
+	}
+	return out
+}
