@@ -19,8 +19,16 @@ race:
 	$(GO) test -race ./...
 
 # One iteration per benchmark: catches bit-rot without burning CI time.
+# Also emits BENCH_treesize.json (substrate parse/materialize/select
+# ns-per-node at 1k/10k nodes in quick mode) so every CI run archives
+# a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
+
+# Full-size substrate scaling points (1k/10k/100k nodes).
+bench-treesize:
+	$(GO) run ./cmd/benchtables -treesize BENCH_treesize.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

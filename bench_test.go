@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"mdlog/internal/datalog"
@@ -448,4 +449,82 @@ func BenchmarkCaterpillarDocumentOrder(b *testing.B) {
 			b.Fatalf("got %d", got)
 		}
 	}
+}
+
+// wideListing returns a product-listing page with roughly the given
+// node count (the wide, shallow shape of real catalog pages).
+func wideListing(nodes int) string {
+	rng := rand.New(rand.NewSource(52))
+	return html.ProductListing(rng, nodes/9)
+}
+
+// BenchmarkArenaSubstrate — EXT-ARENA: the full repeated-Select
+// pipeline (parse → materialize → eval) on a wide ~100k-node document.
+// Three lanes share one compiled plan, so the delta is pure substrate:
+//
+//   - "arena": the rewired hot path — ParseArena streams the source
+//     into the struct-of-arrays representation and the engine indexes
+//     its columns directly (NavOf), no *Node view at all. This is the
+//     lane the ≥2x acceptance criterion measures.
+//   - "arena+view": ParseReader additionally materializes the *Node
+//     compatibility view (slab-allocated) before evaluating.
+//   - "pointer-baseline": the pre-arena path — pointer-per-node parse
+//     (ParseNodes), navigation arrays rebuilt by walking *Node
+//     pointers (NewNavFromNodes).
+func BenchmarkArenaSubstrate(b *testing.B) {
+	src := wideListing(100_000)
+	prog := datalog.MustParseProgram(`
+q(X) :- label_td(X), firstchild(X,Y), label_b(Y).
+?- q.
+`)
+	pl, err := eval.NewPlan(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := html.Parse(src).Size()
+	b.Run("arena", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := html.ParseArena(strings.NewReader(src))
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := pl.Run(eval.NavOf(a))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(db.UnarySet("q")) == 0 {
+				b.Fatal("no results")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nodes), "ns/node")
+	})
+	b.Run("arena+view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc, err := html.ParseReader(strings.NewReader(src))
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := pl.Run(eval.NewNav(doc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(db.UnarySet("q")) == 0 {
+				b.Fatal("no results")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nodes), "ns/node")
+	})
+	b.Run("pointer-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc := html.ParseNodes(src)
+			db, err := pl.Run(eval.NewNavFromNodes(doc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(db.UnarySet("q")) == 0 {
+				b.Fatal("no results")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nodes), "ns/node")
+	})
 }

@@ -5,11 +5,15 @@
 //	benchtables -quick    # smaller sizes for a fast smoke run
 //	benchtables -id CLAIM-T42-data
 //	benchtables -list     # print the available experiment ids
+//	benchtables -treesize BENCH_treesize.json
+//	                      # write the substrate scaling points as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"mdlog/internal/experiments"
 )
@@ -18,12 +22,28 @@ func main() {
 	quick := flag.Bool("quick", false, "use smaller experiment sizes")
 	id := flag.String("id", "", "run only the experiment with this id")
 	list := flag.Bool("list", false, "list experiment ids and titles without running them")
+	treesize := flag.String("treesize", "", "write EXT-TREESIZE points (parse/materialize/select ns-per-node) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
 		for _, e := range experiments.Index() {
 			fmt.Printf("%-18s %s\n", e[0], e[1])
 		}
+		return
+	}
+	if *treesize != "" {
+		pts := experiments.TreeSizeData(cfg)
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*treesize, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d sizes)\n", *treesize, len(pts))
 		return
 	}
 	for _, t := range experiments.All(cfg) {

@@ -3,6 +3,7 @@ package datalog
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 )
 
 // Database is a finite relational structure: a domain {0,...,Dom-1}
@@ -24,13 +25,33 @@ type Relation struct {
 	Arity  int
 	tuples [][]int
 	set    map[string]bool
+	// setOnce guards the lazy construction of set: materialized
+	// databases are shared read-only between concurrent queries, so
+	// the first Has must not race with another.
+	setOnce sync.Once
 	// index[i] maps a value to the tuple indices having that value in
 	// position i; built lazily.
 	index []map[int][]int
 }
 
 func newRelation(arity int) *Relation {
-	return &Relation{Arity: arity, set: map[string]bool{}}
+	return &Relation{Arity: arity}
+}
+
+// ensureSet builds the membership set on first use; it is lazy so
+// bulk loads through AddUnchecked/AddUnarySet never pay per-tuple
+// hashing unless some later caller actually tests membership, and
+// once-guarded so concurrent readers of a shared database can call
+// Has safely. (Mutating a shared relation remains illegal, as
+// before: writers must own the relation or Clone first.)
+func (r *Relation) ensureSet() {
+	r.setOnce.Do(func() {
+		set := make(map[string]bool, len(r.tuples))
+		for _, t := range r.tuples {
+			set[tupleKey(t)] = true
+		}
+		r.set = set
+	})
 }
 
 func tupleKey(t []int) string {
@@ -44,11 +65,15 @@ func tupleKey(t []int) string {
 }
 
 // Has reports membership of the tuple.
-func (r *Relation) Has(t []int) bool { return r.set[tupleKey(t)] }
+func (r *Relation) Has(t []int) bool {
+	r.ensureSet()
+	return r.set[tupleKey(t)]
+}
 
 // Add inserts a tuple, reporting whether it was new. The tuple is
 // copied, so callers may reuse the slice.
 func (r *Relation) Add(t []int) bool {
+	r.ensureSet()
 	k := tupleKey(t)
 	if r.set[k] {
 		return false
@@ -62,6 +87,49 @@ func (r *Relation) Add(t []int) bool {
 		}
 	}
 	return true
+}
+
+// AddUnchecked appends a tuple known to be absent, taking ownership
+// of the slice. Bulk loaders with by-construction-unique facts (e.g.
+// TreeDB) use it to skip per-tuple key hashing; the membership set is
+// rebuilt lazily if someone later calls Has or Add.
+func (r *Relation) AddUnchecked(t []int) {
+	if r.set != nil {
+		r.set[tupleKey(t)] = true
+	}
+	r.tuples = append(r.tuples, t)
+	if r.index != nil {
+		for i, v := range t {
+			r.index[i][v] = append(r.index[i][v], len(r.tuples)-1)
+		}
+	}
+}
+
+// AddUnarySet bulk-appends distinct unary tuples that are known not
+// to be present yet (e.g. values collected from a characteristic
+// vector). It allocates two slabs instead of per-tuple copies and
+// defers membership hashing until someone calls Has/Add.
+func (r *Relation) AddUnarySet(vals []int) {
+	if len(vals) == 0 {
+		return
+	}
+	back := make([]int, len(vals))
+	copy(back, vals)
+	tuples := r.tuples
+	if tuples == nil {
+		tuples = make([][]int, 0, len(vals))
+	}
+	for i := range back {
+		t := back[i : i+1 : i+1]
+		tuples = append(tuples, t)
+		if r.set != nil {
+			r.set[tupleKey(t)] = true
+		}
+		if r.index != nil {
+			r.index[0][back[i]] = append(r.index[0][back[i]], len(tuples)-1)
+		}
+	}
+	r.tuples = tuples
 }
 
 // Tuples returns the underlying tuple list (do not modify).

@@ -110,7 +110,35 @@ type TreeCache struct {
 	// not LRU-precise scan workloads.
 	MaxTrees int
 
-	hits, misses int64
+	// MaxResults bounds the per-tree result memo: how many distinct
+	// (query, tree) results one entry retains (≤ 0 = unbounded). Many
+	// compiled queries sharing one cache otherwise grow every entry
+	// without bound. NewTreeCache sets DefaultMaxResults; override
+	// before first use.
+	MaxResults int
+
+	hits, misses, resultEvictions int64
+}
+
+// DefaultMaxResults is the per-tree result-memo bound NewTreeCache
+// installs: ample for realistic query fleets sharing a cache, small
+// enough that a tree entry cannot grow without bound.
+const DefaultMaxResults = 64
+
+// CacheStats is a point-in-time snapshot of a TreeCache's contents and
+// traffic.
+type CacheStats struct {
+	// Trees is the number of documents with cached state.
+	Trees int
+	// Results is the total number of memoized (query, tree) results
+	// across all entries.
+	Results int
+	// Hits and Misses count Nav/DB lookups served from memo vs
+	// materialized (as HitsMisses reports).
+	Hits, Misses int64
+	// ResultEvictions counts memoized results dropped to enforce
+	// MaxResults.
+	ResultEvictions int64
 }
 
 type treeCacheEntry struct {
@@ -121,8 +149,14 @@ type treeCacheEntry struct {
 }
 
 // NewTreeCache builds an empty cache; maxTrees ≤ 0 means unbounded.
+// The per-tree result memo starts bounded at DefaultMaxResults; set
+// MaxResults before first use to change it.
 func NewTreeCache(maxTrees int) *TreeCache {
-	return &TreeCache{entries: map[*tree.Tree]*treeCacheEntry{}, MaxTrees: maxTrees}
+	return &TreeCache{
+		entries:    map[*tree.Tree]*treeCacheEntry{},
+		MaxTrees:   maxTrees,
+		MaxResults: DefaultMaxResults,
+	}
 }
 
 func (c *TreeCache) entry(t *tree.Tree) *treeCacheEntry {
@@ -220,15 +254,35 @@ func (c *TreeCache) Result(t *tree.Tree, key any) (*datalog.Database, bool) {
 
 // SetResult memoizes an evaluation result for (t, key). Results live
 // exactly as long as the tree's cache entry: Forget, Purge, or an
-// eviction drops them together with the materialized state.
+// eviction drops them together with the materialized state. When the
+// entry already holds MaxResults results for other keys, an arbitrary
+// one is evicted first (same policy as MaxTrees).
 func (c *TreeCache) SetResult(t *tree.Tree, key any, db *datalog.Database) {
+	maxResults := c.maxResults()
 	e := c.entry(t)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.results == nil {
 		e.results = map[any]*datalog.Database{}
 	}
+	if maxResults > 0 && len(e.results) >= maxResults {
+		if _, present := e.results[key]; !present {
+			for k := range e.results {
+				delete(e.results, k)
+				break
+			}
+			c.mu.Lock()
+			c.resultEvictions++
+			c.mu.Unlock()
+		}
+	}
 	e.results[key] = db
+}
+
+func (c *TreeCache) maxResults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.MaxResults
 }
 
 // Contains reports whether t already has cached state (navigation
@@ -269,4 +323,30 @@ func (c *TreeCache) HitsMisses() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Stats snapshots the cache contents and traffic, including the total
+// number of memoized per-(query, tree) results — the figure MaxResults
+// bounds per entry. Entries are visited outside the cache lock, so a
+// concurrent writer can skew the totals slightly; the snapshot is
+// advisory, like Contains.
+func (c *TreeCache) Stats() CacheStats {
+	c.mu.Lock()
+	s := CacheStats{
+		Trees:           len(c.entries),
+		Hits:            c.hits,
+		Misses:          c.misses,
+		ResultEvictions: c.resultEvictions,
+	}
+	es := make([]*treeCacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		es = append(es, e)
+	}
+	c.mu.Unlock()
+	for _, e := range es {
+		e.mu.Lock()
+		s.Results += len(e.results)
+		e.mu.Unlock()
+	}
+	return s
 }

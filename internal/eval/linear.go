@@ -137,11 +137,11 @@ const (
 func (e binEdge) forward(nav *Nav, v int) int {
 	switch e.kind {
 	case binFirstChild:
-		return nav.FC[v]
+		return int(nav.FC[v])
 	case binNextSibling:
-		return nav.NS[v]
+		return int(nav.NS[v])
 	case binLastChild:
-		return nav.LastChild[v]
+		return int(nav.LastChild[v])
 	case binChildK:
 		return nav.ChildK(v, e.k)
 	}
@@ -153,17 +153,17 @@ func (e binEdge) backward(nav *Nav, v int) int {
 	switch e.kind {
 	case binFirstChild:
 		if nav.Prev[v] == -1 {
-			return nav.Parent[v]
+			return int(nav.Parent[v])
 		}
 	case binNextSibling:
-		return nav.Prev[v]
+		return int(nav.Prev[v])
 	case binLastChild:
 		if nav.NS[v] == -1 {
-			return nav.Parent[v]
+			return int(nav.Parent[v])
 		}
 	case binChildK:
-		if nav.ChildIdx[v] == e.k-1 {
-			return nav.Parent[v]
+		if int(nav.ChildIdx[v]) == e.k-1 {
+			return int(nav.Parent[v])
 		}
 	}
 	return -1
@@ -175,29 +175,41 @@ type planStep struct {
 	forward bool // bind edge.y from edge.x (else x from y)
 }
 
+// unaryCheck is a unary EDB body atom compiled to its kind; label
+// predicates carry an index into the plan's label list, resolved to a
+// per-tree symbol id once per Run, so the per-node test is an integer
+// compare.
+type unaryCheck struct {
+	kind     unaryKind
+	labelIdx int32 // index into Plan.labels (kind == uLabel)
+	v        int   // variable slot
+}
+
+// idbUnaryRef is a unary IDB body atom with its predicate pre-resolved
+// to the plan's dense unary-predicate index.
+type idbUnaryRef struct {
+	pid int // index into Plan.unaryPreds
+	v   int // variable slot
+}
+
 type linearRule struct {
 	src      datalog.Rule
 	nvars    int
 	headPred string
+	headID   int // index into Plan.unaryPreds or Plan.propPreds
 	headVar  int // slot of the head variable, or -1 for propositional heads
 	anchor   int // slot grounded by the outer loop, or -1 if nvars == 0
 	steps    []planStep
 	checks   []binEdge // non-spanning-tree binary atoms, verified post hoc
-	unary    []struct {
-		pred string
-		v    int
-	}
-	idbUnary []struct {
-		pred string
-		v    int
-	}
-	idbProp []string
+	unary    []unaryCheck
+	idbUnary []idbUnaryRef
+	idbProp  []int // indices into Plan.propPreds
 }
 
 // compileLinear builds the grounding plan for a connected rule. It is
 // tree-independent: the plan can be prepared once and run against any
 // number of documents.
-func compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
+func (pl *Plan) compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
 	lr := &linearRule{src: r, headVar: -1, anchor: -1, headPred: r.Head.Pred}
 	slot := map[string]int{}
 	getSlot := func(t datalog.Term) (int, error) {
@@ -219,22 +231,16 @@ func compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
 			if !idb[b.Pred] {
 				return nil, nil // propositional atom with no rules: dead rule
 			}
-			lr.idbProp = append(lr.idbProp, b.Pred)
+			lr.idbProp = append(lr.idbProp, pl.propID[b.Pred])
 		case 1:
 			v, err := getSlot(b.Args[0])
 			if err != nil {
 				return nil, err
 			}
 			if idb[b.Pred] {
-				lr.idbUnary = append(lr.idbUnary, struct {
-					pred string
-					v    int
-				}{b.Pred, v})
-			} else if IsUnaryEDB(b.Pred) {
-				lr.unary = append(lr.unary, struct {
-					pred string
-					v    int
-				}{b.Pred, v})
+				lr.idbUnary = append(lr.idbUnary, idbUnaryRef{pl.unaryID[b.Pred], v})
+			} else if kind, label, ok := classifyUnary(b.Pred); ok {
+				lr.unary = append(lr.unary, unaryCheck{kind: kind, labelIdx: pl.labelIdx(label), v: v})
 			} else {
 				// Neither extensional nor the head of any rule: the body
 				// atom can never be satisfied, so the rule is dead.
@@ -279,8 +285,11 @@ func compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
 			return nil, err
 		}
 		lr.headVar = hv
+		lr.headID = pl.unaryID[r.Head.Pred]
 	} else if len(r.Head.Args) > 1 {
 		return nil, fmt.Errorf("eval: non-monadic head %s", r.Head)
+	} else {
+		lr.headID = pl.propID[r.Head.Pred]
 	}
 
 	// Build the spanning traversal from the anchor over the variable graph.

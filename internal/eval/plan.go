@@ -25,6 +25,24 @@ type Plan struct {
 	// propositional predicates in a trailing block.
 	unaryID, propID       map[string]int
 	unaryPreds, propPreds []string
+
+	// labels lists the distinct label_a labels the program tests;
+	// unaryCheck.labelIdx indexes it. Run resolves each to the
+	// document's interned symbol id once, so the per-node label test
+	// is an integer compare against the tree's label column.
+	labels   []string
+	labelIDs map[string]int32
+}
+
+// labelIdx interns a label into the plan's label list.
+func (pl *Plan) labelIdx(label string) int32 {
+	if id, ok := pl.labelIDs[label]; ok {
+		return id
+	}
+	id := int32(len(pl.labels))
+	pl.labels = append(pl.labels, label)
+	pl.labelIDs[label] = id
+	return id
 }
 
 // NewPlan validates and prepares p for repeated linear-time
@@ -37,10 +55,11 @@ func NewPlan(p *datalog.Program) (*Plan, error) {
 		return nil, fmt.Errorf("eval: program is not monadic")
 	}
 	pl := &Plan{
-		src:     p,
-		split:   SplitConnected(p),
-		unaryID: map[string]int{},
-		propID:  map[string]int{},
+		src:      p,
+		split:    SplitConnected(p),
+		unaryID:  map[string]int{},
+		propID:   map[string]int{},
+		labelIDs: map[string]int32{},
 	}
 	idb := map[string]bool{}
 	for _, r := range pl.split.Rules {
@@ -65,7 +84,7 @@ func NewPlan(p *datalog.Program) (*Plan, error) {
 	// IDB atoms of unruled predicates can never hold, so rules
 	// containing them can be skipped (compileLinear returns nil).
 	for _, r := range pl.split.Rules {
-		lr, err := compileLinear(r, idb)
+		lr, err := pl.compileLinear(r, idb)
 		if err != nil {
 			return nil, err
 		}
@@ -87,13 +106,25 @@ func (pl *Plan) QueryPred() string { return pl.src.Query }
 // by LinearTree). It allocates all mutable state locally and may be
 // called concurrently.
 func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
-	dom := nav.Tree.Size()
-	atomUnary := func(pred string, v int) int { return pl.unaryID[pred]*dom + v }
+	dom := nav.Dom()
 	propBase := len(pl.unaryPreds) * dom
-	atomProp := func(pred string) int { return propBase + pl.propID[pred] }
+
+	// Resolve the program's label tests against this document's symbol
+	// table once; absent labels resolve to -1, which matches no node.
+	var labelSyms []int32
+	if len(pl.labels) > 0 {
+		labelSyms = make([]int32, len(pl.labels))
+		for i, l := range pl.labels {
+			labelSyms[i] = nav.LabelID(l)
+		}
+	}
 
 	var solver horn.Solver
 	binding := make([]int, 32)
+	// bodyBuf backs every clause body: clauses are carved out of one
+	// growing slice (the solver aliases them read-only), replacing one
+	// allocation per grounded clause with amortized appends.
+	var bodyBuf []int
 	for _, lr := range pl.rules {
 		if lr.nvars > len(binding) {
 			binding = make([]int, lr.nvars)
@@ -125,7 +156,22 @@ func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
 					}
 				}
 				for _, u := range lr.unary {
-					holds, _ := nav.unaryHolds(u.pred, binding[u.v])
+					w := binding[u.v]
+					holds := false
+					switch u.kind {
+					case uLabel:
+						holds = nav.Label[w] == labelSyms[u.labelIdx]
+					case uRoot:
+						holds = nav.Parent[w] == -1
+					case uLeaf:
+						holds = nav.FC[w] == -1
+					case uLastSibling:
+						holds = nav.NS[w] == -1 && nav.Parent[w] != -1
+					case uFirstSibling:
+						holds = nav.Prev[w] == -1 && nav.Parent[w] != -1
+					case uDom:
+						holds = true
+					}
 					if !holds {
 						return
 					}
@@ -133,18 +179,18 @@ func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
 			}
 			var head int
 			if lr.headVar >= 0 {
-				head = atomUnary(lr.headPred, binding[lr.headVar])
+				head = lr.headID*dom + binding[lr.headVar]
 			} else {
-				head = atomProp(lr.headPred)
+				head = propBase + lr.headID
 			}
-			body := make([]int, 0, len(lr.idbUnary)+len(lr.idbProp))
+			start := len(bodyBuf)
 			for _, u := range lr.idbUnary {
-				body = append(body, atomUnary(u.pred, binding[u.v]))
+				bodyBuf = append(bodyBuf, u.pid*dom+binding[u.v])
 			}
-			for _, pr := range lr.idbProp {
-				body = append(body, atomProp(pr))
+			for _, pid := range lr.idbProp {
+				bodyBuf = append(bodyBuf, propBase+pid)
 			}
-			solver.AddClause(head, body...)
+			solver.AddClause(head, bodyBuf[start:len(bodyBuf):len(bodyBuf)]...)
 		}
 		if lr.nvars == 0 {
 			ground(0)
@@ -157,16 +203,18 @@ func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
 
 	truth := solver.Solve(propBase + len(pl.propPreds))
 	out := datalog.NewDatabase(dom)
+	var ids []int
 	for pi, pred := range pl.unaryPreds {
-		rel := out.Rel(pred, 1)
+		ids = ids[:0]
 		for v := 0; v < dom; v++ {
 			if truth[pi*dom+v] {
-				rel.Add([]int{v})
+				ids = append(ids, v)
 			}
 		}
+		out.Rel(pred, 1).AddUnarySet(ids)
 	}
-	for _, pred := range pl.propPreds {
-		if truth[atomProp(pred)] {
+	for pi, pred := range pl.propPreds {
+		if truth[propBase+pi] {
 			out.Rel(pred, 0).Add(nil)
 		}
 	}

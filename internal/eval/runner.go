@@ -84,11 +84,19 @@ func MapAll[R any](ctx context.Context, r Runner, docs []*tree.Tree, f func(cont
 // guard its sends with the same ctx (or close docs), else its own
 // goroutine blocks on the abandoned channel.
 func MapStream[R any](ctx context.Context, r Runner, docs <-chan *tree.Tree, f func(context.Context, *tree.Tree) (R, error)) <-chan Result[R] {
+	return MapStreamFrom(ctx, r, docs, f, func(t *tree.Tree) *tree.Tree { return t })
+}
+
+// MapStreamFrom is MapStream over an arbitrary input stream — e.g.
+// io.Readers whose documents are parsed inside the worker pool. doc
+// extracts the Result.Doc from an input item for reporting; pass nil
+// to leave it unset (f can carry the parsed tree in R instead).
+func MapStreamFrom[T, R any](ctx context.Context, r Runner, in <-chan T, f func(context.Context, T) (R, error), doc func(T) *tree.Tree) <-chan Result[R] {
 	workers := r.workers()
 	out := make(chan Result[R])
 	type job struct {
 		index int
-		doc   *tree.Tree
+		item  T
 		res   chan Result[R]
 	}
 	jobs := make(chan job)
@@ -99,11 +107,14 @@ func MapStream[R any](ctx context.Context, r Runner, docs <-chan *tree.Tree, f f
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				res := Result[R]{Index: j.index, Doc: j.doc}
+				res := Result[R]{Index: j.index}
+				if doc != nil {
+					res.Doc = doc(j.item)
+				}
 				if err := ctx.Err(); err != nil {
 					res.Err = err
 				} else {
-					res.Value, res.Err = f(ctx, j.doc)
+					res.Value, res.Err = f(ctx, j.item)
 				}
 				j.res <- res
 			}
@@ -127,13 +138,13 @@ func MapStream[R any](ctx context.Context, r Runner, docs <-chan *tree.Tree, f f
 				// own goroutine, which is its bug to fix — draining it
 				// here would leak a receiver forever instead.
 				return
-			case doc, ok := <-docs:
+			case item, ok := <-in:
 				if !ok {
 					return
 				}
 				slot := make(chan Result[R], 1)
 				pending <- slot
-				jobs <- job{index: i, doc: doc, res: slot}
+				jobs <- job{index: i, item: item, res: slot}
 				i++
 			}
 		}

@@ -113,108 +113,237 @@ func WithChildK(k int) TreeDBOption { return func(c *treeDBConfig) { c.childK = 
 // TreeDB materializes the relational structure τ_ur (optionally
 // extended) of the given tree as a datalog database, for use with the
 // generic evaluators. The specialized engines work on the tree
-// directly and do not need this.
+// directly and do not need this. It iterates the tree's arena columns,
+// so materialization is O(|dom|) even on very wide nodes (the pointer
+// API's sibling scan made it quadratic there).
 func TreeDB(t *tree.Tree, opts ...TreeDBOption) *datalog.Database {
 	var cfg treeDBConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	db := datalog.NewDatabase(t.Size())
-	for _, n := range t.Nodes {
-		db.Add(LabelPred(n.Label), n.ID)
-		if n.IsRoot() {
-			db.Add(PredRoot, n.ID)
+	a := t.Arena()
+	n := a.Len()
+	db := datalog.NewDatabase(n)
+	// Pre-resolve every relation handle; facts are unique by
+	// construction, so they bulk-load without membership hashing.
+	// Label relations materialize on first occurrence — the symbol
+	// table may hold pre-interned labels the document never uses.
+	labelRels := make([]*datalog.Relation, a.Syms.Len())
+	labelRel := func(sym int32) *datalog.Relation {
+		rel := labelRels[sym]
+		if rel == nil {
+			rel = db.Rel(LabelPred(a.Syms.Name(sym)), 1)
+			labelRels[sym] = rel
 		}
-		if n.IsLeaf() {
-			db.Add(PredLeaf, n.ID)
+		return rel
+	}
+	relRoot := db.Rel(PredRoot, 1)
+	relLeaf := db.Rel(PredLeaf, 1)
+	relLast := db.Rel(PredLastSibling, 1)
+	relFC := db.Rel(PredFirstChild, 2)
+	relNS := db.Rel(PredNextSibling, 2)
+	var relFirst, relDom, relChild, relLastChild *datalog.Relation
+	if cfg.firstSibling {
+		relFirst = db.Rel(PredFirstSibling, 1)
+	}
+	if cfg.dom {
+		relDom = db.Rel(PredDom, 1)
+	}
+	if cfg.child {
+		relChild = db.Rel(PredChild, 2)
+	}
+	if cfg.lastChild {
+		relLastChild = db.Rel(PredLastChild, 2)
+	}
+	childKRels := make([]*datalog.Relation, cfg.childK)
+	for k := range childKRels {
+		childKRels[k] = db.Rel(ChildKPred(k+1), 2)
+	}
+	// Tuples are carved from growing slabs: previously returned
+	// sub-slices stay valid when the slab reallocates.
+	var slab1, slab2 []int
+	unary := func(v int) []int {
+		slab1 = append(slab1, v)
+		return slab1[len(slab1)-1 : len(slab1) : len(slab1)]
+	}
+	binary := func(v, w int) []int {
+		slab2 = append(slab2, v, w)
+		return slab2[len(slab2)-2 : len(slab2) : len(slab2)]
+	}
+	for v := 0; v < n; v++ {
+		labelRel(a.Label[v]).AddUnchecked(unary(v))
+		if a.Parent[v] == tree.NoNode {
+			relRoot.AddUnchecked(unary(v))
+		} else if a.NextSibling[v] == tree.NoNode {
+			relLast.AddUnchecked(unary(v))
 		}
-		if n.IsLastSibling() {
-			db.Add(PredLastSibling, n.ID)
+		if a.FirstChild[v] == tree.NoNode {
+			relLeaf.AddUnchecked(unary(v))
+		} else {
+			relFC.AddUnchecked(binary(v, int(a.FirstChild[v])))
 		}
-		if cfg.firstSibling && n.IsFirstSibling() {
-			db.Add(PredFirstSibling, n.ID)
+		if ns := a.NextSibling[v]; ns != tree.NoNode {
+			relNS.AddUnchecked(binary(v, int(ns)))
 		}
-		if fc := n.FirstChild(); fc != nil {
-			db.Add(PredFirstChild, n.ID, fc.ID)
+		if relFirst != nil && a.PrevSibling[v] == tree.NoNode && a.Parent[v] != tree.NoNode {
+			relFirst.AddUnchecked(unary(v))
 		}
-		if ns := n.NextSibling(); ns != nil {
-			db.Add(PredNextSibling, n.ID, ns.ID)
-		}
-		if cfg.child {
-			for _, c := range n.Children {
-				db.Add(PredChild, n.ID, c.ID)
+		if relChild != nil {
+			for c := a.FirstChild[v]; c != tree.NoNode; c = a.NextSibling[c] {
+				relChild.AddUnchecked(binary(v, int(c)))
 			}
 		}
-		if cfg.lastChild {
-			if lc := n.LastChild(); lc != nil {
-				db.Add(PredLastChild, n.ID, lc.ID)
+		if relLastChild != nil {
+			if lc := a.LastChild[v]; lc != tree.NoNode {
+				relLastChild.AddUnchecked(binary(v, int(lc)))
 			}
 		}
-		for k := 1; k <= cfg.childK && k <= len(n.Children); k++ {
-			db.Add(ChildKPred(k), n.ID, n.Children[k-1].ID)
+		if len(childKRels) > 0 {
+			k := 0
+			for c := a.FirstChild[v]; c != tree.NoNode && k < len(childKRels); c = a.NextSibling[c] {
+				childKRels[k].AddUnchecked(binary(v, int(c)))
+				k++
+			}
 		}
-		if cfg.dom {
-			db.Add(PredDom, n.ID)
+		if relDom != nil {
+			relDom.AddUnchecked(unary(v))
 		}
 	}
 	return db
 }
 
-// Nav holds O(1) navigation arrays for a tree, the representation on
-// which the linear-time engine realizes the functional dependencies of
-// Proposition 4.1 ("appropriately represented" trees, Theorem 4.2).
+// Nav exposes the O(1) navigation arrays of a tree, the representation
+// on which the linear-time engine realizes the functional dependencies
+// of Proposition 4.1 ("appropriately represented" trees, Theorem 4.2).
+// Since the arena IS that representation, a Nav over an arena-backed
+// tree aliases the arena columns with no copying; labels are interned
+// symbol ids, so the engine's label tests are integer compares.
 type Nav struct {
 	Tree *tree.Tree
-	// fc, ns, parent, prev, lastChild map node id → node id or -1.
-	FC, NS, Parent, Prev, LastChild []int
+	// A is the backing arena (nil for NewNavFromNodes baselines).
+	A *tree.Arena
+	// FC, NS, Parent, Prev, LastChild map node id → node id or -1.
+	FC, NS, Parent, Prev, LastChild []int32
 	// ChildIdx is the 0-based position of a node among its siblings.
-	ChildIdx []int
-	Labels   []string
+	ChildIdx []int32
+	// Label holds per-node symbol ids resolved against Syms.
+	Label []int32
+	Syms  *tree.Symbols
 }
 
-// NewNav builds the navigation arrays in O(|dom|).
+// NewNav returns the navigation view of t, aliasing its arena (built
+// on first use, O(|dom|), and memoized on the tree).
 func NewNav(t *tree.Tree) *Nav {
+	nav := NavOf(t.Arena())
+	nav.Tree = t
+	return nav
+}
+
+// NavOf wraps a bare arena — the zero-copy path for pipelines that
+// parse straight into an arena and never materialize the *Node view
+// (e.g. html.ParseArena → Plan.Run).
+func NavOf(a *tree.Arena) *Nav {
+	return &Nav{
+		A:  a,
+		FC: a.FirstChild, NS: a.NextSibling, Parent: a.Parent,
+		Prev: a.PrevSibling, LastChild: a.LastChild, ChildIdx: a.ChildIdx,
+		Label: a.Label, Syms: a.Syms,
+	}
+}
+
+// NewNavFromNodes builds the navigation arrays by walking the pointer
+// view, without consulting or creating the tree's arena. It is the
+// pre-arena construction path, retained as the baseline for the
+// substrate benchmarks and for differential tests.
+func NewNavFromNodes(t *tree.Tree) *Nav {
 	n := t.Size()
 	nav := &Nav{
 		Tree:      t,
-		FC:        make([]int, n),
-		NS:        make([]int, n),
-		Parent:    make([]int, n),
-		Prev:      make([]int, n),
-		LastChild: make([]int, n),
-		ChildIdx:  make([]int, n),
-		Labels:    make([]string, n),
+		FC:        make([]int32, n),
+		NS:        make([]int32, n),
+		Parent:    make([]int32, n),
+		Prev:      make([]int32, n),
+		LastChild: make([]int32, n),
+		ChildIdx:  make([]int32, n),
+		Label:     make([]int32, n),
+		Syms:      tree.NewSymbols(),
 	}
 	for i := range nav.FC {
 		nav.FC[i], nav.NS[i], nav.Parent[i], nav.Prev[i], nav.LastChild[i] = -1, -1, -1, -1, -1
 	}
 	for _, nd := range t.Nodes {
-		nav.Labels[nd.ID] = nd.Label
+		nav.Label[nd.ID] = nav.Syms.Intern(nd.Label)
 		if len(nd.Children) > 0 {
-			nav.FC[nd.ID] = nd.Children[0].ID
-			nav.LastChild[nd.ID] = nd.Children[len(nd.Children)-1].ID
+			nav.FC[nd.ID] = int32(nd.Children[0].ID)
+			nav.LastChild[nd.ID] = int32(nd.Children[len(nd.Children)-1].ID)
 		}
 		for i, c := range nd.Children {
-			nav.Parent[c.ID] = nd.ID
-			nav.ChildIdx[c.ID] = i
+			nav.Parent[c.ID] = int32(nd.ID)
+			nav.ChildIdx[c.ID] = int32(i)
 			if i > 0 {
-				nav.Prev[c.ID] = nd.Children[i-1].ID
+				nav.Prev[c.ID] = int32(nd.Children[i-1].ID)
 			}
 			if i+1 < len(nd.Children) {
-				nav.NS[c.ID] = nd.Children[i+1].ID
+				nav.NS[c.ID] = int32(nd.Children[i+1].ID)
 			}
 		}
 	}
 	return nav
 }
 
+// Dom returns |dom|, the number of nodes.
+func (nav *Nav) Dom() int { return len(nav.Parent) }
+
 // ChildK returns the k-th (1-based) child of v, or -1.
 func (nav *Nav) ChildK(v, k int) int {
+	if nav.A != nil {
+		return int(nav.A.ChildK(int32(v), k))
+	}
 	nd := nav.Tree.Nodes[v]
 	if k < 1 || k > len(nd.Children) {
 		return -1
 	}
 	return nd.Children[k-1].ID
+}
+
+// LabelID resolves a label string against the nav's symbol table; -1
+// if the label does not occur in the tree (so it matches no node).
+func (nav *Nav) LabelID(label string) int32 { return nav.Syms.ID(label) }
+
+// unaryKind enumerates the unary extensional predicates of τ_ur and
+// its extensions, pre-classified at plan-compile time so the per-node
+// test in the grounding hot loop is a switch on an int plus at most
+// two array reads.
+type unaryKind uint8
+
+const (
+	uLabel unaryKind = iota
+	uRoot
+	uLeaf
+	uLastSibling
+	uFirstSibling
+	uDom
+)
+
+// classifyUnary maps a predicate name to its kind (and label, for
+// label_a); ok=false if pred is not a known unary EDB predicate.
+func classifyUnary(pred string) (kind unaryKind, label string, ok bool) {
+	switch pred {
+	case PredRoot:
+		return uRoot, "", true
+	case PredLeaf:
+		return uLeaf, "", true
+	case PredLastSibling:
+		return uLastSibling, "", true
+	case PredFirstSibling:
+		return uFirstSibling, "", true
+	case PredDom:
+		return uDom, "", true
+	}
+	if label, isLabel := IsLabelPred(pred); isLabel {
+		return uLabel, label, true
+	}
+	return 0, "", false
 }
 
 // IsUnaryEDB reports whether pred names a unary extensional relation
@@ -223,32 +352,6 @@ func (nav *Nav) ChildK(v, k int) int {
 // predicate name, so rule compilation can happen before any tree is
 // seen.
 func IsUnaryEDB(pred string) bool {
-	switch pred {
-	case PredRoot, PredLeaf, PredLastSibling, PredFirstSibling, PredDom:
-		return true
-	}
-	_, isLabel := IsLabelPred(pred)
-	return isLabel
-}
-
-// unaryHolds evaluates the extensional unary predicates of τ_ur and
-// its extensions on node v; ok=false if pred is not a known unary EDB
-// predicate.
-func (nav *Nav) unaryHolds(pred string, v int) (holds, ok bool) {
-	switch pred {
-	case PredRoot:
-		return nav.Parent[v] == -1, true
-	case PredLeaf:
-		return nav.FC[v] == -1, true
-	case PredLastSibling:
-		return nav.NS[v] == -1 && nav.Parent[v] != -1, true
-	case PredFirstSibling:
-		return nav.Prev[v] == -1 && nav.Parent[v] != -1, true
-	case PredDom:
-		return true, true
-	}
-	if label, isLabel := IsLabelPred(pred); isLabel {
-		return nav.Labels[v] == label, true
-	}
-	return false, false
+	_, _, ok := classifyUnary(pred)
+	return ok
 }

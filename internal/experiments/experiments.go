@@ -113,6 +113,7 @@ var catalog = []struct {
 	{"CLAIM-C64", "Corollary 6.4: Elog⁻ wrapper evaluation", ElogEvalScaling},
 	{"FIG-MSO-cost", "MSO compilation blow-up vs linear evaluation", MSOBlowup},
 	{"EXT-AMORTIZE", "Compile-once/run-many amortization", CompileOnceAmortization},
+	{"EXT-TREESIZE", "Arena substrate scaling: parse/materialize/select per node", TreeSize},
 }
 
 func All(cfg Config) []Table {

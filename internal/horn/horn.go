@@ -44,6 +44,11 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // Solve returns the characteristic vector of the least model: true[a]
 // iff atom a is derivable. The slice has length max(numAtoms, minAtoms).
+//
+// The watch lists (clauses per body atom) are laid out in one
+// compressed-sparse-row array — two counting passes instead of one
+// append per literal — so solving costs O(1) allocations regardless
+// of clause count.
 func (s *Solver) Solve(minAtoms int) []bool {
 	n := s.numAtoms
 	if minAtoms > n {
@@ -52,21 +57,38 @@ func (s *Solver) Solve(minAtoms int) []bool {
 	truth := make([]bool, n)
 
 	// remaining[c] counts body atoms of clause c not yet known true.
-	remaining := make([]int, len(s.clauses))
-	// watch[a] lists the clauses having a in their body.
-	watch := make([][]int32, n)
+	remaining := make([]int32, len(s.clauses))
+	total := 0
+	// starts[a] will hold the CSR offset of atom a's watch list.
+	starts := make([]int32, n+1)
 	for ci, c := range s.clauses {
-		remaining[ci] = len(c.Body)
+		remaining[ci] = int32(len(c.Body))
+		total += len(c.Body)
 		for _, b := range c.Body {
-			watch[b] = append(watch[b], int32(ci))
+			starts[b]++
 		}
 	}
+	sum := int32(0)
+	for a := 0; a <= n; a++ {
+		cnt := starts[a]
+		starts[a] = sum
+		sum += cnt
+	}
+	watch := make([]int32, total)
+	for ci, c := range s.clauses {
+		for _, b := range c.Body {
+			watch[starts[b]] = int32(ci)
+			starts[b]++
+		}
+	}
+	// starts[a] now marks the END of a's list; its start is starts[a-1]
+	// (0 for the first atom).
 
-	queue := make([]int, 0, n)
+	queue := make([]int32, 0, n)
 	markTrue := func(a int) {
 		if !truth[a] {
 			truth[a] = true
-			queue = append(queue, a)
+			queue = append(queue, int32(a))
 		}
 	}
 	for ci, c := range s.clauses {
@@ -77,7 +99,11 @@ func (s *Solver) Solve(minAtoms int) []bool {
 	for len(queue) > 0 {
 		a := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, ci := range watch[a] {
+		lo := int32(0)
+		if a > 0 {
+			lo = starts[a-1]
+		}
+		for _, ci := range watch[lo:starts[a]] {
 			remaining[ci]--
 			if remaining[ci] == 0 {
 				markTrue(s.clauses[ci].Head)

@@ -9,11 +9,19 @@
 //   - void elements (br, img, hr, ...) that never take children;
 //   - implied end tags for li, p, td, th, tr, option, dt, dd;
 //   - raw-text elements (script, style) whose content is opaque;
-//   - comments, doctype, and character entities (a practical set).
+//   - comments, doctype, and character entities (named, decimal and
+//     hexadecimal).
 //
 // Text becomes #text-labeled leaves (with the character data in
 // Node.Text); element labels are lower-case tag names, so the label
 // predicates of τ_ur are label_div, label_td, ..., plus label_#text.
+//
+// The primary entry point is ParseReader, a streaming tokenizer that
+// builds the arena (struct-of-arrays) representation directly from an
+// io.Reader in one pass. Parse wraps it for in-memory strings, and
+// ParseNodes is the original pointer-per-node builder, retained as an
+// independently implemented reference for differential testing and as
+// the pointer-tree baseline in benchmarks.
 package html
 
 import (
@@ -51,21 +59,57 @@ var entities = map[string]string{
 	"eur": "€", "euro": "€", "pound": "£", "yen": "¥",
 }
 
-// Parse builds a document tree from HTML source. The result is rooted
-// at a synthetic #document node (as in real DOM trees), so the HTML
-// root element is never the τ_ur root — which also sidesteps the
-// root-label caveat of the Theorem 6.5 translation.
+// Parse builds a document tree from in-memory HTML source via the
+// streaming arena parser. The result is rooted at a synthetic
+// #document node (as in real DOM trees), so the HTML root element is
+// never the τ_ur root — which also sidesteps the root-label caveat of
+// the Theorem 6.5 translation.
 func Parse(src string) *tree.Tree {
+	t, err := ParseReader(strings.NewReader(src))
+	if err != nil {
+		// strings.Reader cannot fail; parsing itself never errors.
+		panic("html: " + err.Error())
+	}
+	return t
+}
+
+// ParseNodes is the legacy pointer-per-node tree builder. It
+// implements exactly the same parsing policy as ParseReader over a
+// different representation, which makes it the differential-testing
+// twin of the streaming parser and the pointer-tree baseline of the
+// substrate benchmarks. New code should use Parse or ParseReader.
+func ParseNodes(src string) *tree.Tree {
 	doc := tree.New("#document")
 	stack := []*tree.Node{doc}
 	top := func() *tree.Node { return stack[len(stack)-1] }
 
-	appendText := func(text string) {
-		if strings.TrimSpace(text) == "" {
+	// Boundary-whitespace bookkeeping (see textContent): the last
+	// emitted text node gains a trailing space when an element follows
+	// it under the same parent.
+	var lastText *tree.Node
+	var lastTextOwner *tree.Node
+	lastTextTrail := false
+
+	var pending strings.Builder
+	flushText := func() {
+		if pending.Len() == 0 {
 			return
 		}
-		n := tree.NewText(decodeEntities(text))
+		raw := pending.String()
+		pending.Reset()
+		content, trail := textContent(raw, len(top().Children) > 0)
+		if content == "" {
+			return
+		}
+		n := tree.NewText(content)
 		top().Add(n)
+		lastText, lastTextOwner, lastTextTrail = n, top(), trail
+	}
+	elementBoundary := func() {
+		if lastText != nil && lastTextOwner == top() && lastTextTrail {
+			lastText.Text += " "
+		}
+		lastText = nil
 	}
 	openTag := func(name string, attrs map[string]string, selfClose bool) {
 		// Pop every open element the new tag implicitly closes (e.g. a
@@ -83,6 +127,7 @@ func Parse(src string) *tree.Tree {
 				break
 			}
 		}
+		elementBoundary()
 		n := tree.New(name)
 		if len(attrs) > 0 {
 			n.Attrs = attrs
@@ -106,15 +151,16 @@ func Parse(src string) *tree.Tree {
 	for i < len(src) {
 		lt := strings.IndexByte(src[i:], '<')
 		if lt < 0 {
-			appendText(src[i:])
+			pending.WriteString(src[i:])
 			break
 		}
 		if lt > 0 {
-			appendText(src[i : i+lt])
+			pending.WriteString(src[i : i+lt])
 		}
 		i += lt
 		switch {
 		case strings.HasPrefix(src[i:], "<!--"):
+			flushText()
 			end := strings.Index(src[i+4:], "-->")
 			if end < 0 {
 				i = len(src)
@@ -122,6 +168,7 @@ func Parse(src string) *tree.Tree {
 				i += 4 + end + 3
 			}
 		case strings.HasPrefix(src[i:], "<!") || strings.HasPrefix(src[i:], "<?"):
+			flushText()
 			end := strings.IndexByte(src[i:], '>')
 			if end < 0 {
 				i = len(src)
@@ -129,6 +176,7 @@ func Parse(src string) *tree.Tree {
 				i += end + 1
 			}
 		case strings.HasPrefix(src[i:], "</"):
+			flushText()
 			end := strings.IndexByte(src[i:], '>')
 			if end < 0 {
 				i = len(src)
@@ -138,13 +186,20 @@ func Parse(src string) *tree.Tree {
 			closeTag(name)
 			i += end + 1
 		default:
-			name, attrs, selfClose, next := parseTag(src, i)
-			if name == "" {
-				appendText("<")
+			end := findTagEnd(src, i)
+			if end < 0 {
+				// Stray '<' that does not start a tag: literal text.
+				pending.WriteByte('<')
 				i++
 				break
 			}
-			i = next
+			flushText()
+			name, attrs, selfClose := scanTag(src[i+1 : end])
+			if end < len(src) {
+				i = end + 1
+			} else {
+				i = len(src)
+			}
 			openTag(name, attrs, selfClose)
 			if rawText[name] && !selfClose {
 				endTag := "</" + name
@@ -169,68 +224,90 @@ func Parse(src string) *tree.Tree {
 			}
 		}
 	}
+	flushText()
 	return tree.NewTree(doc)
 }
 
-// parseTag parses a start tag beginning at src[i] == '<'. Returns the
-// lower-cased name (empty if not a valid tag), attributes, whether the
-// tag self-closes, and the index after '>'.
-func parseTag(src string, i int) (string, map[string]string, bool, int) {
+// findTagEnd returns the index of the '>' closing the start tag that
+// begins at src[i] == '<', skipping over quoted attribute values, or
+// len(src) if the tag never closes, or -1 if src[i+1] does not start a
+// tag name.
+func findTagEnd(src string, i int) int {
 	j := i + 1
-	start := j
-	for j < len(src) && isNameByte(src[j]) {
+	if j >= len(src) || !isNameByte(src[j]) {
+		return -1
+	}
+	var quote byte
+	for ; j < len(src); j++ {
+		c := src[j]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '>':
+			return j
+		}
+	}
+	return len(src)
+}
+
+// scanTag parses the inside of a start tag (between '<' and '>'):
+// the lower-cased name, the attributes (entity-decoded values), and
+// whether the tag self-closes.
+func scanTag(s string) (string, map[string]string, bool) {
+	j := 0
+	for j < len(s) && isNameByte(s[j]) {
 		j++
 	}
-	if j == start {
-		return "", nil, false, i
-	}
-	name := strings.ToLower(src[start:j])
+	name := strings.ToLower(s[:j])
 	var attrs map[string]string
 	selfClose := false
-	for j < len(src) {
-		for j < len(src) && isSpace(src[j]) {
+	for j < len(s) {
+		for j < len(s) && isSpace(s[j]) {
 			j++
 		}
-		if j >= len(src) {
+		if j >= len(s) {
 			break
 		}
-		if src[j] == '>' {
-			return name, attrs, selfClose, j + 1
-		}
-		if src[j] == '/' {
+		if s[j] == '/' {
 			selfClose = true
 			j++
 			continue
 		}
 		// Attribute.
 		aStart := j
-		for j < len(src) && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+		for j < len(s) && s[j] != '=' && s[j] != '/' && !isSpace(s[j]) {
 			j++
 		}
-		aName := strings.ToLower(src[aStart:j])
+		aName := strings.ToLower(s[aStart:j])
 		aVal := ""
-		if j < len(src) && src[j] == '=' {
+		if j < len(s) && s[j] == '=' {
 			j++
-			for j < len(src) && isSpace(src[j]) {
+			for j < len(s) && isSpace(s[j]) {
 				j++
 			}
-			if j < len(src) && (src[j] == '"' || src[j] == '\'') {
-				q := src[j]
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				q := s[j]
 				j++
 				vStart := j
-				for j < len(src) && src[j] != q {
+				for j < len(s) && s[j] != q {
 					j++
 				}
-				aVal = src[vStart:j]
-				if j < len(src) {
+				aVal = s[vStart:j]
+				if j < len(s) {
 					j++
 				}
 			} else {
 				vStart := j
-				for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
+				for j < len(s) && !isSpace(s[j]) {
 					j++
 				}
-				aVal = src[vStart:j]
+				aVal = s[vStart:j]
 			}
 		}
 		if aName != "" {
@@ -240,7 +317,7 @@ func parseTag(src string, i int) (string, map[string]string, bool, int) {
 			attrs[aName] = decodeEntities(aVal)
 		}
 	}
-	return name, attrs, selfClose, len(src)
+	return name, attrs, selfClose
 }
 
 func isNameByte(c byte) bool {
@@ -251,14 +328,44 @@ func isSpace(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
 
-// decodeEntities resolves &name; and &#NN; references; unknown
-// entities are left intact.
-func decodeEntities(s string) string {
-	if !strings.ContainsRune(s, '&') {
-		return collapseSpace(s)
+// isTextSpace is the ASCII whitespace set of the HTML spec (TAB, LF,
+// FF, CR, SPACE), used for character-data normalization.
+func isTextSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// textContent computes the stored character data for one raw text
+// chunk: character references decoded, whitespace collapsed, and — the
+// boundary-space rule — a single leading space preserved when the
+// chunk began with whitespace and follows an existing sibling, so
+// "<b>Price:</b> 9 EUR" extracts as "Price:" + " 9 EUR" rather than
+// the concatenation "Price:9 EUR". It also reports whether the chunk
+// ended in whitespace; the caller restores that trailing boundary
+// space if (and only if) an element sibling follows. Whitespace-only
+// chunks collapse to "" and produce no node.
+func textContent(raw string, hasPrevSibling bool) (text string, trailing bool) {
+	decoded := decodeCharRefs(raw)
+	collapsed := collapseSpace(decoded)
+	if collapsed == "" {
+		return "", false
+	}
+	if hasPrevSibling && isTextSpace(decoded[0]) {
+		collapsed = " " + collapsed
+	}
+	return collapsed, isTextSpace(decoded[len(decoded)-1])
+}
+
+// decodeCharRefs resolves &name;, &#NN; and &#xHH; references;
+// invalid or unknown references are left intact.
+func decodeCharRefs(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
 	}
 	var b strings.Builder
-	i := 0
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
 	for i < len(s) {
 		if s[i] != '&' {
 			b.WriteByte(s[i])
@@ -273,22 +380,12 @@ func decodeEntities(s string) string {
 		}
 		name := s[i+1 : i+semi]
 		if strings.HasPrefix(name, "#") {
-			code := 0
-			ok := len(name) > 1
-			for _, c := range name[1:] {
-				if c < '0' || c > '9' {
-					ok = false
-					break
-				}
-				code = code*10 + int(c-'0')
-			}
-			if ok && code > 0 && code < 0x110000 {
-				b.WriteRune(rune(code))
+			if r, ok := parseCharCode(name[1:]); ok {
+				b.WriteRune(r)
 				i += semi + 1
 				continue
 			}
-		}
-		if rep, ok := entities[strings.ToLower(name)]; ok {
+		} else if rep, ok := entities[strings.ToLower(name)]; ok {
 			b.WriteString(rep)
 			i += semi + 1
 			continue
@@ -296,11 +393,85 @@ func decodeEntities(s string) string {
 		b.WriteByte(s[i])
 		i++
 	}
-	return collapseSpace(b.String())
+	return b.String()
 }
 
-// collapseSpace normalizes runs of whitespace to single spaces and
-// trims, matching how browsers render character data.
+// parseCharCode parses the digits of a numeric character reference
+// (after the '#'): decimal, or hexadecimal with an x/X prefix.
+func parseCharCode(digits string) (rune, bool) {
+	base := 10
+	if len(digits) > 0 && (digits[0] == 'x' || digits[0] == 'X') {
+		base = 16
+		digits = digits[1:]
+	}
+	if digits == "" {
+		return 0, false
+	}
+	code := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			return 0, false
+		}
+		code = code*base + d
+	}
+	// Exclude NUL, out-of-range code points and surrogates.
+	if code <= 0 || code >= 0x110000 || (code >= 0xD800 && code <= 0xDFFF) {
+		return 0, false
+	}
+	return rune(code), true
+}
+
+// decodeEntities resolves character references and normalizes
+// whitespace (the attribute-value pipeline; text nodes go through
+// textContent for the boundary-space rule).
+func decodeEntities(s string) string {
+	return collapseSpace(decodeCharRefs(s))
+}
+
+// collapseSpace normalizes runs of ASCII whitespace to single spaces
+// and trims, matching how browsers render character data. Already-
+// normalized strings are returned as-is without allocating — the
+// common case for real text.
 func collapseSpace(s string) string {
-	return strings.Join(strings.Fields(s), " ")
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !isTextSpace(c) {
+			continue
+		}
+		if c == ' ' && i > 0 && i+1 < len(s) && !isTextSpace(s[i+1]) {
+			continue // single interior space: fine
+		}
+		// Needs normalization.
+		var b strings.Builder
+		b.Grow(len(s))
+		i, n, first := 0, len(s), true
+		for i < n {
+			for i < n && isTextSpace(s[i]) {
+				i++
+			}
+			if i >= n {
+				break
+			}
+			start := i
+			for i < n && !isTextSpace(s[i]) {
+				i++
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			b.WriteString(s[start:i])
+		}
+		return b.String()
+	}
+	return s
 }

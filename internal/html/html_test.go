@@ -1,9 +1,14 @@
 package html
 
 import (
+	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
+
+	"mdlog/internal/tree"
 )
 
 func TestParseBasic(t *testing.T) {
@@ -19,14 +24,14 @@ func TestParseBasic(t *testing.T) {
 	if s != want {
 		t.Errorf("tree = %s, want %s", s, want)
 	}
-	// Text content.
+	// Text content: the boundary space before <b> survives.
 	var texts []string
 	for _, n := range doc.Nodes {
 		if n.Label == "#text" {
 			texts = append(texts, n.Text)
 		}
 	}
-	if len(texts) != 2 || texts[0] != "Hello" || texts[1] != "world" {
+	if len(texts) != 2 || texts[0] != "Hello " || texts[1] != "world" {
 		t.Errorf("texts = %q", texts)
 	}
 }
@@ -63,6 +68,23 @@ func TestImpliedEndTags(t *testing.T) {
 	}
 }
 
+func TestNestedTables(t *testing.T) {
+	// A <table> inside a <td> must not trigger the td/tr implied-end
+	// rules of the outer table.
+	doc := Parse(`<table><tr><td><table><tr><td>inner</td></tr></table></td><td>x</td></tr></table>`)
+	want := "#document(table(tr(td(table(tr(td(#text)))),td(#text))))"
+	if got := doc.String(); got != want {
+		t.Errorf("tree = %s, want %s", got, want)
+	}
+	// Nested lists: an inner <ul> keeps its <li>s; a following sibling
+	// <li> still implicitly closes the open one.
+	doc2 := Parse(`<ul><li>a<ul><li>a1<li>a2</ul></li><li>b</ul>`)
+	want2 := "#document(ul(li(#text,ul(li(#text),li(#text))),li(#text)))"
+	if got := doc2.String(); got != want2 {
+		t.Errorf("tree = %s, want %s", got, want2)
+	}
+}
+
 func TestCommentsDoctypeEntities(t *testing.T) {
 	doc := Parse(`<!DOCTYPE html><!-- a comment --><p>x &amp; y &lt;z&gt; &#65;&euro;</p>`)
 	p := doc.Root.Children[0]
@@ -72,10 +94,24 @@ func TestCommentsDoctypeEntities(t *testing.T) {
 	if got := p.Children[0].Text; got != "x & y <z> A€" {
 		t.Errorf("text = %q", got)
 	}
-	// Unknown entity survives.
-	doc2 := Parse(`<p>&unknown; &#xbad;</p>`)
-	if got := doc2.Root.Children[0].Children[0].Text; got != "&unknown; &#xbad;" {
+	// Unknown and invalid references survive verbatim.
+	doc2 := Parse(`<p>&unknown; &#xZZ; &#; &#x; &#xD800;</p>`)
+	if got := doc2.Root.Children[0].Children[0].Text; got != "&unknown; &#xZZ; &#; &#x; &#xD800;" {
 		t.Errorf("unknown entity text = %q", got)
+	}
+}
+
+func TestHexEntities(t *testing.T) {
+	// Hexadecimal character references, both cases, decode like their
+	// decimal equivalents.
+	doc := Parse(`<p>&#x27;&#X2019;&#x41;&#65;</p>`)
+	if got := doc.Root.Children[0].Children[0].Text; got != "'’AA" {
+		t.Errorf("text = %q", got)
+	}
+	// In attribute values too.
+	doc2 := Parse(`<a title="it&#x27;s">x</a>`)
+	if got := doc2.Root.Children[0].Attrs["title"]; got != "it's" {
+		t.Errorf("attr = %q", got)
 	}
 }
 
@@ -92,6 +128,16 @@ func TestRawTextElements(t *testing.T) {
 	if !strings.Contains(script.Children[0].Text, "a < b") {
 		t.Errorf("script text = %q", script.Children[0].Text)
 	}
+	// Entities stay opaque in raw text; the end tag match is
+	// case-insensitive.
+	doc2 := Parse(`<style>td &gt; b { color: red }</STYLE><p>x</p>`)
+	style := doc2.Root.Children[0]
+	if style.Label != "style" || !strings.Contains(style.Children[0].Text, "&gt;") {
+		t.Fatalf("style = %s (%q)", doc2, style.Children[0].Text)
+	}
+	if doc2.Root.Children[1].Label != "p" {
+		t.Errorf("after style = %s", doc2)
+	}
 }
 
 func TestAttributes(t *testing.T) {
@@ -104,6 +150,11 @@ func TestAttributes(t *testing.T) {
 	if _, ok := a.Attrs["nope"]; ok {
 		t.Error("phantom attribute")
 	}
+	// Quoted values may contain '>'.
+	doc2 := Parse(`<a title="a>b">x</a>`)
+	if got := doc2.Root.Children[0].Attrs["title"]; got != "a>b" {
+		t.Errorf("title = %q", got)
+	}
 }
 
 func TestUnmatchedAndStray(t *testing.T) {
@@ -113,7 +164,9 @@ func TestUnmatchedAndStray(t *testing.T) {
 	}
 	// Stray '<' becomes text, parser must not panic or loop.
 	doc2 := Parse(`a < b`)
-	_ = doc2
+	if got := doc2.Root.Children[0].Text; got != "a < b" {
+		t.Errorf("text = %q", got)
+	}
 }
 
 func TestWhitespaceCollapsing(t *testing.T) {
@@ -126,6 +179,176 @@ func TestWhitespaceCollapsing(t *testing.T) {
 	div := doc2.Root.Children[0]
 	if len(div.Children) != 1 {
 		t.Errorf("div children = %d", len(div.Children))
+	}
+}
+
+// TestBoundarySpaces pins the inline-boundary rule: a text node
+// keeps one space where it abuts element siblings, so concatenating a
+// row's text preserves word boundaries.
+func TestBoundarySpaces(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{`<td><b>Price:</b> 9 EUR</td>`, []string{"Price:", " 9 EUR"}},
+		{`<td>from <b>9</b> EUR</td>`, []string{"from ", "9", " EUR"}},
+		{`<p>a <i>b</i></p>`, []string{"a ", "b"}},
+		{`<p><i>a</i> b</p>`, []string{"a", " b"}},
+		{`<p>no<i>gap</i></p>`, []string{"no", "gap"}},
+		// Leading whitespace with no preceding sibling still trims.
+		{`<p>  x</p>`, []string{"x"}},
+		// Trailing whitespace before the element's end tag still trims.
+		{`<p>x  </p><p>y</p>`, []string{"x", "y"}},
+		// Void elements count as element boundaries too.
+		{`<p>a <br>b</p>`, []string{"a ", "b"}},
+		// &nbsp; acts as whitespace at a boundary.
+		{`<p><b>a</b>&nbsp;b</p>`, []string{"a", " b"}},
+	}
+	for _, c := range cases {
+		doc := Parse(c.src)
+		var texts []string
+		for _, n := range doc.Nodes {
+			if n.Label == "#text" {
+				texts = append(texts, n.Text)
+			}
+		}
+		if fmt.Sprint(texts) != fmt.Sprint(c.want) {
+			t.Errorf("%s: texts = %q, want %q", c.src, texts, c.want)
+		}
+	}
+}
+
+// errReader fails after a prefix, to exercise ParseReader's only error
+// path.
+type errReader struct {
+	data string
+	pos  int
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("backend exploded")
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestParseReader(t *testing.T) {
+	src := ProductListing(rand.New(rand.NewSource(3)), 20)
+	fromString := Parse(src)
+	fromReader, err := ParseReader(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromString.Equal(fromReader) {
+		t.Error("ParseReader disagrees with Parse")
+	}
+	// One-byte-at-a-time reads must not change the result.
+	slow, err := ParseReader(iotest{strings.NewReader(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromString.Equal(slow) {
+		t.Error("one-byte reads change the parse")
+	}
+	if _, err := ParseReader(&errReader{data: "<html><p>x"}); err == nil {
+		t.Error("read error not reported")
+	}
+}
+
+// iotest delivers one byte per Read.
+type iotest struct{ r io.Reader }
+
+func (r iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return r.r.Read(p)
+}
+
+// TestStreamingMatchesNodes differential-tests the streaming arena
+// parser against the independent pointer-per-node builder on crafted
+// and generated documents.
+func TestStreamingMatchesNodes(t *testing.T) {
+	crafted := []string{
+		"",
+		"plain text only",
+		`<html><body><p>Hello <b>world</b></p></body></html>`,
+		`<table><tr><td>a<td>b<tr><td>c</table>`,
+		`<ul><li>one<li>two<li>three</ul>`,
+		`<table><tr><td><table><tr><td>x</table></table>`,
+		`<!DOCTYPE html><!-- c --><p>x &amp; &#x27;y&#X2019; &#65;</p>`,
+		`<div><script>if (a < b) { x(); }</script><p>after</p></div>`,
+		`<style>a &gt; b</STYLE>tail`,
+		`<a href="/x" class='big' data-n=5 checked>link</a>`,
+		`<a title="a>b" q='c>d'>x</a>`,
+		`</div><p>a</b></p>2 < 3`,
+		`a < b`,
+		`<p>unterminated `,
+		`<p attr="unterminated`,
+		`<script>never closed`,
+		`</unterminated`,
+		`<!-- unterminated`,
+		`<td><b>Price:</b> 9 EUR</td>`,
+		`<p>a <br>b<hr/>c </p><p>d</p>`,
+		"<div> \n <p>x</p> \n </div>",
+		`<<<>>><x/><//>`,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 6; i++ {
+		crafted = append(crafted,
+			ProductListing(rng, 5+rng.Intn(40)),
+			NewsIndex(rng, 1+rng.Intn(4), 1+rng.Intn(6)))
+	}
+	for _, src := range crafted {
+		legacy := ParseNodes(src)
+		streamed, err := ParseReader(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("%.40q: %v", src, err)
+		}
+		if !legacy.Equal(streamed) {
+			t.Errorf("parsers disagree on %.80q:\nnodes:  %s\nstream: %s", src, legacy, streamed)
+			continue
+		}
+		// Attributes agree node-by-node.
+		for j, n := range legacy.Nodes {
+			sn := streamed.Nodes[j]
+			if len(n.Attrs) != len(sn.Attrs) {
+				t.Errorf("%.40q: node %d attrs %v vs %v", src, j, n.Attrs, sn.Attrs)
+				continue
+			}
+			for k, v := range n.Attrs {
+				if sn.Attrs[k] != v {
+					t.Errorf("%.40q: node %d attr %s=%q vs %q", src, j, k, v, sn.Attrs[k])
+				}
+			}
+		}
+	}
+}
+
+// TestParseArena checks the bare-arena entry point agrees with the
+// view-building one.
+func TestParseArena(t *testing.T) {
+	src := ProductListing(rand.New(rand.NewSource(5)), 10)
+	a, err := ParseArena(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Parse(src)
+	if a.Len() != doc.Size() {
+		t.Fatalf("arena %d nodes, tree %d", a.Len(), doc.Size())
+	}
+	for _, n := range doc.Nodes {
+		if a.LabelName(int32(n.ID)) != n.Label {
+			t.Fatalf("node %d label %q vs %q", n.ID, a.LabelName(int32(n.ID)), n.Label)
+		}
+		if a.Text(int32(n.ID)) != n.Text {
+			t.Fatalf("node %d text %q vs %q", n.ID, a.Text(int32(n.ID)), n.Text)
+		}
+	}
+	if doc.Arena() == nil {
+		t.Error("parsed tree lost its arena")
 	}
 }
 
@@ -156,5 +379,83 @@ func TestGenerators(t *testing.T) {
 	// Deterministic for a fixed seed.
 	if ProductListing(rand.New(rand.NewSource(7)), 5) != ProductListing(rand.New(rand.NewSource(7)), 5) {
 		t.Error("generator not deterministic")
+	}
+}
+
+// TestWideDocument smoke-tests a wide, flat page (the product-listing
+// shape at scale) through the streaming parser.
+func TestWideDocument(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<html><body><table>")
+	const rows = 3000
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "<tr><td>item %d</td><td><b>$%d</b></td></tr>", i, i)
+	}
+	b.WriteString("</table></body></html>")
+	doc := Parse(b.String())
+	trs := 0
+	for _, n := range doc.Nodes {
+		if n.Label == "tr" {
+			trs++
+		}
+	}
+	if trs != rows {
+		t.Fatalf("tr count = %d", trs)
+	}
+	a := doc.Arena()
+	if a.Len() != doc.Size() {
+		t.Fatalf("arena size %d vs %d", a.Len(), doc.Size())
+	}
+	_ = tree.NoNode
+}
+
+// TestAttrsIndependentMaps: nodes with byte-identical attribute
+// sections must not share one Attrs map — mutating one node cannot
+// leak into another.
+func TestAttrsIndependentMaps(t *testing.T) {
+	doc := Parse(`<table><tr class="item"><td>a</td></tr><tr class="item"><td>b</td></tr></table>`)
+	var trs []*tree.Node
+	for _, n := range doc.Nodes {
+		if n.Label == "tr" {
+			trs = append(trs, n)
+		}
+	}
+	if len(trs) != 2 {
+		t.Fatalf("tr count = %d", len(trs))
+	}
+	trs[0].Attrs["visited"] = "1"
+	if _, leaked := trs[1].Attrs["visited"]; leaked {
+		t.Error("attribute mutation leaked into a sibling node")
+	}
+	if trs[1].Attrs["class"] != "item" {
+		t.Errorf("attrs = %v", trs[1].Attrs)
+	}
+}
+
+// noProgressReader returns (0, nil) forever — a misbehaving but
+// io.Reader-legal implementation that must not hang the parser.
+type noProgressReader struct{ sent bool }
+
+func (r *noProgressReader) Read(p []byte) (int, error) {
+	if !r.sent && len(p) > 0 {
+		r.sent = true
+		return copy(p, "<p>x"), nil
+	}
+	return 0, nil
+}
+
+func TestParseReaderNoProgress(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := ParseReader(&noProgressReader{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("expected io.ErrNoProgress-style error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ParseReader hung on a (0, nil) reader")
 	}
 }

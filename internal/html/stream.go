@@ -1,0 +1,635 @@
+package html
+
+import (
+	"bytes"
+	"io"
+
+	"mdlog/internal/tree"
+)
+
+// ParseReader tokenizes HTML from r in a single streaming pass and
+// builds the arena (struct-of-arrays) document tree directly — no
+// intermediate string of the whole document and no per-node pointer
+// allocations. The only possible error is a read error from r; malformed
+// HTML never fails (the parser applies the same recovery policy as
+// ParseNodes).
+func ParseReader(r io.Reader) (*tree.Tree, error) {
+	a, err := ParseArena(r)
+	if err != nil {
+		return nil, err
+	}
+	return tree.FromArena(a), nil
+}
+
+// ParseArena is ParseReader returning the bare arena, for callers that
+// drive evaluation off the arrays and never need the *Node view.
+func ParseArena(r io.Reader) (*tree.Arena, error) {
+	p := newStreamParser(r)
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.b.Finish(), nil
+}
+
+// policyTags are the tag names with structural side conditions. They
+// are interned first, so their symbol ids fit in the uint64 masks the
+// hot path tests (any document label beyond them simply has no
+// structural rule).
+var policyTags = []string{
+	"#document", "#text",
+	// void
+	"area", "base", "br", "col", "embed", "hr", "img", "input", "link",
+	"meta", "param", "source", "track", "wbr",
+	// implied-end participants
+	"li", "p", "td", "th", "tr", "option", "dt", "dd",
+	// raw text
+	"script", "style",
+}
+
+// streamParser drives the scanner and applies the tree-construction
+// policy (element stack, implied ends, raw text, boundary whitespace)
+// to an ArenaBuilder. All structural decisions happen on interned
+// symbol ids and bitmasks; strings are only allocated for first-seen
+// labels, attribute maps, and text content. It mirrors ParseNodes
+// exactly; the two are differential-tested against each other.
+type streamParser struct {
+	sc *scanner
+	b  *tree.ArenaBuilder
+
+	text    []byte // pending raw text, flushed at the next tag
+	scratch []byte // reusable token buffer
+	cbuf    []byte // reusable collapsed-text buffer
+	dbuf    []byte // reusable entity-decoded buffer
+
+	textSym  int32
+	voidMask uint64
+	rawMask  uint64
+	implied  [64]uint64 // opener symbol → mask of symbols it closes
+
+	lastText      int32 // last emitted #text node, or NoNode
+	lastTextOwner int32 // its parent at emission time
+	lastTextTrail bool  // raw chunk ended in whitespace
+
+	// strs dedups attribute names and values: real pages repeat the
+	// same handful of attributes on thousands of nodes.
+	strs map[string]string
+	// attrCache memoizes parsed attribute sections by their raw bytes
+	// — product rows carry byte-identical ` class="item"` sections, so
+	// each distinct section is tokenized (and its map allocated) once
+	// and shared across the arena's Attrs entries. tree.FromArena
+	// copies per node, preserving the pre-arena contract that
+	// Node.Attrs maps are independently mutable.
+	attrCache map[string]attrEntry
+	// lastTag memoizes the previous tag name → symbol (runs of <td>,
+	// <tr>, ... dominate real markup).
+	lastTag    []byte
+	lastTagSym int32
+}
+
+type attrEntry struct {
+	attrs     map[string]string
+	selfClose bool
+}
+
+// str returns b as a string, reusing a previously allocated copy when
+// the same bytes were seen before.
+func (p *streamParser) str(b []byte) string {
+	if s, ok := p.strs[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if p.strs == nil {
+		p.strs = make(map[string]string, 8)
+	}
+	p.strs[s] = s
+	return s
+}
+
+func newStreamParser(r io.Reader) *streamParser {
+	p := &streamParser{
+		sc:       newScanner(r),
+		b:        tree.NewArenaBuilder(),
+		lastText: tree.NoNode,
+	}
+	// Pre-size the arena when the reader knows its length (strings
+	// and bytes readers do): HTML runs roughly one node per dozen
+	// bytes, and overshoot is cheap int32 columns.
+	if sized, ok := r.(interface{ Len() int }); ok {
+		p.b.Grow(sized.Len()/10 + 64)
+	} else {
+		p.b.Grow(512)
+	}
+	syms := p.b.Syms()
+	for _, tag := range policyTags {
+		syms.Intern(tag)
+	}
+	p.textSym = syms.ID("#text")
+	for tag := range voidElements {
+		p.voidMask |= 1 << uint(syms.ID(tag))
+	}
+	for tag := range rawText {
+		p.rawMask |= 1 << uint(syms.ID(tag))
+	}
+	for opener, closers := range impliedEnd {
+		var m uint64
+		for _, c := range closers {
+			m |= 1 << uint(syms.ID(c))
+		}
+		p.implied[syms.ID(opener)] = m
+	}
+	p.b.OpenSym(syms.ID("#document"))
+	return p
+}
+
+func (p *streamParser) flushText() {
+	if len(p.text) == 0 {
+		return
+	}
+	raw := p.text
+	if bytes.IndexByte(raw, '&') >= 0 {
+		// Slow path: resolve character references first.
+		p.dbuf = append(p.dbuf[:0], decodeCharRefs(string(raw))...)
+		raw = p.dbuf
+	}
+	lead := len(raw) > 0 && isTextSpace(raw[0])
+	trail := len(raw) > 0 && isTextSpace(raw[len(raw)-1])
+	// Collapse after a sentinel space, so a preserved leading boundary
+	// space is already in place.
+	buf := append(p.cbuf[:0], ' ')
+	buf = collapseBytes(buf, raw)
+	p.cbuf = buf
+	p.text = p.text[:0]
+	if len(buf) == 1 {
+		return // whitespace-only: no node
+	}
+	top := p.b.Top()
+	body := buf[1:]
+	if lead && p.b.HasChildren(top) {
+		body = buf
+	}
+	id := p.b.OpenSym(p.textSym)
+	p.b.AppendTextBytes(id, body)
+	p.b.Close()
+	p.lastText, p.lastTextOwner, p.lastTextTrail = id, top, trail
+}
+
+// elementBoundary restores the trailing boundary space of the
+// preceding text node when an element is appended right after it.
+func (p *streamParser) elementBoundary() {
+	if p.lastText != tree.NoNode && p.lastTextOwner == p.b.Top() && p.lastTextTrail {
+		p.b.AppendText(p.lastText, " ")
+	}
+	p.lastText = tree.NoNode
+}
+
+func (p *streamParser) openTag(sym int32, attrs map[string]string, selfClose bool) {
+	if sym < 64 {
+		if closers := p.implied[sym]; closers != 0 {
+			for p.b.Depth() > 1 {
+				ts := p.b.OpenLabel(0)
+				if ts < 64 && closers&(1<<uint(ts)) != 0 {
+					p.b.Close()
+				} else {
+					break
+				}
+			}
+		}
+	}
+	p.elementBoundary()
+	id := p.b.OpenSym(sym)
+	p.b.SetAttrs(id, attrs)
+	if selfClose || (sym < 64 && p.voidMask&(1<<uint(sym)) != 0) {
+		p.b.Close()
+	}
+}
+
+func (p *streamParser) closeTag(sym int32) {
+	if sym < 0 {
+		return // label never seen: cannot be open
+	}
+	for k := 0; k < p.b.Depth()-1; k++ {
+		if p.b.OpenLabel(k) == sym {
+			for j := 0; j <= k; j++ {
+				p.b.Close()
+			}
+			return
+		}
+	}
+	// Unmatched end tag: ignored.
+}
+
+func (p *streamParser) run() error {
+	sc := p.sc
+	syms := p.b.Syms()
+	for {
+		// Accumulate text up to the next '<' (left unconsumed).
+		var found bool
+		p.text, found = sc.appendUntilByte(p.text, '<')
+		if !found {
+			p.flushText()
+			return sc.err
+		}
+		c1, ok := sc.peekAt(1)
+		if !ok {
+			// Lone '<' at EOF: literal text.
+			p.text = append(p.text, '<')
+			sc.skip(1)
+			p.flushText()
+			return sc.err
+		}
+		switch {
+		case c1 == '!' || c1 == '?':
+			p.flushText()
+			c2, _ := sc.peekAt(2)
+			c3, _ := sc.peekAt(3)
+			if c1 == '!' && c2 == '-' && c3 == '-' {
+				sc.skip(4)
+				p.scratch, _ = sc.appendUntilString(p.scratch[:0], "-->", false)
+			} else {
+				sc.skip(1)
+				p.scratch, found = sc.appendUntilByte(p.scratch[:0], '>')
+				if found {
+					sc.skip(1)
+				}
+			}
+		case c1 == '/':
+			p.flushText()
+			sc.skip(2)
+			p.scratch, found = sc.appendUntilByte(p.scratch[:0], '>')
+			if !found {
+				// Unterminated end tag at EOF: discarded.
+				return sc.err
+			}
+			sc.skip(1)
+			name := lowerASCII(trimSpaceBytes(p.scratch))
+			p.closeTag(syms.IDBytes(name))
+		case isNameByte(c1):
+			p.flushText()
+			sc.skip(1)
+			p.scratch = sc.readTag(p.scratch[:0])
+			nameEnd := 0
+			for nameEnd < len(p.scratch) && isNameByte(p.scratch[nameEnd]) {
+				nameEnd++
+			}
+			name := lowerASCII(p.scratch[:nameEnd])
+			var sym int32
+			if bytes.Equal(name, p.lastTag) {
+				sym = p.lastTagSym
+			} else {
+				sym = syms.InternBytes(name)
+				p.lastTag = append(p.lastTag[:0], name...)
+				p.lastTagSym = sym
+			}
+			attrs, selfClose := p.scanAttrs(p.scratch[nameEnd:])
+			p.openTag(sym, attrs, selfClose)
+			if !selfClose && sym < 64 && p.rawMask&(1<<uint(sym)) != 0 {
+				var content []byte
+				content, found = sc.appendUntilString(nil, "</"+string(name), true)
+				if !found {
+					// Unterminated raw text: content discarded, element closed.
+					p.closeTag(sym)
+					return sc.err
+				}
+				if len(trimSpaceBytes(content)) > 0 {
+					id := p.b.OpenSym(p.textSym)
+					p.b.AppendTextBytes(id, content)
+					p.b.Close()
+				}
+				p.scratch, found = sc.appendUntilByte(p.scratch[:0], '>')
+				if found {
+					sc.skip(1)
+				}
+				p.closeTag(sym)
+			}
+		default:
+			// Stray '<' that does not start a tag: literal text.
+			p.text = append(p.text, '<')
+			sc.skip(1)
+		}
+	}
+}
+
+// scanAttrs parses the attribute section of a start tag, memoizing by
+// the raw section bytes (see attrCache).
+func (p *streamParser) scanAttrs(s []byte) (map[string]string, bool) {
+	empty := true
+	for _, c := range s {
+		if !isSpace(c) {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return nil, false
+	}
+	if e, ok := p.attrCache[string(s)]; ok {
+		return e.attrs, e.selfClose
+	}
+	key := string(s) // copy before scanAttrsBytes lowercases s in place
+	attrs, selfClose := p.scanAttrsBytes(s)
+	if p.attrCache == nil {
+		p.attrCache = make(map[string]attrEntry, 8)
+	}
+	p.attrCache[key] = attrEntry{attrs, selfClose}
+	return attrs, selfClose
+}
+
+// scanAttrsBytes parses the attribute section of a start tag (the
+// bytes after the name, '>' excluded) with exactly the rules of
+// scanTag, allocating only when attributes are present.
+func (p *streamParser) scanAttrsBytes(s []byte) (map[string]string, bool) {
+	var attrs map[string]string
+	selfClose := false
+	j := 0
+	for j < len(s) {
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		if s[j] == '/' {
+			selfClose = true
+			j++
+			continue
+		}
+		aStart := j
+		for j < len(s) && s[j] != '=' && s[j] != '/' && !isSpace(s[j]) {
+			j++
+		}
+		aName := lowerASCII(s[aStart:j])
+		vStart, vEnd := -1, -1
+		if j < len(s) && s[j] == '=' {
+			j++
+			for j < len(s) && isSpace(s[j]) {
+				j++
+			}
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				q := s[j]
+				j++
+				vStart = j
+				for j < len(s) && s[j] != q {
+					j++
+				}
+				vEnd = j
+				if j < len(s) {
+					j++
+				}
+			} else {
+				vStart = j
+				for j < len(s) && !isSpace(s[j]) {
+					j++
+				}
+				vEnd = j
+			}
+		}
+		if len(aName) > 0 {
+			if attrs == nil {
+				attrs = map[string]string{}
+			}
+			val := ""
+			if vStart >= 0 {
+				// The cache holds the raw value; decodeEntities returns
+				// its input unchanged (no alloc) unless references or
+				// uncollapsed whitespace are present.
+				val = decodeEntities(p.str(s[vStart:vEnd]))
+			}
+			attrs[p.str(aName)] = val
+		}
+	}
+	return attrs, selfClose
+}
+
+// lowerASCII lowercases b in place (the caller owns the buffer) and
+// returns it.
+func lowerASCII(b []byte) []byte {
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return b
+}
+
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// collapseBytes appends src to dst with runs of ASCII whitespace
+// collapsed to single spaces and leading/trailing whitespace dropped
+// (the byte-level twin of collapseSpace). src must not alias dst's
+// free capacity.
+func collapseBytes(dst, src []byte) []byte {
+	i, n := 0, len(src)
+	first := true
+	for i < n {
+		for i < n && isTextSpace(src[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		for i < n && !isTextSpace(src[i]) {
+			i++
+		}
+		if !first {
+			dst = append(dst, ' ')
+		}
+		first = false
+		dst = append(dst, src[start:i]...)
+	}
+	return dst
+}
+
+// scanner is a buffered window over an io.Reader supporting the
+// tokenizer's access patterns — bounded lookahead, run-until-delimiter
+// and run-until-substring — while touching each input byte O(1) times.
+type scanner struct {
+	r        io.Reader
+	buf      []byte
+	pos, end int
+	eof      bool
+	err      error // first non-EOF read error, reported at the end
+	// zeroReads counts consecutive (0, nil) reads; like bufio, the
+	// scanner gives up with io.ErrNoProgress instead of spinning on a
+	// misbehaving reader.
+	zeroReads int
+}
+
+const (
+	scannerBufSize = 64 * 1024
+	maxEmptyReads  = 100
+)
+
+func newScanner(r io.Reader) *scanner {
+	return &scanner{r: r, buf: make([]byte, scannerBufSize)}
+}
+
+// refill compacts the unread tail to the front of the window and
+// reads once into the free space, updating eof/err (the single
+// progress-guarded read path every refill loop goes through).
+func (s *scanner) refill() {
+	copy(s.buf, s.buf[s.pos:s.end])
+	s.end -= s.pos
+	s.pos = 0
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if n > 0 {
+		s.zeroReads = 0
+	} else if err == nil {
+		s.zeroReads++
+		if s.zeroReads >= maxEmptyReads {
+			err = io.ErrNoProgress
+		}
+	}
+	if err != nil {
+		s.eof = true
+		if err != io.EOF {
+			s.err = err
+		}
+	}
+}
+
+// more refills the window if needed; it reports whether any unread
+// bytes are available.
+func (s *scanner) more() bool {
+	for s.pos >= s.end {
+		if s.eof {
+			return false
+		}
+		s.refill()
+	}
+	return true
+}
+
+// peekAt returns the k-th unread byte without consuming it, growing
+// the window as needed (k must be far below the buffer size).
+func (s *scanner) peekAt(k int) (byte, bool) {
+	for s.end-s.pos <= k {
+		if s.eof {
+			return 0, false
+		}
+		s.refill()
+	}
+	return s.buf[s.pos+k], true
+}
+
+// skip consumes n bytes (which must be available in the window).
+func (s *scanner) skip(n int) { s.pos += n }
+
+// appendUntilByte appends unread bytes to dst up to (not including)
+// the first occurrence of delim, consuming them. It reports whether
+// delim was found; on false the input is exhausted.
+func (s *scanner) appendUntilByte(dst []byte, delim byte) ([]byte, bool) {
+	for {
+		if !s.more() {
+			return dst, false
+		}
+		w := s.buf[s.pos:s.end]
+		if idx := bytes.IndexByte(w, delim); idx >= 0 {
+			dst = append(dst, w[:idx]...)
+			s.pos += idx
+			return dst, true
+		}
+		dst = append(dst, w...)
+		s.pos = s.end
+	}
+}
+
+// appendUntilString appends unread bytes to dst up to the first
+// occurrence of pat (ASCII, lowercase when fold is set), consuming
+// them and pat itself. It reports whether pat was found.
+func (s *scanner) appendUntilString(dst []byte, pat string, fold bool) ([]byte, bool) {
+	for {
+		if !s.more() {
+			return dst, false
+		}
+		w := s.buf[s.pos:s.end]
+		if idx := indexPat(w, pat, fold); idx >= 0 {
+			dst = append(dst, w[:idx]...)
+			s.pos += idx + len(pat)
+			return dst, true
+		}
+		// Keep a pattern-sized tail in the window: the match may
+		// straddle the refill boundary.
+		safe := len(w) - (len(pat) - 1)
+		if safe > 0 {
+			dst = append(dst, w[:safe]...)
+			s.pos += safe
+		}
+		if s.eof {
+			dst = append(dst, s.buf[s.pos:s.end]...)
+			s.pos = s.end
+			return dst, false
+		}
+		// Refill so the window grows past the kept tail.
+		s.refill()
+	}
+}
+
+// readTag consumes a start tag's content through its closing '>'
+// (skipping quoted attribute values) and returns the content without
+// the '>'. At EOF the remaining input is the content, as in ParseNodes.
+func (s *scanner) readTag(dst []byte) []byte {
+	var quote byte
+	for {
+		if !s.more() {
+			return dst
+		}
+		w := s.buf[s.pos:s.end]
+		for i := 0; i < len(w); i++ {
+			c := w[i]
+			if quote != 0 {
+				if c == quote {
+					quote = 0
+				}
+				continue
+			}
+			switch c {
+			case '"', '\'':
+				quote = c
+			case '>':
+				dst = append(dst, w[:i]...)
+				s.pos += i + 1
+				return dst
+			}
+		}
+		dst = append(dst, w...)
+		s.pos = s.end
+	}
+}
+
+// indexPat finds pat in w; with fold set the comparison is
+// ASCII-case-insensitive (pat must be lowercase).
+func indexPat(w []byte, pat string, fold bool) int {
+	if len(pat) == 0 || len(w) < len(pat) {
+		return -1
+	}
+	if !fold {
+		return bytes.Index(w, []byte(pat))
+	}
+	for i := 0; i+len(pat) <= len(w); i++ {
+		ok := true
+		for j := 0; j < len(pat); j++ {
+			c := w[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != pat[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Node is a node of an ordered, labeled, unranked tree. Children are
@@ -38,14 +39,22 @@ type Node struct {
 
 	Parent   *Node
 	Children []*Node
+
+	// pos caches the node's 0-based position among its siblings, so
+	// NextSibling/PrevSibling are O(1) instead of scanning the parent's
+	// child list (quadratic on wide nodes). It is maintained by Add,
+	// Reindex and FromArena; childIndex validates it before trusting it,
+	// so hand-mutated trees degrade to the scan instead of misbehaving.
+	pos int
 }
 
 // New returns a fresh node with the given label and children,
 // setting parent pointers.
 func New(label string, children ...*Node) *Node {
 	n := &Node{Label: label, Children: children}
-	for _, c := range children {
+	for i, c := range children {
 		c.Parent = n
+		c.pos = i
 	}
 	return n
 }
@@ -59,8 +68,9 @@ func NewText(text string) *Node {
 // Add appends children to n, setting their parent pointers, and
 // returns n for chaining.
 func (n *Node) Add(children ...*Node) *Node {
-	for _, c := range children {
+	for i, c := range children {
 		c.Parent = n
+		c.pos = len(n.Children) + i
 	}
 	n.Children = append(n.Children, children...)
 	return n
@@ -83,13 +93,19 @@ func (n *Node) LastChild() *Node {
 }
 
 // childIndex returns i such that n is the i-th child (0-based) of its
-// parent, or -1 if n has no parent.
+// parent, or -1 if n has no parent. The cached position makes this
+// O(1) on trees built through the package constructors; the scan is
+// the fallback for hand-rewired trees whose cache is stale.
 func (n *Node) childIndex() int {
 	if n.Parent == nil {
 		return -1
 	}
+	if n.pos < len(n.Parent.Children) && n.Parent.Children[n.pos] == n {
+		return n.pos
+	}
 	for i, c := range n.Parent.Children {
 		if c == n {
+			n.pos = i
 			return i
 		}
 	}
@@ -138,6 +154,9 @@ type Tree struct {
 	Root *Node
 	// Nodes lists all nodes in document order; Nodes[i].ID == i.
 	Nodes []*Node
+
+	// arena memoizes the struct-of-arrays representation (see Arena).
+	arena atomic.Pointer[Arena]
 }
 
 // NewTree indexes the tree rooted at root and returns it. It assigns
@@ -149,7 +168,8 @@ func NewTree(root *Node) *Tree {
 	return t
 }
 
-// Reindex reassigns document-order IDs after structural modification.
+// Reindex reassigns document-order IDs after structural modification
+// and drops any memoized arena (it would describe the old shape).
 func (t *Tree) Reindex() {
 	t.Nodes = t.Nodes[:0]
 	var walk func(n, parent *Node)
@@ -157,11 +177,13 @@ func (t *Tree) Reindex() {
 		n.Parent = parent
 		n.ID = len(t.Nodes)
 		t.Nodes = append(t.Nodes, n)
-		for _, c := range n.Children {
+		for i, c := range n.Children {
+			c.pos = i
 			walk(c, n)
 		}
 	}
 	walk(t.Root, nil)
+	t.arena.Store(nil)
 }
 
 // Size returns |dom|, the number of nodes.

@@ -20,6 +20,7 @@ package mdlog
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"mdlog/internal/caterpillar"
 	"mdlog/internal/datalog"
@@ -56,6 +57,12 @@ func NewNode(label string, children ...*Node) *Node { return tree.New(label, chi
 // ParseHTML parses an HTML document into its tree (the pre-parsed
 // document model the paper assumes as a front end).
 func ParseHTML(src string) *Tree { return html.Parse(src) }
+
+// ParseHTMLReader parses an HTML document from a stream: a single
+// tokenizer pass builds the arena (struct-of-arrays) representation
+// the evaluation engines index directly, without materializing the
+// source as one string. The only possible error is a read error.
+func ParseHTMLReader(r io.Reader) (*Tree, error) { return html.ParseReader(r) }
 
 // Datalog (Section 3).
 type (

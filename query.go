@@ -92,6 +92,11 @@ type Stats = eval.Stats
 // sharing the cache.
 type TreeCache = eval.TreeCache
 
+// CacheStats is a snapshot of a TreeCache's contents and traffic (see
+// TreeCache.Stats): cached trees, memoized per-(query, tree) results,
+// hit/miss counts, and results evicted to enforce the per-tree bound.
+type CacheStats = eval.CacheStats
+
 // NewTreeCache builds a cache retaining state for up to maxTrees
 // documents (≤ 0: unbounded).
 func NewTreeCache(maxTrees int) *TreeCache { return eval.NewTreeCache(maxTrees) }

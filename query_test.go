@@ -3,7 +3,9 @@ package mdlog
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -476,3 +478,74 @@ func TestShimsMatchCompiled(t *testing.T) {
 		t.Errorf("CaterpillarSelect disagrees with compiled route")
 	}
 }
+
+// TestRunnerSelectHTMLStream drives raw HTML readers through the
+// worker pool: streaming parse (arena ingestion) + Select per worker,
+// results in input order.
+func TestRunnerSelectHTMLStream(t *testing.T) {
+	q, err := Compile(`//td[b]`, LangXPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	srcs := make([]string, 24)
+	want := make([][]int, len(srcs))
+	for i := range srcs {
+		srcs[i] = html.ProductListing(rng, 3+i)
+		ids, err := q.Select(ctx, ParseHTML(srcs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ids
+	}
+
+	in := make(chan io.Reader)
+	go func() {
+		defer close(in)
+		for _, s := range srcs {
+			in <- strings.NewReader(s)
+		}
+	}()
+	r := Runner{Workers: 6}
+	i := 0
+	for x := range r.SelectHTMLStream(ctx, q, in) {
+		if x.Err != nil {
+			t.Fatalf("doc %d: %v", i, x.Err)
+		}
+		if x.Index != i {
+			t.Fatalf("result %d has index %d", i, x.Index)
+		}
+		if x.Doc == nil || x.Doc.Size() == 0 {
+			t.Fatalf("doc %d missing parsed tree", i)
+		}
+		if fmt.Sprint(x.Nodes) != fmt.Sprint(want[i]) {
+			t.Errorf("doc %d: %v, want %v", i, x.Nodes, want[i])
+		}
+		i++
+	}
+	if i != len(srcs) {
+		t.Fatalf("yielded %d of %d", i, len(srcs))
+	}
+
+	// A failing reader surfaces as a per-document error, not a hang.
+	in2 := make(chan io.Reader, 2)
+	in2 <- strings.NewReader(srcs[0])
+	in2 <- iotestErrReader{}
+	close(in2)
+	var errs, oks int
+	for x := range r.SelectHTMLStream(ctx, q, in2) {
+		if x.Err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if errs != 1 || oks != 1 {
+		t.Errorf("errs=%d oks=%d", errs, oks)
+	}
+}
+
+type iotestErrReader struct{}
+
+func (iotestErrReader) Read([]byte) (int, error) { return 0, fmt.Errorf("boom") }

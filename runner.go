@@ -9,8 +9,10 @@ package mdlog
 
 import (
 	"context"
+	"io"
 
 	"mdlog/internal/eval"
+	"mdlog/internal/html"
 	"mdlog/internal/tree"
 )
 
@@ -78,6 +80,35 @@ func (r Runner) SelectStream(ctx context.Context, q *CompiledQuery, docs <-chan 
 		defer close(out)
 		for x := range res {
 			out <- SelectResult{Index: x.Index, Doc: x.Doc, Nodes: x.Value, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// SelectHTMLStream is SelectStream for raw HTML: each document is
+// parsed from its reader inside the worker pool (the streaming arena
+// ingestion path), then run through q.Select — so tokenization,
+// tree construction and evaluation all fan out together. The result's
+// Doc is the parsed tree; a parse (read) error surfaces in Err with a
+// nil Doc. Channel semantics are those of SelectStream.
+func (r Runner) SelectHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-chan io.Reader) <-chan SelectResult {
+	type parsed struct {
+		doc   *Tree
+		nodes []int
+	}
+	res := eval.MapStreamFrom(ctx, r.pool(), srcs, func(ctx context.Context, rd io.Reader) (parsed, error) {
+		doc, err := html.ParseReader(rd)
+		if err != nil {
+			return parsed{}, err
+		}
+		nodes, err := q.Select(ctx, doc)
+		return parsed{doc: doc, nodes: nodes}, err
+	}, nil)
+	out := make(chan SelectResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SelectResult{Index: x.Index, Doc: x.Value.doc, Nodes: x.Value.nodes, Err: x.Err}
 		}
 	}()
 	return out
