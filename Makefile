@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service docs-gate
 
-check: vet build race bench-smoke
+check: docs-gate build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The docs gate: formatting, vet, and the exported-doc-comment check
+# on the root package (doccheck_test.go). gofmt -l prints offenders;
+# grep inverts that into a pass/fail.
+docs-gate: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l:"; echo "$$out"; exit 1; fi
+	$(GO) test -run TestDocComments .
+
 # One iteration per benchmark: catches bit-rot without burning CI time.
 # Also emits BENCH_treesize.json (substrate parse/materialize/select
 # ns-per-node at 1k/10k nodes in quick mode) so every CI run archives
@@ -29,6 +36,11 @@ bench-smoke:
 # Full-size substrate scaling points (1k/10k/100k nodes).
 bench-treesize:
 	$(GO) run ./cmd/benchtables -treesize BENCH_treesize.json
+
+# Serving-layer overhead (EXT-SERVICE): direct Select vs HTTP extract
+# vs 16-document batch, written to BENCH_service.txt (CI artifact).
+bench-service:
+	$(GO) test -run '^$$' -bench BenchmarkServicePath -benchtime 2s ./internal/service | tee BENCH_service.txt
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

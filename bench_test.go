@@ -7,6 +7,7 @@ package mdlog
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -527,4 +528,52 @@ q(X) :- label_td(X), firstchild(X,Y), label_b(Y).
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nodes), "ns/node")
 	})
+}
+
+// BenchmarkHTMLStreamIngestion — EXT-SERVICE (library side): the
+// ingestion fan-out under mdlogd's /batch endpoint. A batch of raw
+// HTML pages is pushed through Runner.SelectHTMLStream, so tokenize →
+// arena-build → evaluate all run inside the worker pool; the
+// sequential lane is the same pipeline without the pool.
+func BenchmarkHTMLStreamIngestion(b *testing.B) {
+	ctx := context.Background()
+	q, err := Compile("//tr[td/b]/td", LangXPath, WithoutCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	pages := make([]string, 16)
+	for i := range pages {
+		pages[i] = html.ProductListing(rng, 100)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pages {
+				doc, err := ParseHTMLReader(strings.NewReader(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.Select(ctx, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("stream/workers=%d", workers), func(b *testing.B) {
+			r := Runner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				srcs := make(chan io.Reader, len(pages))
+				for _, p := range pages {
+					srcs <- strings.NewReader(p)
+				}
+				close(srcs)
+				for res := range r.SelectHTMLStream(ctx, q, srcs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
 }

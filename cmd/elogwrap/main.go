@@ -11,8 +11,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,21 +22,43 @@ import (
 	"mdlog/internal/wrap"
 )
 
+// errFlagParse marks a flag error the FlagSet itself already
+// reported on stderr; main exits nonzero without repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "elogwrap: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: XML on stdout, assignments
+// (with -assign) on stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("elogwrap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		programFile = flag.String("program", "", "Elog program file (required)")
-		patterns    = flag.String("patterns", "", "comma-separated patterns to extract (default: all)")
-		keepText    = flag.Bool("text", true, "copy #text content into the output")
-		showAssign  = flag.Bool("assign", false, "also print the node assignment per pattern")
-		workers     = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		programFile = fs.String("program", "", "Elog program file (required)")
+		patterns    = fs.String("patterns", "", "comma-separated patterns to extract (default: all)")
+		keepText    = fs.Bool("text", true, "copy #text content into the output")
+		showAssign  = fs.Bool("assign", false, "also print the node assignment per pattern")
+		workers     = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
 	)
-	flag.Parse()
-	if *programFile == "" || flag.NArg() == 0 {
-		fail("need -program and at least one HTML file argument")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errFlagParse // the FlagSet already printed the error + usage
+	}
+	if *programFile == "" || fs.NArg() == 0 {
+		return fmt.Errorf("need -program and at least one HTML file argument")
 	}
 	src, err := os.ReadFile(*programFile)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	opts := []mdlog.Option{mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: *keepText})}
 	if *patterns != "" {
@@ -42,14 +66,14 @@ func main() {
 	}
 	q, err := mdlog.Compile(string(src), mdlog.LangElog, opts...)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
-	docs := make([]*mdlog.Tree, flag.NArg())
-	for i, f := range flag.Args() {
+	docs := make([]*mdlog.Tree, fs.NArg())
+	for i, f := range fs.Args() {
 		page, err := os.ReadFile(f)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		docs[i] = mdlog.ParseHTML(string(page))
 	}
@@ -57,23 +81,19 @@ func main() {
 	results := (mdlog.Runner{Workers: *workers}).WrapAll(context.Background(), q, docs)
 	for i, res := range results {
 		if res.Err != nil {
-			fail("%s: %v", flag.Arg(i), res.Err)
+			return fmt.Errorf("%s: %w", fs.Arg(i), res.Err)
 		}
 		if len(results) > 1 {
-			fmt.Printf("<!-- %s -->\n", flag.Arg(i))
+			fmt.Fprintf(stdout, "<!-- %s -->\n", fs.Arg(i))
 		}
 		if *showAssign {
 			for pat, ids := range res.Assignment {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", pat, ids)
+				fmt.Fprintf(stderr, "%s: %v\n", pat, ids)
 			}
 		}
-		if err := wrap.WriteXML(os.Stdout, res.Output); err != nil {
-			fail("%v", err)
+		if err := wrap.WriteXML(stdout, res.Output); err != nil {
+			return err
 		}
 	}
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "elogwrap: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+// CLI smoke tests: run() against a fixture wrapper and page, golden
+// XML output (regenerate with `go test ./cmd/elogwrap -update`).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenWrapSingleDoc(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-program", "testdata/wrapper.elog", "testdata/page.html"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "wrap_single.golden", out.Bytes())
+}
+
+func TestGoldenWrapMultiDocPatterns(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-program", "testdata/wrapper.elog", "-patterns", "price",
+		"testdata/page.html", "testdata/page.html",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "wrap_multi_price.golden", out.Bytes())
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"testdata/page.html"}, &out, &errb); err == nil {
+		t.Error("want an error without -program")
+	}
+	if err := run([]string{"-program", "testdata/wrapper.elog"}, &out, &errb); err == nil {
+		t.Error("want an error without documents")
+	}
+	if err := run([]string{"-program", "testdata/missing.elog", "testdata/page.html"}, &out, &errb); err == nil {
+		t.Error("want an error for a missing program file")
+	}
+}

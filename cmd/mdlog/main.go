@@ -14,8 +14,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	mdlog "mdlog"
@@ -26,46 +28,68 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// errFlagParse marks a flag error the FlagSet itself already
+// reported on stderr; main exits nonzero without repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "mdlog: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: flags in, report on stdout,
+// statistics on stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdlog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		langArg     = flag.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
-		programFile = flag.String("program", "", "query source file")
-		queryArg    = flag.String("query", "", "query source text (alternative to -program)")
+		langArg     = fs.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
+		programFile = fs.String("program", "", "query source file")
+		queryArg    = fs.String("query", "", "query source text (alternative to -program)")
 		treeArgs    multiFlag
 		treeFiles   multiFlag
 		htmlFiles   multiFlag
-		engineArg   = flag.String("engine", "linear", "datalog engine: linear, seminaive, naive, lit")
-		predArg     = flag.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
-		workers     = flag.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
-		showTree    = flag.Bool("print-tree", false, "print each document tree with node ids")
-		showStats   = flag.Bool("stats", false, "print compile/run statistics to stderr")
+		engineArg   = fs.String("engine", "linear", "datalog engine: linear, seminaive, naive, lit")
+		predArg     = fs.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
+		workers     = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
+		showTree    = fs.Bool("print-tree", false, "print each document tree with node ids")
+		showStats   = fs.Bool("stats", false, "print compile/run statistics to stderr")
 	)
-	flag.Var(&treeArgs, "tree", "document in term syntax, e.g. a(b,c); repeatable")
-	flag.Var(&treeFiles, "treefile", "file containing a tree in term syntax; repeatable")
-	flag.Var(&htmlFiles, "html", "HTML document file; repeatable")
-	flag.Parse()
+	fs.Var(&treeArgs, "tree", "document in term syntax, e.g. a(b,c); repeatable")
+	fs.Var(&treeFiles, "treefile", "file containing a tree in term syntax; repeatable")
+	fs.Var(&htmlFiles, "html", "HTML document file; repeatable")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errFlagParse // the FlagSet already printed the error + usage
+	}
 
 	if *programFile != "" && *queryArg != "" {
-		fail("-program and -query are alternatives; provide one")
+		return fmt.Errorf("-program and -query are alternatives; provide one")
 	}
 	src := *queryArg
 	if *programFile != "" {
 		b, err := os.ReadFile(*programFile)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		src = string(b)
 	}
 	if src == "" {
-		fail("provide -program or -query")
+		return fmt.Errorf("provide -program or -query")
 	}
 	lang, err := mdlog.ParseLanguage(*langArg)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	engine, err := mdlog.ParseEngineFlag(*engineArg)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	opts := []mdlog.Option{mdlog.WithEngine(engine)}
 	if *predArg != "" {
@@ -73,19 +97,19 @@ func main() {
 	}
 	q, err := mdlog.Compile(src, lang, opts...)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 
 	docs, err := loadDocs(treeArgs, treeFiles, htmlFiles)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if len(docs) == 0 {
-		fail("provide at least one -tree, -treefile or -html")
+		return fmt.Errorf("provide at least one -tree, -treefile or -html")
 	}
 	if *showTree {
 		for _, d := range docs {
-			fmt.Print(d.Pretty())
+			fmt.Fprint(stdout, d.Pretty())
 		}
 	}
 
@@ -96,28 +120,29 @@ func main() {
 			preds = []string{q.QueryPred()}
 		}
 		for _, pred := range preds {
-			fmt.Printf("%s%s: %v\n", prefix, pred, db.UnarySet(pred))
+			fmt.Fprintf(stdout, "%s%s: %v\n", prefix, pred, db.UnarySet(pred))
 		}
 	}
 	if len(docs) == 1 {
 		db, err := q.Eval(ctx, docs[0])
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		print("", db)
 	} else {
 		for _, res := range (mdlog.Runner{Workers: *workers}).EvalAll(ctx, q, docs) {
 			if res.Err != nil {
-				fail("document %d: %v", res.Index, res.Err)
+				return fmt.Errorf("document %d: %w", res.Index, res.Err)
 			}
 			print(fmt.Sprintf("[doc %d] ", res.Index), res.DB)
 		}
 	}
 	if *showStats {
 		s := q.Stats()
-		fmt.Fprintf(os.Stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
+		fmt.Fprintf(stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
 			s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
 	}
+	return nil
 }
 
 func loadDocs(terms, termFiles, htmlFiles []string) ([]*mdlog.Tree, error) {
@@ -148,9 +173,4 @@ func loadDocs(terms, termFiles, htmlFiles []string) ([]*mdlog.Tree, error) {
 		docs = append(docs, mdlog.ParseHTML(string(b)))
 	}
 	return docs, nil
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "mdlog: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,77 @@
+package main
+
+// CLI smoke tests: run() against fixture documents, golden output
+// (regenerate with `go test ./cmd/mdlog -update`).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenDatalogOnHTML(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-program", "testdata/wrapper.dl", "-html", "testdata/page.html"}, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "datalog_html.golden", out.Bytes())
+}
+
+func TestGoldenXPathMultiDoc(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-lang", "xpath", "-query", "//td[b]",
+		"-html", "testdata/page.html", "-html", "testdata/page.html",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "xpath_multidoc.golden", out.Bytes())
+}
+
+func TestGoldenTermTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-query", "p(X) :- label_b(X). ?- p.", "-tree", "a(b,c(b))", "-print-tree"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "term_tree.golden", out.Bytes())
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-tree", "a"}, &out, &errb); err == nil {
+		t.Error("want an error without -program/-query")
+	}
+	if err := run([]string{"-query", "p(X) :- q(X).", "-lang", "nope", "-tree", "a"}, &out, &errb); err == nil {
+		t.Error("want an error for an unknown language")
+	}
+	if err := run([]string{"-query", "p(X) :- label_a(X). ?- p."}, &out, &errb); err == nil {
+		t.Error("want an error without documents")
+	}
+	if err := run([]string{"-h"}, &out, &errb); err != nil {
+		t.Errorf("-h should print usage and succeed, got %v", err)
+	}
+}

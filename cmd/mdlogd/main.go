@@ -1,0 +1,89 @@
+// Command mdlogd is the wrapper-serving daemon: it holds a registry of
+// compiled wrappers (any of the paper's six languages) and serves
+// extraction over HTTP — single documents via POST /extract/{name},
+// multi-document batches via POST /batch/{name}, wrapper management
+// via PUT/GET/DELETE /wrappers/{name}, and observability via GET
+// /stats and GET /metrics. See README.md §mdlogd for the endpoint and
+// config reference.
+//
+//	mdlogd -config mdlogd.json
+//	mdlogd -addr :8090 -workers 8 -max-inflight 64
+//
+// Flags override the config file. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests within the configured
+// grace window.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mdlog/internal/service"
+)
+
+// errFlagParse marks a flag error the FlagSet itself already
+// reported on stderr; main exits nonzero without repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "mdlogd: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run parses flags, boots the server from the config (if any), and
+// serves until ctx is canceled. Split from main for tests.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdlogd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configFile  = fs.String("config", "", "JSON config file (addr, workers, limits, boot wrappers)")
+		addr        = fs.String("addr", "", "listen address (overrides config; default "+service.DefaultAddr+")")
+		workers     = fs.Int("workers", 0, "batch fan-out worker pool size (0: GOMAXPROCS)")
+		maxInflight = fs.Int("max-inflight", 0, "admitted extraction requests bound (0: default, <0: unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errFlagParse // the FlagSet already printed the error + usage
+	}
+	cfg := &service.Config{}
+	if *configFile != "" {
+		loaded, err := service.LoadConfig(*configFile)
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
+	if *maxInflight != 0 {
+		cfg.MaxInFlight = *maxInflight
+	}
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	listenAddr := cfg.Addr
+	if listenAddr == "" {
+		listenAddr = service.DefaultAddr
+	}
+	fmt.Fprintf(stderr, "mdlogd: serving %d wrapper(s) on %s\n", s.Registry().Len(), listenAddr)
+	return s.ListenAndServe(ctx, listenAddr)
+}

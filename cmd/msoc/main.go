@@ -10,8 +10,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,67 +21,84 @@ import (
 	"mdlog/internal/mso"
 )
 
+// errFlagParse marks a flag error the FlagSet itself already
+// reported on stderr; main exits nonzero without repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "msoc: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("msoc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		formula  = flag.String("formula", "", "MSO formula with one free first-order variable (required)")
-		alphabet = flag.String("alphabet", "a,b", "comma-separated document alphabet Σ")
-		treeArg  = flag.String("tree", "", "evaluate on this tree (term syntax) instead of printing the program")
-		stats    = flag.Bool("stats", false, "print automaton/program size statistics")
+		formula  = fs.String("formula", "", "MSO formula with one free first-order variable (required)")
+		alphabet = fs.String("alphabet", "a,b", "comma-separated document alphabet Σ")
+		treeArg  = fs.String("tree", "", "evaluate on this tree (term syntax) instead of printing the program")
+		stats    = fs.Bool("stats", false, "print automaton/program size statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errFlagParse // the FlagSet already printed the error + usage
+	}
 	if *formula == "" {
-		fail("missing -formula")
+		return fmt.Errorf("missing -formula")
 	}
 	f, err := mso.Parse(*formula)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	q, err := mso.CompileQuery(f)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	labels := strings.Split(*alphabet, ",")
 	prog, err := q.ToDatalog(labels, "mso_select")
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if *stats {
-		fmt.Printf("automaton states: %d\nautomaton transitions: %d\ndatalog rules: %d\n",
+		fmt.Fprintf(stdout, "automaton states: %d\nautomaton transitions: %d\ndatalog rules: %d\n",
 			q.C.DTA.NumStates, q.C.DTA.NumTransitions(), len(prog.Rules))
-		return
+		return nil
 	}
 	if *treeArg != "" {
 		t, err := mdlog.ParseTree(*treeArg)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		ctx := context.Background()
 		// Route 1: the unified API (compiles to the tree automaton).
 		cq, err := mdlog.Compile(*formula, mdlog.LangMSO)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		autoSel, err := cq.Select(ctx, t)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
-		fmt.Printf("automaton:  %v\n", autoSel)
+		fmt.Fprintf(stdout, "automaton:  %v\n", autoSel)
 		// Route 2: the Theorem 4.4 translation through the datalog plan.
 		dq, err := mdlog.CompileProgram(prog, mdlog.WithQueryPred("mso_select"))
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		dlSel, err := dq.Select(ctx, t)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
-		fmt.Printf("datalog:    %v\n", dlSel)
-		return
+		fmt.Fprintf(stdout, "datalog:    %v\n", dlSel)
+		return nil
 	}
-	fmt.Print(prog.String())
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "msoc: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprint(stdout, prog.String())
+	return nil
 }

@@ -1,0 +1,107 @@
+package mdlog
+
+// The docs gate: every exported identifier of the public façade must
+// carry a doc comment. CI runs this as part of `go test`, so an
+// undocumented export fails the build, not just a lint report.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestDocComments parses the non-test files of the root package and
+// reports every exported top-level identifier (type, function, method,
+// const, var) without a doc comment. Grouped const/var declarations
+// are covered by their group comment.
+func TestDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["mdlog"]
+	if !ok {
+		t.Fatalf("root package not found (got %v)", pkgs)
+	}
+	for fname, f := range pkg.Files {
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				if d.Doc == nil {
+					t.Errorf("%s: exported %s %s lacks a doc comment", fset.Position(d.Pos()), funcKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(t, fset, d)
+			}
+		}
+	}
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		t.Error("package mdlog lacks a package doc comment")
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr: // generic receiver
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl flags undocumented exported types, consts and vars. A
+// doc comment on the grouped declaration covers all its names; a spec
+// inside a group may also carry its own.
+func checkGenDecl(t *testing.T, fset *token.FileSet, d *ast.GenDecl) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+				t.Errorf("%s: exported type %s lacks a doc comment", fset.Position(sp.Pos()), sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range sp.Names {
+				if name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					t.Errorf("%s: exported %s %s lacks a doc comment", fset.Position(sp.Pos()), d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -44,3 +44,18 @@ func (s *Stats) Add(o Stats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
 }
+
+// Merge sums every field of o into s, including the one-time
+// parse/compile costs. Use it to roll the lifetime totals of several
+// independent queries into one figure (e.g. a service-wide aggregate
+// over a wrapper registry); use Add to fold per-run stats into a
+// single query's lifetime total.
+func (s *Stats) Merge(o Stats) {
+	s.Parse += o.Parse
+	s.Compile += o.Compile
+	s.Materialize += o.Materialize
+	s.Eval += o.Eval
+	s.Facts += o.Facts
+	s.Runs += o.Runs
+	s.CacheHits += o.CacheHits
+}

@@ -1,0 +1,375 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	mdlog "mdlog"
+	"mdlog/internal/wrap"
+)
+
+// outputMode selects what an extraction returns.
+type outputMode int
+
+const (
+	outNodes  outputMode = iota // selected node ids (CompiledQuery.Select)
+	outAssign                   // pattern → node ids (WrapAssign)
+	outXML                      // wrapped output tree serialized as XML
+)
+
+func parseOutput(r *http.Request) (outputMode, error) {
+	switch v := r.URL.Query().Get("output"); v {
+	case "", "nodes":
+		return outNodes, nil
+	case "assign":
+		return outAssign, nil
+	case "xml":
+		return outXML, nil
+	default:
+		return 0, fmt.Errorf("unknown output %q (want nodes, assign or xml)", v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // a write error means the client went away
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// body caps the request body at maxBody; a negative cap means
+// unbounded (http.MaxBytesReader would treat it as zero).
+func (s *Server) body(w http.ResponseWriter, r *http.Request) io.Reader {
+	if s.maxBody < 0 {
+		return r.Body
+	}
+	return http.MaxBytesReader(w, r.Body, s.maxBody)
+}
+
+func (s *Server) wrapper(w http.ResponseWriter, r *http.Request) (*Wrapper, bool) {
+	name := r.PathValue("name")
+	wr, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no wrapper %q registered", name)
+		return nil, false
+	}
+	return wr, true
+}
+
+// wrapperInfo is the JSON view of a registry entry; source is included
+// only on single-wrapper GETs.
+func wrapperInfo(wr *Wrapper, withSource bool) map[string]any {
+	info := map[string]any{
+		"name":       wr.Name,
+		"lang":       wr.Spec.Lang.String(),
+		"pred":       wr.Query.QueryPred(),
+		"extract":    wr.Query.ExtractPreds(),
+		"registered": wr.Registered.UTC().Format(time.RFC3339Nano),
+	}
+	if withSource {
+		info["source"] = wr.Spec.Source
+	}
+	return info
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "wrappers": s.reg.Len()})
+}
+
+// ---------------------------------------------------------------------
+// Wrapper CRUD.
+
+func (s *Server) handleListWrappers(w http.ResponseWriter, _ *http.Request) {
+	ws := s.reg.Snapshot()
+	infos := make([]map[string]any, len(ws))
+	for i, wr := range ws {
+		infos[i] = wrapperInfo(wr, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"wrappers": infos})
+}
+
+func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var spec WrapperSpec
+	dec := json.NewDecoder(s.body(w, r))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, clientErrStatus(err), "invalid wrapper spec: %v", err)
+		return
+	}
+	wr, replaced, err := s.reg.Register(name, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, wrapperInfo(wr, false))
+}
+
+func (s *Server) handleGetWrapper(w http.ResponseWriter, r *http.Request) {
+	wr, ok := s.wrapper(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, wrapperInfo(wr, true))
+}
+
+func (s *Server) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "no wrapper %q registered", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---------------------------------------------------------------------
+// Extraction.
+
+// handleExtract streams the request body — one HTML document — through
+// ParseHTMLReader into the arena pipeline and runs the wrapper on it.
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	wr, ok := s.wrapper(w, r)
+	if !ok {
+		return
+	}
+	mode, err := parseOutput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	// Count the document on acceptance (before parsing), mirroring
+	// /batch — so document_errors can never exceed documents.
+	s.documents.Add(1)
+	doc, err := mdlog.ParseHTMLReader(s.body(w, r))
+	if err != nil {
+		s.docErrors.Add(1)
+		writeError(w, clientErrStatus(err), "reading document: %v", err)
+		return
+	}
+	switch mode {
+	case outNodes:
+		ids, stats, err := wr.Query.SelectStats(ctx, doc)
+		if err != nil {
+			s.docErrors.Add(1)
+			writeError(w, evalErrStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"wrapper": wr.Name,
+			"nodes":   nonNil(ids),
+			"stats":   runStatsJSON(stats),
+		})
+	case outAssign:
+		assign, err := wr.Query.Assign(ctx, doc)
+		if err != nil {
+			s.docErrors.Add(1)
+			writeError(w, evalErrStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"wrapper": wr.Name,
+			"assign":  assignJSON(assign),
+		})
+	case outXML:
+		out, err := wr.Query.Wrap(ctx, doc)
+		if err != nil {
+			s.docErrors.Add(1)
+			writeError(w, evalErrStatus(err), "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		_ = wrap.WriteXML(w, out)
+	}
+}
+
+// batchRequest is the JSON envelope of POST /batch/{name}.
+type batchRequest struct {
+	// Docs are processed in order; results carry each doc's index and
+	// (if set) id.
+	Docs []batchDoc `json:"docs"`
+}
+
+// batchDoc is one document of a batch request.
+type batchDoc struct {
+	// ID is an optional caller-chosen correlation key echoed in the
+	// result.
+	ID string `json:"id,omitempty"`
+	// HTML is the document source.
+	HTML string `json:"html"`
+}
+
+// handleBatch fans the request's documents across the Runner worker
+// pool (parse + evaluate both inside the pool) and emits per-document
+// results in input order — as one JSON document, or as NDJSON lines
+// flushed as each document completes (?format=ndjson or Accept:
+// application/x-ndjson). A document that fails marks only its own
+// result; the batch continues.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	wr, ok := s.wrapper(w, r)
+	if !ok {
+		return
+	}
+	mode, err := parseOutput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	var req batchRequest
+	dec := json.NewDecoder(s.body(w, r))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, clientErrStatus(err), "invalid batch request: %v", err)
+		return
+	}
+	ctx := r.Context()
+	s.documents.Add(int64(len(req.Docs)))
+
+	results := s.runBatch(ctx, wr, mode, req.Docs)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		for item := range results {
+			if err := enc.Encode(item); err != nil {
+				// Client went away; drain so the workers can finish.
+				for range results {
+				}
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+	items := make([]map[string]any, 0, len(req.Docs))
+	for item := range results {
+		items = append(items, item)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"wrapper": wr.Name, "results": items})
+}
+
+// runBatch pushes docs through the worker pool and yields one JSON
+// object per document, in input order. The producer guards its sends
+// with ctx, and per-document failures surface in that document's
+// "error" field — MapStream's per-item error contract, carried to the
+// wire.
+func (s *Server) runBatch(ctx context.Context, wr *Wrapper, mode outputMode, docs []batchDoc) <-chan map[string]any {
+	srcs := make(chan io.Reader)
+	go func() {
+		defer close(srcs)
+		for _, d := range docs {
+			select {
+			case srcs <- strings.NewReader(d.HTML):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out := make(chan map[string]any)
+	finish := func(item map[string]any, index int, err error) map[string]any {
+		if id := docs[index].ID; id != "" {
+			item["id"] = id
+		}
+		if err != nil {
+			s.docErrors.Add(1)
+			item["error"] = err.Error()
+		}
+		return item
+	}
+	go func() {
+		defer close(out)
+		switch mode {
+		case outNodes:
+			for res := range s.runner.SelectHTMLStream(ctx, wr.Query, srcs) {
+				item := map[string]any{"index": res.Index}
+				if res.Err == nil {
+					item["nodes"] = nonNil(res.Nodes)
+				}
+				out <- finish(item, res.Index, res.Err)
+			}
+		case outAssign:
+			// Tree-free: only the assignment goes on the wire, so skip
+			// output-tree construction entirely.
+			for res := range s.runner.AssignHTMLStream(ctx, wr.Query, srcs) {
+				item := map[string]any{"index": res.Index}
+				if res.Err == nil {
+					item["assign"] = assignJSON(res.Assignment)
+				}
+				out <- finish(item, res.Index, res.Err)
+			}
+		case outXML:
+			for res := range s.runner.WrapHTMLStream(ctx, wr.Query, srcs) {
+				item := map[string]any{"index": res.Index}
+				if res.Err == nil {
+					var buf bytes.Buffer
+					if err := wrap.WriteXML(&buf, res.Output); err != nil {
+						out <- finish(item, res.Index, err)
+						continue
+					}
+					item["xml"] = buf.String()
+				}
+				out <- finish(item, res.Index, res.Err)
+			}
+		}
+	}()
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Small helpers.
+
+// nonNil keeps empty selections as [] rather than null on the wire.
+func nonNil(ids []int) []int {
+	if ids == nil {
+		return []int{}
+	}
+	return ids
+}
+
+func assignJSON(a mdlog.Assignment) map[string][]int {
+	m := make(map[string][]int, len(a))
+	for pat, ids := range a {
+		m[pat] = nonNil(ids)
+	}
+	return m
+}
+
+// clientErrStatus maps a document-read failure: the client's body was
+// unreadable or over the size cap.
+func clientErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// evalErrStatus maps an evaluation failure: cancellation came from the
+// client; anything else is the wrapper's (i.e. our) problem.
+func evalErrStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusUnprocessableEntity
+}

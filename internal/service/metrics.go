@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the same snapshot as /stats in the Prometheus
+// text exposition format (version 0.0.4) — counters for traffic and
+// per-wrapper work, gauges for current state — so a scraper needs no
+// custom exporter in front of the daemon.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	stats, total := s.snapshot()
+
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	seconds := func(d time.Duration) string {
+		return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+	}
+
+	gauge("mdlogd_uptime_seconds", "Seconds since the server started.",
+		seconds(time.Since(s.started)))
+	gauge("mdlogd_wrappers", "Registered wrappers.",
+		strconv.Itoa(s.reg.Len()))
+	gauge("mdlogd_in_flight", "Extraction requests currently admitted.",
+		strconv.FormatInt(s.inFlight.Load(), 10))
+	gauge("mdlogd_max_in_flight", "Admission bound (<= 0: unbounded).",
+		strconv.Itoa(s.maxIn))
+
+	counter("mdlogd_requests_total", "HTTP requests by endpoint.")
+	for ep := endpoint(0); ep < endpoints; ep++ {
+		fmt.Fprintf(&b, "mdlogd_requests_total{endpoint=%q} %d\n", ep.String(), s.requests[ep].Load())
+	}
+	counter("mdlogd_rejected_total", "Requests shed by the admission bound.")
+	fmt.Fprintf(&b, "mdlogd_rejected_total %d\n", s.rejected.Load())
+	counter("mdlogd_documents_total", "Documents accepted for extraction.")
+	fmt.Fprintf(&b, "mdlogd_documents_total %d\n", s.documents.Load())
+	counter("mdlogd_document_errors_total", "Documents that failed to parse or evaluate.")
+	fmt.Fprintf(&b, "mdlogd_document_errors_total %d\n", s.docErrors.Load())
+
+	counter("mdlogd_wrapper_runs_total", "Query runs by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.Runs)
+	}
+	counter("mdlogd_wrapper_facts_total", "Result facts by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_facts_total{wrapper=%q} %d\n", st.wr.Name, st.query.Facts)
+	}
+	counter("mdlogd_wrapper_cache_hits_total", "Runs served from the result memo, by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_cache_hits_total{wrapper=%q} %d\n", st.wr.Name, st.query.CacheHits)
+	}
+	counter("mdlogd_wrapper_eval_seconds_total", "Engine time by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_eval_seconds_total{wrapper=%q} %s\n", st.wr.Name, seconds(st.query.Eval))
+	}
+	counter("mdlogd_wrapper_materialize_seconds_total", "Materialization time by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_materialize_seconds_total{wrapper=%q} %s\n", st.wr.Name, seconds(st.query.Materialize))
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_cache_trees Documents with cached state, by wrapper.\n# TYPE mdlogd_wrapper_cache_trees gauge\n")
+	for _, st := range stats {
+		if st.cached {
+			fmt.Fprintf(&b, "mdlogd_wrapper_cache_trees{wrapper=%q} %d\n", st.wr.Name, st.cache.Trees)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_cache_results Memoized (query, tree) results, by wrapper.\n# TYPE mdlogd_wrapper_cache_results gauge\n")
+	for _, st := range stats {
+		if st.cached {
+			fmt.Fprintf(&b, "mdlogd_wrapper_cache_results{wrapper=%q} %d\n", st.wr.Name, st.cache.Results)
+		}
+	}
+
+	counter("mdlogd_runs_total", "Query runs across all wrappers.")
+	fmt.Fprintf(&b, "mdlogd_runs_total %d\n", total.Runs)
+	counter("mdlogd_eval_seconds_total", "Engine time across all wrappers.")
+	fmt.Fprintf(&b, "mdlogd_eval_seconds_total %s\n", seconds(total.Eval))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

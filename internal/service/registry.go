@@ -1,0 +1,113 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	mdlog "mdlog"
+)
+
+// Wrapper is one registry entry: a compiled query plus the spec it
+// came from. Entries are immutable after registration — replacing a
+// name installs a fresh Wrapper (in-flight requests finish on the one
+// they resolved), so readers never need a lock beyond the lookup.
+type Wrapper struct {
+	// Name is the registry key.
+	Name string
+	// Spec is the source description the wrapper was compiled from.
+	Spec WrapperSpec
+	// Query is the compiled, concurrency-safe execution artifact.
+	Query *mdlog.CompiledQuery
+	// Registered is when this entry was installed.
+	Registered time.Time
+}
+
+// Registry is a named, concurrent collection of compiled wrappers —
+// the daemon's unit of multi-tenancy. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	wrappers map[string]*Wrapper
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{wrappers: map[string]*Wrapper{}}
+}
+
+// ValidateName rejects registry names that would not round-trip
+// through an endpoint path segment.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: wrapper name must not be empty")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("service: wrapper name %q contains %q (want [A-Za-z0-9._-])", name, c)
+		}
+	}
+	return nil
+}
+
+// Register compiles spec and installs it under name, replacing any
+// existing entry. It reports the new entry and whether a previous one
+// was replaced. Compilation happens outside the registry lock, so a
+// slow compile never blocks serving.
+func (r *Registry) Register(name string, spec WrapperSpec) (*Wrapper, bool, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, false, err
+	}
+	q, err := spec.Compile()
+	if err != nil {
+		return nil, false, fmt.Errorf("service: wrapper %q: %w", name, err)
+	}
+	w := &Wrapper{Name: name, Spec: spec, Query: q, Registered: time.Now()}
+	r.mu.Lock()
+	_, replaced := r.wrappers[name]
+	r.wrappers[name] = w
+	r.mu.Unlock()
+	return w, replaced, nil
+}
+
+// Get resolves a name to its current wrapper.
+func (r *Registry) Get(name string) (*Wrapper, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	w, ok := r.wrappers[name]
+	return w, ok
+}
+
+// Remove drops name from the registry, reporting whether it existed.
+// In-flight requests holding the entry finish normally.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.wrappers[name]
+	delete(r.wrappers, name)
+	return ok
+}
+
+// Len reports the number of registered wrappers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.wrappers)
+}
+
+// Snapshot returns the current entries sorted by name — a stable
+// iteration order for /wrappers, /stats and /metrics.
+func (r *Registry) Snapshot() []*Wrapper {
+	r.mu.RLock()
+	ws := make([]*Wrapper, 0, len(r.wrappers))
+	for _, w := range r.wrappers {
+		ws = append(ws, w)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+	return ws
+}

@@ -1,0 +1,243 @@
+// Package service is the wrapper-serving layer of mdlog: a long-running
+// HTTP daemon (cmd/mdlogd) that holds a concurrent registry of named
+// compiled wrappers — any of the paper's six languages — and serves
+// extraction over them.
+//
+// Endpoints (all request/response bodies JSON unless noted):
+//
+//	PUT    /wrappers/{name}   compile and (re)register a wrapper
+//	GET    /wrappers          list registered wrappers
+//	GET    /wrappers/{name}   one wrapper, including its source
+//	DELETE /wrappers/{name}   unregister
+//	POST   /extract/{name}    body = raw HTML; ?output=nodes|assign|xml
+//	POST   /batch/{name}      body = {"docs":[{"id","html"},...]};
+//	                          ?output=nodes|assign|xml&format=json|ndjson
+//	GET    /stats             per-wrapper query + cache stats, totals
+//	GET    /metrics           the same as Prometheus text format
+//	GET    /healthz           liveness
+//
+// A document POSTed to /extract streams through mdlog.ParseHTMLReader
+// directly into the arena pipeline; /batch fans its documents across
+// the mdlog.Runner worker pool with per-document error isolation.
+// Admission is bounded (Config.MaxInFlight) and every handler honors
+// request-context cancellation; Serve shuts down gracefully when its
+// context is canceled.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	mdlog "mdlog"
+)
+
+// Server is the wrapper-serving daemon: a registry plus HTTP handlers,
+// a bounded-admission gate, and service-level counters. Create with
+// New; all methods are safe for concurrent use.
+type Server struct {
+	reg     *Registry
+	runner  mdlog.Runner
+	maxBody int64
+	grace   time.Duration
+	sem     chan struct{}
+	maxIn   int
+	mux     *http.ServeMux
+	started time.Time
+
+	inFlight  atomic.Int64
+	rejected  atomic.Int64
+	requests  [endpoints]atomic.Int64
+	documents atomic.Int64
+	docErrors atomic.Int64
+}
+
+// endpoint indexes the per-endpoint request counters.
+type endpoint int
+
+const (
+	epExtract endpoint = iota
+	epBatch
+	epWrappers
+	epStats
+	epMetrics
+	endpoints
+)
+
+func (e endpoint) String() string {
+	switch e {
+	case epExtract:
+		return "extract"
+	case epBatch:
+		return "batch"
+	case epWrappers:
+		return "wrappers"
+	case epStats:
+		return "stats"
+	case epMetrics:
+		return "metrics"
+	}
+	return "other"
+}
+
+// Connection-level timeouts for Serve (see the http.Server fields in
+// Serve for why each exists). Not config knobs: they bound protocol
+// abuse, not workload shape.
+const (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = 60 * time.Second
+	idleTimeout       = 120 * time.Second
+)
+
+// New builds a Server from cfg (nil means all defaults), compiling and
+// registering the configured wrappers. A wrapper that fails to compile
+// fails the boot — a daemon that silently drops wrappers would serve
+// 404s where traffic expects extractions.
+func New(cfg *Config) (*Server, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	s := &Server{
+		reg:     NewRegistry(),
+		runner:  mdlog.Runner{Workers: cfg.Workers},
+		maxBody: cfg.MaxBodyBytes,
+		grace:   time.Duration(cfg.ShutdownGraceMS) * time.Millisecond,
+		maxIn:   cfg.MaxInFlight,
+		started: time.Now(),
+	}
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	if s.grace == 0 {
+		s.grace = DefaultShutdownGraceMS * time.Millisecond
+	}
+	if s.maxIn == 0 {
+		s.maxIn = DefaultMaxInFlight
+	}
+	if s.maxIn > 0 {
+		s.sem = make(chan struct{}, s.maxIn)
+	}
+	for _, cw := range cfg.Wrappers {
+		// LoadConfig inlines File into Source; a File surviving to here
+		// means the caller skipped that resolution, and an entry with
+		// neither would "compile" an empty program and serve 422s.
+		if cw.File != "" {
+			return nil, fmt.Errorf("service: wrapper %q has an unresolved file reference %q (use LoadConfig)", cw.Name, cw.File)
+		}
+		if cw.Source == "" {
+			return nil, fmt.Errorf("service: wrapper %q has neither source nor file", cw.Name)
+		}
+		if _, _, err := s.reg.Register(cw.Name, cw.WrapperSpec); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the server's wrapper registry (e.g. for boot-time
+// checks or tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.counted(epStats, s.handleStats))
+	s.mux.HandleFunc("GET /metrics", s.counted(epMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /wrappers", s.counted(epWrappers, s.handleListWrappers))
+	s.mux.HandleFunc("PUT /wrappers/{name}", s.counted(epWrappers, s.handlePutWrapper))
+	s.mux.HandleFunc("GET /wrappers/{name}", s.counted(epWrappers, s.handleGetWrapper))
+	s.mux.HandleFunc("DELETE /wrappers/{name}", s.counted(epWrappers, s.handleDeleteWrapper))
+	s.mux.HandleFunc("POST /extract/{name}", s.admitted(epExtract, s.handleExtract))
+	s.mux.HandleFunc("POST /batch/{name}", s.admitted(epBatch, s.handleBatch))
+}
+
+// Handler returns the daemon's HTTP handler (e.g. for httptest or an
+// embedding server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// counted wraps a handler with its endpoint request counter.
+func (s *Server) counted(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests[ep].Add(1)
+		h(w, r)
+	}
+}
+
+// admitted is counted plus the bounded-admission gate: when MaxInFlight
+// extraction requests are already running, the request is rejected
+// immediately with 503 + Retry-After rather than queued — under
+// overload the daemon sheds load instead of accumulating latency.
+func (s *Server) admitted(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests[ep].Add(1)
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "server at capacity")
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		h(w, r)
+	}
+}
+
+// Serve accepts connections on ln until ctx is canceled, then shuts
+// down gracefully: in-flight requests get the configured grace window
+// to finish, after which their request contexts are canceled so
+// lingering fan-outs stop promptly. It returns nil on a clean
+// shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	reqCtx, cancelReqs := context.WithCancel(context.Background())
+	defer cancelReqs()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
+		// Slow-client bounds: admission slots are held while a request
+		// body streams in, so a client must present headers and finish
+		// its body within fixed windows or its slot is reclaimed —
+		// otherwise a trickle of half-open POSTs would pin MaxInFlight
+		// and defeat the load shedding. No WriteTimeout: NDJSON batch
+		// responses legitimately stream for a long time.
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err // listener failure; never ErrServerClosed here
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.grace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	cancelReqs()
+	if serr := <-serveErr; serr != http.ErrServerClosed {
+		return serr
+	}
+	return err
+}
+
+// ListenAndServe is Serve on a fresh TCP listener bound to addr
+// (DefaultAddr if empty).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	if addr == "" {
+		addr = DefaultAddr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	mdlog "mdlog"
+)
+
+// wrapperStats is one wrapper's point-in-time measurement: the
+// compiled query's lifetime aggregate plus its cache snapshot.
+type wrapperStats struct {
+	wr    *Wrapper
+	query mdlog.Stats
+	cache mdlog.CacheStats
+	// cached is false when the wrapper was compiled without a cache.
+	cached bool
+}
+
+// snapshot collects per-wrapper stats (registry order: sorted by name)
+// and the service-wide rollup of the query stats.
+func (s *Server) snapshot() ([]wrapperStats, mdlog.Stats) {
+	ws := s.reg.Snapshot()
+	out := make([]wrapperStats, len(ws))
+	var total mdlog.Stats
+	for i, wr := range ws {
+		st := wrapperStats{wr: wr, query: wr.Query.Stats()}
+		if c := wr.Query.Cache(); c != nil {
+			st.cache = c.Stats()
+			st.cached = true
+		}
+		total.Merge(st.query)
+		out[i] = st
+	}
+	return out, total
+}
+
+// queryStatsJSON renders a lifetime aggregate (see mdlog.Stats).
+func queryStatsJSON(st mdlog.Stats) map[string]any {
+	return map[string]any{
+		"runs":           st.Runs,
+		"facts":          st.Facts,
+		"cache_hits":     st.CacheHits,
+		"parse_ns":       int64(st.Parse),
+		"compile_ns":     int64(st.Compile),
+		"materialize_ns": int64(st.Materialize),
+		"eval_ns":        int64(st.Eval),
+	}
+}
+
+// runStatsJSON renders a single run's measurements (the per-request
+// stats attached to /extract responses).
+func runStatsJSON(st mdlog.Stats) map[string]any {
+	return map[string]any{
+		"facts":          st.Facts,
+		"cache_hits":     st.CacheHits,
+		"materialize_ns": int64(st.Materialize),
+		"eval_ns":        int64(st.Eval),
+	}
+}
+
+func cacheStatsJSON(cs mdlog.CacheStats) map[string]any {
+	return map[string]any{
+		"trees":            cs.Trees,
+		"results":          cs.Results,
+		"hits":             cs.Hits,
+		"misses":           cs.Misses,
+		"result_evictions": cs.ResultEvictions,
+	}
+}
+
+// handleStats reports per-wrapper query + cache aggregates, the
+// service-wide rollup, and the daemon's own counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	stats, total := s.snapshot()
+	wrappers := make(map[string]any, len(stats))
+	for _, st := range stats {
+		entry := map[string]any{
+			"lang":  st.wr.Spec.Lang.String(),
+			"query": queryStatsJSON(st.query),
+		}
+		if st.cached {
+			entry["cache"] = cacheStatsJSON(st.cache)
+		}
+		wrappers[st.wr.Name] = entry
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service":  s.serviceJSON(),
+		"wrappers": wrappers,
+		"totals":   queryStatsJSON(total),
+	})
+}
+
+func (s *Server) serviceJSON() map[string]any {
+	reqs := make(map[string]int64, endpoints)
+	for ep := endpoint(0); ep < endpoints; ep++ {
+		reqs[ep.String()] = s.requests[ep].Load()
+	}
+	return map[string]any{
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"wrappers":        s.reg.Len(),
+		"in_flight":       s.inFlight.Load(),
+		"max_in_flight":   s.maxIn,
+		"rejected":        s.rejected.Load(),
+		"documents":       s.documents.Load(),
+		"document_errors": s.docErrors.Load(),
+		"requests":        reqs,
+	}
+}

@@ -4,17 +4,37 @@
 //	"Monadic Datalog and the Expressive Power of Languages for Web
 //	Information Extraction", PODS 2002.
 //
-// It provides monadic datalog over unranked and ranked trees with the
-// paper's linear-time combined-complexity evaluation (Theorem 4.2),
-// MSO over trees compiled to tree automata and to monadic datalog
-// (Theorem 4.4), query automata with their reductions to datalog
-// (Theorems 4.11/4.14), the TMNF normal form (Theorem 5.2),
-// caterpillar expressions (Section 2 / Lemma 5.9), and the Elog⁻ /
-// Elog⁻Δ wrapping languages (Section 6) with an HTML front end.
+// The paper proves six query formalisms over trees equally expressive;
+// this package makes them equally usable. Any of them compiles — once
+// — through [Compile] into a [CompiledQuery] that runs over any number
+// of documents, concurrently:
+//
+//	Language          Source syntax                         Paper
+//	LangDatalog       p(X) :- label_td(X), child(X,Y).      Section 3, Thm 4.2
+//	LangTMNF          datalog already in normal form        Definition 5.1
+//	LangMSO           exists y (child(x,y) & label_b(y))    Section 2, Thm 4.4
+//	LangXPath         //table/tr[td/b]/td                   Section 7 remark
+//	LangCaterpillar   child*.label_td.child.label_b         Lemma 5.9, Cor 5.12
+//	LangElog          item(x) :- root(r), subelem(p, r, x)  Section 6, Cor 6.4
+//
+// (Query automata, the sixth formalism of the equivalence, arrive via
+// their datalog translations — [QAr.ToDatalog] / [SQAu] — and
+// LangDatalog.) Each language normalizes onto one of three prepared
+// plans: the Theorem 4.2 linear-time datalog engine (via the TMNF
+// rewriting of Theorem 5.2 where needed), a deterministic tree
+// automaton, or a direct evaluator for the fragments with no positive
+// datalog translation.
+//
+// Documents come from [ParseHTML] / [ParseHTMLReader] (streaming,
+// arena-backed) or term syntax via [ParseTree]; [Runner] fans a
+// compiled query over document collections and streams with a bounded
+// worker pool. cmd/mdlogd serves a registry of compiled wrappers over
+// HTTP (internal/service).
 //
 // This file is a façade re-exporting the user-facing surface of the
-// internal packages; see DESIGN.md for the full system inventory and
-// EXPERIMENTS.md for the reproduction of the paper's results.
+// internal packages; see ARCHITECTURE.md for the theorem-by-theorem
+// map of the paper onto the code, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the reproduction of the paper's results.
 package mdlog
 
 import (

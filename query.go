@@ -31,10 +31,15 @@ import (
 type Language int
 
 const (
+	// langInvalid is the zero value, deliberately not a real language:
+	// an unset Language (a JSON wrapper spec missing its "lang" field,
+	// an uninitialized struct) must fail compilation loudly rather
+	// than silently meaning datalog.
+	langInvalid Language = iota
 	// LangDatalog is monadic datalog over τ_ur ∪ {child, lastchild}
 	// (Section 3); programs using child/2 are normalized to TMNF for
 	// the linear engine (Theorem 5.2).
-	LangDatalog Language = iota
+	LangDatalog
 	// LangTMNF is monadic datalog already in Tree-Marking Normal Form
 	// (Definition 5.1); Compile validates the shape instead of
 	// normalizing.
@@ -82,6 +87,27 @@ func ParseLanguage(s string) (Language, error) {
 		}
 	}
 	return 0, fmt.Errorf("mdlog: unknown language %q (want datalog, tmnf, mso, xpath, caterpillar or elog)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler, so a Language field
+// serializes as its flag name ("elog", "xpath", ...) in JSON configs.
+func (l Language) MarshalText() ([]byte, error) {
+	s := l.String()
+	if _, err := ParseLanguage(s); err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler (the inverse of
+// MarshalText), accepting the ParseLanguage names.
+func (l *Language) UnmarshalText(b []byte) error {
+	v, err := ParseLanguage(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
 }
 
 // Stats is the per-query / per-run timing and fact-count record.
@@ -229,6 +255,9 @@ func parseSource(src string, lang Language, opts []Option) (func() (*CompiledQue
 			return nil, err
 		}
 		return func() (*CompiledQuery, error) { return CompileElog(p, opts...) }, nil
+	}
+	if lang == langInvalid {
+		return nil, fmt.Errorf("mdlog: no query language specified (want datalog, tmnf, mso, xpath, caterpillar or elog)")
 	}
 	return nil, fmt.Errorf("mdlog: unknown language %v", lang)
 }
@@ -549,9 +578,20 @@ func (q *CompiledQuery) Wrap(ctx context.Context, t *Tree) (*Tree, error) {
 
 // WrapAssign is Wrap also returning the pattern → nodes assignment.
 func (q *CompiledQuery) WrapAssign(ctx context.Context, t *Tree) (*Tree, Assignment, error) {
-	db, rs, err := q.runCached(ctx, t)
+	a, err := q.Assign(ctx, t)
 	if err != nil {
 		return nil, nil, err
+	}
+	return wrap.BuildOutput(t, a, q.wrapOpts), a, nil
+}
+
+// Assign runs the plan and returns only the pattern → nodes
+// assignment — Wrap without constructing the output tree, for
+// consumers (APIs, services) that serialize the assignment directly.
+func (q *CompiledQuery) Assign(ctx context.Context, t *Tree) (Assignment, error) {
+	db, rs, err := q.runCached(ctx, t)
+	if err != nil {
+		return nil, err
 	}
 	a := Assignment{}
 	var facts int64
@@ -564,7 +604,7 @@ func (q *CompiledQuery) WrapAssign(ctx context.Context, t *Tree) (*Tree, Assignm
 	rs.Runs = 1
 	rs.Facts = facts
 	q.record(rs)
-	return wrap.BuildOutput(t, a, q.wrapOpts), a, nil
+	return a, nil
 }
 
 // ---------------------------------------------------------------------

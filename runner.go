@@ -90,7 +90,12 @@ func (r Runner) SelectStream(ctx context.Context, q *CompiledQuery, docs <-chan 
 // ingestion path), then run through q.Select — so tokenization,
 // tree construction and evaluation all fan out together. The result's
 // Doc is the parsed tree; a parse (read) error surfaces in Err with a
-// nil Doc. Channel semantics are those of SelectStream.
+// nil Doc. Document failures are isolated: a reader that errors
+// mid-stream marks only its own result and the remaining documents
+// still parse and evaluate. Canceling the context instead stops the
+// whole stream — already-accepted, not-yet-processed documents are
+// yielded with ctx.Err(). Channel semantics are those of
+// SelectStream.
 func (r Runner) SelectHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-chan io.Reader) <-chan SelectResult {
 	type parsed struct {
 		doc   *Tree
@@ -109,6 +114,63 @@ func (r Runner) SelectHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-c
 		defer close(out)
 		for x := range res {
 			out <- SelectResult{Index: x.Index, Doc: x.Value.doc, Nodes: x.Value.nodes, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// WrapHTMLStream is WrapStream for raw HTML: each document is parsed
+// from its reader inside the worker pool, then run through
+// q.WrapAssign. Error semantics are those of SelectHTMLStream: a
+// failing reader marks only its own result, a canceled context stops
+// the stream.
+func (r Runner) WrapHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-chan io.Reader) <-chan WrapResult {
+	type parsed struct {
+		doc    *Tree
+		out    *Tree
+		assign Assignment
+	}
+	res := eval.MapStreamFrom(ctx, r.pool(), srcs, func(ctx context.Context, rd io.Reader) (parsed, error) {
+		doc, err := html.ParseReader(rd)
+		if err != nil {
+			return parsed{}, err
+		}
+		out, a, err := q.WrapAssign(ctx, doc)
+		return parsed{doc: doc, out: out, assign: a}, err
+	}, nil)
+	out := make(chan WrapResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- WrapResult{Index: x.Index, Doc: x.Value.doc, Output: x.Value.out, Assignment: x.Value.assign, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// AssignHTMLStream is WrapHTMLStream without output-tree
+// construction: each document is parsed inside the worker pool and
+// run through q.Assign, so consumers that only serialize the pattern
+// → nodes assignment skip the tree build entirely. Results carry a
+// nil Output; error semantics are those of SelectHTMLStream.
+func (r Runner) AssignHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-chan io.Reader) <-chan WrapResult {
+	type parsed struct {
+		doc    *Tree
+		assign Assignment
+	}
+	res := eval.MapStreamFrom(ctx, r.pool(), srcs, func(ctx context.Context, rd io.Reader) (parsed, error) {
+		doc, err := html.ParseReader(rd)
+		if err != nil {
+			return parsed{}, err
+		}
+		a, err := q.Assign(ctx, doc)
+		return parsed{doc: doc, assign: a}, err
+	}, nil)
+	out := make(chan WrapResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- WrapResult{Index: x.Index, Doc: x.Value.doc, Assignment: x.Value.assign, Err: x.Err}
 		}
 	}()
 	return out
