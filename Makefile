@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service docs-gate
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt fuzz-smoke docs-gate
 
-check: docs-gate build race bench-smoke
+check: docs-gate build race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,11 +27,24 @@ docs-gate: vet
 
 # One iteration per benchmark: catches bit-rot without burning CI time.
 # Also emits BENCH_treesize.json (substrate parse/materialize/select
-# ns-per-node at 1k/10k nodes in quick mode) so every CI run archives
-# a perf trajectory point.
+# ns-per-node at 1k/10k nodes in quick mode) and BENCH_optimize.json
+# (optimizer rule-count reduction + Select speedup per wrapper) so
+# every CI run archives a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
+	$(GO) run ./cmd/benchtables -quick -opt BENCH_optimize.json
+
+# Full-size optimizer measurement (EXT-OPT).
+bench-opt:
+	$(GO) run ./cmd/benchtables -opt BENCH_optimize.json
+
+# Bounded run of the cross-engine differential fuzzer: 400 random
+# monadic programs × 2 random trees × {linear, LIT, semi-naive, naive}
+# × {-O0, -O1}, all engines compared on every visible relation.
+# Override the workload with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
+fuzz-smoke:
+	MDLOG_FUZZ_N=$${MDLOG_FUZZ_N:-400} $(GO) test -run TestDifferentialEngines -count=1 .
 
 # Full-size substrate scaling points (1k/10k/100k nodes).
 bench-treesize:

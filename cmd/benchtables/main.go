@@ -23,6 +23,7 @@ func main() {
 	id := flag.String("id", "", "run only the experiment with this id")
 	list := flag.Bool("list", false, "list experiment ids and titles without running them")
 	treesize := flag.String("treesize", "", "write EXT-TREESIZE points (parse/materialize/select ns-per-node) to this JSON file and exit")
+	opt := flag.String("opt", "", "write EXT-OPT points (rule counts and Select speedup per wrapper) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -31,19 +32,27 @@ func main() {
 		}
 		return
 	}
-	if *treesize != "" {
-		pts := experiments.TreeSizeData(cfg)
-		data, err := json.MarshalIndent(pts, "", "  ")
+	writeJSON := func(path string, v any, what string, n int) {
+		data, err := json.MarshalIndent(v, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*treesize, data, 0o644); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s (%d sizes)\n", *treesize, len(pts))
+		fmt.Printf("wrote %s (%d %s)\n", path, n, what)
+	}
+	if *treesize != "" {
+		pts := experiments.TreeSizeData(cfg)
+		writeJSON(*treesize, pts, "sizes", len(pts))
+		return
+	}
+	if *opt != "" {
+		pts := experiments.OptData(cfg)
+		writeJSON(*opt, pts, "wrappers", len(pts))
 		return
 	}
 	for _, t := range experiments.All(cfg) {

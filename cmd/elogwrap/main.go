@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	mdlog "mdlog"
+	"mdlog/internal/cliflag"
 	"mdlog/internal/wrap"
 )
 
@@ -46,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		keepText    = fs.Bool("text", true, "copy #text content into the output")
 		showAssign  = fs.Bool("assign", false, "also print the node assignment per pattern")
 		workers     = fs.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		engineArg   = cliflag.Engine(fs)
+		optArg      = cliflag.OptLevel(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,11 +59,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *programFile == "" || fs.NArg() == 0 {
 		return fmt.Errorf("need -program and at least one HTML file argument")
 	}
+	engine, err := engineArg()
+	if err != nil {
+		return err
+	}
+	optLevel, err := optArg()
+	if err != nil {
+		return err
+	}
 	src, err := os.ReadFile(*programFile)
 	if err != nil {
 		return err
 	}
-	opts := []mdlog.Option{mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: *keepText})}
+	opts := []mdlog.Option{
+		mdlog.WithWrapOptions(mdlog.WrapOptions{KeepText: *keepText}),
+		mdlog.WithEngine(engine), mdlog.WithOptLevel(optLevel),
+	}
 	if *patterns != "" {
 		opts = append(opts, mdlog.WithExtract(strings.Split(*patterns, ",")...))
 	}

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -62,5 +63,35 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-program", "testdata/missing.elog", "testdata/page.html"}, &out, &errb); err == nil {
 		t.Error("want an error for a missing program file")
+	}
+	err := run([]string{"-program", "testdata/wrapper.elog", "-engine", "warp", "testdata/page.html"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+		t.Errorf("unknown -engine must name the valid options, got %v", err)
+	}
+	if err := run([]string{"-program", "testdata/wrapper.elog", "-O", "max", "testdata/page.html"}, &out, &errb); err == nil {
+		t.Error("want an error for a bad -O level")
+	}
+}
+
+// TestEnginesAgree wraps the fixture page through every engine at both
+// optimization levels; the XML output must be byte-identical.
+func TestEnginesAgree(t *testing.T) {
+	// LIT is absent: the Theorem 6.4 translation's subelem chains are
+	// neither all-monadic nor guarded, so the LIT engine rejects them
+	// by design (Proposition 3.7).
+	var want []byte
+	for _, engine := range []string{"linear", "seminaive", "naive"} {
+		for _, o := range []string{"-O0", "-O1"} {
+			var out, errb bytes.Buffer
+			args := []string{"-program", "testdata/wrapper.elog", "-engine", engine, o, "testdata/page.html"}
+			if err := run(args, &out, &errb); err != nil {
+				t.Fatalf("%s %s: %v (stderr: %s)", engine, o, err, errb.String())
+			}
+			if want == nil {
+				want = out.Bytes()
+			} else if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("%s %s output differs:\n%s\nvs\n%s", engine, o, out.Bytes(), want)
+			}
+		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	mdlog "mdlog"
+	"mdlog/internal/cliflag"
 )
 
 type multiFlag []string
@@ -53,7 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		treeArgs    multiFlag
 		treeFiles   multiFlag
 		htmlFiles   multiFlag
-		engineArg   = fs.String("engine", "linear", "datalog engine: linear, seminaive, naive, lit")
+		engineArg   = cliflag.Engine(fs)
+		optArg      = cliflag.OptLevel(fs)
 		predArg     = fs.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
 		workers     = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
 		showTree    = fs.Bool("print-tree", false, "print each document tree with node ids")
@@ -87,11 +89,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	engine, err := mdlog.ParseEngineFlag(*engineArg)
+	engine, err := engineArg()
 	if err != nil {
 		return err
 	}
-	opts := []mdlog.Option{mdlog.WithEngine(engine)}
+	optLevel, err := optArg()
+	if err != nil {
+		return err
+	}
+	opts := []mdlog.Option{mdlog.WithEngine(engine), mdlog.WithOptLevel(optLevel)}
 	if *predArg != "" {
 		opts = append(opts, mdlog.WithQueryPred(*predArg))
 	}

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -73,5 +74,32 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-h"}, &out, &errb); err != nil {
 		t.Errorf("-h should print usage and succeed, got %v", err)
+	}
+	err := run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-tree", "a", "-engine", "bogus"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+		t.Errorf("unknown -engine must name the valid options, got %v", err)
+	}
+	if err := run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-tree", "a", "-O", "7"}, &out, &errb); err == nil {
+		t.Error("want an error for a bad -O level")
+	}
+}
+
+// TestEngineOptMatrix runs one query through every engine and both
+// optimization levels; stdout must be identical across the matrix.
+func TestEngineOptMatrix(t *testing.T) {
+	var want string
+	for _, engine := range []string{"linear", "seminaive", "naive", "lit"} {
+		for _, o := range []string{"-O0", "-O1"} {
+			var out, errb bytes.Buffer
+			args := []string{"-program", "testdata/wrapper.dl", "-html", "testdata/page.html", "-engine", engine, o}
+			if err := run(args, &out, &errb); err != nil {
+				t.Fatalf("%s %s: %v (stderr: %s)", engine, o, err, errb.String())
+			}
+			if want == "" {
+				want = out.String()
+			} else if out.String() != want {
+				t.Errorf("%s %s prints %q, want %q", engine, o, out.String(), want)
+			}
+		}
 	}
 }

@@ -24,8 +24,20 @@ import (
 	"os/signal"
 	"syscall"
 
+	"mdlog/internal/cliflag"
 	"mdlog/internal/service"
 )
+
+// isFlagSet reports whether the named flag was given explicitly.
+func isFlagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 // errFlagParse marks a flag error the FlagSet itself already
 // reported on stderr; main exits nonzero without repeating it.
@@ -52,12 +64,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		addr        = fs.String("addr", "", "listen address (overrides config; default "+service.DefaultAddr+")")
 		workers     = fs.Int("workers", 0, "batch fan-out worker pool size (0: GOMAXPROCS)")
 		maxInflight = fs.Int("max-inflight", 0, "admitted extraction requests bound (0: default, <0: unbounded)")
+		optArg      = cliflag.OptLevel(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage already printed, exit 0
 		}
 		return errFlagParse // the FlagSet already printed the error + usage
+	}
+	optLevel, err := optArg()
+	if err != nil {
+		return err
 	}
 	cfg := &service.Config{}
 	if *configFile != "" {
@@ -75,6 +92,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	if *maxInflight != 0 {
 		cfg.MaxInFlight = *maxInflight
+	}
+	// The flag wins over the config default; wrapper specs with their
+	// own "opt" still override both.
+	if isFlagSet(fs, "O") || isFlagSet(fs, "O0") || isFlagSet(fs, "O1") {
+		cfg.Opt = optLevel.String()
 	}
 	s, err := service.New(cfg)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	mdlog "mdlog"
+	"mdlog/internal/cliflag"
 	"mdlog/internal/mso"
 )
 
@@ -43,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		alphabet = fs.String("alphabet", "a,b", "comma-separated document alphabet Σ")
 		treeArg  = fs.String("tree", "", "evaluate on this tree (term syntax) instead of printing the program")
 		stats    = fs.Bool("stats", false, "print automaton/program size statistics")
+		engine   = cliflag.Engine(fs)
+		optArg   = cliflag.OptLevel(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -52,6 +55,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *formula == "" {
 		return fmt.Errorf("missing -formula")
+	}
+	eng, err := engine()
+	if err != nil {
+		return err
+	}
+	optLevel, err := optArg()
+	if err != nil {
+		return err
 	}
 	f, err := mso.Parse(*formula)
 	if err != nil {
@@ -67,8 +78,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *stats {
-		fmt.Fprintf(stdout, "automaton states: %d\nautomaton transitions: %d\ndatalog rules: %d\n",
-			q.C.DTA.NumStates, q.C.DTA.NumTransitions(), len(prog.Rules))
+		dq, err := mdlog.CompileProgram(prog,
+			mdlog.WithQueryPred("mso_select"), mdlog.WithExtract("mso_select"),
+			mdlog.WithEngine(eng), mdlog.WithOptLevel(optLevel))
+		if err != nil {
+			return err
+		}
+		rep := dq.OptStats()
+		fmt.Fprintf(stdout, "automaton states: %d\nautomaton transitions: %d\ndatalog rules: %d\nplanned rules (%s): %d\n",
+			q.C.DTA.NumStates, q.C.DTA.NumTransitions(), len(prog.Rules), rep.Level, rep.RulesAfter)
 		return nil
 	}
 	if *treeArg != "" {
@@ -87,8 +105,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "automaton:  %v\n", autoSel)
-		// Route 2: the Theorem 4.4 translation through the datalog plan.
-		dq, err := mdlog.CompileProgram(prog, mdlog.WithQueryPred("mso_select"))
+		// Route 2: the Theorem 4.4 translation through the datalog plan
+		// (goal-directed: only mso_select is observable, so -O 1 prunes
+		// the automaton-state predicates the query never reaches).
+		dq, err := mdlog.CompileProgram(prog,
+			mdlog.WithQueryPred("mso_select"), mdlog.WithExtract("mso_select"),
+			mdlog.WithEngine(eng), mdlog.WithOptLevel(optLevel))
 		if err != nil {
 			return err
 		}

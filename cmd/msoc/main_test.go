@@ -8,6 +8,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -59,5 +60,12 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-formula", "leaf(x", "-alphabet", "a"}, &out, &errb); err == nil {
 		t.Error("want a parse error")
+	}
+	err := run([]string{"-formula", "leaf(x)", "-alphabet", "a,b", "-engine", "bogus"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+		t.Errorf("unknown -engine must name the valid options, got %v", err)
+	}
+	if err := run([]string{"-formula", "leaf(x)", "-alphabet", "a,b", "-O", "zz"}, &out, &errb); err == nil {
+		t.Error("want an error for a bad -O level")
 	}
 }

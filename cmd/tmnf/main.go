@@ -6,53 +6,94 @@
 //	tmnf -program wrapper.dl -tree 'a(b,c)' -pred q
 //
 // With -tree the original and the normalized program are both run
-// through the unified Compile API and must select the same nodes.
+// through the unified Compile API (honoring -engine and -O0/-O1) and
+// must select the same nodes.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	mdlog "mdlog"
+	"mdlog/internal/cliflag"
+	"mdlog/internal/tmnf"
 )
 
+// errFlagParse marks a flag error the FlagSet itself already
+// reported on stderr; main exits nonzero without repeating it.
+var errFlagParse = errors.New("flag parsing failed")
+
 func main() {
-	programFile := flag.String("program", "", "datalog program file (required)")
-	stats := flag.Bool("stats", false, "print size statistics instead of the program")
-	treeArg := flag.String("tree", "", "verify the transformation on this tree (term syntax)")
-	predArg := flag.String("pred", "", "query predicate for -tree verification")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "tmnf: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tmnf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		programFile = fs.String("program", "", "datalog program file (required)")
+		stats       = fs.Bool("stats", false, "print size statistics instead of the program")
+		treeArg     = fs.String("tree", "", "verify the transformation on this tree (term syntax)")
+		predArg     = fs.String("pred", "", "query predicate for -tree verification")
+		engineArg   = cliflag.Engine(fs)
+		optArg      = cliflag.OptLevel(fs)
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return errFlagParse // the FlagSet already printed the error + usage
+	}
 	if *programFile == "" {
-		fail("missing -program")
+		return fmt.Errorf("missing -program")
+	}
+	engine, err := engineArg()
+	if err != nil {
+		return err
+	}
+	optLevel, err := optArg()
+	if err != nil {
+		return err
 	}
 	src, err := os.ReadFile(*programFile)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	prog, err := mdlog.ParseProgram(string(src))
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	out, err := mdlog.ToTMNF(prog)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
-	if err := mdlog.IsTMNF(out); err != nil {
-		fail("internal error, output not TMNF: %v", err)
+	// Transform output is strict TMNF except for the bridging rules it
+	// emits around propositional heads/atoms (which Definition 5.1
+	// cannot express); IsNormalized validates exactly that contract.
+	if err := tmnf.IsNormalized(out); err != nil {
+		return fmt.Errorf("internal error, output not normalized: %v", err)
 	}
 	if *stats {
-		fmt.Printf("input rules:  %d\noutput rules: %d\n", len(prog.Rules), len(out.Rules))
-		return
+		fmt.Fprintf(stdout, "input rules:  %d\noutput rules: %d\n", len(prog.Rules), len(out.Rules))
+		return nil
 	}
 	if *treeArg != "" {
 		t, err := mdlog.ParseTree(*treeArg)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		ctx := context.Background()
-		opts := []mdlog.Option{}
+		opts := []mdlog.Option{mdlog.WithEngine(engine), mdlog.WithOptLevel(optLevel)}
 		if *predArg != "" {
 			opts = append(opts, mdlog.WithQueryPred(*predArg))
 		}
@@ -60,30 +101,26 @@ func main() {
 		// pre-normalized output must agree.
 		oq, err := mdlog.CompileProgram(prog, opts...)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		nq, err := mdlog.CompileProgram(out, opts...)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		a, err := oq.Select(ctx, t)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		b, err := nq.Select(ctx, t)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
-		fmt.Printf("original: %v\ntmnf:     %v\n", a, b)
+		fmt.Fprintf(stdout, "original: %v\ntmnf:     %v\n", a, b)
 		if fmt.Sprint(a) != fmt.Sprint(b) {
-			fail("selection mismatch")
+			return fmt.Errorf("selection mismatch")
 		}
-		return
+		return nil
 	}
-	fmt.Print(out.String())
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "tmnf: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprint(stdout, out.String())
+	return nil
 }

@@ -1,0 +1,185 @@
+package mdlog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/tree"
+)
+
+// Cross-engine differential fuzzing: random monadic programs over the
+// full extensional vocabulary × random trees, evaluated by every
+// engine at every optimization level through the one Compile entry
+// point. All engines must agree on every visible relation — this is
+// the semantics net under the optimizer and the engine zoo.
+//
+// The default iteration count keeps `go test ./...` fast; `make
+// fuzz-smoke` raises it via MDLOG_FUZZ_N for a bounded CI fuzzing run.
+
+// fuzzIterations reads MDLOG_FUZZ_N (default 60 programs).
+func fuzzIterations(t *testing.T) int {
+	if s := os.Getenv("MDLOG_FUZZ_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad MDLOG_FUZZ_N=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 15
+	}
+	return 60
+}
+
+// fuzzVocabulary is the generator's alphabet: every unary and binary
+// extensional predicate the engines accept, including the ones with
+// special-case handling (child/2 forces the Theorem 5.2 rewrite on the
+// linear route, child_k exercises τ_rk, dom the trivially-true check).
+var (
+	fuzzUnaryEDB = []string{"root", "leaf", "lastsibling", "firstsibling", "dom", "label_a", "label_b"}
+	fuzzBinEDB   = []string{"firstchild", "nextsibling", "lastchild", "child", "child_2"}
+	fuzzIDB      = []string{"p0", "p1", "p2", "p3"}
+	fuzzVars     = []string{"X", "Y", "Z", "W"}
+)
+
+// randomMonadicProgram generates a safe monadic program with query
+// predicate p0. Bodies mix extensional atoms, intensional atoms and
+// the occasional propositional helper; the head variable is always
+// bound by the first atom, and rules that end up unsafe are discarded.
+func randomMonadicProgram(rng *rand.Rand) *datalog.Program {
+	V, At, R := datalog.V, datalog.At, datalog.R
+	p := &datalog.Program{Query: "p0"}
+	nRules := 2 + rng.Intn(7)
+	for len(p.Rules) < nRules {
+		var head datalog.Atom
+		if rng.Intn(8) == 0 {
+			head = At("s" + strconv.Itoa(rng.Intn(2))) // propositional helper
+		} else {
+			head = At(fuzzIDB[rng.Intn(len(fuzzIDB))], V("X"))
+		}
+		var body []datalog.Atom
+		add := func(v string) {
+			switch rng.Intn(5) {
+			case 0, 1:
+				body = append(body, At(fuzzUnaryEDB[rng.Intn(len(fuzzUnaryEDB))], V(v)))
+			case 2, 3:
+				w := fuzzVars[rng.Intn(len(fuzzVars))]
+				body = append(body, At(fuzzBinEDB[rng.Intn(len(fuzzBinEDB))], V(v), V(w)))
+			default:
+				body = append(body, At(fuzzIDB[rng.Intn(len(fuzzIDB))], V(v)))
+			}
+		}
+		add("X") // bind the head variable first
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			add(fuzzVars[rng.Intn(len(fuzzVars))])
+		}
+		if rng.Intn(6) == 0 {
+			body = append(body, At("s"+strconv.Itoa(rng.Intn(2))))
+		}
+		r := R(head, body...)
+		if r.IsSafe() {
+			p.Add(r)
+		}
+	}
+	return p
+}
+
+// evalThrough compiles p for one engine/level and evaluates it on tr,
+// returning the visible relations.
+func evalThrough(ctx context.Context, p *Program, tr *Tree, e Engine, lvl OptLevel, extract []string) (*Database, error) {
+	opts := []Option{WithEngine(e), WithOptLevel(lvl), WithoutCache()}
+	if len(extract) > 0 {
+		opts = append(opts, WithExtract(extract...))
+	}
+	q, err := CompileProgram(p.Clone(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(ctx, tr)
+}
+
+// litOutOfFragment recognizes the LIT engine's documented rejection of
+// programs outside Datalog LIT (Proposition 3.7) — a domain
+// difference, not a divergence.
+func litOutOfFragment(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "not in Datalog LIT")
+}
+
+// fuzzSeed reads MDLOG_FUZZ_SEED (default 1234), so a CI fuzzing run
+// can explore fresh program/tree pairs while plain `go test` stays
+// deterministic.
+func fuzzSeed(t *testing.T) int64 {
+	s := os.Getenv("MDLOG_FUZZ_SEED")
+	if s == "" {
+		return 1234
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad MDLOG_FUZZ_SEED=%q", s)
+	}
+	return n
+}
+
+func TestDifferentialEngines(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(fuzzSeed(t)))
+	engines := []Engine{EngineLinear, EngineSemiNaive, EngineNaive, EngineLIT}
+	levels := []OptLevel{OptNone, OptFull}
+	iters := fuzzIterations(t)
+
+	for i := 0; i < iters; i++ {
+		p := randomMonadicProgram(rng)
+		preds := p.IntensionalPreds()
+		for d := 0; d < 2; d++ {
+			tr := tree.Random(rng, tree.RandomOptions{
+				Labels: []string{"a", "b", "c"}, Size: 15 + rng.Intn(45), MaxChildren: 5})
+
+			// Reference semantics: the naive fixpoint without optimization.
+			ref, err := evalThrough(ctx, p, tr, EngineNaive, OptNone, nil)
+			if err != nil {
+				t.Fatalf("case %d: reference engine failed: %v\nprogram:\n%s", i, err, p)
+			}
+			for _, e := range engines {
+				for _, lvl := range levels {
+					db, err := evalThrough(ctx, p, tr, e, lvl, nil)
+					if litOutOfFragment(err) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("case %d: %v/%v failed: %v\nprogram:\n%s", i, e, lvl, err, p)
+					}
+					if diff := eval.SameResults(ref, db, preds); diff != "" {
+						t.Fatalf("case %d: %v/%v diverges from naive/O0: %s\nprogram:\n%s\ntree: %s",
+							i, e, lvl, diff, p, tr)
+					}
+				}
+			}
+
+			// Goal-directed variant: only the query predicate is
+			// observable, which arms dead-rule elimination and inlining.
+			want := fmt.Sprint(ref.UnarySet("p0"))
+			for _, e := range engines {
+				for _, lvl := range levels {
+					db, err := evalThrough(ctx, p, tr, e, lvl, []string{"p0"})
+					if litOutOfFragment(err) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("case %d: goal-directed %v/%v failed: %v\nprogram:\n%s", i, e, lvl, err, p)
+					}
+					if got := fmt.Sprint(db.UnarySet("p0")); got != want {
+						t.Fatalf("case %d: goal-directed %v/%v selects %s, want %s\nprogram:\n%s\ntree: %s",
+							i, e, lvl, got, want, p, tr)
+					}
+				}
+			}
+		}
+	}
+}

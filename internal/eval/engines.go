@@ -78,7 +78,13 @@ func EvalOnTree(p *datalog.Program, t *tree.Tree, engine Engine) (*datalog.Datab
 		}
 		return full.Project(p.IntensionalPreds()), nil
 	case EngineLIT:
-		return LITEval(p, fullTreeDB(p, t))
+		full, err := LITEval(p, fullTreeDB(p, t))
+		if err != nil {
+			return nil, err
+		}
+		// LITEval works on the connected-split program, whose conn_*
+		// helper predicates must not leak into the comparable result.
+		return full.Project(p.IntensionalPreds()), nil
 	}
 	return nil, fmt.Errorf("eval: unknown engine %v", engine)
 }

@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"hash/fnv"
+
+	"mdlog/internal/datalog"
+)
+
+// ProgramHash fingerprints a datalog program — rules in order, the
+// distinguished query predicate, and any extra context strings the
+// caller mixes in (engine name, projection list, optimization level).
+//
+// The unified query layer keys TreeCache result memos by this hash of
+// the POST-optimization program: the source text alone must never be
+// the key, because one source string compiles to semantically
+// different plans depending on optimization level, engine, query
+// predicate and extraction list. Hashing what will actually run (plus
+// the visible-predicate projection) guarantees optimized and
+// unoptimized variants of the same source never alias a memo entry.
+func ProgramHash(p *datalog.Program, extra ...string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(p.String()))
+	_, _ = h.Write([]byte{0, '?', '-'})
+	_, _ = h.Write([]byte(p.Query))
+	for _, s := range extra {
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(s))
+	}
+	return h.Sum64()
+}

@@ -208,8 +208,10 @@ type linearRule struct {
 
 // compileLinear builds the grounding plan for a connected rule. It is
 // tree-independent: the plan can be prepared once and run against any
-// number of documents.
-func (pl *Plan) compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
+// number of documents. It runs on the builder because it interns
+// labels — the only Plan mutation, confined to construction.
+func (bld planBuilder) compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule, error) {
+	pl := bld.pl
 	lr := &linearRule{src: r, headVar: -1, anchor: -1, headPred: r.Head.Pred}
 	slot := map[string]int{}
 	getSlot := func(t datalog.Term) (int, error) {
@@ -240,7 +242,7 @@ func (pl *Plan) compileLinear(r datalog.Rule, idb map[string]bool) (*linearRule,
 			if idb[b.Pred] {
 				lr.idbUnary = append(lr.idbUnary, idbUnaryRef{pl.unaryID[b.Pred], v})
 			} else if kind, label, ok := classifyUnary(b.Pred); ok {
-				lr.unary = append(lr.unary, unaryCheck{kind: kind, labelIdx: pl.labelIdx(label), v: v})
+				lr.unary = append(lr.unary, unaryCheck{kind: kind, labelIdx: bld.labelIdx(label), v: v})
 			} else {
 				// Neither extensional nor the head of any rule: the body
 				// atom can never be satisfied, so the rule is dead.

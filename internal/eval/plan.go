@@ -29,13 +29,26 @@ type Plan struct {
 	// labels lists the distinct label_a labels the program tests;
 	// unaryCheck.labelIdx indexes it. Run resolves each to the
 	// document's interned symbol id once, so the per-node label test
-	// is an integer compare against the tree's label column.
+	// is an integer compare against the tree's label column. The list
+	// is interned exclusively during NewPlan (via planBuilder); after
+	// construction nothing mutates it, which is what makes Run safe to
+	// call from many goroutines without synchronization.
 	labels   []string
 	labelIDs map[string]int32
 }
 
-// labelIdx interns a label into the plan's label list.
-func (pl *Plan) labelIdx(label string) int32 {
+// planBuilder is the only handle through which a Plan may be mutated.
+// It exists purely during NewPlan: once NewPlan returns, no code path
+// can reach label interning (or any other write) on the Plan, so the
+// "immutable after NewPlan" contract holds by construction rather than
+// by convention.
+type planBuilder struct{ pl *Plan }
+
+// labelIdx interns a label into the plan's label list, returning the
+// index of its single occurrence (each tested label is stored once,
+// however many rules test it).
+func (b planBuilder) labelIdx(label string) int32 {
+	pl := b.pl
 	if id, ok := pl.labelIDs[label]; ok {
 		return id
 	}
@@ -83,8 +96,9 @@ func NewPlan(p *datalog.Program) (*Plan, error) {
 	// maps above cover all head predicates, which is sufficient: body
 	// IDB atoms of unruled predicates can never hold, so rules
 	// containing them can be skipped (compileLinear returns nil).
+	b := planBuilder{pl: pl}
 	for _, r := range pl.split.Rules {
-		lr, err := pl.compileLinear(r, idb)
+		lr, err := b.compileLinear(r, idb)
 		if err != nil {
 			return nil, err
 		}

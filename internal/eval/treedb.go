@@ -355,3 +355,17 @@ func IsUnaryEDB(pred string) bool {
 	_, _, ok := classifyUnary(pred)
 	return ok
 }
+
+// IsBinaryEDB reports whether pred names a binary extensional tree
+// relation some engine can materialize or navigate (firstchild,
+// nextsibling, child, lastchild, child_k). A binary body atom outside
+// this set is a diagnosable mistake — the linear engine rejects it —
+// so rewrites must not remove the rules that carry one.
+func IsBinaryEDB(pred string) bool {
+	switch pred {
+	case PredFirstChild, PredNextSibling, PredChild, PredLastChild:
+		return true
+	}
+	_, ok := IsChildKPred(pred)
+	return ok
+}

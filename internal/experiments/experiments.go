@@ -114,6 +114,7 @@ var catalog = []struct {
 	{"FIG-MSO-cost", "MSO compilation blow-up vs linear evaluation", MSOBlowup},
 	{"EXT-AMORTIZE", "Compile-once/run-many amortization", CompileOnceAmortization},
 	{"EXT-TREESIZE", "Arena substrate scaling: parse/materialize/select per node", TreeSize},
+	{"EXT-OPT", "Goal-directed optimizer: plan size and Select speedup", Opt},
 }
 
 func All(cfg Config) []Table {

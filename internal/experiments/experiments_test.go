@@ -36,6 +36,33 @@ func TestTablesWellFormed(t *testing.T) {
 	}
 }
 
+// TestOptDataReducesWrappers pins the EXT-OPT acceptance claim: the
+// optimizer shrinks the compiled MSO and Elog example wrappers and
+// repeated Select gets faster, with identical selections at both
+// levels (OptData panics on any O0/O1 disagreement).
+func TestOptDataReducesWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	pts := OptData(Config{Quick: true})
+	byName := map[string]OptPoint{}
+	for _, pt := range pts {
+		byName[pt.Wrapper] = pt
+	}
+	for _, name := range []string{"elog-products", "mso-td-b"} {
+		pt, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing wrapper %s in %v", name, pts)
+		}
+		if pt.RulesAfter >= pt.RulesBefore {
+			t.Errorf("%s: no rule reduction (%d -> %d)", name, pt.RulesBefore, pt.RulesAfter)
+		}
+		if pt.Speedup <= 1 {
+			t.Errorf("%s: no Select speedup (%.2fx)", name, pt.Speedup)
+		}
+	}
+}
+
 func TestAlternationQueryShape(t *testing.T) {
 	q0 := alternationQuery(0)
 	if !strings.Contains(q0, "leaf(x)") {

@@ -43,6 +43,10 @@ type Config struct {
 	// ShutdownGraceMS is the graceful-shutdown window in milliseconds
 	// (0: DefaultShutdownGraceMS).
 	ShutdownGraceMS int `json:"shutdown_grace_ms,omitempty"`
+	// Opt is the daemon-wide default optimization level ("0", "1",
+	// "O0", "O1") applied to wrapper specs that do not set their own;
+	// empty means full optimization.
+	Opt string `json:"opt,omitempty"`
 	// Wrappers are compiled and registered at boot.
 	Wrappers []ConfigWrapper `json:"wrappers,omitempty"`
 }
@@ -73,6 +77,13 @@ type WrapperSpec struct {
 	Extract []string `json:"extract,omitempty"`
 	// KeepText copies #text content into wrapped output trees.
 	KeepText bool `json:"keep_text,omitempty"`
+	// Engine selects the datalog evaluation engine ("linear",
+	// "seminaive", "naive", "lit"; empty: linear). Only datalog-routed
+	// plans honor it.
+	Engine string `json:"engine,omitempty"`
+	// Opt sets the optimization level ("0", "1", "O0", "O1"; empty:
+	// the daemon default, which itself defaults to full).
+	Opt string `json:"opt,omitempty"`
 }
 
 // Compile turns the spec into a CompiledQuery (the registry's unit of
@@ -84,6 +95,20 @@ func (ws WrapperSpec) Compile() (*mdlog.CompiledQuery, error) {
 	}
 	if len(ws.Extract) > 0 {
 		opts = append(opts, mdlog.WithExtract(ws.Extract...))
+	}
+	if ws.Engine != "" {
+		e, err := mdlog.ParseEngineFlag(ws.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, mdlog.WithEngine(e))
+	}
+	if ws.Opt != "" {
+		l, err := mdlog.ParseOptLevel(ws.Opt)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, mdlog.WithOptLevel(l))
 	}
 	return mdlog.Compile(ws.Source, ws.Lang, opts...)
 }

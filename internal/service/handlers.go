@@ -109,7 +109,7 @@ func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 		writeError(w, clientErrStatus(err), "invalid wrapper spec: %v", err)
 		return
 	}
-	wr, replaced, err := s.reg.Register(name, spec)
+	wr, replaced, err := s.reg.Register(name, s.withDefaults(spec))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

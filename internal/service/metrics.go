@@ -78,6 +78,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "mdlogd_wrapper_cache_results{wrapper=%q} %d\n", st.wr.Name, st.cache.Results)
 		}
 	}
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_rules_before Datalog rules before compile-time optimization, by wrapper.\n# TYPE mdlogd_wrapper_rules_before gauge\n")
+	for _, st := range stats {
+		if st.opt.RulesBefore > 0 {
+			fmt.Fprintf(&b, "mdlogd_wrapper_rules_before{wrapper=%q} %d\n", st.wr.Name, st.opt.RulesBefore)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_rules_after Datalog rules in the prepared plan, by wrapper.\n# TYPE mdlogd_wrapper_rules_after gauge\n")
+	for _, st := range stats {
+		if st.opt.RulesBefore > 0 {
+			fmt.Fprintf(&b, "mdlogd_wrapper_rules_after{wrapper=%q} %d\n", st.wr.Name, st.opt.RulesAfter)
+		}
+	}
 
 	counter("mdlogd_runs_total", "Query runs across all wrappers.")
 	fmt.Fprintf(&b, "mdlogd_runs_total %d\n", total.Runs)

@@ -47,6 +47,10 @@ type Server struct {
 	maxIn   int
 	mux     *http.ServeMux
 	started time.Time
+	// defaultOpt is the daemon-wide optimization level applied to
+	// wrapper specs that leave theirs empty ("" means library default,
+	// i.e. full optimization).
+	defaultOpt string
 
 	inFlight  atomic.Int64
 	rejected  atomic.Int64
@@ -120,6 +124,12 @@ func New(cfg *Config) (*Server, error) {
 	if s.maxIn > 0 {
 		s.sem = make(chan struct{}, s.maxIn)
 	}
+	if cfg.Opt != "" {
+		if _, err := mdlog.ParseOptLevel(cfg.Opt); err != nil {
+			return nil, err
+		}
+		s.defaultOpt = cfg.Opt
+	}
 	for _, cw := range cfg.Wrappers {
 		// LoadConfig inlines File into Source; a File surviving to here
 		// means the caller skipped that resolution, and an entry with
@@ -130,13 +140,22 @@ func New(cfg *Config) (*Server, error) {
 		if cw.Source == "" {
 			return nil, fmt.Errorf("service: wrapper %q has neither source nor file", cw.Name)
 		}
-		if _, _, err := s.reg.Register(cw.Name, cw.WrapperSpec); err != nil {
+		if _, _, err := s.reg.Register(cw.Name, s.withDefaults(cw.WrapperSpec)); err != nil {
 			return nil, err
 		}
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
+}
+
+// withDefaults fills spec fields the daemon configures globally
+// (currently the optimization level) when the spec leaves them empty.
+func (s *Server) withDefaults(spec WrapperSpec) WrapperSpec {
+	if spec.Opt == "" {
+		spec.Opt = s.defaultOpt
+	}
+	return spec
 }
 
 // Registry exposes the server's wrapper registry (e.g. for boot-time

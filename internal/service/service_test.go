@@ -555,3 +555,86 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("Serve did not shut down")
 	}
 }
+
+// TestOptimizerObservability: /stats and /metrics report per-wrapper
+// rules-before/rules-after from the compile-time optimizer, and the
+// Elog boot wrapper actually shrinks.
+func TestOptimizerObservability(t *testing.T) {
+	s, ts := newTestServer(t, bootConfig())
+
+	wr, ok := s.Registry().Get("items")
+	if !ok {
+		t.Fatal("items wrapper missing")
+	}
+	rep := wr.Query.OptStats()
+	if rep.RulesBefore <= rep.RulesAfter {
+		t.Fatalf("optimizer did not shrink the Elog wrapper: %d -> %d", rep.RulesBefore, rep.RulesAfter)
+	}
+
+	status, body := doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("/stats: %d", status)
+	}
+	opt, ok := body["wrappers"].(map[string]any)["items"].(map[string]any)["optimizer"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats lacks the optimizer block: %v", body)
+	}
+	if int(opt["rules_before"].(float64)) != rep.RulesBefore ||
+		int(opt["rules_after"].(float64)) != rep.RulesAfter {
+		t.Errorf("/stats optimizer block %v, want %d -> %d", opt, rep.RulesBefore, rep.RulesAfter)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		fmt.Sprintf(`mdlogd_wrapper_rules_before{wrapper="items"} %d`, rep.RulesBefore),
+		fmt.Sprintf(`mdlogd_wrapper_rules_after{wrapper="items"} %d`, rep.RulesAfter),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+}
+
+// TestWrapperSpecEngineOpt: specs select engines and optimization
+// levels, invalid values fail compilation, and the daemon-wide default
+// applies to specs that leave opt empty.
+func TestWrapperSpecEngineOpt(t *testing.T) {
+	ws := WrapperSpec{Lang: mdlog.LangElog, Source: elogSrc, Engine: "seminaive"}
+	if _, err := ws.Compile(); err != nil {
+		t.Fatalf("seminaive spec: %v", err)
+	}
+	ws.Engine = "warp"
+	if _, err := ws.Compile(); err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+		t.Errorf("bad engine must name the valid options, got %v", err)
+	}
+	ws.Engine = ""
+	ws.Opt = "nope"
+	if _, err := ws.Compile(); err == nil {
+		t.Error("bad opt level must fail compilation")
+	}
+
+	cfg := bootConfig()
+	cfg.Opt = "O0"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, _ := s.Registry().Get("items")
+	if lvl := wr.Query.OptStats().Level; lvl != mdlog.OptNone {
+		t.Errorf("daemon default O0 not applied: wrapper compiled at %v", lvl)
+	}
+	bad := bootConfig()
+	bad.Opt = "zz"
+	if _, err := New(bad); err == nil {
+		t.Error("invalid daemon opt default must fail boot")
+	}
+}

@@ -15,6 +15,9 @@ type wrapperStats struct {
 	cache mdlog.CacheStats
 	// cached is false when the wrapper was compiled without a cache.
 	cached bool
+	// opt is the compile-time optimizer report (zero for plans that
+	// did not route through datalog).
+	opt mdlog.OptReport
 }
 
 // snapshot collects per-wrapper stats (registry order: sorted by name)
@@ -24,7 +27,7 @@ func (s *Server) snapshot() ([]wrapperStats, mdlog.Stats) {
 	out := make([]wrapperStats, len(ws))
 	var total mdlog.Stats
 	for i, wr := range ws {
-		st := wrapperStats{wr: wr, query: wr.Query.Stats()}
+		st := wrapperStats{wr: wr, query: wr.Query.Stats(), opt: wr.Query.OptStats()}
 		if c := wr.Query.Cache(); c != nil {
 			st.cache = c.Stats()
 			st.cached = true
@@ -81,6 +84,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		if st.cached {
 			entry["cache"] = cacheStatsJSON(st.cache)
+		}
+		if st.opt.RulesBefore > 0 {
+			entry["optimizer"] = map[string]any{
+				"level":        st.opt.Level.String(),
+				"rules_before": st.opt.RulesBefore,
+				"rules_after":  st.opt.RulesAfter,
+				"inlined":      st.opt.Inlined,
+				"dead_rules":   st.opt.DeadRules,
+			}
 		}
 		wrappers[st.wr.Name] = entry
 	}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
 )
 
 // Special binary predicates used in intermediate rules.
@@ -153,6 +154,21 @@ func parseWorkRule(r datalog.Rule) (*workRule, error) {
 	if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
 		return nil, fmt.Errorf("tmnf: head must be unary over a variable: %s", r)
 	}
+	used := map[string]bool{}
+	for _, v := range r.Vars() {
+		used[v] = true
+	}
+	freshN := 0
+	fresh := func() string {
+		for {
+			freshN++
+			name := fmt.Sprintf("CK%d", freshN)
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
 	for _, b := range r.Body {
 		for _, t := range b.Args {
 			if !t.IsVar() {
@@ -178,7 +194,29 @@ func parseWorkRule(r datalog.Rule) (*workRule, error) {
 				w.c = append(w.c, e)
 				w.unary = append(w.unary, datalog.At("lastsibling", datalog.V(e[1])))
 			default:
-				return nil, fmt.Errorf("tmnf: unsupported binary predicate %s in %s", b.Pred, r)
+				// child_k(x,y) is firstchild(x,z1) followed by k−1
+				// nextsibling steps — expand it so programs mixing
+				// child/2 with τ_rk atoms normalize too (they used to be
+				// rejected here while the generic engines accepted them).
+				k, ok := eval.IsChildKPred(b.Pred)
+				if !ok {
+					return nil, fmt.Errorf("tmnf: unsupported binary predicate %s in %s", b.Pred, r)
+				}
+				cur := e[0]
+				for step := 1; step < k; step++ {
+					next := fresh()
+					if step == 1 {
+						w.f = append(w.f, [2]string{cur, next})
+					} else {
+						w.n = append(w.n, [2]string{cur, next})
+					}
+					cur = next
+				}
+				if k == 1 {
+					w.f = append(w.f, [2]string{cur, e[1]})
+				} else {
+					w.n = append(w.n, [2]string{cur, e[1]})
+				}
 			}
 		default:
 			return nil, fmt.Errorf("tmnf: unsupported atom arity in %s", r)

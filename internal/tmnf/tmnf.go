@@ -35,6 +35,69 @@ func IsTMNF(p *datalog.Program) error {
 	for _, r := range p.Rules {
 		idb[r.Head.Pred] = true
 	}
+	for _, r := range p.Rules {
+		if err := tmnfRule(r, idb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsNormalized reports whether p is valid Transform output: every rule
+// is either in strict TMNF (Definition 5.1) or one of the bridging
+// forms Transform emits for rules the paper's normal form cannot
+// express — propositional heads and propositional body atoms, which
+// monadic datalog allows and the linear engine accepts. A bridging
+// rule is an all-ground propositional rule, or a rule whose body is
+// one unary intensional atom plus propositional atoms.
+func IsNormalized(p *datalog.Program) error {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	for _, r := range p.Rules {
+		if tmnfRule(r, idb) == nil {
+			continue
+		}
+		if err := bridgeRule(r, idb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bridgeRule validates one of splitPropositional's output shapes.
+func bridgeRule(r datalog.Rule, idb map[string]bool) error {
+	if len(r.Head.Args) > 1 {
+		return fmt.Errorf("tmnf: non-monadic head: %s", r)
+	}
+	unary := 0
+	for _, b := range r.Body {
+		switch len(b.Args) {
+		case 0:
+			// Propositional atom: fine in a bridging rule.
+		case 1:
+			unary++
+			if unary > 1 || !idb[b.Pred] || !b.Args[0].IsVar() {
+				return fmt.Errorf("tmnf: not a TMNF or bridging rule: %s", r)
+			}
+			if len(r.Head.Args) == 1 && r.Head.Args[0].Var != b.Args[0].Var {
+				return fmt.Errorf("tmnf: bridging rule does not bind its head variable: %s", r)
+			}
+		default:
+			if !r.IsGround() || len(r.Head.Args) != 0 {
+				return fmt.Errorf("tmnf: not a TMNF or bridging rule: %s", r)
+			}
+		}
+	}
+	if len(r.Head.Args) == 1 && unary != 1 {
+		return fmt.Errorf("tmnf: not a TMNF or bridging rule: %s", r)
+	}
+	return nil
+}
+
+// tmnfRule checks one rule against Definition 5.1.
+func tmnfRule(r datalog.Rule, idb map[string]bool) error {
 	unaryOK := func(pred string) bool {
 		if idb[pred] {
 			return true
@@ -46,47 +109,45 @@ func IsTMNF(p *datalog.Program) error {
 		_, isLabel := eval.IsLabelPred(pred)
 		return isLabel
 	}
-	for _, r := range p.Rules {
-		if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
-			return fmt.Errorf("tmnf: non-unary head: %s", r)
+	if len(r.Head.Args) != 1 || !r.Head.Args[0].IsVar() {
+		return fmt.Errorf("tmnf: non-unary head: %s", r)
+	}
+	hv := r.Head.Args[0].Var
+	switch len(r.Body) {
+	case 1:
+		b := r.Body[0]
+		if len(b.Args) != 1 || b.Args[0].Var != hv || !unaryOK(b.Pred) {
+			return fmt.Errorf("tmnf: not form (1): %s", r)
 		}
-		hv := r.Head.Args[0].Var
-		switch len(r.Body) {
-		case 1:
-			b := r.Body[0]
-			if len(b.Args) != 1 || b.Args[0].Var != hv || !unaryOK(b.Pred) {
-				return fmt.Errorf("tmnf: not form (1): %s", r)
+	case 2:
+		a1, a2 := r.Body[0], r.Body[1]
+		// Normalize: unary first.
+		if len(a1.Args) == 2 {
+			a1, a2 = a2, a1
+		}
+		switch {
+		case len(a1.Args) == 1 && len(a2.Args) == 1:
+			// Form (3): both unary over the head variable.
+			if a1.Args[0].Var != hv || a2.Args[0].Var != hv ||
+				!unaryOK(a1.Pred) || !unaryOK(a2.Pred) {
+				return fmt.Errorf("tmnf: not form (3): %s", r)
 			}
-		case 2:
-			a1, a2 := r.Body[0], r.Body[1]
-			// Normalize: unary first.
-			if len(a1.Args) == 2 {
-				a1, a2 = a2, a1
+		case len(a1.Args) == 1 && len(a2.Args) == 2:
+			// Form (2): p(x) ← p0(x0), B(x0, x) with B = R or R⁻¹.
+			if a2.Pred != eval.PredFirstChild && a2.Pred != eval.PredNextSibling {
+				return fmt.Errorf("tmnf: binary predicate %s not in τ_ur: %s", a2.Pred, r)
 			}
-			switch {
-			case len(a1.Args) == 1 && len(a2.Args) == 1:
-				// Form (3): both unary over the head variable.
-				if a1.Args[0].Var != hv || a2.Args[0].Var != hv ||
-					!unaryOK(a1.Pred) || !unaryOK(a2.Pred) {
-					return fmt.Errorf("tmnf: not form (3): %s", r)
-				}
-			case len(a1.Args) == 1 && len(a2.Args) == 2:
-				// Form (2): p(x) ← p0(x0), B(x0, x) with B = R or R⁻¹.
-				if a2.Pred != eval.PredFirstChild && a2.Pred != eval.PredNextSibling {
-					return fmt.Errorf("tmnf: binary predicate %s not in τ_ur: %s", a2.Pred, r)
-				}
-				x0 := a1.Args[0].Var
-				fwd := a2.Args[0].Var == x0 && a2.Args[1].Var == hv
-				bwd := a2.Args[1].Var == x0 && a2.Args[0].Var == hv
-				if !unaryOK(a1.Pred) || x0 == hv || (!fwd && !bwd) {
-					return fmt.Errorf("tmnf: not form (2): %s", r)
-				}
-			default:
-				return fmt.Errorf("tmnf: not a TMNF rule: %s", r)
+			x0 := a1.Args[0].Var
+			fwd := a2.Args[0].Var == x0 && a2.Args[1].Var == hv
+			bwd := a2.Args[1].Var == x0 && a2.Args[0].Var == hv
+			if !unaryOK(a1.Pred) || x0 == hv || (!fwd && !bwd) {
+				return fmt.Errorf("tmnf: not form (2): %s", r)
 			}
 		default:
-			return fmt.Errorf("tmnf: rule has %d body atoms: %s", len(r.Body), r)
+			return fmt.Errorf("tmnf: not a TMNF rule: %s", r)
 		}
+	default:
+		return fmt.Errorf("tmnf: rule has %d body atoms: %s", len(r.Body), r)
 	}
 	return nil
 }
@@ -114,7 +175,20 @@ func Transform(p *datalog.Program) (*datalog.Program, error) {
 	g := &nameGen{prefix: "tm_"}
 	needDom := false
 	for _, r := range p.Rules {
-		ac, ok, err := AcyclicizeUnranked(r)
+		// The core machinery (Lemmas 5.4–5.8) handles unary heads over
+		// rules free of propositional atoms. Propositional heads and
+		// body atoms — legal monadic datalog, produced e.g. by
+		// connected-rule splitting — are bridged around it: the
+		// variable part of the rule is transformed under a fresh unary
+		// head, and one bridging rule reattaches the propositional
+		// atoms. The output is then TMNF plus bridging rules, which the
+		// linear engine accepts unchanged.
+		core, bridge, ok := splitPropositional(r, g)
+		if !ok {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		ac, ok, err := AcyclicizeUnranked(core)
 		if err != nil {
 			return nil, err
 		}
@@ -126,6 +200,9 @@ func Transform(p *datalog.Program) (*datalog.Program, error) {
 			return nil, err
 		}
 		needDom = needDom || nd
+		if bridge != nil {
+			out.Rules = append(out.Rules, *bridge)
+		}
 	}
 	if needDom {
 		out.Rules = append(out.Rules, domRules()...)
@@ -135,6 +212,57 @@ func Transform(p *datalog.Program) (*datalog.Program, error) {
 		return nil, err
 	}
 	return final, nil
+}
+
+// splitPropositional prepares a rule for the core transformation. For
+// a plain unary-head rule without propositional body atoms it returns
+// the rule itself (bridge nil). Otherwise it returns a core rule — the
+// non-propositional body under a fresh unary head over one of its
+// variables — plus a bridging rule reattaching the original head and
+// the propositional atoms. ok=false means the rule has no variable
+// part to transform (an all-propositional rule): the caller keeps it
+// verbatim.
+func splitPropositional(r datalog.Rule, g *nameGen) (core datalog.Rule, bridge *datalog.Rule, ok bool) {
+	var props, rest []datalog.Atom
+	for _, b := range r.Body {
+		if len(b.Args) == 0 {
+			props = append(props, b.Clone())
+		} else {
+			rest = append(rest, b.Clone())
+		}
+	}
+	propHead := len(r.Head.Args) == 0
+	if !propHead && len(props) == 0 {
+		return r, nil, true
+	}
+	// Pick the bridging variable: the head variable for unary heads,
+	// else any variable of the non-propositional body.
+	v := ""
+	if !propHead {
+		v = r.Head.Args[0].Var
+	} else {
+		for _, b := range rest {
+			for _, t := range b.Args {
+				if t.IsVar() {
+					v = t.Var
+					break
+				}
+			}
+			if v != "" {
+				break
+			}
+		}
+	}
+	if v == "" {
+		return r, nil, false // no variables: keep the rule as-is
+	}
+	aux := g.fresh()
+	core = datalog.Rule{Head: datalog.At(aux, datalog.V(v)), Body: rest}
+	b := datalog.Rule{
+		Head: r.Head.Clone(),
+		Body: append([]datalog.Atom{datalog.At(aux, datalog.V(v))}, props...),
+	}
+	return core, &b, true
 }
 
 // decomposeRule connects, ear-decomposes and appends TMNF-shaped rules

@@ -11,6 +11,7 @@ package mdlog
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"mdlog/internal/elog"
 	"mdlog/internal/eval"
 	"mdlog/internal/mso"
+	"mdlog/internal/opt"
 	"mdlog/internal/tmnf"
 	"mdlog/internal/tree"
 	"mdlog/internal/wrap"
@@ -142,6 +144,31 @@ const DefaultQueryPred = "q"
 // Pass WithCache(NewTreeCache(0)) for an unbounded cache.
 const DefaultCacheTrees = 256
 
+// OptLevel selects how aggressively the compile-time optimizer
+// (internal/opt) rewrites datalog-routed plans before evaluation:
+// OptNone disables it, OptFull (the default) runs goal-directed
+// dead-rule elimination, single-use predicate inlining, duplicate-rule
+// removal and redundant-atom/label-test deduplication. Every level
+// preserves the visible relations; see DESIGN.md §optimizer.
+type OptLevel = opt.Level
+
+const (
+	// OptNone (-O0) disables the optimizer pipeline.
+	OptNone OptLevel = opt.O0
+	// OptFull (-O1) enables every optimizer pass (the default).
+	OptFull OptLevel = opt.O1
+)
+
+// ParseOptLevel converts a CLI flag value ("0", "1", "O0", "O1") into
+// an OptLevel.
+func ParseOptLevel(s string) (OptLevel, error) { return opt.ParseLevel(s) }
+
+// OptReport describes what the optimizer did to one compiled query:
+// rule/atom counts before and after, and per-pass removal counters.
+// The zero value means the plan did not route through the optimizer
+// (MSO automata and the direct evaluators).
+type OptReport = opt.Report
+
 // Option configures Compile.
 type Option func(*compileConfig)
 
@@ -152,6 +179,7 @@ type compileConfig struct {
 	wrapOpts  WrapOptions
 	cache     *TreeCache
 	noCache   bool
+	optLevel  OptLevel
 }
 
 // WithEngine selects the datalog evaluation engine (default
@@ -178,6 +206,12 @@ func WithCache(tc *TreeCache) Option { return func(c *compileConfig) { c.cache =
 // its navigation arrays and tree database.
 func WithoutCache() Option { return func(c *compileConfig) { c.noCache = true } }
 
+// WithOptLevel sets the compile-time optimization level (default
+// OptFull). Only plans that execute datalog are affected; the MSO
+// automaton and the direct XPath/Elog⁻Δ evaluators have no rules to
+// rewrite.
+func WithOptLevel(l OptLevel) Option { return func(c *compileConfig) { c.optLevel = l } }
+
 // queryPlan is a prepared, immutable execution strategy. run returns
 // the visible result relations for one document plus per-run
 // measurements; implementations must be safe for concurrent use.
@@ -196,9 +230,31 @@ type CompiledQuery struct {
 	wrapOpts  WrapOptions
 	cache     *TreeCache
 	plan      queryPlan
+	optReport OptReport
+	// memoKey keys this query's entries in the TreeCache result memo.
+	// Datalog-routed plans use a planKey hashing the post-optimization
+	// program (see eval.ProgramHash), so queries whose prepared plans
+	// coincide share memoized results, while optimized/unoptimized
+	// variants of the same source never alias. Plans without a datalog
+	// program fall back to the query's own identity.
+	memoKey any
 
 	mu  sync.Mutex
 	agg Stats
+}
+
+// planKey is the TreeCache result-memo key of a datalog-routed plan: a
+// fingerprint of the post-optimization program plus engine and
+// projection context, with the rule count mixed in as a collision
+// backstop.
+type planKey struct {
+	hash  uint64
+	rules int
+}
+
+func newPlanKey(p *Program, engine Engine, project []string) planKey {
+	extra := append([]string{engine.String()}, project...)
+	return planKey{hash: eval.ProgramHash(p, extra...), rules: len(p.Rules)}
 }
 
 // Compile parses src in the given language, normalizes it onto one of
@@ -263,11 +319,34 @@ func parseSource(src string, lang Language, opts []Option) (func() (*CompiledQue
 }
 
 func newConfig(opts []Option) *compileConfig {
-	cfg := &compileConfig{engine: EngineLinear}
+	cfg := &compileConfig{engine: EngineLinear, optLevel: OptFull}
 	for _, o := range opts {
 		o(cfg)
 	}
 	return cfg
+}
+
+// visiblePreds computes the predicates whose extensions a caller can
+// observe through Eval/Select/Wrap: the extraction list (WithExtract,
+// defaulting to every intensional predicate of the source program)
+// plus the distinguished query predicate. This set is both the
+// optimizer's root set — everything else is fair game for elimination
+// and inlining — and the projection applied to engine results, so all
+// engines expose the same relations (normalization and splitting
+// helpers such as tm_*/conn_* never leak).
+func visiblePreds(p *Program, cfg *compileConfig, all []string) []string {
+	var vis []string
+	if len(cfg.extract) > 0 {
+		vis = append(vis, cfg.extract...)
+	} else {
+		vis = append(vis, all...)
+	}
+	for _, pred := range []string{cfg.queryPred, p.Query} {
+		if pred != "" && !slices.Contains(vis, pred) {
+			vis = append(vis, pred)
+		}
+	}
+	return vis
 }
 
 func (cfg *compileConfig) newQuery(lang Language, plan queryPlan, queryPred string, extract []string) *CompiledQuery {
@@ -281,7 +360,7 @@ func (cfg *compileConfig) newQuery(lang Language, plan queryPlan, queryPred stri
 	if len(cfg.extract) > 0 {
 		extract = cfg.extract
 	}
-	return &CompiledQuery{
+	q := &CompiledQuery{
 		lang:      lang,
 		queryPred: queryPred,
 		extract:   extract,
@@ -289,6 +368,8 @@ func (cfg *compileConfig) newQuery(lang Language, plan queryPlan, queryPred stri
 		cache:     cache,
 		plan:      plan,
 	}
+	q.memoKey = q
+	return q
 }
 
 func (q *CompiledQuery) setParse(d time.Duration) {
@@ -317,33 +398,46 @@ func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQue
 			return nil, err
 		}
 	}
+	visible := visiblePreds(p, cfg, extract)
 	var plan queryPlan
+	var report OptReport
+	var memoKey any
 	if cfg.engine == EngineLinear {
 		np := p
-		var project []string
 		// Normalize: the linear engine cannot use child/2 (no
 		// functional dependency, Proposition 4.1); Theorem 5.2
-		// eliminates it. Project the tm_* auxiliaries back out so the
-		// visible relations match the other engines.
+		// eliminates it. The visible-predicate projection keeps the
+		// tm_* auxiliaries out of the result relations.
 		if lang == LangDatalog && eval.SignatureOf(p).Child {
 			tp, err := tmnf.Transform(p)
 			if err != nil {
 				return nil, err
 			}
-			np, project = tp, extract
+			np = tp
 		}
+		np, report = opt.Optimize(np, opt.Options{Level: cfg.optLevel, Roots: visible})
 		pl, err := eval.NewPlan(np)
 		if err != nil {
 			return nil, err
 		}
-		plan = &linearPlan{plan: pl, project: project}
+		plan = &linearPlan{plan: pl, project: visible}
+		memoKey = newPlanKey(np, cfg.engine, visible)
 	} else {
 		if err := p.Check(); err != nil {
 			return nil, err
 		}
-		plan = &genericPlan{prog: p, engine: cfg.engine, sig: eval.GenericSignature(p)}
+		// The set-oriented engines admit programs by rule shape
+		// (Datalog LIT most strictly), so the optimizer must not fuse
+		// rules here; the goal-directed and deduplication passes still
+		// apply.
+		op, rep := opt.Optimize(p, opt.Options{Level: cfg.optLevel, Roots: visible, KeepShape: true})
+		report = rep
+		plan = &genericPlan{prog: op, engine: cfg.engine, sig: eval.GenericSignature(op), project: visible}
+		memoKey = newPlanKey(op, cfg.engine, visible)
 	}
 	q := cfg.newQuery(lang, plan, p.Query, extract)
+	q.optReport = report
+	q.memoKey = memoKey
 	q.setCompile(time.Since(start))
 	return q, nil
 }
@@ -374,6 +468,8 @@ func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
 		pred = DefaultQueryPred
 	}
 	var plan queryPlan
+	var report OptReport
+	var memoKey any
 	if x.HasNegation() {
 		// not(·) has no positive datalog translation; use the direct
 		// evaluator (reference semantics).
@@ -387,13 +483,19 @@ func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
 		if err != nil {
 			return nil, err
 		}
+		tp, report = opt.Optimize(tp, opt.Options{Level: cfg.optLevel, Roots: []string{pred}})
 		pl, err := eval.NewPlan(tp)
 		if err != nil {
 			return nil, err
 		}
 		plan = &linearPlan{plan: pl, project: []string{pred}}
+		memoKey = newPlanKey(tp, EngineLinear, []string{pred})
 	}
 	q := cfg.newQuery(LangXPath, plan, pred, []string{pred})
+	q.optReport = report
+	if memoKey != nil {
+		q.memoKey = memoKey
+	}
 	q.setCompile(time.Since(start))
 	return q, nil
 }
@@ -415,11 +517,14 @@ func CompileCaterpillar(e CaterpillarExpr, opts ...Option) (*CompiledQuery, erro
 		}
 		cp = tp
 	}
+	cp, report := opt.Optimize(cp, opt.Options{Level: cfg.optLevel, Roots: []string{pred}})
 	pl, err := eval.NewPlan(cp)
 	if err != nil {
 		return nil, err
 	}
 	q := cfg.newQuery(LangCaterpillar, &linearPlan{plan: pl, project: []string{pred}}, pred, []string{pred})
+	q.optReport = report
+	q.memoKey = newPlanKey(cp, EngineLinear, []string{pred})
 	q.setCompile(time.Since(start))
 	return q, nil
 }
@@ -449,20 +554,39 @@ func CompileElog(p *ElogProgram, opts ...Option) (*CompiledQuery, error) {
 		pred = patterns[0]
 	}
 	var plan queryPlan
-	if p.UsesDelta() {
+	var report OptReport
+	var memoKey any
+	switch {
+	case p.UsesDelta():
 		plan = &elogDirectPlan{prog: p, patterns: patterns}
-	} else {
+	case cfg.engine != EngineLinear:
+		// WithEngine routes the Theorem 6.4 datalog translation (which
+		// may use child/2) through the set-oriented engines.
+		dp, err := p.ToDatalog()
+		if err != nil {
+			return nil, err
+		}
+		dp, report = opt.Optimize(dp, opt.Options{Level: cfg.optLevel, Roots: patterns, KeepShape: true})
+		plan = &genericPlan{prog: dp, engine: cfg.engine, sig: eval.GenericSignature(dp), project: patterns}
+		memoKey = newPlanKey(dp, cfg.engine, patterns)
+	default:
 		dp, err := p.CompileLinear() // ToDatalog + TMNF (Corollary 6.4)
 		if err != nil {
 			return nil, err
 		}
+		dp, report = opt.Optimize(dp, opt.Options{Level: cfg.optLevel, Roots: patterns})
 		pl, err := eval.NewPlan(dp)
 		if err != nil {
 			return nil, err
 		}
 		plan = &linearPlan{plan: pl, project: patterns}
+		memoKey = newPlanKey(dp, EngineLinear, patterns)
 	}
 	q := cfg.newQuery(LangElog, plan, pred, extract)
+	q.optReport = report
+	if memoKey != nil {
+		q.memoKey = memoKey
+	}
 	q.setCompile(time.Since(start))
 	return q, nil
 }
@@ -482,6 +606,12 @@ func (q *CompiledQuery) ExtractPreds() []string { return append([]string(nil), q
 // Cache returns the query's TreeCache (nil when compiled with
 // WithoutCache), e.g. to Forget a mutated document.
 func (q *CompiledQuery) Cache() *TreeCache { return q.cache }
+
+// OptStats reports what the compile-time optimizer did to this query's
+// plan (rules before/after, per-pass counters). The zero value means
+// the plan did not route through datalog (MSO automaton, direct
+// evaluators).
+func (q *CompiledQuery) OptStats() OptReport { return q.optReport }
 
 // Stats returns a snapshot of the query's aggregate statistics: the
 // one-time parse/compile cost plus materialize/eval time, fact counts
@@ -520,13 +650,13 @@ func (q *CompiledQuery) runCached(ctx context.Context, t *Tree) (*Database, Stat
 		return nil, Stats{}, err
 	}
 	if q.cache != nil {
-		if db, ok := q.cache.Result(t, q); ok {
+		if db, ok := q.cache.Result(t, q.memoKey); ok {
 			return db, Stats{CacheHits: 1}, nil
 		}
 	}
 	db, rs, err := q.plan.run(ctx, t, q.cache)
 	if err == nil && q.cache != nil {
-		q.cache.SetResult(t, q, db)
+		q.cache.SetResult(t, q.memoKey, db)
 	}
 	return db, rs, err
 }
@@ -648,10 +778,14 @@ func (p *linearPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Datab
 
 // genericPlan routes through the set-oriented engines (semi-naive,
 // naive, LIT) over a materialized — and memoized — tree database.
+// project lists the visible predicates, so every engine (LIT's
+// connected-splitting helpers included) exposes the same relations as
+// the linear plan.
 type genericPlan struct {
-	prog   *datalog.Program
-	engine Engine
-	sig    eval.Signature
+	prog    *datalog.Program
+	engine  Engine
+	sig     eval.Signature
+	project []string
 }
 
 func (p *genericPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
@@ -688,7 +822,9 @@ func (p *genericPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Data
 	if err != nil {
 		return nil, rs, err
 	}
-	if p.engine != EngineLIT {
+	if p.project != nil {
+		full = full.Project(p.project)
+	} else {
 		full = full.Project(p.prog.IntensionalPreds())
 	}
 	return full, rs, nil

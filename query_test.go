@@ -51,25 +51,28 @@ func TestCompileCrossFormalismEquivalence(t *testing.T) {
 		t.Fatalf("reference query selects nothing; bad test document")
 	}
 
-	for _, cs := range crossSources {
-		q, err := Compile(cs.src, cs.lang, cs.opts...)
-		if err != nil {
-			t.Fatalf("%v: compile: %v", cs.lang, err)
-		}
-		got, err := q.Select(ctx, doc)
-		if err != nil {
-			t.Fatalf("%v: select: %v", cs.lang, err)
-		}
-		if fmt.Sprint(got) != want {
-			t.Errorf("%v selects %v, want %v", cs.lang, got, want)
-		}
-		// Repeated execution must be stable (and exercise the cache).
-		again, err := q.Select(ctx, doc)
-		if err != nil {
-			t.Fatalf("%v: second select: %v", cs.lang, err)
-		}
-		if fmt.Sprint(again) != want {
-			t.Errorf("%v second select %v, want %v", cs.lang, again, want)
+	for _, lvl := range []OptLevel{OptNone, OptFull} {
+		for _, cs := range crossSources {
+			opts := append([]Option{WithOptLevel(lvl)}, cs.opts...)
+			q, err := Compile(cs.src, cs.lang, opts...)
+			if err != nil {
+				t.Fatalf("%v/%v: compile: %v", cs.lang, lvl, err)
+			}
+			got, err := q.Select(ctx, doc)
+			if err != nil {
+				t.Fatalf("%v/%v: select: %v", cs.lang, lvl, err)
+			}
+			if fmt.Sprint(got) != want {
+				t.Errorf("%v/%v selects %v, want %v", cs.lang, lvl, got, want)
+			}
+			// Repeated execution must be stable (and exercise the cache).
+			again, err := q.Select(ctx, doc)
+			if err != nil {
+				t.Fatalf("%v/%v: second select: %v", cs.lang, lvl, err)
+			}
+			if fmt.Sprint(again) != want {
+				t.Errorf("%v/%v second select %v, want %v", cs.lang, lvl, again, want)
+			}
 		}
 	}
 }
@@ -282,6 +285,99 @@ func TestSharedCacheAcrossQueries(t *testing.T) {
 	}
 	if tc.Len() != 1 {
 		t.Errorf("cache holds %d trees, want 1", tc.Len())
+	}
+}
+
+// TestUnknownBinaryDiagnosedAtEveryOptLevel: a typo'd tree relation
+// must fail compilation identically at -O0 and -O1 — the optimizer is
+// not allowed to eliminate its way past a diagnosable error, even
+// when the offending rule is outside the extraction roots.
+func TestUnknownBinaryDiagnosedAtEveryOptLevel(t *testing.T) {
+	for _, src := range []string{
+		`
+q(X) :- label_td(X).
+r(X) :- bogus(X,Y), label_b(Y).
+`,
+		// Indirect: the offending rule references an intensional
+		// predicate whose defining rule is otherwise dead — it must
+		// stay defined so the engine reaches the typo'd binary atom.
+		`
+q(X) :- label_td(X).
+p(X) :- label_b(X).
+r(X) :- p(X), bogus(X,Y).
+`,
+	} {
+		for _, lvl := range []OptLevel{OptNone, OptFull} {
+			_, err := Compile(src, LangDatalog, WithExtract("q"), WithOptLevel(lvl))
+			if err == nil || !strings.Contains(err.Error(), "unknown binary predicate") {
+				t.Errorf("%v: want the unknown-binary diagnosis, got %v\nprogram:%s", lvl, err, src)
+			}
+		}
+	}
+}
+
+// TestResultMemoNoAliasing pins the TreeCache memo-key contract: the
+// key hashes the POST-optimization program (plus engine and visible
+// predicates), so two semantically different compilations of the SAME
+// source string — different extraction lists, different optimization
+// levels — never share a memo entry, while byte-identical plans do.
+func TestResultMemoNoAliasing(t *testing.T) {
+	doc := ParseHTML(crossPage)
+	tc := NewTreeCache(0)
+	ctx := context.Background()
+	src := `
+a(X) :- label_td(X).
+b(X) :- label_tr(X).
+`
+	compile := func(extract string, lvl OptLevel) *CompiledQuery {
+		t.Helper()
+		q, err := Compile(src, LangDatalog, WithCache(tc), WithExtract(extract), WithOptLevel(lvl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	qa := compile("a", OptFull)
+	dbA, err := qa.Eval(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbA.UnarySet("a")) == 0 {
+		t.Fatalf("extract-a query found no td nodes")
+	}
+
+	// Same source, different visible predicate: must NOT reuse qa's
+	// memoized (and a-only) result.
+	qb := compile("b", OptFull)
+	dbB, err := qb.Eval(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbB.UnarySet("b")) == 0 {
+		t.Fatalf("extract-b query served a stale memo entry: %v", dbB)
+	}
+
+	// Same source and extraction, different optimization level: the
+	// optimized and unoptimized plans differ, so a third entry appears.
+	qa0 := compile("a", OptNone)
+	if _, err := qa0.Eval(ctx, doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.Stats().Results; got != 3 {
+		t.Fatalf("memo holds %d entries, want 3 (a/O1, b/O1, a/O0)", got)
+	}
+
+	// A byte-identical plan from a separate Compile call SHARES the
+	// entry: cross-query amortization, the flip side of the hash key.
+	qaDup := compile("a", OptFull)
+	if _, rs, err := qaDup.EvalStats(ctx, doc); err != nil {
+		t.Fatal(err)
+	} else if rs.CacheHits != 1 {
+		t.Errorf("identical plan should hit the shared memo: %+v", rs)
+	}
+	if got := tc.Stats().Results; got != 3 {
+		t.Errorf("identical plan grew the memo to %d entries", got)
 	}
 }
 
