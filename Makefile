@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt fuzz-smoke docs-gate
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset fuzz-smoke docs-gate
 
 check: docs-gate build race fuzz-smoke bench-smoke
 
@@ -27,17 +27,24 @@ docs-gate: vet
 
 # One iteration per benchmark: catches bit-rot without burning CI time.
 # Also emits BENCH_treesize.json (substrate parse/materialize/select
-# ns-per-node at 1k/10k nodes in quick mode) and BENCH_optimize.json
-# (optimizer rule-count reduction + Select speedup per wrapper) so
+# ns-per-node at 1k/10k nodes in quick mode), BENCH_optimize.json
+# (optimizer rule-count reduction + Select speedup per wrapper) and
+# BENCH_queryset.json (fused vs sequential N-wrapper evaluation) so
 # every CI run archives a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
 	$(GO) run ./cmd/benchtables -quick -opt BENCH_optimize.json
+	$(GO) run ./cmd/benchtables -quick -queryset BENCH_queryset.json
 
 # Full-size optimizer measurement (EXT-OPT).
 bench-opt:
 	$(GO) run ./cmd/benchtables -opt BENCH_optimize.json
+
+# Full-size QuerySet fusion measurement (EXT-QUERYSET): fused vs
+# sequential evaluation for fleets of 2/8/32 wrappers.
+bench-queryset:
+	$(GO) run ./cmd/benchtables -queryset BENCH_queryset.json
 
 # Bounded run of the cross-engine differential fuzzer: 400 random
 # monadic programs × 2 random trees × {linear, LIT, semi-naive, naive}

@@ -577,3 +577,59 @@ func BenchmarkHTMLStreamIngestion(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStatsRecordParallel hammers the aggregate-stats hot path:
+// every worker's run is a result-memo hit, so recording the run is the
+// only shared write left. With the former mutex this serialized a
+// 16-way fan-out; atomic counters keep the workers independent.
+func BenchmarkStatsRecordParallel(b *testing.B) {
+	ctx := context.Background()
+	q, err := Compile(`//td[b]`, LangXPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := ParseHTML(html.ProductListing(rand.New(rand.NewSource(7)), 200))
+	if _, err := q.Select(ctx, doc); err != nil { // prime the memo
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := q.SelectStats(ctx, doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRunnerFanout16 drives a 16-way Runner fan-out over memoized
+// documents end to end — the serving shape whose throughput the
+// aggregate-stats mutex used to cap.
+func BenchmarkRunnerFanout16(b *testing.B) {
+	ctx := context.Background()
+	q, err := Compile(`//td[b]`, LangXPath, WithCache(NewTreeCache(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	docs := make([]*Tree, 64)
+	for i := range docs {
+		docs[i] = ParseHTML(html.ProductListing(rng, 50))
+	}
+	r := Runner{Workers: 16}
+	for _, res := range r.SelectAll(ctx, q, docs) { // prime the memo
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range r.SelectAll(ctx, q, docs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	benchtables -list     # print the available experiment ids
 //	benchtables -treesize BENCH_treesize.json
 //	                      # write the substrate scaling points as JSON
+//	benchtables -queryset BENCH_queryset.json
+//	                      # write the N-wrapper fusion points as JSON
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and titles without running them")
 	treesize := flag.String("treesize", "", "write EXT-TREESIZE points (parse/materialize/select ns-per-node) to this JSON file and exit")
 	opt := flag.String("opt", "", "write EXT-OPT points (rule counts and Select speedup per wrapper) to this JSON file and exit")
+	queryset := flag.String("queryset", "", "write EXT-QUERYSET points (fused vs sequential N-wrapper evaluation) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -53,6 +56,11 @@ func main() {
 	if *opt != "" {
 		pts := experiments.OptData(cfg)
 		writeJSON(*opt, pts, "wrappers", len(pts))
+		return
+	}
+	if *queryset != "" {
+		pts := experiments.QuerySetData(cfg)
+		writeJSON(*queryset, pts, "fleet sizes", len(pts))
 		return
 	}
 	for _, t := range experiments.All(cfg) {

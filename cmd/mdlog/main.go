@@ -10,6 +10,14 @@
 // A datalog program may designate a query predicate with "?- pred.";
 // -pred overrides it. With several documents the compiled query fans
 // out over a bounded worker pool and results print in input order.
+//
+// Multi-program mode: -program and -query repeat. With more than one
+// source, all of them (same -lang) compile into one fused QuerySet —
+// per document, the base relations are grounded once and shared
+// auxiliary chains are evaluated once — and per-wrapper results print
+// prefixed with the program name:
+//
+//	mdlog -program items.elog -program prices.elog -lang elog -html page.html
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	mdlog "mdlog"
 	"mdlog/internal/cliflag"
@@ -48,19 +58,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mdlog", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		langArg     = fs.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
-		programFile = fs.String("program", "", "query source file")
-		queryArg    = fs.String("query", "", "query source text (alternative to -program)")
-		treeArgs    multiFlag
-		treeFiles   multiFlag
-		htmlFiles   multiFlag
-		engineArg   = cliflag.Engine(fs)
-		optArg      = cliflag.OptLevel(fs)
-		predArg     = fs.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
-		workers     = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
-		showTree    = fs.Bool("print-tree", false, "print each document tree with node ids")
-		showStats   = fs.Bool("stats", false, "print compile/run statistics to stderr")
+		langArg      = fs.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
+		programFiles multiFlag
+		queryArgs    multiFlag
+		treeArgs     multiFlag
+		treeFiles    multiFlag
+		htmlFiles    multiFlag
+		engineArg    = cliflag.Engine(fs)
+		optArg       = cliflag.OptLevel(fs)
+		predArg      = fs.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
+		workers      = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
+		showTree     = fs.Bool("print-tree", false, "print each document tree with node ids")
+		showStats    = fs.Bool("stats", false, "print compile/run statistics to stderr")
 	)
+	fs.Var(&programFiles, "program", "query source file; repeatable (several fuse into one QuerySet)")
+	fs.Var(&queryArgs, "query", "query source text (alternative to -program); repeatable")
 	fs.Var(&treeArgs, "tree", "document in term syntax, e.g. a(b,c); repeatable")
 	fs.Var(&treeFiles, "treefile", "file containing a tree in term syntax; repeatable")
 	fs.Var(&htmlFiles, "html", "HTML document file; repeatable")
@@ -71,18 +83,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return errFlagParse // the FlagSet already printed the error + usage
 	}
 
-	if *programFile != "" && *queryArg != "" {
-		return fmt.Errorf("-program and -query are alternatives; provide one")
+	if len(programFiles) > 0 && len(queryArgs) > 0 {
+		return fmt.Errorf("-program and -query are alternatives; provide one kind")
 	}
-	src := *queryArg
-	if *programFile != "" {
-		b, err := os.ReadFile(*programFile)
+	type source struct{ name, text string }
+	var sources []source
+	for i, s := range queryArgs {
+		sources = append(sources, source{name: fmt.Sprintf("q%d", i), text: s})
+	}
+	for _, f := range programFiles {
+		b, err := os.ReadFile(f)
 		if err != nil {
 			return err
 		}
-		src = string(b)
+		sources = append(sources, source{name: progName(f), text: string(b)})
 	}
-	if src == "" {
+	if len(sources) == 0 {
 		return fmt.Errorf("provide -program or -query")
 	}
 	lang, err := mdlog.ParseLanguage(*langArg)
@@ -101,10 +117,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *predArg != "" {
 		opts = append(opts, mdlog.WithQueryPred(*predArg))
 	}
-	q, err := mdlog.Compile(src, lang, opts...)
-	if err != nil {
-		return err
-	}
 
 	docs, err := loadDocs(treeArgs, treeFiles, htmlFiles)
 	if err != nil {
@@ -120,6 +132,56 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	ctx := context.Background()
+
+	// Multi-program mode: fuse every source into one QuerySet so each
+	// document is grounded once for the whole fleet.
+	if len(sources) > 1 {
+		specs := make([]mdlog.SetSpec, len(sources))
+		for i, s := range sources {
+			specs[i] = mdlog.SetSpec{Name: s.name, Source: s.text, Lang: lang, Options: opts}
+		}
+		set, err := mdlog.CompileSet(specs)
+		if err != nil {
+			return err
+		}
+		queries := set.Queries()
+		results := (mdlog.Runner{Workers: *workers}).SetAll(ctx, set, docs)
+		for _, dr := range results {
+			if dr.Err != nil {
+				return fmt.Errorf("document %d: %w", dr.Index, dr.Err)
+			}
+			prefix := ""
+			if len(docs) > 1 {
+				prefix = fmt.Sprintf("[doc %d] ", dr.Index)
+			}
+			for _, res := range dr.Results {
+				if res.Err != nil {
+					return fmt.Errorf("document %d, program %s: %w", dr.Index, res.Name, res.Err)
+				}
+				q := queries[res.Index]
+				if q.QueryPred() != "" {
+					fmt.Fprintf(stdout, "%s%s: %v\n", prefix, res.Name, res.IDs)
+					continue
+				}
+				for _, pred := range q.ExtractPreds() {
+					fmt.Fprintf(stdout, "%s%s.%s: %v\n", prefix, res.Name, pred, res.Assignment[pred])
+				}
+			}
+		}
+		if *showStats {
+			s := set.Stats()
+			rep := set.FuseStats()
+			fmt.Fprintf(stderr, "fused %d/%d programs (%d rules -> %d, %d shared preds), materialize %v, eval %v over %d runs (%d cache hits)\n",
+				set.FusedLen(), set.Len(), rep.RulesIn, rep.RulesOut, rep.MergedPreds,
+				s.Materialize, s.Eval, s.Runs, s.CacheHits)
+		}
+		return nil
+	}
+
+	q, err := mdlog.Compile(sources[0].text, lang, opts...)
+	if err != nil {
+		return err
+	}
 	print := func(prefix string, db *mdlog.Database) {
 		preds := q.ExtractPreds()
 		if q.QueryPred() != "" {
@@ -149,6 +211,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
 	}
 	return nil
+}
+
+// progName labels a program source by its file base name without
+// extension ("wrappers/items.elog" → "items").
+func progName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
 func loadDocs(terms, termFiles, htmlFiles []string) ([]*mdlog.Tree, error) {

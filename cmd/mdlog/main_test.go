@@ -103,3 +103,23 @@ func TestEngineOptMatrix(t *testing.T) {
 		}
 	}
 }
+
+func TestGoldenMultiProgramFused(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-lang", "xpath", "-query", "//td[b]", "-query", "//td",
+		"-html", "testdata/page.html",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "multi_program.golden", out.Bytes())
+}
+
+func TestMultiProgramMixedFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-query", "//td", "-program", "testdata/wrapper.dl", "-tree", "a"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "alternatives") {
+		t.Errorf("mixing -query and -program must error, got %v", err)
+	}
+}

@@ -127,6 +127,47 @@ func fuzzSeed(t *testing.T) int64 {
 	return n
 }
 
+// fuzzFusedSet builds a QuerySet over the generated programs at one
+// optimization level and requires every member's fused result to match
+// its individual evaluation — all programs share the p0..p3/s0..s1
+// namespace, so this doubles as an apex-renaming capture test.
+func fuzzFusedSet(t *testing.T, ctx context.Context, caseNo int, progs []*Program, tr *Tree, lvl OptLevel) {
+	t.Helper()
+	queries := make([]*CompiledQuery, len(progs))
+	for j, p := range progs {
+		q, err := CompileProgram(p.Clone(), WithOptLevel(lvl), WithoutCache())
+		if err != nil {
+			t.Fatalf("case %d: compiling set member %d at %v: %v\nprogram:\n%s", caseNo, j, lvl, err, p)
+		}
+		queries[j] = q
+	}
+	set, err := NewQuerySet(queries...)
+	if err != nil {
+		t.Fatalf("case %d: fusing at %v: %v", caseNo, lvl, err)
+	}
+	if set.FusedLen() != len(progs) {
+		t.Fatalf("case %d: fused %d of %d linear members", caseNo, set.FusedLen(), len(progs))
+	}
+	results := set.Run(ctx, tr)
+	for j, res := range results {
+		if res.Err != nil {
+			t.Fatalf("case %d: fused member %d at %v: %v\nprogram:\n%s", caseNo, j, lvl, res.Err, progs[j])
+		}
+		ind, err := queries[j].Eval(ctx, tr)
+		if err != nil {
+			t.Fatalf("case %d: individual member %d at %v: %v", caseNo, j, lvl, err)
+		}
+		for _, pred := range progs[j].IntensionalPreds() {
+			want := ind.UnarySet(pred)
+			got := res.Assignment[pred]
+			if fmt.Sprint(got) != fmt.Sprint(want) && (len(got) > 0 || len(want) > 0) {
+				t.Fatalf("case %d: fused member %d at %v: %s = %v, individual %v\nprogram:\n%s\ntree: %s",
+					caseNo, j, lvl, pred, got, want, progs[j], tr)
+			}
+		}
+	}
+}
+
 func TestDifferentialEngines(t *testing.T) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(fuzzSeed(t)))
@@ -137,6 +178,9 @@ func TestDifferentialEngines(t *testing.T) {
 	for i := 0; i < iters; i++ {
 		p := randomMonadicProgram(rng)
 		preds := p.IntensionalPreds()
+		// Two more programs over the same predicate namespace for the
+		// fused-set differential below.
+		setMates := []*Program{p, randomMonadicProgram(rng), randomMonadicProgram(rng)}
 		for d := 0; d < 2; d++ {
 			tr := tree.Random(rng, tree.RandomOptions{
 				Labels: []string{"a", "b", "c"}, Size: 15 + rng.Intn(45), MaxChildren: 5})
@@ -179,6 +223,13 @@ func TestDifferentialEngines(t *testing.T) {
 							i, e, lvl, got, want, p, tr)
 					}
 				}
+			}
+
+			// Fused-set variant: the three generated programs run as
+			// one QuerySet pass and must agree with their individual
+			// evaluations at both optimization levels.
+			for _, lvl := range levels {
+				fuzzFusedSet(t, ctx, i, setMates, tr, lvl)
 			}
 		}
 	}

@@ -133,3 +133,35 @@ func ExampleRunner() {
 	// doc 0: 1 match(es)
 	// doc 1: 1 match(es)
 }
+
+// Many wrappers, one page: a QuerySet fuses the datalog-routed members
+// (here XPath and Elog⁻) into one shared evaluation pass — the base
+// relations are grounded once for the whole fleet — while the MSO
+// automaton member runs alongside with identical results.
+func ExampleQuerySet() {
+	set, err := mdlog.CompileSet([]mdlog.SetSpec{
+		{Name: "bold-cells", Source: `//td[b]`, Lang: mdlog.LangXPath},
+		{Name: "prices", Source: `
+item(x)  :- root(x0), subelem("html.body.table.tr", x0, x).
+price(x) :- item(x0), subelem("td.b", x0, x).
+`, Lang: mdlog.LangElog, Options: []mdlog.Option{mdlog.WithQueryPred("price")}},
+		{Name: "mso-bold", Source: `label_td(x) & exists y (child(x,y) & label_b(y))`,
+			Lang: mdlog.LangMSO},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := mdlog.ParseHTML(examplePage)
+	for _, res := range set.Run(context.Background(), doc) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("%-10s %v\n", res.Name, res.IDs)
+	}
+	fmt.Printf("fused %d of %d wrappers\n", set.FusedLen(), set.Len())
+	// Output:
+	// bold-cells [7]
+	// prices     [8]
+	// mso-bold   [7]
+	// fused 2 of 3 wrappers
+}

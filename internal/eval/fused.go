@@ -1,0 +1,107 @@
+package eval
+
+// The fused-plan path: one prepared Plan evaluates the union of many
+// wrappers' programs (apex-renamed and deduplicated by opt.Fuse), and
+// FusedPlan splits the single result database back into per-member
+// visible relations. This is the evaluation side of QuerySet — the
+// grounding, the Horn solve, and the result construction all happen
+// once per document for the whole wrapper set.
+
+import (
+	"time"
+
+	"mdlog/internal/datalog"
+)
+
+// FusedMember is one wrapper's slice of a fused plan: its display name
+// and the mapping from the caller-facing predicate names to the
+// apex-renamed predicates the fused program actually derives.
+type FusedMember struct {
+	// Name labels the member in results and diagnostics.
+	Name string
+	// Project maps each visible (caller-facing) predicate to its
+	// predicate in the fused program.
+	Project map[string]string
+}
+
+// FusedPlan is a Plan for a fused program plus the per-member
+// projections that recover each wrapper's visible relations from the
+// shared result. Immutable after NewFusedPlan; safe for concurrent
+// use.
+type FusedPlan struct {
+	plan    *Plan
+	members []FusedMember
+}
+
+// NewFusedPlan prepares the fused program for the linear engine and
+// attaches the member projections.
+func NewFusedPlan(p *datalog.Program, members []FusedMember) (*FusedPlan, error) {
+	pl, err := NewPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return &FusedPlan{plan: pl, members: members}, nil
+}
+
+// Plan returns the underlying prepared plan (e.g. for its program).
+func (f *FusedPlan) Plan() *Plan { return f.plan }
+
+// Members returns the number of fused members.
+func (f *FusedPlan) Members() int { return len(f.members) }
+
+// Run executes the fused plan once over nav and splits the result into
+// one database per member, carrying the member's visible predicate
+// names. The returned databases are freshly built and independent.
+func (f *FusedPlan) Run(nav *Nav) ([]*datalog.Database, error) {
+	full, err := f.plan.Run(nav)
+	if err != nil {
+		return nil, err
+	}
+	return f.Split(full), nil
+}
+
+// Split projects an already-computed fused result database into the
+// per-member visible databases (same order as the members given to
+// NewFusedPlan). It is what makes memoizing the fused database safe:
+// the memo stores the shared result once, and every later run re-slices
+// it without re-evaluating.
+func (f *FusedPlan) Split(full *datalog.Database) []*datalog.Database {
+	out := make([]*datalog.Database, len(f.members))
+	for i, m := range f.members {
+		db := datalog.NewDatabase(full.Dom)
+		for vis, fusedPred := range m.Project {
+			r := full.RelOrNil(fusedPred)
+			if r == nil {
+				continue
+			}
+			switch r.Arity {
+			case 1:
+				db.Rel(vis, 1).AddUnarySet(full.UnarySet(fusedPred))
+			case 0:
+				if r.Len() > 0 {
+					db.Rel(vis, 0).Add(nil)
+				}
+			}
+		}
+		out[i] = db
+	}
+	return out
+}
+
+// AttributeShared converts the cost of one shared fused pass into one
+// member's attributed per-run stats: the timing fields are divided
+// evenly across the n members (the pass is a joint product; an even
+// split keeps per-wrapper rollups summing to the actual wall time),
+// cache hits are carried through (a memoized shared pass served every
+// member from cache), and the count fields (Runs, Facts, FusedRuns)
+// are left for the caller to fill per member.
+func AttributeShared(shared Stats, n int) Stats {
+	if n <= 0 {
+		n = 1
+	}
+	return Stats{
+		Materialize: time.Duration(int64(shared.Materialize) / int64(n)),
+		Eval:        time.Duration(int64(shared.Eval) / int64(n)),
+		CacheHits:   shared.CacheHits,
+	}
+}

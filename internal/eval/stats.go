@@ -26,6 +26,10 @@ type Stats struct {
 	// CacheHits counts runs whose per-tree state came out of a
 	// TreeCache without materialization.
 	CacheHits int64
+	// FusedRuns counts runs served by a fused QuerySet pass (one
+	// shared evaluation for many wrappers) rather than an individual
+	// evaluation; always ≤ Runs.
+	FusedRuns int64
 }
 
 // Add accumulates o into s (compile-phase fields are kept from s
@@ -43,6 +47,7 @@ func (s *Stats) Add(o Stats) {
 	s.Facts += o.Facts
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
+	s.FusedRuns += o.FusedRuns
 }
 
 // Merge sums every field of o into s, including the one-time
@@ -58,4 +63,5 @@ func (s *Stats) Merge(o Stats) {
 	s.Facts += o.Facts
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
+	s.FusedRuns += o.FusedRuns
 }

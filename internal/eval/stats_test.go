@@ -7,20 +7,20 @@ import (
 
 func TestStatsAddKeepsOneTimeCosts(t *testing.T) {
 	s := Stats{Parse: time.Millisecond, Compile: 2 * time.Millisecond}
-	s.Add(Stats{Parse: time.Hour, Compile: time.Hour, Eval: time.Second, Runs: 1, Facts: 3})
+	s.Add(Stats{Parse: time.Hour, Compile: time.Hour, Eval: time.Second, Runs: 1, Facts: 3, FusedRuns: 1})
 	if s.Parse != time.Millisecond || s.Compile != 2*time.Millisecond {
 		t.Errorf("Add overwrote one-time costs: %+v", s)
 	}
-	if s.Eval != time.Second || s.Runs != 1 || s.Facts != 3 {
+	if s.Eval != time.Second || s.Runs != 1 || s.Facts != 3 || s.FusedRuns != 1 {
 		t.Errorf("Add dropped per-run fields: %+v", s)
 	}
 }
 
 func TestStatsMergeSumsEverything(t *testing.T) {
-	a := Stats{Parse: 1, Compile: 2, Materialize: 3, Eval: 4, Facts: 5, Runs: 6, CacheHits: 7}
-	b := Stats{Parse: 10, Compile: 20, Materialize: 30, Eval: 40, Facts: 50, Runs: 60, CacheHits: 70}
+	a := Stats{Parse: 1, Compile: 2, Materialize: 3, Eval: 4, Facts: 5, Runs: 6, CacheHits: 7, FusedRuns: 8}
+	b := Stats{Parse: 10, Compile: 20, Materialize: 30, Eval: 40, Facts: 50, Runs: 60, CacheHits: 70, FusedRuns: 80}
 	a.Merge(b)
-	want := Stats{Parse: 11, Compile: 22, Materialize: 33, Eval: 44, Facts: 55, Runs: 66, CacheHits: 77}
+	want := Stats{Parse: 11, Compile: 22, Materialize: 33, Eval: 44, Facts: 55, Runs: 66, CacheHits: 77, FusedRuns: 88}
 	if a != want {
 		t.Errorf("Merge = %+v, want %+v", a, want)
 	}

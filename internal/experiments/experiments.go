@@ -115,6 +115,7 @@ var catalog = []struct {
 	{"EXT-AMORTIZE", "Compile-once/run-many amortization", CompileOnceAmortization},
 	{"EXT-TREESIZE", "Arena substrate scaling: parse/materialize/select per node", TreeSize},
 	{"EXT-OPT", "Goal-directed optimizer: plan size and Select speedup", Opt},
+	{"EXT-QUERYSET", "QuerySet fusion: N wrappers, one shared pass per document", QuerySet},
 }
 
 func All(cfg Config) []Table {

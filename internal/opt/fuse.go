@@ -1,0 +1,266 @@
+package opt
+
+// Program fusion for QuerySet: N post-optimization member programs —
+// any of them the compiled form of a different source language —
+// become ONE program that a single linear-engine pass evaluates per
+// document, after which each member's visible relations are projected
+// back out.
+//
+// Soundness rests on two facts (see DESIGN.md §QuerySet):
+//
+//  1. Apex renaming. Every predicate a member defines (and every
+//     non-extensional predicate it merely mentions) is prefixed with a
+//     member-unique apex tag, so the fused program is a union of
+//     programs with pairwise disjoint intensional vocabularies over a
+//     shared extensional vocabulary. The least model of such a union
+//     is the union of the members' least models: the immediate
+//     consequence operator of the union decomposes into the members'
+//     operators, which cannot interact through disjoint predicates.
+//
+//  2. Shared-auxiliary deduplication. Two intensional predicates whose
+//     complete defining rule sets are identical — up to variable
+//     renaming, body-atom order, self-reference, and the merges
+//     already performed — have identical extensions in every least
+//     model (induction on fixpoint stages), so the duplicate may be
+//     replaced by its representative everywhere. This is what makes
+//     fusion pay: the tm_*/conn_* chains that every translation emits
+//     for shared document structure are evaluated once for the whole
+//     set instead of once per wrapper.
+
+import (
+	"sort"
+	"strings"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+)
+
+// FuseMember is one program entering a fused evaluation unit.
+type FuseMember struct {
+	// Prefix is the member's apex tag (e.g. "s3__"); it must be unique
+	// within the fused set and not a prefix of another member's tag.
+	Prefix string
+	// Program is the member's post-optimization program. It is never
+	// mutated.
+	Program *datalog.Program
+	// Visible are the predicates whose extensions the caller observes
+	// for this member; they are protected from deduplication (their
+	// prefixed names survive into the fused program, as
+	// Prefix+pred), while everything else is fair game for merging.
+	Visible []string
+}
+
+// FuseReport describes what one Fuse call did.
+type FuseReport struct {
+	// Members is the number of fused programs.
+	Members int
+	// RulesIn is the total rule count across all members; RulesOut is
+	// the fused program's rule count after deduplication.
+	RulesIn, RulesOut int
+	// MergedPreds counts auxiliary predicates replaced by an
+	// equivalent representative from another (or the same) member.
+	MergedPreds int
+	// MergedRules counts rules dropped because merging made them
+	// duplicates of a surviving rule.
+	MergedRules int
+}
+
+// Fuse apex-renames each member's program and unions them into one,
+// then merges predicates whose definitions coincide across members.
+// Each member's visible predicate v appears in the result as
+// member.Prefix+v — unless fusion merged it into an equivalent
+// predicate, in which case aliases[member.Prefix+v] names the
+// surviving predicate carrying the extension (reading that relation
+// under the visible name costs nothing per document, whereas keeping
+// an alias RULE would ground one clause per node). The fused program
+// has no distinguished query predicate.
+func Fuse(members []FuseMember) (*datalog.Program, map[string]string, FuseReport) {
+	rep := FuseReport{Members: len(members)}
+	fused := &datalog.Program{}
+	protected := map[string]bool{}
+	for _, m := range members {
+		rep.RulesIn += len(m.Program.Rules)
+		renamed := apexRename(m.Program, m.Prefix)
+		fused.Rules = append(fused.Rules, renamed.Rules...)
+		for _, v := range m.Visible {
+			protected[m.Prefix+v] = true
+		}
+		if m.Program.Query != "" {
+			protected[m.Prefix+m.Program.Query] = true
+		}
+	}
+	aliases := dedupShared(fused, protected, &rep)
+	rep.RulesOut = len(fused.Rules)
+	return fused, aliases, rep
+}
+
+// apexRename clones p with every intensional — and every unknown, i.e.
+// neither intensional nor extensional — predicate prefixed. Extensional
+// tree predicates (τ_ur and its extensions, label_a, child_k) keep
+// their names: they are the shared vocabulary fusion exists to ground
+// once. Unknown predicates are renamed too, so a member's unruled
+// (never-true) helper can never capture another member's defined
+// predicate of the same name.
+func apexRename(p *datalog.Program, prefix string) *datalog.Program {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	mapped := func(a datalog.Atom) string {
+		if idb[a.Pred] {
+			return prefix + a.Pred
+		}
+		switch len(a.Args) {
+		case 2:
+			if eval.IsBinaryEDB(a.Pred) {
+				return a.Pred
+			}
+		case 1:
+			if eval.IsUnaryEDB(a.Pred) {
+				return a.Pred
+			}
+		}
+		return prefix + a.Pred
+	}
+	out := p.Clone()
+	for i := range out.Rules {
+		out.Rules[i].Head.Pred = mapped(out.Rules[i].Head)
+		for j := range out.Rules[i].Body {
+			out.Rules[i].Body[j].Pred = mapped(out.Rules[i].Body[j])
+		}
+	}
+	if out.Query != "" {
+		out.Query = prefix + out.Query
+	}
+	return out
+}
+
+// selfToken stands in for a predicate's own name when canonicalizing
+// its definition, so directly-recursive twins still collide. The NUL
+// byte keeps it out of the space of parseable predicate names.
+const selfToken = "\x00self"
+
+// dedupShared merges intensional predicates with identical definitions
+// into one representative, to a fixpoint: merging two leaf auxiliaries
+// makes the predicates defined in terms of them collide next round, so
+// identical chains collapse bottom-up whatever their length.
+//
+// A merged-away predicate's occurrences are rewritten to the
+// representative everywhere. Protected predicates are part of the
+// fused program's output interface, so their extensions must stay
+// addressable: when a protected predicate merges — two wrappers asking
+// the same question should ground one chain, not two — its name is
+// recorded in the returned alias map pointing at the surviving
+// predicate, and the caller projects the shared relation under both
+// names. (An alias RULE p(X) :- rep(X) would be semantically
+// equivalent but grounds one Horn clause per document node, which for
+// near-identical wrapper fleets costs more than the merge saves.)
+func dedupShared(p *datalog.Program, protected map[string]bool, rep *FuseReport) map[string]string {
+	// rename maps a merged-away predicate to its surviving
+	// representative; lookups chase the chain so late merges compose.
+	rename := map[string]string{}
+	resolve := func(pred string) string {
+		for {
+			next, ok := rename[pred]
+			if !ok {
+				return pred
+			}
+			pred = next
+		}
+	}
+	merged := map[string]string{} // protected pred -> representative at merge time
+	for {
+		// Group every defined predicate by the canonical form of its
+		// complete defining rule set under the current renaming.
+		defs := map[string][]datalog.Rule{}
+		for _, r := range p.Rules {
+			head := resolve(r.Head.Pred)
+			defs[head] = append(defs[head], r)
+		}
+		groups := map[string][]string{}
+		for pred, rules := range defs {
+			key := canonicalDef(pred, rules, resolve)
+			groups[key] = append(groups[key], pred)
+		}
+		progress := false
+		for _, preds := range groups {
+			if len(preds) < 2 {
+				continue
+			}
+			sort.Strings(preds)
+			// Representative: the first protected member if any (a
+			// protected representative is never itself merged away
+			// later, so alias chains always bottom out), else the
+			// lexicographically smallest.
+			repPred := preds[0]
+			for _, pred := range preds {
+				if protected[pred] {
+					repPred = pred
+					break
+				}
+			}
+			for _, pred := range preds {
+				if pred == repPred {
+					continue
+				}
+				rename[pred] = repPred
+				rep.MergedPreds++
+				progress = true
+				if protected[pred] {
+					merged[pred] = repPred
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+		// Apply the renaming and drop the duplicate definitions it
+		// creates (the merged predicate's rules become copies of the
+		// representative's).
+		for i := range p.Rules {
+			p.Rules[i].Head.Pred = resolve(p.Rules[i].Head.Pred)
+			for j := range p.Rules[i].Body {
+				p.Rules[i].Body[j].Pred = resolve(p.Rules[i].Body[j].Pred)
+			}
+		}
+		var dr Report
+		dedupRules(p, &dr)
+		rep.MergedRules += dr.DuplicateRules
+	}
+	// Resolve each merged protected predicate to its final survivor
+	// (the representative recorded at merge time may itself have been
+	// merged onward in a later round; the survivor at the end of a
+	// rename chain always retains its defining rules).
+	aliases := make(map[string]string, len(merged))
+	for pred, repPred := range merged {
+		aliases[pred] = resolve(repPred)
+	}
+	return aliases
+}
+
+// canonicalDef renders a predicate's complete defining rule set in a
+// form where two predicates with α-equivalent, order-insensitive,
+// self-reference-insensitive definitions (under the current merge
+// renaming) collide: each rule is canonicalized like canonicalRule
+// with the predicate's own name replaced by selfToken, and the rule
+// strings are sorted.
+func canonicalDef(pred string, rules []datalog.Rule, resolve func(string) string) string {
+	subst := func(p string) string {
+		p = resolve(p)
+		if p == pred {
+			return selfToken
+		}
+		return p
+	}
+	lines := make([]string, len(rules))
+	for i, r := range rules {
+		c := r.Clone()
+		c.Head.Pred = subst(c.Head.Pred)
+		for j := range c.Body {
+			c.Body[j].Pred = subst(c.Body[j].Pred)
+		}
+		lines[i] = canonicalRule(c)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,193 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/tree"
+)
+
+func parseTree(s string) (*tree.Tree, error) { return tree.Parse(s) }
+
+// fuseTestDB materializes the full extensional vocabulary for the
+// reference naive engine.
+func fuseTestDB(t *tree.Tree) *datalog.Database { return eval.FullSignature().TreeDB(t) }
+
+func parse(t *testing.T, src string) *datalog.Program {
+	t.Helper()
+	p, err := datalog.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFuseDisjointNamespaces: two members defining the same predicate
+// names must not interfere after apex renaming.
+func TestFuseDisjointNamespaces(t *testing.T) {
+	a := parse(t, `q(X) :- label_a(X). ?- q.`)
+	b := parse(t, `q(X) :- label_b(X). ?- q.`)
+	fused, _, rep := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	})
+	if rep.RulesIn != 2 || rep.RulesOut != 2 || rep.MergedPreds != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	text := fused.String()
+	if !strings.Contains(text, "s0__q(X) :- label_a(X).") ||
+		!strings.Contains(text, "s1__q(X) :- label_b(X).") {
+		t.Fatalf("fused program:\n%s", text)
+	}
+}
+
+// TestFuseUnknownPredsRenamed: a member's unruled (never-true) helper
+// must not capture another member's defined predicate of the same
+// name.
+func TestFuseUnknownPredsRenamed(t *testing.T) {
+	a := parse(t, `q(X) :- label_a(X), helper(X). ?- q.`)
+	b := parse(t, `helper(X) :- label_b(X). q(X) :- helper(X). ?- q.`)
+	fused, _, _ := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q", "helper"}},
+	})
+	for _, r := range fused.Rules {
+		for _, at := range r.Body {
+			if at.Pred == "helper" || at.Pred == "s1__helper" && r.Head.Pred == "s0__q" {
+				t.Fatalf("member 0's unruled helper captured member 1's: %s", r)
+			}
+		}
+	}
+}
+
+// TestFuseSharedAuxMerged: identical auxiliary chains across members
+// collapse to one, bottom-up, however long.
+func TestFuseSharedAuxMerged(t *testing.T) {
+	src := `
+aux1(X) :- firstchild(Y,X), label_a(Y).
+aux2(X) :- firstchild(X,Y), aux1(Y).
+q(X)    :- aux2(X), label_b(X).
+?- q.`
+	a, b := parse(t, src), parse(t, src)
+	fused, aliases, rep := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	})
+	// Both aux chains merge; the duplicate protected q is recorded as
+	// an alias of the survivor. 6 rules in → aux1, aux2, one q
+	// definition = 3 rules out.
+	if rep.RulesOut != 3 {
+		t.Fatalf("RulesOut = %d, want 3\n%s\nreport %+v", rep.RulesOut, fused, rep)
+	}
+	if rep.MergedPreds != 3 {
+		t.Fatalf("MergedPreds = %d, want 3 (aux1, aux2, q)", rep.MergedPreds)
+	}
+	if aliases["s1__q"] != "s0__q" {
+		t.Fatalf("aliases = %v, want s1__q -> s0__q", aliases)
+	}
+}
+
+// TestFuseRecursiveTwins: directly-recursive predicates with identical
+// definitions still merge via the self token.
+func TestFuseRecursiveTwins(t *testing.T) {
+	src := `
+reach(X) :- root(X).
+reach(X) :- reach(Y), firstchild(Y,X).
+reach(X) :- reach(Y), nextsibling(Y,X).
+q(X) :- reach(X), label_a(X).
+?- q.`
+	a, b := parse(t, src), parse(t, src)
+	_, aliases, rep := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	})
+	// reach merges (recursive twin), q aliases: 8 in, reach(3) + q = 4
+	// out.
+	if rep.RulesOut != 4 || rep.MergedPreds != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if aliases["s1__q"] != "s0__q" {
+		t.Fatalf("aliases = %v", aliases)
+	}
+}
+
+// TestFuseDistinctDefsKeptApart: predicates with different definitions
+// never merge, even when structurally close.
+func TestFuseDistinctDefsKeptApart(t *testing.T) {
+	a := parse(t, `aux(X) :- firstchild(X,Y), label_a(Y). q(X) :- aux(X). ?- q.`)
+	b := parse(t, `aux(X) :- firstchild(X,Y), label_b(Y). q(X) :- aux(X). ?- q.`)
+	fused, _, rep := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	})
+	if rep.MergedPreds != 0 || rep.RulesOut != 4 {
+		t.Fatalf("spurious merge: %+v\n%s", rep, fused)
+	}
+}
+
+// TestFusePropositionalAlias: 0-ary protected predicates alias with a
+// propositional rule.
+func TestFusePropositionalAlias(t *testing.T) {
+	src := `
+seen :- root(X), label_a(X).
+q(X) :- seen, label_b(X).
+?- q.`
+	a, b := parse(t, src), parse(t, src)
+	_, aliases, _ := Fuse([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q", "seen"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q", "seen"}},
+	})
+	if aliases["s1__seen"] != "s0__seen" || aliases["s1__q"] != "s0__q" {
+		t.Fatalf("aliases = %v", aliases)
+	}
+}
+
+// TestFuseSemanticsPreserved: the fused program computes, per member,
+// exactly the member's own least model on a real tree.
+func TestFuseSemanticsPreserved(t *testing.T) {
+	srcs := []string{
+		`q(X) :- label_b(X), firstchild(Y,X). ?- q.`,
+		`aux(X) :- firstchild(X,Y), label_b(Y). q(X) :- aux(X). ?- q.`,
+		`q(X) :- label_b(X), firstchild(Y,X). ?- q.`, // duplicate of member 0
+	}
+	var members []FuseMember
+	progs := make([]*datalog.Program, len(srcs))
+	for i, src := range srcs {
+		progs[i] = parse(t, src)
+		members = append(members, FuseMember{
+			Prefix:  []string{"s0__", "s1__", "s2__"}[i],
+			Program: progs[i],
+			Visible: []string{"q"},
+		})
+	}
+	fused, aliases, _ := Fuse(members)
+	tr, err := parseTree("a(b(b),c(b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDB, err := datalog.NaiveEval(fused, fuseTestDB(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, prog := range progs {
+		want, err := datalog.NaiveEval(prog, fuseTestDB(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := members[i].Prefix + "q"
+		if target, ok := aliases[pred]; ok {
+			pred = target
+		}
+		got := fullDB.UnarySet(pred)
+		if len(got) != len(want.UnarySet("q")) {
+			t.Fatalf("member %d: fused %v, individual %v", i, got, want.UnarySet("q"))
+		}
+		for j, id := range got {
+			if want.UnarySet("q")[j] != id {
+				t.Fatalf("member %d: fused %v, individual %v", i, got, want.UnarySet("q"))
+			}
+		}
+	}
+}

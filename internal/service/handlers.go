@@ -215,35 +215,28 @@ type batchDoc struct {
 	HTML string `json:"html"`
 }
 
-// handleBatch fans the request's documents across the Runner worker
-// pool (parse + evaluate both inside the pool) and emits per-document
-// results in input order — as one JSON document, or as NDJSON lines
-// flushed as each document completes (?format=ndjson or Accept:
-// application/x-ndjson). A document that fails marks only its own
-// result; the batch continues.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	wr, ok := s.wrapper(w, r)
-	if !ok {
-		return
-	}
-	mode, err := parseOutput(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+// decodeBatch parses the shared /batch* request shape: the JSON docs
+// envelope plus the NDJSON format selection (?format=ndjson or
+// Accept: application/x-ndjson). Reports ok=false after writing the
+// error response.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) (req batchRequest, ndjson, ok bool) {
+	ndjson = r.URL.Query().Get("format") == "ndjson" ||
 		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
-	var req batchRequest
 	dec := json.NewDecoder(s.body(w, r))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, clientErrStatus(err), "invalid batch request: %v", err)
-		return
+		return req, ndjson, false
 	}
-	ctx := r.Context()
 	s.documents.Add(int64(len(req.Docs)))
+	return req, ndjson, true
+}
 
-	results := s.runBatch(ctx, wr, mode, req.Docs)
+// emitBatch writes a per-document result channel to the wire: NDJSON
+// lines flushed as each document completes, or one JSON document
+// (envelope wraps the collected items). If the client goes away
+// mid-NDJSON, the channel is drained so the workers can finish.
+func emitBatch(w http.ResponseWriter, ndjson bool, expect int, results <-chan map[string]any, envelope func([]map[string]any) map[string]any) {
 	if ndjson {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
@@ -251,7 +244,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		enc.SetEscapeHTML(false)
 		for item := range results {
 			if err := enc.Encode(item); err != nil {
-				// Client went away; drain so the workers can finish.
 				for range results {
 				}
 				return
@@ -262,11 +254,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	items := make([]map[string]any, 0, len(req.Docs))
+	items := make([]map[string]any, 0, expect)
 	for item := range results {
 		items = append(items, item)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"wrapper": wr.Name, "results": items})
+	writeJSON(w, http.StatusOK, envelope(items))
+}
+
+// handleBatch fans the request's documents across the Runner worker
+// pool (parse + evaluate both inside the pool) and emits per-document
+// results in input order — as one JSON document, or as NDJSON lines
+// flushed as each document completes. A document that fails marks only
+// its own result; the batch continues.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	wr, ok := s.wrapper(w, r)
+	if !ok {
+		return
+	}
+	mode, err := parseOutput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req, ndjson, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	results := s.runBatch(r.Context(), wr, mode, req.Docs)
+	emitBatch(w, ndjson, len(req.Docs), results, func(items []map[string]any) map[string]any {
+		return map[string]any{"wrapper": wr.Name, "results": items}
+	})
 }
 
 // runBatch pushes docs through the worker pool and yields one JSON
@@ -331,6 +348,167 @@ func (s *Server) runBatch(ctx context.Context, wr *Wrapper, mode outputMode, doc
 				}
 				out <- finish(item, res.Index, res.Err)
 			}
+		}
+	}()
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Fused all-wrapper extraction.
+
+// setOutput is parseOutput restricted to the modes /extractall and
+// /batchall support: per-wrapper XML trees are a per-wrapper concern
+// (use /extract/{name}?output=xml), not a fleet one.
+func setOutput(r *http.Request) (outputMode, error) {
+	mode, err := parseOutput(r)
+	if err != nil {
+		return 0, err
+	}
+	if mode == outXML {
+		return 0, fmt.Errorf("output xml is not supported here (use /extract/{name}?output=xml)")
+	}
+	return mode, nil
+}
+
+// setResultItem renders one wrapper's SetResult. Wrapper failures are
+// isolated: an "error" field on the failing wrapper's entry, never an
+// HTTP error for the whole document.
+func setResultItem(res mdlog.SetResult, mode outputMode) map[string]any {
+	item := map[string]any{"wrapper": res.Name}
+	if res.Err != nil {
+		item["error"] = res.Err.Error()
+		return item
+	}
+	switch mode {
+	case outNodes:
+		item["nodes"] = nonNil(res.IDs)
+	case outAssign:
+		item["assign"] = assignJSON(res.Assignment)
+	}
+	return item
+}
+
+// handleExtractAll parses the request body once and runs EVERY
+// registered wrapper over it in one fused QuerySet pass — the
+// many-wrappers-one-page shape: the base relations are grounded once
+// and auxiliary chains shared between wrappers are evaluated once.
+func (s *Server) handleExtractAll(w http.ResponseWriter, r *http.Request) {
+	mode, err := setOutput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	set, err := s.querySet()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building wrapper set: %v", err)
+		return
+	}
+	if set == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"wrappers": 0, "fused": 0, "results": []any{}})
+		return
+	}
+	s.documents.Add(1)
+	doc, err := mdlog.ParseHTMLReader(s.body(w, r))
+	if err != nil {
+		s.docErrors.Add(1)
+		writeError(w, clientErrStatus(err), "reading document: %v", err)
+		return
+	}
+	results := set.Run(r.Context(), doc)
+	items := make([]map[string]any, len(results))
+	for i, res := range results {
+		items[i] = setResultItem(res, mode)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"wrappers": set.Len(),
+		"fused":    set.FusedLen(),
+		"results":  items,
+	})
+}
+
+// handleBatchAll is /batchall: the batch envelope of /batch, every
+// registered wrapper per document, one fused pass per document, fanned
+// across the Runner worker pool. Response shape mirrors /batch with a
+// per-document "results" array of per-wrapper entries.
+func (s *Server) handleBatchAll(w http.ResponseWriter, r *http.Request) {
+	mode, err := setOutput(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	set, err := s.querySet()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building wrapper set: %v", err)
+		return
+	}
+	req, ndjson, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	results := s.runBatchAll(r.Context(), set, mode, req.Docs)
+	emitBatch(w, ndjson, len(req.Docs), results, func(items []map[string]any) map[string]any {
+		return map[string]any{"results": items}
+	})
+}
+
+// runBatchAll pushes docs through Runner.SetHTMLStream and yields one
+// JSON object per document, in input order. A document-level failure
+// (unparseable HTML) sets the document's "error"; wrapper-level
+// failures surface inside its "results" entries. An empty registry
+// still yields one entry per document (with empty results), so the
+// response always has the one-entry-per-document shape of /batch.
+func (s *Server) runBatchAll(ctx context.Context, set *mdlog.QuerySet, mode outputMode, docs []batchDoc) <-chan map[string]any {
+	out := make(chan map[string]any)
+	if set == nil {
+		go func() {
+			defer close(out)
+			for i, d := range docs {
+				item := map[string]any{"index": i, "results": []any{}}
+				if d.ID != "" {
+					item["id"] = d.ID
+				}
+				select {
+				case out <- item:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+	if len(docs) == 0 {
+		close(out)
+		return out
+	}
+	srcs := make(chan io.Reader)
+	go func() {
+		defer close(srcs)
+		for _, d := range docs {
+			select {
+			case srcs <- strings.NewReader(d.HTML):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		defer close(out)
+		for res := range s.runner.SetHTMLStream(ctx, set, srcs) {
+			item := map[string]any{"index": res.Index}
+			if id := docs[res.Index].ID; id != "" {
+				item["id"] = id
+			}
+			if res.Err != nil {
+				s.docErrors.Add(1)
+				item["error"] = res.Err.Error()
+			} else {
+				items := make([]map[string]any, len(res.Results))
+				for i, sr := range res.Results {
+					items[i] = setResultItem(sr, mode)
+				}
+				item["results"] = items
+			}
+			out <- item
 		}
 	}()
 	return out

@@ -50,6 +50,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.Runs)
 	}
+	counter("mdlogd_wrapper_fused_runs_total", "Runs served by a fused all-wrapper pass, by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_fused_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.FusedRuns)
+	}
 	counter("mdlogd_wrapper_facts_total", "Result facts by wrapper.")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_facts_total{wrapper=%q} %d\n", st.wr.Name, st.query.Facts)

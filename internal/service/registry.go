@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	mdlog "mdlog"
@@ -30,6 +31,10 @@ type Wrapper struct {
 type Registry struct {
 	mu       sync.RWMutex
 	wrappers map[string]*Wrapper
+	// gen increments on every mutation, so consumers holding derived
+	// state (the server's fused QuerySet over all wrappers) can detect
+	// staleness with one atomic load instead of re-snapshotting.
+	gen atomic.Int64
 }
 
 // NewRegistry builds an empty registry.
@@ -70,9 +75,14 @@ func (r *Registry) Register(name string, spec WrapperSpec) (*Wrapper, bool, erro
 	r.mu.Lock()
 	_, replaced := r.wrappers[name]
 	r.wrappers[name] = w
+	r.gen.Add(1)
 	r.mu.Unlock()
 	return w, replaced, nil
 }
+
+// Gen returns the registry's mutation generation: it changes whenever
+// a wrapper is registered, replaced or removed.
+func (r *Registry) Gen() int64 { return r.gen.Load() }
 
 // Get resolves a name to its current wrapper.
 func (r *Registry) Get(name string) (*Wrapper, bool) {
@@ -88,7 +98,10 @@ func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	_, ok := r.wrappers[name]
-	delete(r.wrappers, name)
+	if ok {
+		delete(r.wrappers, name)
+		r.gen.Add(1)
+	}
 	return ok
 }
 

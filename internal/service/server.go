@@ -12,6 +12,11 @@
 //	POST   /extract/{name}    body = raw HTML; ?output=nodes|assign|xml
 //	POST   /batch/{name}      body = {"docs":[{"id","html"},...]};
 //	                          ?output=nodes|assign|xml&format=json|ndjson
+//	POST   /extractall        body = raw HTML; every registered wrapper
+//	                          in one fused pass; ?output=nodes|assign
+//	POST   /batchall          batch form of /extractall (one parse per
+//	                          document, all wrappers, fused);
+//	                          ?output=nodes|assign&format=json|ndjson
 //	GET    /stats             per-wrapper query + cache stats, totals
 //	GET    /metrics           the same as Prometheus text format
 //	GET    /healthz           liveness
@@ -29,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +63,13 @@ type Server struct {
 	requests  [endpoints]atomic.Int64
 	documents atomic.Int64
 	docErrors atomic.Int64
+
+	// The fused QuerySet over every registered wrapper, serving
+	// /extractall and /batchall. Rebuilt lazily whenever the registry
+	// generation moves — registrations are rare, extractions are not.
+	setMu  sync.Mutex
+	setGen int64
+	set    *mdlog.QuerySet
 }
 
 // endpoint indexes the per-endpoint request counters.
@@ -65,6 +78,8 @@ type endpoint int
 const (
 	epExtract endpoint = iota
 	epBatch
+	epExtractAll
+	epBatchAll
 	epWrappers
 	epStats
 	epMetrics
@@ -77,6 +92,10 @@ func (e endpoint) String() string {
 		return "extract"
 	case epBatch:
 		return "batch"
+	case epExtractAll:
+		return "extractall"
+	case epBatchAll:
+		return "batchall"
 	case epWrappers:
 		return "wrappers"
 	case epStats:
@@ -172,6 +191,35 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /wrappers/{name}", s.counted(epWrappers, s.handleDeleteWrapper))
 	s.mux.HandleFunc("POST /extract/{name}", s.admitted(epExtract, s.handleExtract))
 	s.mux.HandleFunc("POST /batch/{name}", s.admitted(epBatch, s.handleBatch))
+	s.mux.HandleFunc("POST /extractall", s.admitted(epExtractAll, s.handleExtractAll))
+	s.mux.HandleFunc("POST /batchall", s.admitted(epBatchAll, s.handleBatchAll))
+}
+
+// querySet returns the fused QuerySet over the current registry
+// contents, rebuilding it only when the registry has changed since the
+// last call. Returns a nil set when no wrappers are registered.
+func (s *Server) querySet() (*mdlog.QuerySet, error) {
+	gen := s.reg.Gen()
+	s.setMu.Lock()
+	defer s.setMu.Unlock()
+	if s.set != nil && s.setGen == gen {
+		return s.set, nil
+	}
+	ws := s.reg.Snapshot()
+	if len(ws) == 0 {
+		s.set, s.setGen = nil, gen
+		return nil, nil
+	}
+	members := make([]mdlog.NamedQuery, len(ws))
+	for i, w := range ws {
+		members[i] = mdlog.NamedQuery{Name: w.Name, Query: w.Query}
+	}
+	set, err := mdlog.NewNamedQuerySet(members...)
+	if err != nil {
+		return nil, err
+	}
+	s.set, s.setGen = set, gen
+	return set, nil
 }
 
 // Handler returns the daemon's HTTP handler (e.g. for httptest or an

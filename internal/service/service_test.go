@@ -638,3 +638,186 @@ func TestWrapperSpecEngineOpt(t *testing.T) {
 		t.Error("invalid daemon opt default must fail boot")
 	}
 }
+
+// multiBootConfig registers a mixed fleet: two fusable wrappers (Elog⁻
+// and XPath) and one unfusable (MSO automaton).
+func multiBootConfig() *Config {
+	return &Config{Wrappers: []ConfigWrapper{
+		{Name: "items", WrapperSpec: WrapperSpec{Lang: mdlog.LangElog, Source: elogSrc}},
+		{Name: "prices", WrapperSpec: WrapperSpec{Lang: mdlog.LangXPath, Source: `//td[b]`}},
+		{Name: "bolded", WrapperSpec: WrapperSpec{Lang: mdlog.LangMSO,
+			Source: `label_td(x) & exists y (child(x,y) & label_b(y))`}},
+	}}
+}
+
+// TestExtractAll: one POSTed document, every registered wrapper, each
+// result identical to the wrapper's own /extract.
+func TestExtractAll(t *testing.T) {
+	_, ts := newTestServer(t, multiBootConfig())
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK {
+		t.Fatalf("extractall: status %d, body %v", status, body)
+	}
+	if int(body["wrappers"].(float64)) != 3 {
+		t.Fatalf("wrappers = %v", body["wrappers"])
+	}
+	if int(body["fused"].(float64)) != 2 {
+		t.Fatalf("fused = %v (want the elog + xpath members)", body["fused"])
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	for _, raw := range results {
+		item := raw.(map[string]any)
+		name := item["wrapper"].(string)
+		if errmsg, ok := item["error"]; ok {
+			t.Fatalf("%s failed: %v", name, errmsg)
+		}
+		status, single := doJSON(t, http.MethodPost, ts.URL+"/extract/"+name, page)
+		if status != http.StatusOK {
+			t.Fatalf("extract/%s: status %d", name, status)
+		}
+		if fmt.Sprint(intSlice(t, item["nodes"])) != fmt.Sprint(intSlice(t, single["nodes"])) {
+			t.Fatalf("%s: fused %v, individual %v", name, item["nodes"], single["nodes"])
+		}
+	}
+
+	// The fused members recorded FusedRuns; /stats and /metrics carry
+	// the counter per wrapper.
+	status, stats := doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	wrappers := stats["wrappers"].(map[string]any)
+	fr := func(name string) int {
+		return int(wrappers[name].(map[string]any)["query"].(map[string]any)["fused_runs"].(float64))
+	}
+	if fr("items") != 1 || fr("prices") != 1 {
+		t.Fatalf("fused_runs: items=%d prices=%d", fr("items"), fr("prices"))
+	}
+	if fr("bolded") != 0 {
+		t.Fatalf("unfused wrapper counted a fused run: %d", fr("bolded"))
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(text), `mdlogd_wrapper_fused_runs_total{wrapper="items"} 1`) {
+		t.Fatalf("metrics missing fused_runs counter:\n%s", text)
+	}
+}
+
+// TestExtractAllOutputAssign: ?output=assign returns each wrapper's
+// pattern → nodes map; ?output=xml is rejected.
+func TestExtractAllOutputAssign(t *testing.T) {
+	_, ts := newTestServer(t, multiBootConfig())
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extractall?output=assign", page)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %v", status, body)
+	}
+	for _, raw := range body["results"].([]any) {
+		item := raw.(map[string]any)
+		if _, ok := item["assign"]; !ok {
+			t.Fatalf("missing assign: %v", item)
+		}
+	}
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/extractall?output=xml", page)
+	if status != http.StatusBadRequest {
+		t.Fatalf("xml output accepted: %d %v", status, body)
+	}
+}
+
+// TestExtractAllEmptyRegistry: no wrappers means an empty result, not
+// an error.
+func TestExtractAllEmptyRegistry(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK || int(body["wrappers"].(float64)) != 0 {
+		t.Fatalf("status %d, body %v", status, body)
+	}
+}
+
+// TestExtractAllRegistryChange: registering a new wrapper after a
+// fused pass invalidates the cached set.
+func TestExtractAllRegistryChange(t *testing.T) {
+	_, ts := newTestServer(t, multiBootConfig())
+	if status, _ := doJSON(t, http.MethodPost, ts.URL+"/extractall", page); status != http.StatusOK {
+		t.Fatalf("first extractall: %d", status)
+	}
+	spec, _ := json.Marshal(map[string]any{"lang": "xpath", "source": `//em`})
+	if status, _ := doJSON(t, http.MethodPut, ts.URL+"/wrappers/ems", string(spec)); status != http.StatusCreated {
+		t.Fatalf("PUT failed")
+	}
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK || int(body["wrappers"].(float64)) != 4 {
+		t.Fatalf("set not rebuilt: %d %v", status, body)
+	}
+	if status, _ := doJSON(t, http.MethodDelete, ts.URL+"/wrappers/ems", ""); status != http.StatusNoContent {
+		t.Fatalf("DELETE failed")
+	}
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK || int(body["wrappers"].(float64)) != 3 {
+		t.Fatalf("set not rebuilt after delete: %d %v", status, body)
+	}
+}
+
+// TestBatchAll: the batch envelope against every wrapper — per
+// document, per wrapper, in input order, with ids echoed.
+func TestBatchAll(t *testing.T) {
+	_, ts := newTestServer(t, multiBootConfig())
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/batchall", batchBody(t, 4))
+	if status != http.StatusOK {
+		t.Fatalf("batchall: status %d, body %v", status, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("results: %v", results)
+	}
+	for i, raw := range results {
+		item := raw.(map[string]any)
+		if int(item["index"].(float64)) != i || item["id"] != fmt.Sprintf("p%d", i) {
+			t.Fatalf("doc %d out of order: %v", i, item)
+		}
+		inner := item["results"].([]any)
+		if len(inner) != 3 {
+			t.Fatalf("doc %d wrapper results: %v", i, inner)
+		}
+	}
+}
+
+// TestBatchAllPerDocumentErrors: an unparseable document (here: over
+// the body cap via a huge doc is covered elsewhere; an empty batch)
+// still yields well-formed output, and NDJSON streams items.
+func TestBatchAllNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, multiBootConfig())
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/batchall?format=ndjson", strings.NewReader(batchBody(t, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		var item map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if int(item["index"].(float64)) != n {
+			t.Fatalf("line %d: %v", n, item)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("got %d lines", n)
+	}
+}

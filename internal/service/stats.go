@@ -42,6 +42,7 @@ func (s *Server) snapshot() ([]wrapperStats, mdlog.Stats) {
 func queryStatsJSON(st mdlog.Stats) map[string]any {
 	return map[string]any{
 		"runs":           st.Runs,
+		"fused_runs":     st.FusedRuns,
 		"facts":          st.Facts,
 		"cache_hits":     st.CacheHits,
 		"parse_ns":       int64(st.Parse),

@@ -28,8 +28,11 @@
 // Documents come from [ParseHTML] / [ParseHTMLReader] (streaming,
 // arena-backed) or term syntax via [ParseTree]; [Runner] fans a
 // compiled query over document collections and streams with a bounded
-// worker pool. cmd/mdlogd serves a registry of compiled wrappers over
-// HTTP (internal/service).
+// worker pool. Many wrappers over the same pages fuse into a
+// [QuerySet] — one shared evaluation pass per document, per-wrapper
+// results and error isolation. cmd/mdlogd serves a registry of
+// compiled wrappers over HTTP (internal/service), including fused
+// all-wrapper extraction (/extractall, /batchall).
 //
 // This file is a façade re-exporting the user-facing surface of the
 // internal packages; see ARCHITECTURE.md for the theorem-by-theorem

@@ -12,7 +12,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"mdlog/internal/caterpillar"
@@ -239,8 +239,61 @@ type CompiledQuery struct {
 	// program fall back to the query's own identity.
 	memoKey any
 
-	mu  sync.Mutex
-	agg Stats
+	agg aggStats
+}
+
+// aggStats accumulates a query's lifetime statistics with atomic
+// counters: record sits on the hot path of every run, and under a
+// 16-way Runner fan-out a mutex here serializes otherwise independent
+// workers. Parse/Compile are written once during compilation (before
+// the owning value escapes to other goroutines) and only read after,
+// so plain stores/loads through atomics keep the race detector and the
+// memory model happy without a lock anywhere.
+type aggStats struct {
+	parse, compile       atomic.Int64 // ns, written at compile time
+	materialize, eval    atomic.Int64 // ns, accumulated per run
+	facts, runs          atomic.Int64
+	cacheHits, fusedRuns atomic.Int64
+}
+
+// record folds one run's measurements into the aggregate. Runs is
+// incremented BEFORE the counters bounded by it; together with
+// snapshot's reverse load order this keeps any per-record invariant
+// of the form counter ≤ Runs intact in every snapshot, even ones
+// concurrent with a record. (For a CompiledQuery each record carries
+// at most one cache hit and one fused run per run, so CacheHits ≤
+// Runs and FusedRuns ≤ Runs hold; a QuerySet record folds many
+// members' cache hits into one set-level run, so only FusedRuns ≤
+// Runs holds there.)
+func (a *aggStats) record(rs Stats) {
+	a.materialize.Add(int64(rs.Materialize))
+	a.eval.Add(int64(rs.Eval))
+	a.facts.Add(rs.Facts)
+	a.runs.Add(rs.Runs)
+	a.cacheHits.Add(rs.CacheHits)
+	a.fusedRuns.Add(rs.FusedRuns)
+}
+
+// snapshot assembles the aggregate into a Stats value. The counters
+// bounded per record (FusedRuns, CacheHits) are loaded before Runs —
+// Go atomics are sequentially consistent, so any bounded increment
+// this snapshot observes has its preceding Runs increment observed
+// too, preserving record's ≤ Runs invariants without a lock.
+// Unrelated fields can still tear against each other; the per-field
+// totals are each exact.
+func (a *aggStats) snapshot() Stats {
+	fusedRuns := a.fusedRuns.Load()
+	cacheHits := a.cacheHits.Load()
+	return Stats{
+		Parse:       time.Duration(a.parse.Load()),
+		Compile:     time.Duration(a.compile.Load()),
+		Materialize: time.Duration(a.materialize.Load()),
+		Eval:        time.Duration(a.eval.Load()),
+		Facts:       a.facts.Load(),
+		Runs:        a.runs.Load(),
+		CacheHits:   cacheHits,
+		FusedRuns:   fusedRuns,
+	}
 }
 
 // planKey is the TreeCache result-memo key of a datalog-routed plan: a
@@ -372,17 +425,9 @@ func (cfg *compileConfig) newQuery(lang Language, plan queryPlan, queryPred stri
 	return q
 }
 
-func (q *CompiledQuery) setParse(d time.Duration) {
-	q.mu.Lock()
-	q.agg.Parse = d
-	q.mu.Unlock()
-}
+func (q *CompiledQuery) setParse(d time.Duration) { q.agg.parse.Store(int64(d)) }
 
-func (q *CompiledQuery) setCompile(d time.Duration) {
-	q.mu.Lock()
-	q.agg.Compile = d
-	q.mu.Unlock()
-}
+func (q *CompiledQuery) setCompile(d time.Duration) { q.agg.compile.Store(int64(d)) }
 
 // CompileProgram prepares an already-parsed monadic datalog program
 // (the AST-level twin of Compile(src, LangDatalog)).
@@ -616,17 +661,9 @@ func (q *CompiledQuery) OptStats() OptReport { return q.optReport }
 // Stats returns a snapshot of the query's aggregate statistics: the
 // one-time parse/compile cost plus materialize/eval time, fact counts
 // and cache hits accumulated over all runs so far.
-func (q *CompiledQuery) Stats() Stats {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.agg
-}
+func (q *CompiledQuery) Stats() Stats { return q.agg.snapshot() }
 
-func (q *CompiledQuery) record(rs Stats) {
-	q.mu.Lock()
-	q.agg.Add(rs)
-	q.mu.Unlock()
-}
+func (q *CompiledQuery) record(rs Stats) { q.agg.record(rs) }
 
 // Eval runs the plan on one document and returns the visible result
 // relations (all intensional predicates for datalog programs, the
@@ -646,17 +683,25 @@ func (q *CompiledQuery) Eval(ctx context.Context, t *Tree) (*Database, error) {
 // document, or WithoutCache to opt out). The cached database is
 // shared and must be treated as read-only.
 func (q *CompiledQuery) runCached(ctx context.Context, t *Tree) (*Database, Stats, error) {
+	return q.runCachedIn(ctx, t, q.cache)
+}
+
+// runCachedIn is runCached against an explicit cache instead of the
+// query's own — a QuerySet routes its unfused members through the
+// set's cache, so one Forget invalidates every member's state for a
+// mutated document.
+func (q *CompiledQuery) runCachedIn(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
-	if q.cache != nil {
-		if db, ok := q.cache.Result(t, q.memoKey); ok {
+	if cache != nil {
+		if db, ok := cache.Result(t, q.memoKey); ok {
 			return db, Stats{CacheHits: 1}, nil
 		}
 	}
-	db, rs, err := q.plan.run(ctx, t, q.cache)
-	if err == nil && q.cache != nil {
-		q.cache.SetResult(t, q.memoKey, db)
+	db, rs, err := q.plan.run(ctx, t, cache)
+	if err == nil && cache != nil {
+		cache.SetResult(t, q.memoKey, db)
 	}
 	return db, rs, err
 }

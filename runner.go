@@ -52,7 +52,80 @@ type WrapResult struct {
 	Err        error
 }
 
+// SetDocResult is one document's QuerySet outcome: a SetResult per
+// member in set order, plus a document-level error (a failed parse on
+// the HTML paths, or a canceled context) that preempted evaluation.
+type SetDocResult struct {
+	// Index is the document's position in the input order.
+	Index int
+	Doc   *Tree
+	// Results holds one entry per set member; nil when Err is set.
+	Results []SetResult
+	// Err is a document-level failure; member-level failures live in
+	// Results[i].Err.
+	Err error
+}
+
 func (r Runner) pool() eval.Runner { return eval.Runner{Workers: r.Workers} }
+
+// SetAll runs s.Run — every member wrapper, fused where possible —
+// over every document concurrently, returning per-document results in
+// input order.
+func (r Runner) SetAll(ctx context.Context, s *QuerySet, docs []*Tree) []SetDocResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) ([]SetResult, error) {
+		return s.Run(ctx, t), nil
+	})
+	out := make([]SetDocResult, len(res))
+	for i, x := range res {
+		out[i] = SetDocResult{Index: x.Index, Doc: x.Doc, Results: x.Value, Err: x.Err}
+	}
+	return out
+}
+
+// SetStream runs s.Run over a stream of documents, yielding results in
+// input order (see SelectStream for channel semantics).
+func (r Runner) SetStream(ctx context.Context, s *QuerySet, docs <-chan *Tree) <-chan SetDocResult {
+	res := eval.MapStream(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) ([]SetResult, error) {
+		return s.Run(ctx, t), nil
+	})
+	out := make(chan SetDocResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SetDocResult{Index: x.Index, Doc: x.Doc, Results: x.Value, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// SetHTMLStream is SetStream for raw HTML: each document is parsed
+// from its reader inside the worker pool, then run through every
+// member of the set with one shared fused pass. Error semantics are
+// those of SelectHTMLStream — a failing reader marks only its own
+// document (Err set, Results nil), a canceled context stops the
+// stream — with the extra layer that a member's evaluation failure
+// lands in its own SetResult, not the document's Err.
+func (r Runner) SetHTMLStream(ctx context.Context, s *QuerySet, srcs <-chan io.Reader) <-chan SetDocResult {
+	type parsed struct {
+		doc     *Tree
+		results []SetResult
+	}
+	res := eval.MapStreamFrom(ctx, r.pool(), srcs, func(ctx context.Context, rd io.Reader) (parsed, error) {
+		doc, err := html.ParseReader(rd)
+		if err != nil {
+			return parsed{}, err
+		}
+		return parsed{doc: doc, results: s.Run(ctx, doc)}, nil
+	}, nil)
+	out := make(chan SetDocResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SetDocResult{Index: x.Index, Doc: x.Value.doc, Results: x.Value.results, Err: x.Err}
+		}
+	}()
+	return out
+}
 
 // SelectAll runs q.Select over every document concurrently and
 // returns per-document results in input order.
