@@ -47,9 +47,11 @@ bench-queryset:
 	$(GO) run ./cmd/benchtables -queryset BENCH_queryset.json
 
 # Bounded run of the cross-engine differential fuzzer: 400 random
-# monadic programs × 2 random trees × {linear, LIT, semi-naive, naive}
-# × {-O0, -O1}, all engines compared on every visible relation.
-# Override the workload with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
+# monadic programs × 2 random trees × {linear, bitmap, LIT,
+# semi-naive, naive} × {-O0, -O1}, all engines compared on every
+# visible relation, plus all-linear and all-bitmap fused QuerySet
+# passes against their individual evaluations. Override the workload
+# with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
 fuzz-smoke:
 	MDLOG_FUZZ_N=$${MDLOG_FUZZ_N:-400} $(GO) test -run TestDifferentialEngines -count=1 .
 

@@ -65,7 +65,7 @@ func TestRunErrors(t *testing.T) {
 		t.Error("want an error for a missing program file")
 	}
 	err := run([]string{"-program", "testdata/wrapper.elog", "-engine", "warp", "testdata/page.html"}, &out, &errb)
-	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+	if err == nil || !strings.Contains(err.Error(), "valid engines: linear, bitmap, seminaive, naive, lit") {
 		t.Errorf("unknown -engine must name the valid options, got %v", err)
 	}
 	if err := run([]string{"-program", "testdata/wrapper.elog", "-O", "max", "testdata/page.html"}, &out, &errb); err == nil {

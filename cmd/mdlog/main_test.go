@@ -76,7 +76,7 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("-h should print usage and succeed, got %v", err)
 	}
 	err := run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-tree", "a", "-engine", "bogus"}, &out, &errb)
-	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+	if err == nil || !strings.Contains(err.Error(), "valid engines: linear, bitmap, seminaive, naive, lit") {
 		t.Errorf("unknown -engine must name the valid options, got %v", err)
 	}
 	if err := run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-tree", "a", "-O", "7"}, &out, &errb); err == nil {

@@ -65,6 +65,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		workers     = fs.Int("workers", 0, "batch fan-out worker pool size (0: GOMAXPROCS)")
 		maxInflight = fs.Int("max-inflight", 0, "admitted extraction requests bound (0: default, <0: unbounded)")
 		optArg      = cliflag.OptLevel(fs)
+		engineArg   = cliflag.Engine(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,6 +98,15 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	// own "opt" still override both.
 	if isFlagSet(fs, "O") || isFlagSet(fs, "O0") || isFlagSet(fs, "O1") {
 		cfg.Opt = optLevel.String()
+	}
+	// Same precedence for the engine: -engine beats the config's
+	// daemon-wide default, per-wrapper "engine" specs beat both.
+	if isFlagSet(fs, "engine") {
+		engine, err := engineArg()
+		if err != nil {
+			return err
+		}
+		cfg.Engine = engine.String()
 	}
 	s, err := service.New(cfg)
 	if err != nil {

@@ -62,7 +62,7 @@ func TestRunErrors(t *testing.T) {
 		t.Error("want a parse error")
 	}
 	err := run([]string{"-formula", "leaf(x)", "-alphabet", "a,b", "-engine", "bogus"}, &out, &errb)
-	if err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+	if err == nil || !strings.Contains(err.Error(), "valid engines: linear, bitmap, seminaive, naive, lit") {
 		t.Errorf("unknown -engine must name the valid options, got %v", err)
 	}
 	if err := run([]string{"-formula", "leaf(x)", "-alphabet", "a,b", "-O", "zz"}, &out, &errb); err == nil {

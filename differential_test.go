@@ -128,30 +128,36 @@ func fuzzSeed(t *testing.T) int64 {
 }
 
 // fuzzFusedSet builds a QuerySet over the generated programs at one
-// optimization level and requires every member's fused result to match
-// its individual evaluation — all programs share the p0..p3/s0..s1
-// namespace, so this doubles as an apex-renaming capture test.
-func fuzzFusedSet(t *testing.T, ctx context.Context, caseNo int, progs []*Program, tr *Tree, lvl OptLevel) {
+// optimization level, with every member on the given grounding engine,
+// and requires every member's fused result to match its individual
+// evaluation — all programs share the p0..p3/s0..s1 namespace, so this
+// doubles as an apex-renaming capture test.
+func fuzzFusedSet(t *testing.T, ctx context.Context, caseNo int, progs []*Program, tr *Tree, lvl OptLevel, engine Engine) {
 	t.Helper()
 	queries := make([]*CompiledQuery, len(progs))
 	for j, p := range progs {
-		q, err := CompileProgram(p.Clone(), WithOptLevel(lvl), WithoutCache())
+		q, err := CompileProgram(p.Clone(), WithOptLevel(lvl), WithEngine(engine), WithoutCache())
 		if err != nil {
-			t.Fatalf("case %d: compiling set member %d at %v: %v\nprogram:\n%s", caseNo, j, lvl, err, p)
+			t.Fatalf("case %d: compiling set member %d at %v/%v: %v\nprogram:\n%s", caseNo, j, engine, lvl, err, p)
 		}
 		queries[j] = q
 	}
 	set, err := NewQuerySet(queries...)
 	if err != nil {
-		t.Fatalf("case %d: fusing at %v: %v", caseNo, lvl, err)
+		t.Fatalf("case %d: fusing at %v/%v: %v", caseNo, engine, lvl, err)
 	}
 	if set.FusedLen() != len(progs) {
-		t.Fatalf("case %d: fused %d of %d linear members", caseNo, set.FusedLen(), len(progs))
+		t.Fatalf("case %d: fused %d of %d %v members", caseNo, set.FusedLen(), len(progs), engine)
 	}
 	results := set.Run(ctx, tr)
 	for j, res := range results {
 		if res.Err != nil {
-			t.Fatalf("case %d: fused member %d at %v: %v\nprogram:\n%s", caseNo, j, lvl, res.Err, progs[j])
+			t.Fatalf("case %d: fused member %d at %v/%v: %v\nprogram:\n%s", caseNo, j, engine, lvl, res.Err, progs[j])
+		}
+		// An all-bitmap set must run its shared pass on the bitmap
+		// engine (and an all-linear one on linear).
+		if res.Stats.Engine != engine.String() {
+			t.Fatalf("case %d: fused member %d served by %q, want %q", caseNo, j, res.Stats.Engine, engine)
 		}
 		ind, err := queries[j].Eval(ctx, tr)
 		if err != nil {
@@ -171,7 +177,7 @@ func fuzzFusedSet(t *testing.T, ctx context.Context, caseNo int, progs []*Progra
 func TestDifferentialEngines(t *testing.T) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(fuzzSeed(t)))
-	engines := []Engine{EngineLinear, EngineSemiNaive, EngineNaive, EngineLIT}
+	engines := []Engine{EngineLinear, EngineBitmap, EngineSemiNaive, EngineNaive, EngineLIT}
 	levels := []OptLevel{OptNone, OptFull}
 	iters := fuzzIterations(t)
 
@@ -227,9 +233,11 @@ func TestDifferentialEngines(t *testing.T) {
 
 			// Fused-set variant: the three generated programs run as
 			// one QuerySet pass and must agree with their individual
-			// evaluations at both optimization levels.
+			// evaluations at both optimization levels, on both
+			// grounding engines (all-linear and all-bitmap sets).
 			for _, lvl := range levels {
-				fuzzFusedSet(t, ctx, i, setMates, tr, lvl)
+				fuzzFusedSet(t, ctx, i, setMates, tr, lvl, EngineLinear)
+				fuzzFusedSet(t, ctx, i, setMates, tr, lvl, EngineBitmap)
 			}
 		}
 	}

@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/html"
+)
+
+// BenchmarkBitmapSelectLarge runs the EXT-TREESIZE select program on a
+// ~100k-node product listing with a prepared bitmap plan over a
+// pre-built Nav — the engine-only measurement behind the
+// bitmap_select_ns_per_node column of BENCH_treesize.json.
+func BenchmarkBitmapSelectLarge(b *testing.B) {
+	p := datalog.MustParseProgram(`
+q(X) :- label_td(X), firstchild(X,Y), label_b(Y).
+?- q.
+`)
+	bp, err := NewBitmapPlan(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	src := html.ProductListing(rng, 100000/9)
+	a, err := html.ParseArena(strings.NewReader(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nav := NavOf(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := bp.Run(nav)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.UnarySet("q")
+	}
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"strings"
 
 	"mdlog/internal/datalog"
 	"mdlog/internal/tree"
@@ -20,7 +21,29 @@ const (
 	EngineNaive
 	// EngineLIT is the monadic Datalog LIT engine (Proposition 3.7).
 	EngineLIT
+	// EngineBitmap evaluates the Theorem 4.2 fragment as bulk bitset
+	// algebra over the arena columns (bitmap.go): monadic predicates
+	// are dense node bitmaps, body atoms are column-gather kernels,
+	// recursion is semi-naive on delta bitmaps.
+	EngineBitmap
 )
+
+// EngineNames lists the valid engine flag names, in the order flags
+// and error messages present them.
+func EngineNames() []string {
+	return []string{"linear", "bitmap", "seminaive", "naive", "lit"}
+}
+
+// ValidEngine reports whether e is one of the defined engines — the
+// compile-time guard that keeps an out-of-range Engine value from
+// silently deferring its failure to the first run.
+func ValidEngine(e Engine) bool {
+	switch e {
+	case EngineLinear, EngineSemiNaive, EngineNaive, EngineLIT, EngineBitmap:
+		return true
+	}
+	return false
+}
 
 // String names the engine for CLI flags and error messages.
 func (e Engine) String() string {
@@ -33,6 +56,8 @@ func (e Engine) String() string {
 		return "naive"
 	case EngineLIT:
 		return "lit"
+	case EngineBitmap:
+		return "bitmap"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -48,8 +73,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineNaive, nil
 	case "lit":
 		return EngineLIT, nil
+	case "bitmap":
+		return EngineBitmap, nil
 	}
-	return 0, fmt.Errorf("eval: unknown engine %q (want linear, seminaive, naive or lit)", s)
+	return 0, fmt.Errorf("eval: unknown engine %q (valid engines: %s)", s, strings.Join(EngineNames(), ", "))
 }
 
 // fullTreeDB materializes every relation a generic engine might need
@@ -65,6 +92,8 @@ func EvalOnTree(p *datalog.Program, t *tree.Tree, engine Engine) (*datalog.Datab
 	switch engine {
 	case EngineLinear:
 		return LinearTree(p, t)
+	case EngineBitmap:
+		return BitmapTree(p, t)
 	case EngineSemiNaive:
 		full, err := datalog.SemiNaiveEval(p, fullTreeDB(p, t))
 		if err != nil {

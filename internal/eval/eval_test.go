@@ -134,7 +134,7 @@ func TestExample32AllEngines(t *testing.T) {
 	}
 	for ti, tr := range trees {
 		want := evenANodes(tr)
-		for _, eng := range []Engine{EngineLinear, EngineSemiNaive, EngineNaive, EngineLIT} {
+		for _, eng := range []Engine{EngineLinear, EngineSemiNaive, EngineNaive, EngineLIT, EngineBitmap} {
 			res, err := EvalOnTree(p, tr, eng)
 			if err != nil {
 				t.Fatalf("tree %d engine %v: %v", ti, eng, err)
@@ -164,7 +164,7 @@ func TestEnginesAgreeRandom(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, eng := range []Engine{EngineLinear, EngineSemiNaive, EngineLIT} {
+		for _, eng := range []Engine{EngineLinear, EngineSemiNaive, EngineLIT, EngineBitmap} {
 			res, err := EvalOnTree(p, tr, eng)
 			if err != nil {
 				t.Logf("engine %v: %v", eng, err)

@@ -8,6 +8,7 @@ package eval
 // once per document for the whole wrapper set.
 
 import (
+	"fmt"
 	"time"
 
 	"mdlog/internal/datalog"
@@ -30,21 +31,51 @@ type FusedMember struct {
 // use.
 type FusedPlan struct {
 	plan    *Plan
+	bitmap  *BitmapPlan // non-nil iff engine == EngineBitmap
+	engine  Engine
 	members []FusedMember
 }
 
 // NewFusedPlan prepares the fused program for the linear engine and
 // attaches the member projections.
 func NewFusedPlan(p *datalog.Program, members []FusedMember) (*FusedPlan, error) {
+	return NewFusedPlanEngine(p, members, EngineLinear)
+}
+
+// NewFusedPlanEngine is NewFusedPlan with an explicit grounding
+// engine for the shared pass: EngineLinear or EngineBitmap (the two
+// engines that execute prepared Theorem 4.2 plans; anything else is
+// rejected).
+func NewFusedPlanEngine(p *datalog.Program, members []FusedMember, engine Engine) (*FusedPlan, error) {
+	if engine != EngineLinear && engine != EngineBitmap {
+		return nil, fmt.Errorf("eval: fused plans run on the linear or bitmap engine, not %v", engine)
+	}
 	pl, err := NewPlan(p)
 	if err != nil {
 		return nil, err
 	}
-	return &FusedPlan{plan: pl, members: members}, nil
+	f := &FusedPlan{plan: pl, engine: engine, members: members}
+	if engine == EngineBitmap {
+		f.bitmap = bitmapPlanOf(pl)
+	}
+	return f, nil
 }
 
 // Plan returns the underlying prepared plan (e.g. for its program).
 func (f *FusedPlan) Plan() *Plan { return f.plan }
+
+// Engine returns the engine the shared pass runs on.
+func (f *FusedPlan) Engine() Engine { return f.engine }
+
+// RunFull executes the fused plan once over nav and returns the
+// shared (unsplit) result database — the memoizable unit; Split
+// recovers the per-member views.
+func (f *FusedPlan) RunFull(nav *Nav) (*datalog.Database, error) {
+	if f.bitmap != nil {
+		return f.bitmap.Run(nav)
+	}
+	return f.plan.Run(nav)
+}
 
 // Members returns the number of fused members.
 func (f *FusedPlan) Members() int { return len(f.members) }
@@ -53,7 +84,7 @@ func (f *FusedPlan) Members() int { return len(f.members) }
 // one database per member, carrying the member's visible predicate
 // names. The returned databases are freshly built and independent.
 func (f *FusedPlan) Run(nav *Nav) ([]*datalog.Database, error) {
-	full, err := f.plan.Run(nav)
+	full, err := f.RunFull(nav)
 	if err != nil {
 		return nil, err
 	}
@@ -103,5 +134,6 @@ func AttributeShared(shared Stats, n int) Stats {
 		Materialize: time.Duration(int64(shared.Materialize) / int64(n)),
 		Eval:        time.Duration(int64(shared.Eval) / int64(n)),
 		CacheHits:   shared.CacheHits,
+		Engine:      shared.Engine,
 	}
 }

@@ -30,6 +30,22 @@ type Stats struct {
 	// shared evaluation for many wrappers) rather than an individual
 	// evaluation; always ≤ Runs.
 	FusedRuns int64
+	// Engine names the engine that served the runs ("linear",
+	// "bitmap", "automaton", ...). Aggregating runs served by
+	// different engines yields "mixed".
+	Engine string
+}
+
+// mergeEngine combines two engine attributions: an unset side defers
+// to the other, agreement is kept, and disagreement becomes "mixed".
+func mergeEngine(a, b string) string {
+	switch {
+	case a == "" || a == b:
+		return b
+	case b == "":
+		return a
+	}
+	return "mixed"
 }
 
 // Add accumulates o into s (compile-phase fields are kept from s
@@ -48,6 +64,7 @@ func (s *Stats) Add(o Stats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
+	s.Engine = mergeEngine(s.Engine, o.Engine)
 }
 
 // Merge sums every field of o into s, including the one-time
@@ -64,4 +81,5 @@ func (s *Stats) Merge(o Stats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
+	s.Engine = mergeEngine(s.Engine, o.Engine)
 }

@@ -34,6 +34,13 @@ type QuerySetPoint struct {
 	FusedNs      float64 `json:"fused_ns"`
 	// Speedup is SequentialNs / FusedNs.
 	Speedup float64 `json:"speedup"`
+	// BitmapFusedNs is the same fused pass with every member compiled
+	// for the bitmap engine, so the shared evaluation runs as columnar
+	// bitset algebra; BitmapSpeedup is SequentialNs / BitmapFusedNs.
+	// Fused member count grows with N while the pass stays one scan of
+	// the shared columns, so this column scales sublinearly in N.
+	BitmapFusedNs float64 `json:"bitmap_fused_ns"`
+	BitmapSpeedup float64 `json:"bitmap_speedup"`
 }
 
 // QuerySetFamily builds a realistic wrapper fleet of size n over the
@@ -103,10 +110,25 @@ func QuerySetData(cfg Config) []QuerySetPoint {
 		if err != nil {
 			panic(fmt.Sprintf("queryset N=%d: %v", n, err))
 		}
+		// The same fleet compiled for the bitmap engine: every fusable
+		// member routes through the columnar pipeline, so the shared
+		// pass itself runs on bitmaps.
+		bitmapSpecs := make([]mdlog.SetSpec, len(specs))
+		for i, sp := range specs {
+			sp.Options = append(append([]mdlog.Option{}, sp.Options...),
+				mdlog.WithEngine(mdlog.EngineBitmap))
+			bitmapSpecs[i] = sp
+		}
+		bset, err := mdlog.CompileSet(bitmapSpecs)
+		if err != nil {
+			panic(fmt.Sprintf("queryset bitmap N=%d: %v", n, err))
+		}
 		// Semantics guard: fused and sequential must agree on every
-		// member and document before timing means anything.
+		// member and document, on both fused engines, before timing
+		// means anything.
 		for _, doc := range docs {
 			results := set.Run(ctx, doc)
+			bresults := bset.Run(ctx, doc)
 			for i, res := range results {
 				if res.Err != nil {
 					panic(fmt.Sprintf("queryset %s: %v", res.Name, res.Err))
@@ -114,6 +136,9 @@ func QuerySetData(cfg Config) []QuerySetPoint {
 				want, err := queries[i].Select(ctx, doc)
 				if err != nil || fmt.Sprint(res.IDs) != fmt.Sprint(want) {
 					panic(fmt.Sprintf("queryset %s diverges: %v vs %v (%v)", res.Name, res.IDs, want, err))
+				}
+				if bres := bresults[i]; bres.Err != nil || fmt.Sprint(bres.IDs) != fmt.Sprint(want) {
+					panic(fmt.Sprintf("queryset bitmap %s diverges: %v vs %v (%v)", res.Name, bres.IDs, want, bres.Err))
 				}
 			}
 		}
@@ -145,6 +170,17 @@ func QuerySetData(cfg Config) []QuerySetPoint {
 			}
 		}).Nanoseconds())
 		pt.Speedup = pt.SequentialNs / pt.FusedNs
+		pt.BitmapFusedNs = float64(timeIt(func() {
+			for _, doc := range docs {
+				bset.Cache().Forget(doc)
+				for _, res := range bset.Run(ctx, doc) {
+					if res.Err != nil {
+						panic(res.Err)
+					}
+				}
+			}
+		}).Nanoseconds())
+		pt.BitmapSpeedup = pt.SequentialNs / pt.BitmapFusedNs
 		out = append(out, pt)
 	}
 	return out
@@ -156,10 +192,12 @@ func QuerySet(cfg Config) Table {
 		ID:    "EXT-QUERYSET",
 		Title: "QuerySet fusion: N wrappers, one shared pass per document",
 		Headers: []string{"wrappers", "fused", "rules seq", "rules fused", "merged preds",
-			"seq ms", "fused ms", "speedup"},
+			"seq ms", "fused ms", "speedup", "bitmap ms", "bitmap speedup"},
 		Notes: "Product-page wrapper fleet (Elog⁻ field extractors sharing the row chain + XPath variants) " +
 			"over the benchmark document set, result memos defeated on both paths. " +
 			"rules seq sums the members' individual prepared plans; rules fused is the one shared program. " +
+			"bitmap columns run the identical fused pass on the columnar bitmap engine — growing N adds " +
+			"rules to one shared scan, so per-member cost shrinks sublinearly. " +
 			"cmd/benchtables -queryset emits these rows as BENCH_queryset.json.",
 	}
 	for _, pt := range QuerySetData(cfg) {
@@ -168,6 +206,7 @@ func QuerySet(cfg Config) Table {
 			fmt.Sprint(pt.RulesSequential), fmt.Sprint(pt.RulesFused), fmt.Sprint(pt.MergedPreds),
 			fmt.Sprintf("%.3f", pt.SequentialNs/1e6), fmt.Sprintf("%.3f", pt.FusedNs/1e6),
 			fmt.Sprintf("%.2fx", pt.Speedup),
+			fmt.Sprintf("%.3f", pt.BitmapFusedNs/1e6), fmt.Sprintf("%.2fx", pt.BitmapSpeedup),
 		})
 	}
 	return t

@@ -38,6 +38,15 @@ type TreeSizePoint struct {
 	PointerSelectNsPerNode float64 `json:"pointer_select_ns_per_node"`
 	// SelectSpeedup is PointerSelect / Select, end to end.
 	SelectSpeedup float64 `json:"select_speedup"`
+	// EngineSelectNsPerNode / BitmapSelectNsPerNode isolate the engine:
+	// the prepared plan runs over a pre-built Nav (no parse, no
+	// materialization), linear vs bitmap. The end-to-end select columns
+	// are parse-dominated, so engine work only shows here.
+	EngineSelectNsPerNode float64 `json:"engine_select_ns_per_node"`
+	BitmapSelectNsPerNode float64 `json:"bitmap_select_ns_per_node"`
+	// BitmapSelectSpeedup is EngineSelect / BitmapSelect — the
+	// engine-only gain of the columnar bitmap pipeline.
+	BitmapSelectSpeedup float64 `json:"bitmap_select_speedup"`
 }
 
 // treeSizeProgram is the fixed query of the substrate benchmark: td
@@ -56,6 +65,10 @@ func TreeSizeData(cfg Config) []TreeSizePoint {
 		sizes = []int{1000, 10000}
 	}
 	pl, err := eval.NewPlan(treeSizeProgram())
+	if err != nil {
+		panic(err)
+	}
+	bp, err := eval.NewBitmapPlan(treeSizeProgram())
 	if err != nil {
 		panic(err)
 	}
@@ -105,6 +118,22 @@ func TreeSizeData(cfg Config) []TreeSizePoint {
 			db.UnarySet("q")
 		})
 		pt.SelectSpeedup = pt.PointerSelectNsPerNode / pt.SelectNsPerNode
+		nav := eval.NavOf(a)
+		pt.EngineSelectNsPerNode = perNode(func() {
+			db, err := pl.Run(nav)
+			if err != nil {
+				panic(err)
+			}
+			db.UnarySet("q")
+		})
+		pt.BitmapSelectNsPerNode = perNode(func() {
+			db, err := bp.Run(nav)
+			if err != nil {
+				panic(err)
+			}
+			db.UnarySet("q")
+		})
+		pt.BitmapSelectSpeedup = pt.EngineSelectNsPerNode / pt.BitmapSelectNsPerNode
 		out = append(out, pt)
 	}
 	return out
@@ -116,10 +145,13 @@ func TreeSize(cfg Config) Table {
 		ID:    "EXT-TREESIZE",
 		Title: "Arena substrate: parse / materialize / Select ns-per-node vs document size",
 		Headers: []string{"nodes", "parse ns/node", "treedb ns/node", "select ns/node",
-			"ptr parse ns/node", "ptr select ns/node", "select speedup"},
+			"ptr parse ns/node", "ptr select ns/node", "select speedup",
+			"engine ns/node", "bitmap ns/node", "bitmap speedup"},
 		Notes: "Wide product-listing documents. parse = streaming html.ParseArena; treedb = τ_ur TreeDB off the " +
 			"arena columns; select = parse → Nav → Theorem 4.2 plan → node ids, end to end. " +
 			"ptr columns run the pointer-per-node baseline (html.ParseNodes + eval.NewNavFromNodes). " +
+			"engine/bitmap columns isolate plan execution over a pre-built Nav (the end-to-end select " +
+			"column is parse-dominated): linear Horn propagation vs the columnar bitset pipeline. " +
 			"Flat ns/node columns demonstrate linearity; cmd/benchtables -treesize emits these rows as JSON.",
 	}
 	for _, pt := range TreeSizeData(cfg) {
@@ -131,6 +163,9 @@ func TreeSize(cfg Config) Table {
 			fmt.Sprintf("%.0f", pt.PointerParseNsPerNode),
 			fmt.Sprintf("%.0f", pt.PointerSelectNsPerNode),
 			fmt.Sprintf("%.2fx", pt.SelectSpeedup),
+			fmt.Sprintf("%.1f", pt.EngineSelectNsPerNode),
+			fmt.Sprintf("%.1f", pt.BitmapSelectNsPerNode),
+			fmt.Sprintf("%.2fx", pt.BitmapSelectSpeedup),
 		})
 	}
 	return t

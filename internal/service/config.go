@@ -47,6 +47,11 @@ type Config struct {
 	// "O0", "O1") applied to wrapper specs that do not set their own;
 	// empty means full optimization.
 	Opt string `json:"opt,omitempty"`
+	// Engine is the daemon-wide default evaluation engine ("linear",
+	// "bitmap", "seminaive", "naive", "lit") applied to wrapper specs
+	// that do not set their own; empty means linear. An unknown name
+	// fails the boot with an error listing the valid engines.
+	Engine string `json:"engine,omitempty"`
 	// Wrappers are compiled and registered at boot.
 	Wrappers []ConfigWrapper `json:"wrappers,omitempty"`
 }
@@ -77,9 +82,11 @@ type WrapperSpec struct {
 	Extract []string `json:"extract,omitempty"`
 	// KeepText copies #text content into wrapped output trees.
 	KeepText bool `json:"keep_text,omitempty"`
-	// Engine selects the datalog evaluation engine ("linear",
-	// "seminaive", "naive", "lit"; empty: linear). Only datalog-routed
-	// plans honor it.
+	// Engine selects the evaluation engine ("linear", "bitmap",
+	// "seminaive", "naive", "lit"; empty: the daemon default, which
+	// itself defaults to linear). Only datalog-routed plans honor it;
+	// an unknown name is rejected at compile time with an error
+	// listing the valid engines.
 	Engine string `json:"engine,omitempty"`
 	// Opt sets the optimization level ("0", "1", "O0", "O1"; empty:
 	// the daemon default, which itself defaults to full).

@@ -46,6 +46,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mdlogd_document_errors_total", "Documents that failed to parse or evaluate.")
 	fmt.Fprintf(&b, "mdlogd_document_errors_total %d\n", s.docErrors.Load())
 
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_engine Plan engine by wrapper (value is always 1; the engine is the label).\n# TYPE mdlogd_wrapper_engine gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_engine{wrapper=%q,engine=%q} 1\n", st.wr.Name, st.wr.Query.EngineName())
+	}
 	counter("mdlogd_wrapper_runs_total", "Query runs by wrapper.")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.Runs)

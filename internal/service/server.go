@@ -57,6 +57,10 @@ type Server struct {
 	// wrapper specs that leave theirs empty ("" means library default,
 	// i.e. full optimization).
 	defaultOpt string
+	// defaultEngine is the daemon-wide evaluation engine applied to
+	// wrapper specs that leave theirs empty ("" means library default,
+	// i.e. the linear engine).
+	defaultEngine string
 
 	inFlight  atomic.Int64
 	rejected  atomic.Int64
@@ -149,6 +153,12 @@ func New(cfg *Config) (*Server, error) {
 		}
 		s.defaultOpt = cfg.Opt
 	}
+	if cfg.Engine != "" {
+		if _, err := mdlog.ParseEngineFlag(cfg.Engine); err != nil {
+			return nil, err
+		}
+		s.defaultEngine = cfg.Engine
+	}
 	for _, cw := range cfg.Wrappers {
 		// LoadConfig inlines File into Source; a File surviving to here
 		// means the caller skipped that resolution, and an entry with
@@ -168,11 +178,15 @@ func New(cfg *Config) (*Server, error) {
 	return s, nil
 }
 
-// withDefaults fills spec fields the daemon configures globally
-// (currently the optimization level) when the spec leaves them empty.
+// withDefaults fills spec fields the daemon configures globally (the
+// optimization level and the evaluation engine) when the spec leaves
+// them empty.
 func (s *Server) withDefaults(spec WrapperSpec) WrapperSpec {
 	if spec.Opt == "" {
 		spec.Opt = s.defaultOpt
+	}
+	if spec.Engine == "" {
+		spec.Engine = s.defaultEngine
 	}
 	return spec
 }

@@ -612,8 +612,12 @@ func TestWrapperSpecEngineOpt(t *testing.T) {
 	if _, err := ws.Compile(); err != nil {
 		t.Fatalf("seminaive spec: %v", err)
 	}
+	ws.Engine = "bitmap"
+	if _, err := ws.Compile(); err != nil {
+		t.Fatalf("bitmap spec: %v", err)
+	}
 	ws.Engine = "warp"
-	if _, err := ws.Compile(); err == nil || !strings.Contains(err.Error(), "linear, seminaive, naive or lit") {
+	if _, err := ws.Compile(); err == nil || !strings.Contains(err.Error(), "valid engines: linear, bitmap") {
 		t.Errorf("bad engine must name the valid options, got %v", err)
 	}
 	ws.Engine = ""
@@ -636,6 +640,24 @@ func TestWrapperSpecEngineOpt(t *testing.T) {
 	bad.Opt = "zz"
 	if _, err := New(bad); err == nil {
 		t.Error("invalid daemon opt default must fail boot")
+	}
+
+	// The daemon-wide engine default applies to specs that leave engine
+	// empty, and an unknown default fails the boot.
+	cfg = bootConfig()
+	cfg.Engine = "bitmap"
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, _ = s.Registry().Get("items")
+	if got := wr.Query.EngineName(); got != "bitmap" {
+		t.Errorf("daemon default engine not applied: wrapper runs on %q", got)
+	}
+	bad = bootConfig()
+	bad.Engine = "warp"
+	if _, err := New(bad); err == nil {
+		t.Error("invalid daemon engine default must fail boot")
 	}
 }
 

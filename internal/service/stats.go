@@ -38,7 +38,11 @@ func (s *Server) snapshot() ([]wrapperStats, mdlog.Stats) {
 	return out, total
 }
 
-// queryStatsJSON renders a lifetime aggregate (see mdlog.Stats).
+// queryStatsJSON renders a lifetime aggregate (see mdlog.Stats). The
+// "engine" entry is the engine that SERVED the aggregated runs —
+// "mixed" when a wrapper's runs were split across engines (e.g. a
+// bitmap wrapper whose fused all-wrapper passes fell back to linear),
+// "" before the first run.
 func queryStatsJSON(st mdlog.Stats) map[string]any {
 	return map[string]any{
 		"runs":           st.Runs,
@@ -49,6 +53,7 @@ func queryStatsJSON(st mdlog.Stats) map[string]any {
 		"compile_ns":     int64(st.Compile),
 		"materialize_ns": int64(st.Materialize),
 		"eval_ns":        int64(st.Eval),
+		"engine":         st.Engine,
 	}
 }
 
@@ -60,6 +65,7 @@ func runStatsJSON(st mdlog.Stats) map[string]any {
 		"cache_hits":     st.CacheHits,
 		"materialize_ns": int64(st.Materialize),
 		"eval_ns":        int64(st.Eval),
+		"engine":         st.Engine,
 	}
 }
 
@@ -80,8 +86,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	wrappers := make(map[string]any, len(stats))
 	for _, st := range stats {
 		entry := map[string]any{
-			"lang":  st.wr.Spec.Lang.String(),
-			"query": queryStatsJSON(st.query),
+			"lang": st.wr.Spec.Lang.String(),
+			// The engine the wrapper's own plan routes through (what an
+			// individual /extract uses); the served-run attribution,
+			// which can differ under fused passes, is query.engine.
+			"engine": st.wr.Query.EngineName(),
+			"query":  queryStatsJSON(st.query),
 		}
 		if st.cached {
 			entry["cache"] = cacheStatsJSON(st.cache)

@@ -120,10 +120,13 @@ const (
 	EngineNaive = eval.EngineNaive
 	// EngineLIT is the monadic Datalog LIT engine (Proposition 3.7).
 	EngineLIT = eval.EngineLIT
+	// EngineBitmap evaluates the same Theorem 4.2 fragment as
+	// EngineLinear as bulk bitset algebra over the arena columns.
+	EngineBitmap = eval.EngineBitmap
 )
 
-// ParseEngineFlag converts a CLI flag value ("linear", "seminaive",
-// "naive", "lit") into an Engine.
+// ParseEngineFlag converts a CLI flag value ("linear", "bitmap",
+// "seminaive", "naive", "lit") into an Engine.
 func ParseEngineFlag(s string) (Engine, error) { return eval.ParseEngine(s) }
 
 // EvalOnTree evaluates a monadic program on a tree with the chosen

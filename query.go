@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -184,7 +185,11 @@ type compileConfig struct {
 
 // WithEngine selects the datalog evaluation engine (default
 // EngineLinear). Only plans that execute datalog honor it; the MSO
-// automaton and the direct XPath/Elog⁻Δ evaluators ignore it.
+// automaton and the direct XPath/Elog⁻Δ evaluators ignore it. The
+// grounding engines (EngineLinear, EngineBitmap) apply to every
+// datalog-routed language; the set-oriented engines (seminaive,
+// naive, lit) apply to datalog and Elog⁻ sources. An Engine value
+// outside the defined set fails compilation (no silent fallback).
 func WithEngine(e Engine) Option { return func(c *compileConfig) { c.engine = e } }
 
 // WithQueryPred sets the predicate Select reads (default: the
@@ -215,8 +220,11 @@ func WithOptLevel(l OptLevel) Option { return func(c *compileConfig) { c.optLeve
 // queryPlan is a prepared, immutable execution strategy. run returns
 // the visible result relations for one document plus per-run
 // measurements; implementations must be safe for concurrent use.
+// engineName identifies the executor for stats attribution (the
+// datalog engine name, "automaton", or a *-direct evaluator).
 type queryPlan interface {
 	run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error)
+	engineName() string
 }
 
 // CompiledQuery is a query parsed, normalized and planned exactly
@@ -435,8 +443,45 @@ func CompileProgram(p *Program, opts ...Option) (*CompiledQuery, error) {
 	return compileDatalog(p, LangDatalog, newConfig(opts))
 }
 
+// checkEngine rejects Engine values outside the defined set at
+// compile time, naming the valid engines — an unknown engine must
+// never defer its failure to the first run (or silently fall back).
+func (cfg *compileConfig) checkEngine() error {
+	if !eval.ValidEngine(cfg.engine) {
+		return fmt.Errorf("mdlog: unknown engine %v (valid engines: %s)",
+			cfg.engine, strings.Join(eval.EngineNames(), ", "))
+	}
+	return nil
+}
+
+// isGroundingEngine reports whether the engine executes prepared
+// Theorem 4.2 grounding plans (per-rule anchor propagation) rather
+// than set-oriented relational evaluation.
+func isGroundingEngine(e Engine) bool { return e == EngineLinear || e == EngineBitmap }
+
+// groundPlan prepares an already-normalized program for one of the
+// two grounding engines: the Theorem 4.2 linear engine or its
+// columnar bitmap counterpart.
+func groundPlan(np *Program, engine Engine, project []string) (queryPlan, error) {
+	if engine == EngineBitmap {
+		bp, err := eval.NewBitmapPlan(np)
+		if err != nil {
+			return nil, err
+		}
+		return &bitmapPlan{plan: bp, project: project}, nil
+	}
+	pl, err := eval.NewPlan(np)
+	if err != nil {
+		return nil, err
+	}
+	return &linearPlan{plan: pl, project: project}, nil
+}
+
 func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQuery, error) {
 	start := time.Now()
+	if err := cfg.checkEngine(); err != nil {
+		return nil, err
+	}
 	extract := p.IntensionalPreds()
 	if lang == LangTMNF {
 		if err := tmnf.IsTMNF(p); err != nil {
@@ -447,9 +492,9 @@ func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQue
 	var plan queryPlan
 	var report OptReport
 	var memoKey any
-	if cfg.engine == EngineLinear {
+	if isGroundingEngine(cfg.engine) {
 		np := p
-		// Normalize: the linear engine cannot use child/2 (no
+		// Normalize: the grounding engines cannot use child/2 (no
 		// functional dependency, Proposition 4.1); Theorem 5.2
 		// eliminates it. The visible-predicate projection keeps the
 		// tm_* auxiliaries out of the result relations.
@@ -461,11 +506,11 @@ func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQue
 			np = tp
 		}
 		np, report = opt.Optimize(np, opt.Options{Level: cfg.optLevel, Roots: visible})
-		pl, err := eval.NewPlan(np)
+		pl, err := groundPlan(np, cfg.engine, visible)
 		if err != nil {
 			return nil, err
 		}
-		plan = &linearPlan{plan: pl, project: visible}
+		plan = pl
 		memoKey = newPlanKey(np, cfg.engine, visible)
 	} else {
 		if err := p.Check(); err != nil {
@@ -491,6 +536,9 @@ func compileDatalog(p *Program, lang Language, cfg *compileConfig) (*CompiledQue
 func CompileMSO(f MSOFormula, opts ...Option) (*CompiledQuery, error) {
 	cfg := newConfig(opts)
 	start := time.Now()
+	if err := cfg.checkEngine(); err != nil {
+		return nil, err
+	}
 	uq, err := mso.CompileQuery(f)
 	if err != nil {
 		return nil, err
@@ -508,9 +556,19 @@ func CompileMSO(f MSOFormula, opts ...Option) (*CompiledQuery, error) {
 func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
 	cfg := newConfig(opts)
 	start := time.Now()
+	if err := cfg.checkEngine(); err != nil {
+		return nil, err
+	}
 	pred := cfg.queryPred
 	if pred == "" {
 		pred = DefaultQueryPred
+	}
+	// XPath always routes through the TMNF translation, so only the
+	// choice between the two grounding engines applies; the
+	// set-oriented engines are ignored as documented on WithEngine.
+	engine := EngineLinear
+	if cfg.engine == EngineBitmap {
+		engine = EngineBitmap
 	}
 	var plan queryPlan
 	var report OptReport
@@ -529,12 +587,12 @@ func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
 			return nil, err
 		}
 		tp, report = opt.Optimize(tp, opt.Options{Level: cfg.optLevel, Roots: []string{pred}})
-		pl, err := eval.NewPlan(tp)
+		pl, err := groundPlan(tp, engine, []string{pred})
 		if err != nil {
 			return nil, err
 		}
-		plan = &linearPlan{plan: pl, project: []string{pred}}
-		memoKey = newPlanKey(tp, EngineLinear, []string{pred})
+		plan = pl
+		memoKey = newPlanKey(tp, engine, []string{pred})
 	}
 	q := cfg.newQuery(LangXPath, plan, pred, []string{pred})
 	q.optReport = report
@@ -550,9 +608,18 @@ func CompileXPath(x *XPath, opts ...Option) (*CompiledQuery, error) {
 func CompileCaterpillar(e CaterpillarExpr, opts ...Option) (*CompiledQuery, error) {
 	cfg := newConfig(opts)
 	start := time.Now()
+	if err := cfg.checkEngine(); err != nil {
+		return nil, err
+	}
 	pred := cfg.queryPred
 	if pred == "" {
 		pred = DefaultQueryPred
+	}
+	// As with XPath: grounding-engine choice applies, set-oriented
+	// engines are ignored.
+	engine := EngineLinear
+	if cfg.engine == EngineBitmap {
+		engine = EngineBitmap
 	}
 	cp := caterpillar.QueryProgram(e, pred)
 	if eval.SignatureOf(cp).Child {
@@ -563,13 +630,13 @@ func CompileCaterpillar(e CaterpillarExpr, opts ...Option) (*CompiledQuery, erro
 		cp = tp
 	}
 	cp, report := opt.Optimize(cp, opt.Options{Level: cfg.optLevel, Roots: []string{pred}})
-	pl, err := eval.NewPlan(cp)
+	pl, err := groundPlan(cp, engine, []string{pred})
 	if err != nil {
 		return nil, err
 	}
-	q := cfg.newQuery(LangCaterpillar, &linearPlan{plan: pl, project: []string{pred}}, pred, []string{pred})
+	q := cfg.newQuery(LangCaterpillar, pl, pred, []string{pred})
 	q.optReport = report
-	q.memoKey = newPlanKey(cp, EngineLinear, []string{pred})
+	q.memoKey = newPlanKey(cp, engine, []string{pred})
 	q.setCompile(time.Since(start))
 	return q, nil
 }
@@ -578,6 +645,9 @@ func CompileCaterpillar(e CaterpillarExpr, opts ...Option) (*CompiledQuery, erro
 func CompileElog(p *ElogProgram, opts ...Option) (*CompiledQuery, error) {
 	cfg := newConfig(opts)
 	start := time.Now()
+	if err := cfg.checkEngine(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -604,7 +674,7 @@ func CompileElog(p *ElogProgram, opts ...Option) (*CompiledQuery, error) {
 	switch {
 	case p.UsesDelta():
 		plan = &elogDirectPlan{prog: p, patterns: patterns}
-	case cfg.engine != EngineLinear:
+	case !isGroundingEngine(cfg.engine):
 		// WithEngine routes the Theorem 6.4 datalog translation (which
 		// may use child/2) through the set-oriented engines.
 		dp, err := p.ToDatalog()
@@ -620,12 +690,12 @@ func CompileElog(p *ElogProgram, opts ...Option) (*CompiledQuery, error) {
 			return nil, err
 		}
 		dp, report = opt.Optimize(dp, opt.Options{Level: cfg.optLevel, Roots: patterns})
-		pl, err := eval.NewPlan(dp)
+		pl, err := groundPlan(dp, cfg.engine, patterns)
 		if err != nil {
 			return nil, err
 		}
-		plan = &linearPlan{plan: pl, project: patterns}
-		memoKey = newPlanKey(dp, EngineLinear, patterns)
+		plan = pl
+		memoKey = newPlanKey(dp, cfg.engine, patterns)
 	}
 	q := cfg.newQuery(LangElog, plan, pred, extract)
 	q.optReport = report
@@ -652,6 +722,12 @@ func (q *CompiledQuery) ExtractPreds() []string { return append([]string(nil), q
 // WithoutCache), e.g. to Forget a mutated document.
 func (q *CompiledQuery) Cache() *TreeCache { return q.cache }
 
+// EngineName reports which engine executes this query's plan:
+// a datalog engine name ("linear", "bitmap", "seminaive", ...) or one
+// of the direct evaluators ("automaton", "xpath-direct",
+// "elog-direct"). It is the value per-run Stats carry in Engine.
+func (q *CompiledQuery) EngineName() string { return q.plan.engineName() }
+
 // OptStats reports what the compile-time optimizer did to this query's
 // plan (rules before/after, per-pass counters). The zero value means
 // the plan did not route through datalog (MSO automaton, direct
@@ -660,8 +736,16 @@ func (q *CompiledQuery) OptStats() OptReport { return q.optReport }
 
 // Stats returns a snapshot of the query's aggregate statistics: the
 // one-time parse/compile cost plus materialize/eval time, fact counts
-// and cache hits accumulated over all runs so far.
-func (q *CompiledQuery) Stats() Stats { return q.agg.snapshot() }
+// and cache hits accumulated over all runs so far. Engine is the
+// query's plan engine — a compile-time property, so it attributes the
+// whole aggregate (QuerySet fused passes run member plans on the
+// fused plan's engine, which member compilation pins to the same
+// value).
+func (q *CompiledQuery) Stats() Stats {
+	rs := q.agg.snapshot()
+	rs.Engine = q.plan.engineName()
+	return rs
+}
 
 func (q *CompiledQuery) record(rs Stats) { q.agg.record(rs) }
 
@@ -696,7 +780,7 @@ func (q *CompiledQuery) runCachedIn(ctx context.Context, t *Tree, cache *TreeCac
 	}
 	if cache != nil {
 		if db, ok := cache.Result(t, q.memoKey); ok {
-			return db, Stats{CacheHits: 1}, nil
+			return db, Stats{CacheHits: 1, Engine: q.plan.engineName()}, nil
 		}
 	}
 	db, rs, err := q.plan.run(ctx, t, cache)
@@ -792,8 +876,32 @@ type linearPlan struct {
 	project []string
 }
 
+func (p *linearPlan) engineName() string { return EngineLinear.String() }
+
 func (p *linearPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
-	var rs Stats
+	return runGrounding(ctx, t, cache, p.engineName(), p.project, p.plan.Run)
+}
+
+// bitmapPlan executes a prepared columnar bitmap plan — the same
+// Theorem 4.2 fragment as linearPlan, evaluated as bulk bitset
+// algebra over the arena columns.
+type bitmapPlan struct {
+	plan    *eval.BitmapPlan
+	project []string
+}
+
+func (p *bitmapPlan) engineName() string { return EngineBitmap.String() }
+
+func (p *bitmapPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
+	return runGrounding(ctx, t, cache, p.engineName(), p.project, p.plan.Run)
+}
+
+// runGrounding is the shared run path of the two grounding-engine
+// plans: fetch or build the navigation arrays, execute the prepared
+// plan, project the visible relations.
+func runGrounding(ctx context.Context, t *Tree, cache *TreeCache, engine string, project []string,
+	exec func(*eval.Nav) (*Database, error)) (*Database, Stats, error) {
+	rs := Stats{Engine: engine}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}
@@ -810,13 +918,13 @@ func (p *linearPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Datab
 	}
 	rs.Materialize = time.Since(start)
 	start = time.Now()
-	db, err := p.plan.Run(nav)
+	db, err := exec(nav)
 	rs.Eval = time.Since(start)
 	if err != nil {
 		return nil, rs, err
 	}
-	if p.project != nil {
-		db = db.Project(p.project)
+	if project != nil {
+		db = db.Project(project)
 	}
 	return db, rs, nil
 }
@@ -833,8 +941,10 @@ type genericPlan struct {
 	project []string
 }
 
+func (p *genericPlan) engineName() string { return p.engine.String() }
+
 func (p *genericPlan) run(ctx context.Context, t *Tree, cache *TreeCache) (*Database, Stats, error) {
-	var rs Stats
+	rs := Stats{Engine: p.engineName()}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}
@@ -881,8 +991,10 @@ type msoPlan struct {
 	pred string
 }
 
+func (p *msoPlan) engineName() string { return "automaton" }
+
 func (p *msoPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
-	var rs Stats
+	rs := Stats{Engine: p.engineName()}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}
@@ -899,8 +1011,10 @@ type xpathDirectPlan struct {
 	pred string
 }
 
+func (p *xpathDirectPlan) engineName() string { return "xpath-direct" }
+
 func (p *xpathDirectPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
-	var rs Stats
+	rs := Stats{Engine: p.engineName()}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}
@@ -917,8 +1031,10 @@ type elogDirectPlan struct {
 	patterns []string
 }
 
+func (p *elogDirectPlan) engineName() string { return "elog-direct" }
+
 func (p *elogDirectPlan) run(ctx context.Context, t *Tree, _ *TreeCache) (*Database, Stats, error) {
-	var rs Stats
+	rs := Stats{Engine: p.engineName()}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
 	"mdlog/internal/opt"
 )
@@ -123,18 +124,29 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 		cache:   NewTreeCache(DefaultCacheTrees),
 	}
 	var fuseMembers []opt.FuseMember
+	bitmapMembers := 0
 	for i, m := range s.members {
 		if m.Query == nil {
 			return nil, fmt.Errorf("mdlog: QuerySet member %d (%s) is nil", i, m.Name)
 		}
-		lp, ok := m.Query.plan.(*linearPlan)
-		if !ok {
+		// Both grounding-engine plans fuse: they execute the same
+		// prepared Theorem 4.2 plans, only the execution strategy
+		// differs.
+		var prog *datalog.Program
+		var visible []string
+		switch lp := m.Query.plan.(type) {
+		case *linearPlan:
+			prog, visible = lp.plan.Program(), lp.project
+		case *bitmapPlan:
+			prog, visible = lp.plan.Program(), lp.project
+			bitmapMembers++
+		default:
 			continue
 		}
 		fuseMembers = append(fuseMembers, opt.FuseMember{
 			Prefix:  fmt.Sprintf("s%d__", i),
-			Program: lp.plan.Program(),
-			Visible: append([]string(nil), lp.project...),
+			Program: prog,
+			Visible: append([]string(nil), visible...),
 		})
 		s.fusedIdx = append(s.fusedIdx, i)
 		if m.Query.cache == nil {
@@ -165,7 +177,15 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 			}
 			evalMembers[j] = eval.FusedMember{Name: s.members[s.fusedIdx[j]].Name, Project: rename}
 		}
-		fp, err := eval.NewFusedPlan(fusedProg, evalMembers)
+		// The shared pass runs on the bitmap engine only when EVERY
+		// fusable member asked for it — a single mixed set falls back to
+		// linear, which is an optimization choice, not a semantics
+		// change (the two engines are differentially tested to agree).
+		fusedEngine := EngineLinear
+		if bitmapMembers == len(fuseMembers) {
+			fusedEngine = EngineBitmap
+		}
+		fp, err := eval.NewFusedPlanEngine(fusedProg, evalMembers, fusedEngine)
 		if err != nil {
 			// Every member plan compiled individually, so the union
 			// must too; failing loudly beats silently degrading.
@@ -174,7 +194,7 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 		s.fused = fp
 		s.report = rep
 		s.fusedVisible = project
-		s.fusedKey = newPlanKey(fusedProg, EngineLinear, project)
+		s.fusedKey = newPlanKey(fusedProg, fusedEngine, project)
 	} else {
 		s.fusedIdx = nil
 	}
@@ -339,7 +359,7 @@ func (s *QuerySet) isFused(i int) bool {
 // (WithoutCache), the whole pass runs uncached — fresh navigation,
 // no memo — honoring that member's contract for the shared result.
 func (s *QuerySet) runFused(ctx context.Context, t *Tree) ([]*Database, Stats, error) {
-	var rs Stats
+	rs := Stats{Engine: s.fused.Engine().String()}
 	if err := ctx.Err(); err != nil {
 		return nil, rs, err
 	}
@@ -362,7 +382,7 @@ func (s *QuerySet) runFused(ctx context.Context, t *Tree) ([]*Database, Stats, e
 	}
 	rs.Materialize = time.Since(start)
 	start = time.Now()
-	full, err := s.fused.Plan().Run(nav)
+	full, err := s.fused.RunFull(nav)
 	rs.Eval = time.Since(start)
 	if err != nil {
 		return nil, rs, err
