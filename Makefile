@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset fuzz-smoke docs-gate
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset bench-incremental fuzz-smoke docs-gate
 
 check: docs-gate build race fuzz-smoke bench-smoke
 
@@ -28,14 +28,16 @@ docs-gate: vet
 # One iteration per benchmark: catches bit-rot without burning CI time.
 # Also emits BENCH_treesize.json (substrate parse/materialize/select
 # ns-per-node at 1k/10k nodes in quick mode), BENCH_optimize.json
-# (optimizer rule-count reduction + Select speedup per wrapper) and
-# BENCH_queryset.json (fused vs sequential N-wrapper evaluation) so
-# every CI run archives a perf trajectory point.
+# (optimizer rule-count reduction + Select speedup per wrapper),
+# BENCH_queryset.json (fused vs sequential N-wrapper evaluation) and
+# BENCH_incremental.json (incremental vs full revision cost per edit
+# fraction) so every CI run archives a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
 	$(GO) run ./cmd/benchtables -quick -opt BENCH_optimize.json
 	$(GO) run ./cmd/benchtables -quick -queryset BENCH_queryset.json
+	$(GO) run ./cmd/benchtables -quick -incremental BENCH_incremental.json
 
 # Full-size optimizer measurement (EXT-OPT).
 bench-opt:
@@ -50,14 +52,20 @@ bench-queryset:
 # monadic programs × 2 random trees × {linear, bitmap, LIT,
 # semi-naive, naive} × {-O0, -O1}, all engines compared on every
 # visible relation, plus all-linear and all-bitmap fused QuerySet
-# passes against their individual evaluations. Override the workload
-# with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
+# passes against their individual evaluations, plus the random
+# edit-script oracle (incremental maintenance ≡ replay from scratch).
+# Override the workload with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
 fuzz-smoke:
-	MDLOG_FUZZ_N=$${MDLOG_FUZZ_N:-400} $(GO) test -run TestDifferentialEngines -count=1 .
+	MDLOG_FUZZ_N=$${MDLOG_FUZZ_N:-400} $(GO) test -run 'TestDifferentialEngines|TestIncrementalDifferential' -count=1 .
 
 # Full-size substrate scaling points (1k/10k/100k nodes).
 bench-treesize:
 	$(GO) run ./cmd/benchtables -treesize BENCH_treesize.json
+
+# Full-size incremental maintenance measurement (EXT-INCREMENTAL):
+# 10k/100k-node documents, 0.1%/1%/10% edit fractions.
+bench-incremental:
+	$(GO) run ./cmd/benchtables -incremental BENCH_incremental.json
 
 # Serving-layer overhead (EXT-SERVICE): direct Select vs HTTP extract
 # vs 16-document batch, written to BENCH_service.txt (CI artifact).

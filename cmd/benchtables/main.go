@@ -9,6 +9,8 @@
 //	                      # write the substrate scaling points as JSON
 //	benchtables -queryset BENCH_queryset.json
 //	                      # write the N-wrapper fusion points as JSON
+//	benchtables -incremental BENCH_incremental.json
+//	                      # write the incremental-vs-full revision points as JSON
 package main
 
 import (
@@ -27,6 +29,7 @@ func main() {
 	treesize := flag.String("treesize", "", "write EXT-TREESIZE points (parse/materialize/select ns-per-node) to this JSON file and exit")
 	opt := flag.String("opt", "", "write EXT-OPT points (rule counts and Select speedup per wrapper) to this JSON file and exit")
 	queryset := flag.String("queryset", "", "write EXT-QUERYSET points (fused vs sequential N-wrapper evaluation) to this JSON file and exit")
+	incremental := flag.String("incremental", "", "write EXT-INCREMENTAL points (incremental vs full revision cost per edit fraction) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -61,6 +64,11 @@ func main() {
 	if *queryset != "" {
 		pts := experiments.QuerySetData(cfg)
 		writeJSON(*queryset, pts, "fleet sizes", len(pts))
+		return
+	}
+	if *incremental != "" {
+		pts := experiments.IncrementalData(cfg)
+		writeJSON(*incremental, pts, "revision points", len(pts))
 		return
 	}
 	for _, t := range experiments.All(cfg) {

@@ -18,6 +18,13 @@
 // prefixed with the program name:
 //
 //	mdlog -program items.elog -program prices.elog -lang elog -html page.html
+//
+// Watch mode: -watch polls the document files and re-runs the compiled
+// extraction whenever one changes (the monitoring workload: compile
+// once, extract on every revision):
+//
+//	mdlog -program wrapper.dl -html page.html -watch
+//	mdlog -program wrapper.dl -html page.html -watch -watch-count 3
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	mdlog "mdlog"
 	"mdlog/internal/cliflag"
@@ -70,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers      = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
 		showTree     = fs.Bool("print-tree", false, "print each document tree with node ids")
 		showStats    = fs.Bool("stats", false, "print compile/run statistics to stderr")
+		watchArg     = fs.Bool("watch", false, "poll the document files and re-extract whenever one changes")
+		watchIvl     = fs.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
+		watchCount   = fs.Int("watch-count", 0, "with -watch: exit after this many extraction passes (0: run until interrupted)")
 	)
 	fs.Var(&programFiles, "program", "query source file; repeatable (several fuse into one QuerySet)")
 	fs.Var(&queryArgs, "query", "query source text (alternative to -program); repeatable")
@@ -118,24 +129,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts = append(opts, mdlog.WithQueryPred(*predArg))
 	}
 
-	docs, err := loadDocs(treeArgs, treeFiles, htmlFiles)
-	if err != nil {
-		return err
-	}
-	if len(docs) == 0 {
-		return fmt.Errorf("provide at least one -tree, -treefile or -html")
-	}
-	if *showTree {
-		for _, d := range docs {
-			fmt.Fprint(stdout, d.Pretty())
-		}
-	}
-
 	ctx := context.Background()
 
-	// Multi-program mode: fuse every source into one QuerySet so each
-	// document is grounded once for the whole fleet.
+	// Compile once; pass runs the extraction over one batch of
+	// documents and finishStats reports the lifetime aggregate —
+	// watch mode calls pass once per document revision.
+	var pass func(prefix string, docs []*mdlog.Tree) error
+	var finishStats func()
 	if len(sources) > 1 {
+		// Multi-program mode: fuse every source into one QuerySet so
+		// each document is grounded once for the whole fleet.
 		specs := make([]mdlog.SetSpec, len(sources))
 		for i, s := range sources {
 			specs[i] = mdlog.SetSpec{Name: s.name, Source: s.text, Lang: lang, Options: opts}
@@ -145,72 +148,178 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		queries := set.Queries()
-		results := (mdlog.Runner{Workers: *workers}).SetAll(ctx, set, docs)
-		for _, dr := range results {
-			if dr.Err != nil {
-				return fmt.Errorf("document %d: %w", dr.Index, dr.Err)
-			}
-			prefix := ""
-			if len(docs) > 1 {
-				prefix = fmt.Sprintf("[doc %d] ", dr.Index)
-			}
-			for _, res := range dr.Results {
-				if res.Err != nil {
-					return fmt.Errorf("document %d, program %s: %w", dr.Index, res.Name, res.Err)
+		pass = func(prefix string, docs []*mdlog.Tree) error {
+			results := (mdlog.Runner{Workers: *workers}).SetAll(ctx, set, docs)
+			for _, dr := range results {
+				if dr.Err != nil {
+					return fmt.Errorf("document %d: %w", dr.Index, dr.Err)
 				}
-				q := queries[res.Index]
-				if q.QueryPred() != "" {
-					fmt.Fprintf(stdout, "%s%s: %v\n", prefix, res.Name, res.IDs)
-					continue
+				p := prefix
+				if len(docs) > 1 {
+					p = fmt.Sprintf("%s[doc %d] ", prefix, dr.Index)
 				}
-				for _, pred := range q.ExtractPreds() {
-					fmt.Fprintf(stdout, "%s%s.%s: %v\n", prefix, res.Name, pred, res.Assignment[pred])
+				for _, res := range dr.Results {
+					if res.Err != nil {
+						return fmt.Errorf("document %d, program %s: %w", dr.Index, res.Name, res.Err)
+					}
+					q := queries[res.Index]
+					if q.QueryPred() != "" {
+						fmt.Fprintf(stdout, "%s%s: %v\n", p, res.Name, res.IDs)
+						continue
+					}
+					for _, pred := range q.ExtractPreds() {
+						fmt.Fprintf(stdout, "%s%s.%s: %v\n", p, res.Name, pred, res.Assignment[pred])
+					}
 				}
 			}
+			return nil
 		}
-		if *showStats {
+		finishStats = func() {
 			s := set.Stats()
 			rep := set.FuseStats()
 			fmt.Fprintf(stderr, "fused %d/%d programs (%d rules -> %d, %d shared preds), materialize %v, eval %v over %d runs (%d cache hits)\n",
 				set.FusedLen(), set.Len(), rep.RulesIn, rep.RulesOut, rep.MergedPreds,
 				s.Materialize, s.Eval, s.Runs, s.CacheHits)
 		}
-		return nil
-	}
-
-	q, err := mdlog.Compile(sources[0].text, lang, opts...)
-	if err != nil {
-		return err
-	}
-	print := func(prefix string, db *mdlog.Database) {
-		preds := q.ExtractPreds()
-		if q.QueryPred() != "" {
-			preds = []string{q.QueryPred()}
-		}
-		for _, pred := range preds {
-			fmt.Fprintf(stdout, "%s%s: %v\n", prefix, pred, db.UnarySet(pred))
-		}
-	}
-	if len(docs) == 1 {
-		db, err := q.Eval(ctx, docs[0])
+	} else {
+		q, err := mdlog.Compile(sources[0].text, lang, opts...)
 		if err != nil {
 			return err
 		}
-		print("", db)
-	} else {
-		for _, res := range (mdlog.Runner{Workers: *workers}).EvalAll(ctx, q, docs) {
-			if res.Err != nil {
-				return fmt.Errorf("document %d: %w", res.Index, res.Err)
+		print := func(prefix string, db *mdlog.Database) {
+			preds := q.ExtractPreds()
+			if q.QueryPred() != "" {
+				preds = []string{q.QueryPred()}
 			}
-			print(fmt.Sprintf("[doc %d] ", res.Index), res.DB)
+			for _, pred := range preds {
+				fmt.Fprintf(stdout, "%s%s: %v\n", prefix, pred, db.UnarySet(pred))
+			}
+		}
+		pass = func(prefix string, docs []*mdlog.Tree) error {
+			if len(docs) == 1 {
+				db, err := q.Eval(ctx, docs[0])
+				if err != nil {
+					return err
+				}
+				print(prefix, db)
+				return nil
+			}
+			for _, res := range (mdlog.Runner{Workers: *workers}).EvalAll(ctx, q, docs) {
+				if res.Err != nil {
+					return fmt.Errorf("document %d: %w", res.Index, res.Err)
+				}
+				print(fmt.Sprintf("%s[doc %d] ", prefix, res.Index), res.DB)
+			}
+			return nil
+		}
+		finishStats = func() {
+			s := q.Stats()
+			fmt.Fprintf(stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
+				s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
+		}
+	}
+
+	if *watchArg {
+		if err := watchLoop(stdout, treeArgs, treeFiles, htmlFiles, *watchIvl, *watchCount, *showTree, pass); err != nil {
+			return err
+		}
+	} else {
+		docs, err := loadDocs(treeArgs, treeFiles, htmlFiles)
+		if err != nil {
+			return err
+		}
+		if len(docs) == 0 {
+			return fmt.Errorf("provide at least one -tree, -treefile or -html")
+		}
+		if *showTree {
+			for _, d := range docs {
+				fmt.Fprint(stdout, d.Pretty())
+			}
+		}
+		if err := pass("", docs); err != nil {
+			return err
 		}
 	}
 	if *showStats {
-		s := q.Stats()
-		fmt.Fprintf(stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
-			s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
+		finishStats()
 	}
 	return nil
+}
+
+// fileStamp is the change signature a watch poll compares: a file is
+// "changed" when its mtime or size differs from the previous poll.
+type fileStamp struct {
+	mod  time.Time
+	size int64
+}
+
+func stampFiles(files []string) ([]fileStamp, error) {
+	stamps := make([]fileStamp, len(files))
+	for i, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			return nil, err
+		}
+		stamps[i] = fileStamp{mod: fi.ModTime(), size: fi.Size()}
+	}
+	return stamps, nil
+}
+
+// watchLoop reloads and re-extracts the document files each time one
+// changes on disk (mtime/size polling — portable, no inotify
+// dependency). Each extraction pass prints with a "[pass N]" prefix.
+// count > 0 bounds the number of passes; count == 0 runs until the
+// process is interrupted.
+func watchLoop(stdout io.Writer, treeArgs, treeFiles, htmlFiles []string, interval time.Duration, count int, showTree bool, pass func(string, []*mdlog.Tree) error) error {
+	if len(treeArgs) > 0 {
+		return fmt.Errorf("-watch needs file-backed documents (-treefile or -html), not -tree literals")
+	}
+	files := append(append([]string{}, treeFiles...), htmlFiles...)
+	if len(files) == 0 {
+		return fmt.Errorf("provide at least one -treefile or -html")
+	}
+	if interval <= 0 {
+		return fmt.Errorf("-watch-interval must be positive")
+	}
+	prev, err := stampFiles(files)
+	if err != nil {
+		return err
+	}
+	for n := 1; ; n++ {
+		docs, err := loadDocs(nil, treeFiles, htmlFiles)
+		if err != nil {
+			return err
+		}
+		if showTree {
+			for _, d := range docs {
+				fmt.Fprint(stdout, d.Pretty())
+			}
+		}
+		if err := pass(fmt.Sprintf("[pass %d] ", n), docs); err != nil {
+			return err
+		}
+		if count > 0 && n >= count {
+			return nil
+		}
+		// Block until some watched file's stamp moves.
+		for {
+			time.Sleep(interval)
+			cur, err := stampFiles(files)
+			if err != nil {
+				return err
+			}
+			changed := false
+			for i := range cur {
+				if cur[i] != prev[i] {
+					changed = true
+				}
+			}
+			if changed {
+				prev = cur
+				break
+			}
+		}
+	}
 }
 
 // progName labels a program source by its file base name without

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -114,6 +115,56 @@ func TestGoldenMultiProgramFused(t *testing.T) {
 		t.Fatalf("%v (stderr: %s)", err, errb.String())
 	}
 	checkGolden(t, "multi_program.golden", out.Bytes())
+}
+
+// TestWatchMode: -watch re-extracts when the watched file changes and
+// exits after -watch-count passes, so the whole loop is observable.
+func TestWatchMode(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.term")
+	if err := os.WriteFile(doc, []byte("a(b,c)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-query", "p(X) :- label_b(X). ?- p.",
+			"-treefile", doc,
+			"-watch", "-watch-interval", "5ms", "-watch-count", "2",
+		}, &out, &errb)
+	}()
+	// Give pass 1 a head start, then grow the file; the poll loop
+	// compares size as well as mtime, so this registers regardless of
+	// filesystem timestamp granularity.
+	time.Sleep(50 * time.Millisecond)
+	if err := os.WriteFile(doc, []byte("a(b,c(b,b))"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%v (stderr: %s)", err, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch loop did not exit after -watch-count passes")
+	}
+	want := "[pass 1] p: [1]\n[pass 2] p: [1 3 4]\n"
+	if out.String() != want {
+		t.Errorf("watch output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestWatchModeErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-tree", "a", "-watch"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "file-backed") {
+		t.Errorf("-watch with -tree literal must error, got %v", err)
+	}
+	err = run([]string{"-query", "p(X) :- label_a(X). ?- p.", "-watch"}, &out, &errb)
+	if err == nil {
+		t.Error("-watch without documents must error")
+	}
 }
 
 func TestMultiProgramMixedFlagsRejected(t *testing.T) {

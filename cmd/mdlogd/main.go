@@ -2,9 +2,11 @@
 // compiled wrappers (any of the paper's six languages) and serves
 // extraction over HTTP — single documents via POST /extract/{name},
 // multi-document batches via POST /batch/{name}, wrapper management
-// via PUT/GET/DELETE /wrappers/{name}, and observability via GET
-// /stats and GET /metrics. See README.md §mdlogd for the endpoint and
-// config reference.
+// via PUT/GET/DELETE /wrappers/{name}, live document sessions via
+// PUT/GET/PATCH/DELETE /documents/{id} with incrementally maintained
+// POST /documents/{id}/extractall, and observability via GET /stats
+// and GET /metrics. See README.md §mdlogd for the endpoint and config
+// reference.
 //
 //	mdlogd -config mdlogd.json
 //	mdlogd -addr :8090 -workers 8 -max-inflight 64

@@ -239,6 +239,33 @@ func TestDifferentialEngines(t *testing.T) {
 				fuzzFusedSet(t, ctx, i, setMates, tr, lvl, EngineLinear)
 				fuzzFusedSet(t, ctx, i, setMates, tr, lvl, EngineBitmap)
 			}
+
+			// Incremental arm: the same program delta-maintained on a
+			// live document must match replay-from-scratch after each
+			// edit window (tr is not used again after this).
+			doc := NewDocument(tr)
+			var incArms []*CompiledQuery
+			for _, e := range []Engine{EngineLinear, EngineBitmap} {
+				q, err := CompileProgram(p.Clone(), WithEngine(e), WithOptLevel(OptFull))
+				if err != nil {
+					t.Fatalf("case %d: compiling incremental %v arm: %v\nprogram:\n%s", i, e, err, p)
+				}
+				incArms = append(incArms, q)
+			}
+			for step := 0; step < 2; step++ {
+				randomDocEdit(t, rng, doc, []string{"a", "b", "c"})
+				want := fmt.Sprint(replayUnary(t, ctx, p, doc, []string{"p0"})["p0"])
+				for _, q := range incArms {
+					ids, err := q.SelectIncremental(ctx, doc)
+					if err != nil {
+						t.Fatalf("case %d step %d: incremental %s: %v\nprogram:\n%s", i, step, q.EngineName(), err, p)
+					}
+					if got := fmt.Sprint(ids); got != want {
+						t.Fatalf("case %d step %d: incremental %s selects %s, replay %s\nprogram:\n%s",
+							i, step, q.EngineName(), got, want, p)
+					}
+				}
+			}
 		}
 	}
 }

@@ -35,6 +35,28 @@ func New(n int) *Set {
 // Count).
 func (s *Set) Len() int { return s.n }
 
+// Grow widens the domain to {0, ..., n-1}, preserving the set bits.
+// Shrinking is not supported (n below the current domain is a no-op):
+// live-document domains only ever append. It is the resize step of
+// incremental maintenance — after a subtree insertion the maintained
+// predicate bitmaps grow to the new |dom| with the new bits clear.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	words := (n + wordBits - 1) / wordBits
+	if words > cap(s.words) {
+		w := make([]uint64, words)
+		copy(w, s.words)
+		s.words = w
+	} else {
+		for len(s.words) < words {
+			s.words = append(s.words, 0)
+		}
+	}
+	s.n = n
+}
+
 // Add sets bit i. Out-of-domain indices panic via the slice bound.
 func (s *Set) Add(i int) { s.words[i>>6] |= 1 << uint(i&63) }
 

@@ -36,6 +36,7 @@ package eval
 import (
 	"math/bits"
 	"sync"
+	"weak"
 
 	"mdlog/internal/bitset"
 	"mdlog/internal/datalog"
@@ -182,8 +183,13 @@ func (bp *BitmapPlan) QueryPred() string { return bp.pl.QueryPred() }
 // that call between the pool Get and Put — which is what keeps Run
 // safe to call concurrently on a shared BitmapPlan.
 type bitmapRun struct {
-	bp        *BitmapPlan
-	nav       *Nav
+	bp  *BitmapPlan
+	nav *Nav
+	// weakNav remembers which Nav the per-document bitmaps were built
+	// for while the state sits in the pool. It is weak on purpose: a
+	// pooled run state must not pin a closed document session's arena
+	// in memory (the navigation arrays alias every arena column).
+	weakNav   weak.Pointer[Nav]
 	dom       int
 	labelSyms []int32
 
@@ -201,8 +207,11 @@ type bitmapRun struct {
 
 	// Lazily built per-condition bitmaps shared by every rule that
 	// seeds its live set from the same label test or node class.
+	// deadBm masks the tombstoned rows of a mutated arena out of every
+	// condition bitmap (nil while the document has no dead rows).
 	labelBm []*bitset.Set
 	kindBm  [uDom + 1]*bitset.Set
+	deadBm  *bitset.Set
 
 	// Scratch: live is the pipeline bitmap, cols the gathered binding
 	// columns (one per non-anchor slot), binding the scalar-evaluation
@@ -224,21 +233,22 @@ func (bp *BitmapPlan) acquire(nav *Nav) *bitmapRun {
 	if v := bp.pool.Get(); v != nil {
 		st := v.(*bitmapRun)
 		if st.dom == dom {
-			if st.nav != nav {
+			if st.weakNav.Value() != nav {
 				// Different document of the same size: the sized
 				// allocations are reusable, the per-document bitmaps
 				// and symbol table are not.
-				st.nav = nav
 				for i := range st.labelBm {
 					st.labelBm[i] = nil
 				}
 				for i := range st.kindBm {
 					st.kindBm[i] = nil
 				}
+				st.deadBm = nil
 				for i, l := range bp.pl.labels {
 					st.labelSyms[i] = nav.LabelID(l)
 				}
 			}
+			st.nav = nav
 			for i := range st.unary {
 				st.unary[i].Clear()
 				st.delta[i].Clear()
@@ -290,19 +300,39 @@ func (bp *BitmapPlan) acquire(nav *Nav) *bitmapRun {
 // intensional relations — the same T_P^ω restriction Plan.Run
 // computes, by bulk bitmap algebra instead of Horn propagation.
 func (bp *BitmapPlan) Run(nav *Nav) (*datalog.Database, error) {
-	pl := bp.pl
-	dom := nav.Dom()
 	st := bp.acquire(nav)
 
 	// Round 0: full columnar evaluation of every rule; derivations land
-	// in the delta buffers.
+	// in the delta buffers. Then run semi-naive rounds to fixpoint.
 	for ri := range bp.rules {
 		st.evalColumnar(ri)
 	}
+	st.fixpoint()
 
-	// Semi-naive rounds: wake exactly the rules that read a predicate
-	// whose extension grew, until a round derives nothing new (the
-	// word-level fixpoint — OrDiff reported no fresh bits anywhere).
+	out := materialize(bp.pl, st.unary, st.props, st.dom)
+	bp.release(st)
+	return out, nil
+}
+
+// release parks run state in the pool. The strong Nav reference is
+// dropped (pooled state must not keep a document alive — see weakNav);
+// if the same Nav comes back before it is collected, acquire still
+// reuses the per-document condition bitmaps.
+func (bp *BitmapPlan) release(st *bitmapRun) {
+	st.weakNav = weak.Make(st.nav)
+	st.nav = nil
+	bp.pool.Put(st)
+}
+
+// fixpoint runs semi-naive rounds until nothing new is derived: wake
+// exactly the rules that read a predicate whose extension grew, until
+// a round derives nothing (the word-level fixpoint — OrDiff reported
+// no fresh bits anywhere). On entry st.delta / st.dirty hold the seed
+// round's derivations; it is shared between full evaluation (seeded by
+// the round-0 columnar pass) and incremental maintenance (seeded by
+// the rederivation frontier of an arena delta).
+func (st *bitmapRun) fixpoint() {
+	bp := st.bp
 	for len(st.dirty) > 0 || len(st.propDirty) > 0 {
 		st.round++
 		woken := st.wokenRules()
@@ -328,20 +358,23 @@ func (bp *BitmapPlan) Run(nav *Nav) (*datalog.Database, error) {
 			st.nextDelta[pid].Clear()
 		}
 	}
+}
 
+// materialize converts extension bitmaps into the Database shape the
+// engines return.
+func materialize(pl *Plan, unary []*bitset.Set, props []bool, dom int) *datalog.Database {
 	out := datalog.NewDatabase(dom)
 	var ids []int
 	for pi, pred := range pl.unaryPreds {
-		ids = st.unary[pi].AppendBits(ids[:0])
+		ids = unary[pi].AppendBits(ids[:0])
 		out.Rel(pred, 1).AddUnarySet(ids)
 	}
 	for pi, pred := range pl.propPreds {
-		if st.props[pi] {
+		if props[pi] {
 			out.Rel(pred, 0).Add(nil)
 		}
 	}
-	bp.pool.Put(st)
-	return out, nil
+	return out
 }
 
 // wokenRules collects, deduplicated and in index order, the rules
@@ -394,9 +427,31 @@ func (st *bitmapRun) denseDelta(br *bitmapRule) bool {
 	return total*8 > st.dom
 }
 
+// aliveMask subtracts the tombstoned rows of a mutated arena from bm.
+// On never-mutated documents (nav.Dead == nil) it is a no-op; the dead
+// bitmap itself is built once per document and shared.
+func (st *bitmapRun) aliveMask(bm *bitset.Set) {
+	if st.nav.Dead == nil {
+		return
+	}
+	if st.deadBm == nil {
+		d := bitset.New(st.dom)
+		for v, dead := range st.nav.Dead {
+			if dead {
+				d.Add(v)
+			}
+		}
+		st.deadBm = d
+	}
+	bm.AndNot(st.deadBm)
+}
+
 // condBitmap returns (building lazily) the bitmap of nodes satisfying
 // a unary EDB condition — the precomputed per-symbol label bitmaps and
-// node-class bitmaps shared across all rules of a run.
+// node-class bitmaps shared across all rules of a run. Tombstoned rows
+// of a mutated arena never satisfy any condition: their columns still
+// hold pre-removal values (so the column scans would admit them), and
+// the alive mask subtracts them.
 func (st *bitmapRun) condBitmap(u unaryCheck) *bitset.Set {
 	if u.kind == uLabel {
 		if bm := st.labelBm[u.labelIdx]; bm != nil {
@@ -406,6 +461,7 @@ func (st *bitmapRun) condBitmap(u unaryCheck) *bitset.Set {
 		if sym := st.labelSyms[u.labelIdx]; sym >= 0 {
 			bm.AddMatches32(st.nav.Label, sym)
 		}
+		st.aliveMask(bm)
 		st.labelBm[u.labelIdx] = bm
 		return bm
 	}
@@ -434,6 +490,7 @@ func (st *bitmapRun) condBitmap(u unaryCheck) *bitset.Set {
 	case uDom:
 		bm.Fill()
 	}
+	st.aliveMask(bm)
 	st.kindBm[u.kind] = bm
 	return bm
 }
@@ -539,7 +596,11 @@ func (st *bitmapRun) seedAnchor(br *bitmapRule, live *bitset.Set) {
 		live.CopyFrom(st.condBitmap(conds[0]))
 		conds = conds[1:]
 	default:
+		// Unconditioned anchor: every live node. Dead rows cannot anchor
+		// a derivation (they carry no facts), so mask them out here; the
+		// non-anchor slots are then reached along live columns only.
 		live.Fill()
+		st.aliveMask(live)
 	}
 	for _, u := range idb {
 		live.And(st.unary[u.pid])

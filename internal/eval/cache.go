@@ -93,8 +93,11 @@ func (s Signature) TreeDB(t *tree.Tree) *datalog.Database {
 // pays the O(|dom|) materialization once per (tree, signature) instead
 // of once per call.
 //
-// Entries are keyed by tree identity (*tree.Tree); mutating a tree
-// after it has been cached gives stale results — call Forget first.
+// Entries are keyed by (tree identity, generation): every mutation —
+// pointer-level edits followed by Reindex, or the arena mutation API —
+// advances tree.Tree.Generation, so post-mutation lookups can never be
+// served a pre-mutation memo; the stale entry simply becomes
+// unreachable and ages out under MaxTrees (or is dropped by Forget).
 // The cached databases are shared: callers must treat them as
 // read-only (the generic engines do: they Clone before writing).
 //
@@ -102,12 +105,12 @@ func (s Signature) TreeDB(t *tree.Tree) *datalog.Database {
 // use NewTreeCache.
 type TreeCache struct {
 	mu      sync.Mutex
-	entries map[*tree.Tree]*treeCacheEntry
+	entries map[treeKey]*treeCacheEntry
 
-	// MaxTrees bounds the number of distinct trees retained (0 =
-	// unbounded). When full, inserting a new tree evicts an arbitrary
-	// old entry — the cache targets "same document queried many times",
-	// not LRU-precise scan workloads.
+	// MaxTrees bounds the number of retained entries — one per (tree,
+	// generation) pair (0 = unbounded). When full, inserting a new one
+	// evicts an arbitrary old entry — the cache targets "same document
+	// queried many times", not LRU-precise scan workloads.
 	MaxTrees int
 
 	// MaxResults bounds the per-tree result memo: how many distinct
@@ -141,6 +144,15 @@ type CacheStats struct {
 	ResultEvictions int64
 }
 
+// treeKey identifies one generation of one document: the staleness
+// guard that makes mutation safe against every memo layer at once.
+type treeKey struct {
+	t   *tree.Tree
+	gen uint64
+}
+
+func keyOf(t *tree.Tree) treeKey { return treeKey{t: t, gen: t.Generation()} }
+
 type treeCacheEntry struct {
 	mu      sync.Mutex
 	nav     *Nav
@@ -153,16 +165,17 @@ type treeCacheEntry struct {
 // MaxResults before first use to change it.
 func NewTreeCache(maxTrees int) *TreeCache {
 	return &TreeCache{
-		entries:    map[*tree.Tree]*treeCacheEntry{},
+		entries:    map[treeKey]*treeCacheEntry{},
 		MaxTrees:   maxTrees,
 		MaxResults: DefaultMaxResults,
 	}
 }
 
 func (c *TreeCache) entry(t *tree.Tree) *treeCacheEntry {
+	key := keyOf(t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[t]
+	e, ok := c.entries[key]
 	if !ok {
 		if c.MaxTrees > 0 && len(c.entries) >= c.MaxTrees {
 			for k := range c.entries {
@@ -171,7 +184,7 @@ func (c *TreeCache) entry(t *tree.Tree) *treeCacheEntry {
 			}
 		}
 		e = &treeCacheEntry{dbs: map[Signature]*datalog.Database{}}
-		c.entries[t] = e
+		c.entries[key] = e
 	}
 	return e
 }
@@ -229,12 +242,13 @@ func (c *TreeCache) DBCached(t *tree.Tree, sig Signature) (*datalog.Database, bo
 	return db, hit
 }
 
-// peek returns t's entry without creating one (and without touching
-// the hit/miss counters).
+// peek returns t's current-generation entry without creating one (and
+// without touching the hit/miss counters).
 func (c *TreeCache) peek(t *tree.Tree) *treeCacheEntry {
+	key := keyOf(t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.entries[t]
+	return c.entries[key]
 }
 
 // Result returns the memoized evaluation result for (t, key), if any.
@@ -286,30 +300,38 @@ func (c *TreeCache) maxResults() int {
 }
 
 // Contains reports whether t already has cached state (navigation
-// arrays or databases). Purely advisory: a concurrent Forget or
-// eviction can invalidate the answer immediately.
+// arrays or databases) at its current generation. Purely advisory: a
+// concurrent Forget or eviction can invalidate the answer immediately.
 func (c *TreeCache) Contains(t *tree.Tree) bool {
+	key := keyOf(t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[t]
+	_, ok := c.entries[key]
 	return ok
 }
 
-// Forget drops all cached state for t.
+// Forget drops all cached state for t, across every generation — the
+// release hook for closing document sessions (superseded-generation
+// entries would otherwise linger until evicted).
 func (c *TreeCache) Forget(t *tree.Tree) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.entries, t)
+	for k := range c.entries {
+		if k.t == t {
+			delete(c.entries, k)
+		}
+	}
 }
 
 // Purge empties the cache.
 func (c *TreeCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = map[*tree.Tree]*treeCacheEntry{}
+	c.entries = map[treeKey]*treeCacheEntry{}
 }
 
-// Len returns the number of trees with cached state.
+// Len returns the number of (tree, generation) entries with cached
+// state.
 func (c *TreeCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mdlog/internal/datalog"
+	"mdlog/internal/tree"
 )
 
 // FusedMember is one wrapper's slice of a fused plan: its display name
@@ -75,6 +76,17 @@ func (f *FusedPlan) RunFull(nav *Nav) (*datalog.Database, error) {
 		return f.bitmap.Run(nav)
 	}
 	return f.plan.Run(nav)
+}
+
+// NewIncState builds an incremental maintainer for the fused program
+// over a (reusing the already-prepared bitmap plan when the shared
+// pass runs on the bitmap engine). Split the maintained Database to
+// recover per-member views.
+func (f *FusedPlan) NewIncState(a *tree.Arena) *IncState {
+	if f.bitmap != nil {
+		return f.bitmap.NewIncState(a)
+	}
+	return f.plan.NewIncState(a)
 }
 
 // Members returns the number of fused members.

@@ -208,6 +208,15 @@ func (pl *Plan) Run(nav *Nav) (*datalog.Database, error) {
 		}
 		if lr.nvars == 0 {
 			ground(0)
+		} else if dead := nav.Dead; dead != nil {
+			// Mutated arena: dead rows carry no facts and cannot anchor
+			// a derivation. All non-anchor slots are reached from the
+			// anchor along live columns, so this one skip suffices.
+			for v := 0; v < dom; v++ {
+				if !dead[v] {
+					ground(v)
+				}
+			}
 		} else {
 			for v := 0; v < dom; v++ {
 				ground(v)

@@ -171,6 +171,12 @@ func TreeDB(t *tree.Tree, opts ...TreeDBOption) *datalog.Database {
 		return slab2[len(slab2)-2 : len(slab2) : len(slab2)]
 	}
 	for v := 0; v < n; v++ {
+		// Tombstoned rows of a mutated arena carry no facts: the
+		// document is its live nodes. Live columns never reference dead
+		// nodes, so every emitted tuple stays within the live set.
+		if !a.Alive(int32(v)) {
+			continue
+		}
 		labelRel(a.Label[v]).AddUnchecked(unary(v))
 		if a.Parent[v] == tree.NoNode {
 			relRoot.AddUnchecked(unary(v))
@@ -229,7 +235,14 @@ type Nav struct {
 	// Label holds per-node symbol ids resolved against Syms.
 	Label []int32
 	Syms  *tree.Symbols
+	// Dead marks tombstoned rows of a mutated arena (nil when every row
+	// is live). Engines skip dead anchors; since live columns never
+	// reference dead nodes, non-anchor slots are live for free.
+	Dead []bool
 }
+
+// Alive reports whether node v exists in the current document.
+func (nav *Nav) Alive(v int) bool { return nav.Dead == nil || !nav.Dead[v] }
 
 // NewNav returns the navigation view of t, aliasing its arena (built
 // on first use, O(|dom|), and memoized on the tree).
@@ -247,7 +260,7 @@ func NavOf(a *tree.Arena) *Nav {
 		A:  a,
 		FC: a.FirstChild, NS: a.NextSibling, Parent: a.Parent,
 		Prev: a.PrevSibling, LastChild: a.LastChild, ChildIdx: a.ChildIdx,
-		Label: a.Label, Syms: a.Syms,
+		Label: a.Label, Syms: a.Syms, Dead: a.Dead(),
 	}
 }
 

@@ -116,6 +116,7 @@ var catalog = []struct {
 	{"EXT-TREESIZE", "Arena substrate scaling: parse/materialize/select per node", TreeSize},
 	{"EXT-OPT", "Goal-directed optimizer: plan size and Select speedup", Opt},
 	{"EXT-QUERYSET", "QuerySet fusion: N wrappers, one shared pass per document", QuerySet},
+	{"EXT-INCREMENTAL", "Incremental maintenance: edit-sized revisions vs full reparse + re-extract", Incremental},
 }
 
 func All(cfg Config) []Table {

@@ -63,6 +63,27 @@ func TestOptDataReducesWrappers(t *testing.T) {
 	}
 }
 
+// TestIncrementalDataSpeedup pins the EXT-INCREMENTAL claim shape:
+// small revisions through the live-document path beat full reparse +
+// re-extract. (The full-size ≥5x-at-100k acceptance figure comes from
+// make bench-incremental; quick mode only asserts a win at the
+// smallest edit fraction to stay robust on loaded CI machines.)
+func TestIncrementalDataSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	pts := IncrementalData(Config{Quick: true})
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.EditFrac <= 0.001 && pt.Speedup <= 1 {
+			t.Errorf("%d nodes, %.1f%% edits: speedup %.2fx, want > 1x",
+				pt.Nodes, pt.EditFrac*100, pt.Speedup)
+		}
+	}
+}
+
 func TestAlternationQueryShape(t *testing.T) {
 	q0 := alternationQuery(0)
 	if !strings.Contains(q0, "leaf(x)") {

@@ -25,6 +25,13 @@ const (
 	// DefaultShutdownGraceMS is how long Serve waits for in-flight
 	// requests after its context is canceled.
 	DefaultShutdownGraceMS = 5000
+	// DefaultMaxSessions bounds live document sessions; at capacity a
+	// PUT /documents/{id} reclaims the least-recently-used idle session
+	// or is shed with 503.
+	DefaultMaxSessions = 64
+	// DefaultSessionIdleMS is how long a session must sit unused before
+	// the capacity policy may reclaim it.
+	DefaultSessionIdleMS = 60_000
 )
 
 // Config is mdlogd's boot configuration (JSON on disk; see
@@ -52,6 +59,14 @@ type Config struct {
 	// that do not set their own; empty means linear. An unknown name
 	// fails the boot with an error listing the valid engines.
 	Engine string `json:"engine,omitempty"`
+	// MaxSessions bounds live document sessions (0:
+	// DefaultMaxSessions; < 0: unbounded). At capacity, PUT
+	// /documents/{id} for a new id reclaims the least-recently-used
+	// session idle past SessionIdleMS, or is rejected with 503.
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// SessionIdleMS is the idle threshold for capacity reclaim in
+	// milliseconds (0: DefaultSessionIdleMS).
+	SessionIdleMS int `json:"session_idle_ms,omitempty"`
 	// Wrappers are compiled and registered at boot.
 	Wrappers []ConfigWrapper `json:"wrappers,omitempty"`
 }

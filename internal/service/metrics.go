@@ -46,6 +46,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mdlogd_document_errors_total", "Documents that failed to parse or evaluate.")
 	fmt.Fprintf(&b, "mdlogd_document_errors_total %d\n", s.docErrors.Load())
 
+	sessions := s.sessionsJSON()
+	gauge("mdlogd_sessions", "Live document sessions.",
+		strconv.Itoa(sessions["count"].(int)))
+	gauge("mdlogd_max_sessions", "Session capacity (<= 0: unbounded).",
+		strconv.Itoa(s.sessions.max))
+	counter("mdlogd_session_rejected_total", "Session opens shed at capacity.")
+	fmt.Fprintf(&b, "mdlogd_session_rejected_total %d\n", s.sessionRejected.Load())
+	counter("mdlogd_session_edits_total", "Edit operations applied to live sessions.")
+	fmt.Fprintf(&b, "mdlogd_session_edits_total %d\n", s.sessionEdits.Load())
+	counter("mdlogd_session_inc_applies_total", "Delta windows applied by incremental maintainers (live sessions).")
+	fmt.Fprintf(&b, "mdlogd_session_inc_applies_total %d\n", sessions["inc_applies"].(int))
+	counter("mdlogd_session_inc_fallback_total", "Delta windows handled by full re-evaluation (live sessions).")
+	fmt.Fprintf(&b, "mdlogd_session_inc_fallback_total %d\n", sessions["inc_fallback"].(int))
+
 	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_engine Plan engine by wrapper (value is always 1; the engine is the label).\n# TYPE mdlogd_wrapper_engine gauge\n")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_engine{wrapper=%q,engine=%q} 1\n", st.wr.Name, st.wr.Query.EngineName())

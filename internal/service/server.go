@@ -17,6 +17,17 @@
 //	POST   /batchall          batch form of /extractall (one parse per
 //	                          document, all wrappers, fused);
 //	                          ?output=nodes|assign&format=json|ndjson
+//	PUT    /documents/{id}    body = raw HTML; open (or replace) a live
+//	                          document session
+//	GET    /documents         list live document sessions
+//	GET    /documents/{id}    session state + incremental counters
+//	PATCH  /documents/{id}    body = {"ops":[...]}; edit the live
+//	                          document (insert/remove/settext/setattr)
+//	DELETE /documents/{id}    close the session, releasing its state
+//	POST   /documents/{id}/extractall
+//	                          every registered wrapper over the live
+//	                          document, incrementally maintained;
+//	                          ?output=nodes|assign
 //	GET    /stats             per-wrapper query + cache stats, totals
 //	GET    /metrics           the same as Prometheus text format
 //	GET    /healthz           liveness
@@ -68,6 +79,11 @@ type Server struct {
 	documents atomic.Int64
 	docErrors atomic.Int64
 
+	// Live document sessions (PUT/PATCH/DELETE /documents/{id}).
+	sessions        *sessionStore
+	sessionRejected atomic.Int64
+	sessionEdits    atomic.Int64
+
 	// The fused QuerySet over every registered wrapper, serving
 	// /extractall and /batchall. Rebuilt lazily whenever the registry
 	// generation moves — registrations are rare, extractions are not.
@@ -85,6 +101,7 @@ const (
 	epExtractAll
 	epBatchAll
 	epWrappers
+	epDocuments
 	epStats
 	epMetrics
 	endpoints
@@ -102,6 +119,8 @@ func (e endpoint) String() string {
 		return "batchall"
 	case epWrappers:
 		return "wrappers"
+	case epDocuments:
+		return "documents"
 	case epStats:
 		return "stats"
 	case epMetrics:
@@ -147,6 +166,15 @@ func New(cfg *Config) (*Server, error) {
 	if s.maxIn > 0 {
 		s.sem = make(chan struct{}, s.maxIn)
 	}
+	maxSessions := cfg.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	sessionIdle := time.Duration(cfg.SessionIdleMS) * time.Millisecond
+	if sessionIdle == 0 {
+		sessionIdle = DefaultSessionIdleMS * time.Millisecond
+	}
+	s.sessions = newSessionStore(maxSessions, sessionIdle)
 	if cfg.Opt != "" {
 		if _, err := mdlog.ParseOptLevel(cfg.Opt); err != nil {
 			return nil, err
@@ -207,6 +235,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /batch/{name}", s.admitted(epBatch, s.handleBatch))
 	s.mux.HandleFunc("POST /extractall", s.admitted(epExtractAll, s.handleExtractAll))
 	s.mux.HandleFunc("POST /batchall", s.admitted(epBatchAll, s.handleBatchAll))
+	s.mux.HandleFunc("PUT /documents/{id}", s.admitted(epDocuments, s.handlePutDocument))
+	s.mux.HandleFunc("GET /documents", s.counted(epDocuments, s.handleListDocuments))
+	s.mux.HandleFunc("GET /documents/{id}", s.counted(epDocuments, s.handleGetDocument))
+	s.mux.HandleFunc("PATCH /documents/{id}", s.admitted(epDocuments, s.handlePatchDocument))
+	s.mux.HandleFunc("DELETE /documents/{id}", s.counted(epDocuments, s.handleDeleteDocument))
+	s.mux.HandleFunc("POST /documents/{id}/extractall", s.admitted(epExtractAll, s.handleSessionExtractAll))
 }
 
 // querySet returns the fused QuerySet over the current registry

@@ -128,5 +128,33 @@ func (s *Server) serviceJSON() map[string]any {
 		"documents":       s.documents.Load(),
 		"document_errors": s.docErrors.Load(),
 		"requests":        reqs,
+		"sessions":        s.sessionsJSON(),
+	}
+}
+
+// sessionsJSON rolls up the live document sessions: the store state
+// plus the incremental-maintenance counters summed across sessions.
+func (s *Server) sessionsJSON() map[string]any {
+	var applies, fallbacks, overdeleted, rederived int
+	var edits int64
+	sessions := s.sessions.snapshot()
+	for _, ss := range sessions {
+		ds := ss.doc.Stats()
+		edits += ds.Edits
+		applies += ds.Inc.Applies
+		fallbacks += ds.Inc.Fallbacks
+		overdeleted += ds.Inc.Overdeleted
+		rederived += ds.Inc.Rederived
+	}
+	return map[string]any{
+		"count":        len(sessions),
+		"max":          s.sessions.max,
+		"rejected":     s.sessionRejected.Load(),
+		"edits":        s.sessionEdits.Load(),
+		"live_edits":   edits,
+		"inc_applies":  applies,
+		"inc_fallback": fallbacks,
+		"overdeleted":  overdeleted,
+		"rederived":    rederived,
 	}
 }

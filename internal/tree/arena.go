@@ -82,8 +82,11 @@ func (s *Symbols) Len() int { return len(s.names) }
 // Node.ID and with the document order ≺ of Example 2.5. All navigation
 // columns hold node ids or NoNode.
 //
-// An Arena is immutable after construction and safe for concurrent
-// reads. Trees are limited to 2^31-1 nodes.
+// An Arena is safe for concurrent reads. Mutation (see mutate.go) is
+// append-and-tombstone, must be serialized by the caller, and must not
+// race with readers — long-lived documents wrap the arena in a
+// Document that provides that serialization. Trees are limited to
+// 2^31-1 nodes.
 type Arena struct {
 	// Syms interns the labels appearing in Label.
 	Syms *Symbols
@@ -107,6 +110,15 @@ type Arena struct {
 	// identical attribute sets; treat the maps as read-only. FromArena
 	// gives each Node a private copy.
 	Attrs map[int32]map[string]string
+
+	// Mutation state (see mutate.go). A freshly built arena has gen 0,
+	// no tombstones and no text overrides; the mutation API bumps gen,
+	// fills dead lazily on the first removal, and stores replaced text
+	// out of line (Blob itself stays immutable).
+	gen      uint64 // accessed atomically
+	dead     []bool // dead[v] reports node v tombstoned; nil when none
+	numDead  int
+	textOver map[int32]string // retexts and inserted-node text, by id
 }
 
 // Len returns |dom|, the number of nodes.
@@ -116,8 +128,17 @@ func (a *Arena) Len() int { return len(a.Label) }
 func (a *Arena) LabelName(v int32) string { return a.Syms.Name(a.Label[v]) }
 
 // Text returns node v's character data as a zero-copy substring of
-// the document blob ("" for nodes without text).
-func (a *Arena) Text(v int32) string { return a.Blob[a.TextStart[v]:a.TextEnd[v]] }
+// the document blob ("" for nodes without text). Replaced text (and
+// the text of nodes inserted after construction) lives out of line and
+// shadows the blob span.
+func (a *Arena) Text(v int32) string {
+	if a.textOver != nil {
+		if s, ok := a.textOver[v]; ok {
+			return s
+		}
+	}
+	return a.Blob[a.TextStart[v]:a.TextEnd[v]]
+}
 
 // NumChildren returns the number of children of v in O(1).
 func (a *Arena) NumChildren(v int32) int32 {
@@ -299,8 +320,13 @@ func (b *ArenaBuilder) Finish() *Arena {
 // FromArena materializes the compatibility *Node view of an arena as a
 // fully indexed Tree sharing the arena: nodes come from one slab, all
 // child-pointer slices from a second, so the view costs O(1)
-// allocations. The arena must be nonempty.
+// allocations. The arena must be nonempty. A mutated arena (tombstones
+// or stable non-preorder ids) routes through LiveTree instead — its
+// canonical preorder view, which does not share the arena.
 func FromArena(a *Arena) *Tree {
+	if a.Mutated() {
+		return a.LiveTree()
+	}
 	n := a.Len()
 	slab := make([]Node, n)
 	nodes := make([]*Node, n)

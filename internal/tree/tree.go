@@ -157,6 +157,22 @@ type Tree struct {
 
 	// arena memoizes the struct-of-arrays representation (see Arena).
 	arena atomic.Pointer[Arena]
+	// gen accumulates the generations of dropped arenas plus one per
+	// Reindex, so Generation stays monotonic across arena rebuilds.
+	gen atomic.Uint64
+}
+
+// Generation identifies the tree's current shape: it changes whenever
+// the tree is reindexed after pointer-level mutation or its arena is
+// mutated in place, and never repeats a previous value for a previous
+// shape. Caches key memos by (tree, generation) so post-mutation reads
+// can never observe a pre-mutation memo.
+func (t *Tree) Generation() uint64 {
+	g := t.gen.Load()
+	if a := t.arena.Load(); a != nil {
+		g += a.Gen()
+	}
+	return g
 }
 
 // NewTree indexes the tree rooted at root and returns it. It assigns
@@ -170,7 +186,14 @@ func NewTree(root *Node) *Tree {
 
 // Reindex reassigns document-order IDs after structural modification
 // and drops any memoized arena (it would describe the old shape).
+// It advances Generation past anything the dropped arena reached, so
+// generation-keyed memos of the old shape can never be served again.
 func (t *Tree) Reindex() {
+	bump := uint64(1)
+	if a := t.arena.Load(); a != nil {
+		bump += a.Gen()
+	}
+	t.gen.Add(bump)
 	t.Nodes = t.Nodes[:0]
 	var walk func(n, parent *Node)
 	walk = func(n, parent *Node) {
