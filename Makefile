@@ -29,15 +29,17 @@ docs-gate: vet
 # Also emits BENCH_treesize.json (substrate parse/materialize/select
 # ns-per-node at 1k/10k nodes in quick mode), BENCH_optimize.json
 # (optimizer rule-count reduction + Select speedup per wrapper),
-# BENCH_queryset.json (fused vs sequential N-wrapper evaluation) and
+# BENCH_queryset.json (fused vs sequential N-wrapper evaluation),
 # BENCH_incremental.json (incremental vs full revision cost per edit
-# fraction) so every CI run archives a perf trajectory point.
+# fraction) and BENCH_service.json (fleet-mode dedup + shard scaling)
+# so every CI run archives a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
 	$(GO) run ./cmd/benchtables -quick -opt BENCH_optimize.json
 	$(GO) run ./cmd/benchtables -quick -queryset BENCH_queryset.json
 	$(GO) run ./cmd/benchtables -quick -incremental BENCH_incremental.json
+	$(GO) run ./cmd/benchtables -quick -service BENCH_service.json
 
 # Full-size optimizer measurement (EXT-OPT).
 bench-opt:
@@ -55,8 +57,11 @@ bench-queryset:
 # passes against their individual evaluations, plus the random
 # edit-script oracle (incremental maintenance ≡ replay from scratch).
 # Override the workload with MDLOG_FUZZ_N / MDLOG_FUZZ_SEED.
+# The store restart round-trip rides along: persistence must survive a
+# kill/reboot byte-identically, and it's fast enough for the quick path.
 fuzz-smoke:
 	MDLOG_FUZZ_N=$${MDLOG_FUZZ_N:-400} $(GO) test -run 'TestDifferentialEngines|TestIncrementalDifferential' -count=1 .
+	$(GO) test -run 'TestStoreRestartRoundTrip|TestStoreCorruptSnapshotFailsBoot' -count=1 ./internal/service
 
 # Full-size substrate scaling points (1k/10k/100k nodes).
 bench-treesize:
@@ -67,10 +72,13 @@ bench-treesize:
 bench-incremental:
 	$(GO) run ./cmd/benchtables -incremental BENCH_incremental.json
 
-# Serving-layer overhead (EXT-SERVICE): direct Select vs HTTP extract
-# vs 16-document batch, written to BENCH_service.txt (CI artifact).
+# Fleet-mode measurement (EXT-SERVICE): dedup-cache sweep (cache on vs
+# off across duplicate ratios) and consistent-hash shard scaling at
+# N ∈ {1,2,4} workers over real HTTP, written to BENCH_service.json
+# (CI artifact). The in-process micro-benchmarks (direct Select vs HTTP
+# extract vs batch) still run under bench / bench-smoke.
 bench-service:
-	$(GO) test -run '^$$' -bench BenchmarkServicePath -benchtime 2s ./internal/service | tee BENCH_service.txt
+	$(GO) run ./cmd/benchtables -service BENCH_service.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

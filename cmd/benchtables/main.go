@@ -11,6 +11,8 @@
 //	                      # write the N-wrapper fusion points as JSON
 //	benchtables -incremental BENCH_incremental.json
 //	                      # write the incremental-vs-full revision points as JSON
+//	benchtables -service BENCH_service.json
+//	                      # write the fleet-mode dedup + shard scaling points as JSON
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	opt := flag.String("opt", "", "write EXT-OPT points (rule counts and Select speedup per wrapper) to this JSON file and exit")
 	queryset := flag.String("queryset", "", "write EXT-QUERYSET points (fused vs sequential N-wrapper evaluation) to this JSON file and exit")
 	incremental := flag.String("incremental", "", "write EXT-INCREMENTAL points (incremental vs full revision cost per edit fraction) to this JSON file and exit")
+	svc := flag.String("service", "", "write EXT-SERVICE points (dedup-cache sweep + shard scaling over HTTP) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -69,6 +72,11 @@ func main() {
 	if *incremental != "" {
 		pts := experiments.IncrementalData(cfg)
 		writeJSON(*incremental, pts, "revision points", len(pts))
+		return
+	}
+	if *svc != "" {
+		b := experiments.ServiceData(cfg)
+		writeJSON(*svc, b, "measurement points", len(b.Dedup)+len(b.Shard))
 		return
 	}
 	for _, t := range experiments.All(cfg) {

@@ -1,0 +1,285 @@
+package experiments
+
+// This file measures EXT-SERVICE: what fleet mode buys the serving
+// layer — (a) the content-hash dedup cache against duplicated crawl
+// traffic (cache on vs off across duplicate ratios), and (b)
+// consistent-hash sharding at N ∈ {1, 2, 4} workers, where the win on
+// any machine is CACHE PARTITIONING: each worker's dedup cache holds
+// only its ring shard of the document universe, so a universe that
+// thrashes one worker's cache fits comfortably in four. Everything
+// runs over real HTTP (httptest servers for workers and front tier),
+// so the numbers include the full service path: admission, routing,
+// hashing, body transport. cmd/benchtables -service serializes the
+// result as BENCH_service.json so CI archives the fleet trajectory.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mdlog "mdlog"
+	"mdlog/internal/html"
+	"mdlog/internal/service"
+)
+
+// serviceWrapperSrc is the Elog⁻ wrapper the benchmark serves: the
+// product-row chain plus a leaf field, so evaluation cost scales with
+// the page.
+const serviceWrapperSrc = `
+item(x) :- root(x0), subelem("html.body.table.tr", x0, x).
+f(x)    :- item(x0), subelem("td.b", x0, x).
+`
+
+// ServiceDedupPoint is one duplicate-ratio measurement on a single
+// worker: identical traffic against a cache-on and a cache-off daemon.
+type ServiceDedupPoint struct {
+	// DupRatio is the fraction of requests that are byte-identical
+	// repeats of an earlier document (0: all distinct).
+	DupRatio float64 `json:"dup_ratio"`
+	// Requests is the traffic volume measured.
+	Requests int `json:"requests"`
+	// CacheOffNsPerDoc / CacheOnNsPerDoc are mean service latency per
+	// document, cache off vs on.
+	CacheOffNsPerDoc float64 `json:"cache_off_ns_per_doc"`
+	CacheOnNsPerDoc  float64 `json:"cache_on_ns_per_doc"`
+	// Speedup is CacheOffNsPerDoc / CacheOnNsPerDoc.
+	Speedup float64 `json:"speedup"`
+	// HitRate is the cache-on run's dedup hit fraction.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ServiceShardPoint is one fleet size's saturation measurement.
+type ServiceShardPoint struct {
+	// Workers is the fleet size N (1: a single worker, no front tier).
+	Workers int `json:"workers"`
+	// Requests / Concurrency describe the closed-loop load.
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	// ThroughputRPS is completed requests per second at saturation.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// P50Ms / P99Ms are per-request service latency percentiles.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// HitRate is the fleet-wide dedup hit fraction: the mechanism
+	// behind the scaling (per-worker caches partition the universe).
+	HitRate float64 `json:"hit_rate"`
+	// SpeedupVs1 is ThroughputRPS over the 1-worker point's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// ServiceBench is the BENCH_service.json document.
+type ServiceBench struct {
+	// PageRows / PageBytes describe the benchmark document family.
+	PageRows  int `json:"page_rows"`
+	PageBytes int `json:"page_bytes"`
+	// Universe is the distinct-document count of the shard experiment;
+	// CachePerWorker is each worker's dedup-cache bound. Universe >
+	// CachePerWorker (one worker thrashes) and Universe <= N_max *
+	// CachePerWorker (the fleet fits) is the partitioning regime.
+	Universe       int                 `json:"universe"`
+	CachePerWorker int                 `json:"cache_per_worker"`
+	Dedup          []ServiceDedupPoint `json:"dedup"`
+	Shard          []ServiceShardPoint `json:"shard"`
+}
+
+// serviceDocs builds n distinct product pages of the given row count.
+func serviceDocs(n, rows int) []string {
+	rng := rand.New(rand.NewSource(51))
+	docs := make([]string, n)
+	for i := range docs {
+		// ProductListing draws fresh pseudo-random rows per call, and a
+		// distinct marker comment pins distinctness even at tiny sizes.
+		docs[i] = fmt.Sprintf("<!-- doc %d -->%s", i, html.ProductListing(rng, rows))
+	}
+	return docs
+}
+
+// drive issues reqs (round-robin over clients goroutines) against url
+// and returns wall time plus sorted per-request latencies. Every
+// response must be 200; a non-200 panics — a benchmark that silently
+// measures error paths would report fiction.
+func drive(url string, bodies []string, concurrency int) (time.Duration, []time.Duration) {
+	lat := make([]time.Duration, len(bodies))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: concurrency}}
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/html", strings.NewReader(bodies[i]))
+				if err != nil {
+					panic(fmt.Sprintf("experiments: service bench request: %v", err))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("experiments: service bench got status %d", resp.StatusCode))
+				}
+				lat[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return wall, lat
+}
+
+// percentileMs reads the p-th percentile of sorted latencies in ms.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e6
+}
+
+// bootWorker starts one daemon on an httptest server with the
+// benchmark wrapper registered.
+func bootWorker(cfg *service.Config) (*service.Server, *httptest.Server) {
+	s, err := service.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: service bench boot: %v", err))
+	}
+	if _, _, err := s.Registry().Register("items", service.WrapperSpec{Lang: mdlog.LangElog, Source: serviceWrapperSrc, Pred: "f"}); err != nil {
+		panic(fmt.Sprintf("experiments: service bench wrapper: %v", err))
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+// dedupHits reads hit/miss counters off a worker's /stats-visible
+// cache state via the exported DocCacheStats accessor.
+func dedupHits(s *service.Server) (hits, misses int64) {
+	st := s.DocCacheStats()
+	return st.Hits, st.Misses
+}
+
+// ServiceData measures the dedup sweep and the shard scaling curve.
+func ServiceData(cfg Config) ServiceBench {
+	rows, universe, cacheEntries := 160, 64, 24
+	rounds, concurrency := 6, 8
+	dedupReqs := 300
+	if cfg.Quick {
+		rows, universe, cacheEntries = 60, 16, 6
+		rounds, concurrency = 3, 4
+		dedupReqs = 60
+	}
+	probe := serviceDocs(1, rows)
+	bench := ServiceBench{
+		PageRows:       rows,
+		PageBytes:      len(probe[0]),
+		Universe:       universe,
+		CachePerWorker: cacheEntries,
+	}
+
+	// --- Dedup sweep: one worker, cache on vs off, same traffic. ---
+	for _, dup := range []float64{0, 0.5, 0.9} {
+		distinct := int(float64(dedupReqs)*(1-dup) + 0.5)
+		if distinct < 1 {
+			distinct = 1
+		}
+		docs := serviceDocs(distinct, rows)
+		traffic := make([]string, dedupReqs)
+		for i := range traffic {
+			// First present every distinct page once, then repeat:
+			// dup-ratio exact by construction.
+			traffic[i] = docs[i%distinct]
+		}
+
+		offS, offTS := bootWorker(&service.Config{DocCacheEntries: -1, MaxInFlight: -1})
+		offWall, _ := drive(offTS.URL+"/extract/items", traffic, concurrency)
+		offTS.Close()
+		_ = offS
+
+		onS, onTS := bootWorker(&service.Config{DocCacheEntries: dedupReqs, MaxInFlight: -1})
+		onWall, _ := drive(onTS.URL+"/extract/items", traffic, concurrency)
+		hits, misses := dedupHits(onS)
+		onTS.Close()
+
+		offNs := float64(offWall.Nanoseconds()) / float64(dedupReqs)
+		onNs := float64(onWall.Nanoseconds()) / float64(dedupReqs)
+		bench.Dedup = append(bench.Dedup, ServiceDedupPoint{
+			DupRatio:         dup,
+			Requests:         dedupReqs,
+			CacheOffNsPerDoc: offNs,
+			CacheOnNsPerDoc:  onNs,
+			Speedup:          offNs / onNs,
+			HitRate:          float64(hits) / float64(hits+misses),
+		})
+	}
+
+	// --- Shard scaling: same universe and traffic at N ∈ {1,2,4}. ---
+	docs := serviceDocs(universe, rows)
+	traffic := make([]string, 0, universe*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, d := range docs {
+			traffic = append(traffic, d)
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		workers := make([]*service.Server, n)
+		urls := make([]string, n)
+		servers := make([]*httptest.Server, n)
+		for i := 0; i < n; i++ {
+			wcfg := &service.Config{DocCacheEntries: cacheEntries, MaxInFlight: -1}
+			if n > 1 {
+				wcfg.ShardOf = fmt.Sprintf("%d/%d", i, n)
+			}
+			workers[i], servers[i] = bootWorker(wcfg)
+			urls[i] = servers[i].URL
+		}
+		target := urls[0]
+		var fts *httptest.Server
+		if n > 1 {
+			f, err := service.NewFront(service.FrontConfig{Workers: urls, WorkerInFlight: -1})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: service bench front: %v", err))
+			}
+			fts = httptest.NewServer(f.Handler())
+			target = fts.URL
+		}
+		wall, lat := drive(target+"/extract/items", traffic, concurrency)
+		var hits, misses int64
+		for _, w := range workers {
+			h, m := dedupHits(w)
+			hits, misses = hits+h, misses+m
+		}
+		if fts != nil {
+			fts.Close()
+		}
+		for _, ts := range servers {
+			ts.Close()
+		}
+		pt := ServiceShardPoint{
+			Workers:       n,
+			Requests:      len(traffic),
+			Concurrency:   concurrency,
+			ThroughputRPS: float64(len(traffic)) / wall.Seconds(),
+			P50Ms:         percentileMs(lat, 0.50),
+			P99Ms:         percentileMs(lat, 0.99),
+			HitRate:       float64(hits) / float64(hits+misses),
+		}
+		if len(bench.Shard) > 0 {
+			pt.SpeedupVs1 = pt.ThroughputRPS / bench.Shard[0].ThroughputRPS
+		} else {
+			pt.SpeedupVs1 = 1
+		}
+		bench.Shard = append(bench.Shard, pt)
+	}
+	return bench
+}

@@ -1,0 +1,249 @@
+package service
+
+// Chaos suite: stateless dedup-cached extraction, live document
+// sessions over the SAME bytes, wrapper re-registration and cache
+// eviction churn, all concurrently — run under -race in CI. The
+// invariant throughout: stateless extraction over fixed bytes returns
+// the fixed answer, no matter what the sessions and the registry are
+// doing, and nothing crashes or double-frees on the eviction/close
+// paths.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mustReq builds a request or fails the test.
+func mustReq(t *testing.T, method, url, body string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// newFrontServer serves a Front on an httptest server.
+func newFrontServer(t *testing.T, f *Front) string {
+	t.Helper()
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// chaosDoc builds the i-th distinct document; every document has
+// exactly one row so the expected node count is constant.
+func chaosDoc(i int) string {
+	return fmt.Sprintf("<html><body><table><tr><td>chaos %d</td></tr></table></body></html>", i)
+}
+
+// TestChaosSessionsVsDedup hammers the daemon from four directions at
+// once over a deliberately tiny dedup cache (constant eviction):
+//
+//   - extractors POST duplicated documents and check the answer;
+//   - session workers PUT/PATCH/DELETE sessions holding the SAME
+//     bytes the extractors use (the aliasing trap);
+//   - a registrar re-registers the wrapper (version churn, QuerySet
+//     rebuilds, memo invalidation);
+//   - a reader polls /stats and /metrics (snapshot vs mutation races).
+func TestChaosSessionsVsDedup(t *testing.T) {
+	cfg := bootConfig()
+	cfg.DocCacheEntries = 4 // tiny: every few requests evict
+	cfg.MaxInFlight = -1    // the test wants contention, not shedding
+	cfg.MaxSessions = -1
+	_, ts := newTestServer(t, cfg)
+
+	const (
+		goroutines = 4
+		iters      = 60
+		universe   = 10 // distinct documents; > cache cap so LRU churns
+	)
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+
+	// Extractors: duplicated stateless traffic.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				doc := chaosDoc((g + i) % universe)
+				status, body := doJSON(t, http.MethodPost, ts.URL+"/extract/items", doc)
+				if status == http.StatusNotFound {
+					continue // registrar mid-swap; the wrapper will return
+				}
+				if status != http.StatusOK || len(intSlice(t, body["nodes"])) != 1 {
+					wrong.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Session workers: sessions over the same bytes, mutated, then
+	// closed — must never leak into the dedup cache.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("s%d-%d", g, i%3)
+				doc := chaosDoc(i % universe)
+				if status, _ := doJSON(t, http.MethodPut, ts.URL+"/documents/"+id, doc); status != http.StatusCreated && status != http.StatusOK {
+					continue
+				}
+				patch, _ := json.Marshal(map[string]any{"ops": []map[string]any{
+					{"op": "settext", "node": 4, "text": "MUTATED " + strconv.Itoa(i)},
+				}})
+				doJSON(t, http.MethodPatch, ts.URL+"/documents/"+id, string(patch))
+				doJSON(t, http.MethodPost, ts.URL+"/documents/"+id+"/extractall", "")
+				if i%2 == 0 {
+					doJSON(t, http.MethodDelete, ts.URL+"/documents/"+id, "")
+				}
+			}
+		}(g)
+	}
+
+	// Registrar: re-register the same wrapper (bumping its version) and
+	// occasionally a second one (QuerySet membership churn).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spec, _ := json.Marshal(map[string]any{"lang": "elog", "source": elogSrc})
+		for i := 0; i < iters/2; i++ {
+			doJSON(t, http.MethodPut, ts.URL+"/wrappers/items", string(spec))
+			if i%4 == 0 {
+				doJSON(t, http.MethodPut, ts.URL+"/wrappers/extra", string(spec))
+				doJSON(t, http.MethodDelete, ts.URL+"/wrappers/extra", "")
+			}
+		}
+	}()
+
+	// Reader: stats snapshots race registry swaps and cache churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+			rawBody(t, http.MethodGet, ts.URL+"/metrics", "")
+		}
+	}()
+
+	wg.Wait()
+	if n := wrong.Load(); n > 0 {
+		t.Fatalf("%d extractions returned the wrong answer under chaos", n)
+	}
+
+	// Post-chaos sanity: every distinct document still extracts
+	// correctly, and the cache is within its bound.
+	for i := 0; i < universe; i++ {
+		status, body := doJSON(t, http.MethodPost, ts.URL+"/extract/items", chaosDoc(i))
+		if status != http.StatusOK || len(intSlice(t, body["nodes"])) != 1 {
+			t.Fatalf("post-chaos doc %d: status %d, body %v", i, status, body)
+		}
+	}
+	status, stats := doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatal("post-chaos stats failed")
+	}
+	cache := stats["service"].(map[string]any)["doc_cache"].(map[string]any)
+	if entries := cache["entries"].(float64); entries > 4 {
+		t.Errorf("doc cache grew past its bound: %v entries, max 4", entries)
+	}
+}
+
+// TestChaosEvictionVsSessionClose drives the two forget paths — LRU
+// eviction and session release — over overlapping trees as fast as
+// possible. TreeCache.Forget is idempotent; this test exists so -race
+// and the memo internals prove it under fire.
+func TestChaosEvictionVsSessionClose(t *testing.T) {
+	cfg := bootConfig()
+	cfg.DocCacheEntries = 2
+	cfg.MaxInFlight = -1
+	cfg.MaxSessions = -1
+	_, ts := newTestServer(t, cfg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				doc := chaosDoc(i % 6)
+				// Evictor: roll documents through the 2-entry cache.
+				doJSON(t, http.MethodPost, ts.URL+"/extract/items", doc)
+				// Session churn on the same content.
+				id := fmt.Sprintf("c%d", g)
+				doJSON(t, http.MethodPut, ts.URL+"/documents/"+id, doc)
+				doJSON(t, http.MethodPost, ts.URL+"/documents/"+id+"/extractall", "")
+				doJSON(t, http.MethodDelete, ts.URL+"/documents/"+id, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extract/items", chaosDoc(0))
+	if status != http.StatusOK || len(intSlice(t, body["nodes"])) != 1 {
+		t.Fatalf("post-churn extract: status %d, body %v", status, body)
+	}
+}
+
+// TestRetryAfterAlwaysIntegerSeconds sweeps every load-shedding
+// surface and asserts the Retry-After header parses as a positive
+// integer of seconds — the contract HTTP retry middleware depends on.
+func TestRetryAfterAlwaysIntegerSeconds(t *testing.T) {
+	assertRetryAfter := func(t *testing.T, where string, h http.Header) {
+		t.Helper()
+		ra := h.Get("Retry-After")
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Errorf("%s: Retry-After %q is not a positive integer of seconds", where, ra)
+		}
+	}
+
+	// Admission bound: MaxInFlight 1 + a request stuck in a handler is
+	// hard to stage without a slow wrapper, so use session capacity and
+	// the front tier — the three 503 paths share unavailable() with
+	// admission, and TestAdmissionBound covers that path's status.
+	t.Run("session capacity", func(t *testing.T) {
+		cfg := bootConfig()
+		cfg.MaxSessions = 1
+		cfg.SessionIdleMS = 60_000
+		_, ts := newTestServer(t, cfg)
+		if status, _ := doJSON(t, http.MethodPut, ts.URL+"/documents/a", page); status != http.StatusCreated {
+			t.Fatal("first session failed")
+		}
+		resp, err := http.DefaultClient.Do(mustReq(t, http.MethodPut, ts.URL+"/documents/b", page))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+		assertRetryAfter(t, "session capacity", resp.Header)
+	})
+
+	t.Run("front no routable worker", func(t *testing.T) {
+		f, err := NewFront(FrontConfig{Workers: []string{"http://127.0.0.1:1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.workers[0].healthy.Store(false)
+		fts := newFrontServer(t, f)
+		resp, err := http.DefaultClient.Do(mustReq(t, http.MethodPost, fts+"/extract/items", page))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+		assertRetryAfter(t, "front unroutable", resp.Header)
+	})
+}

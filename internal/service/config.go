@@ -32,6 +32,9 @@ const (
 	// DefaultSessionIdleMS is how long a session must sit unused before
 	// the capacity policy may reclaim it.
 	DefaultSessionIdleMS = 60_000
+	// DefaultDocCacheEntries bounds the content-hash document dedup
+	// cache (distinct parsed documents kept live).
+	DefaultDocCacheEntries = 256
 )
 
 // Config is mdlogd's boot configuration (JSON on disk; see
@@ -67,6 +70,25 @@ type Config struct {
 	// SessionIdleMS is the idle threshold for capacity reclaim in
 	// milliseconds (0: DefaultSessionIdleMS).
 	SessionIdleMS int `json:"session_idle_ms,omitempty"`
+	// DataDir enables the persistent wrapper store: the registry
+	// snapshot lives at DataDir/wrappers.json, rewritten atomically
+	// after every successful wrapper mutation and re-read on SIGHUP
+	// (Server.Reload). Empty means no persistence.
+	DataDir string `json:"data_dir,omitempty"`
+	// DocCacheEntries bounds the content-hash document dedup cache
+	// (0: DefaultDocCacheEntries; < 0: cache disabled — every request
+	// parses privately).
+	DocCacheEntries int `json:"doc_cache_entries,omitempty"`
+	// ShardOf runs the daemon as one worker of a shard fleet ("i/n",
+	// 0 ≤ i < n): documents whose content hash the consistent-hash
+	// ring assigns to a different worker are rejected with 421 rather
+	// than silently polluting this worker's dedup cache. Empty means
+	// standalone.
+	ShardOf string `json:"shard_of,omitempty"`
+	// RingReplicas is the consistent-hash ring's virtual-node count
+	// per worker (0: DefaultRingReplicas). Front tier and workers
+	// must agree on it.
+	RingReplicas int `json:"ring_replicas,omitempty"`
 	// Wrappers are compiled and registered at boot.
 	Wrappers []ConfigWrapper `json:"wrappers,omitempty"`
 }

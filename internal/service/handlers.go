@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
 }
 
+// unavailable writes a 503 whose Retry-After header is guaranteed to
+// be an integer number of seconds (RFC 9110 §10.2.3 delay-seconds) —
+// every load-shedding path in the daemon and the front tier goes
+// through here, so no path can emit a malformed or empty value.
+func unavailable(w http.ResponseWriter, seconds int, format string, args ...any) {
+	if seconds < 1 {
+		seconds = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
 // body caps the request body at maxBody; a negative cap means
 // unbounded (http.MaxBytesReader would treat it as zero).
 func (s *Server) body(w http.ResponseWriter, r *http.Request) io.Reader {
@@ -76,6 +89,7 @@ func wrapperInfo(wr *Wrapper, withSource bool) map[string]any {
 		"lang":       wr.Spec.Lang.String(),
 		"pred":       wr.Query.QueryPred(),
 		"extract":    wr.Query.ExtractPreds(),
+		"version":    wr.Version,
 		"registered": wr.Registered.UTC().Format(time.RFC3339Nano),
 	}
 	if withSource {
@@ -114,6 +128,13 @@ func (s *Server) handlePutWrapper(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := s.persist(); err != nil {
+		// The in-memory registry already serves the new wrapper; the
+		// caller learns durability failed and may retry the PUT (the
+		// next successful save rewrites the whole snapshot).
+		writeError(w, http.StatusInternalServerError, "wrapper registered but not persisted: %v", err)
+		return
+	}
 	status := http.StatusCreated
 	if replaced {
 		status = http.StatusOK
@@ -135,14 +156,19 @@ func (s *Server) handleDeleteWrapper(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no wrapper %q registered", name)
 		return
 	}
+	if err := s.persist(); err != nil {
+		writeError(w, http.StatusInternalServerError, "wrapper removed but not persisted: %v", err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // ---------------------------------------------------------------------
 // Extraction.
 
-// handleExtract streams the request body — one HTML document — through
-// ParseHTMLReader into the arena pipeline and runs the wrapper on it.
+// handleExtract resolves the request body — one HTML document —
+// through the content-hash dedup cache (or streams it through
+// ParseHTMLReader when the cache is off) and runs the wrapper on it.
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	wr, ok := s.wrapper(w, r)
 	if !ok {
@@ -157,10 +183,8 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// Count the document on acceptance (before parsing), mirroring
 	// /batch — so document_errors can never exceed documents.
 	s.documents.Add(1)
-	doc, err := mdlog.ParseHTMLReader(s.body(w, r))
-	if err != nil {
-		s.docErrors.Add(1)
-		writeError(w, clientErrStatus(err), "reading document: %v", err)
+	doc, ok := s.readDoc(w, r)
+	if !ok {
 		return
 	}
 	switch mode {
@@ -408,10 +432,8 @@ func (s *Server) handleExtractAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.documents.Add(1)
-	doc, err := mdlog.ParseHTMLReader(s.body(w, r))
-	if err != nil {
-		s.docErrors.Add(1)
-		writeError(w, clientErrStatus(err), "reading document: %v", err)
+	doc, ok := s.readDoc(w, r)
+	if !ok {
 		return
 	}
 	results := set.Run(r.Context(), doc)
@@ -480,6 +502,9 @@ func (s *Server) runBatchAll(ctx context.Context, set *mdlog.QuerySet, mode outp
 		close(out)
 		return out
 	}
+	if s.docs != nil || s.shardN > 0 {
+		return s.runBatchAllCached(ctx, set, mode, docs, out)
+	}
 	srcs := make(chan io.Reader)
 	go func() {
 		defer close(srcs)
@@ -510,6 +535,95 @@ func (s *Server) runBatchAll(ctx context.Context, set *mdlog.QuerySet, mode outp
 			}
 			out <- item
 		}
+	}()
+	return out
+}
+
+// runBatchAllCached is runBatchAll with the content-hash dedup cache
+// (or the shard-ownership guard) in the loop: every document resolves
+// through Server.resolveDoc first — duplicates share one parsed arena
+// and its memoized fused results — and the worker pool then runs the
+// set over trees (Runner.SetStream). A misrouted document (shard mode)
+// fails only its own entry, mirroring a parse failure.
+func (s *Server) runBatchAllCached(ctx context.Context, set *mdlog.QuerySet, mode outputMode, docs []batchDoc, out chan map[string]any) <-chan map[string]any {
+	trees := make([]*mdlog.Tree, len(docs))
+	errs := make([]error, len(docs))
+	order := make([]int, 0, len(docs)) // fed position → doc index
+	for i, d := range docs {
+		trees[i], errs[i] = s.resolveDoc([]byte(d.HTML))
+		if errs[i] == nil {
+			order = append(order, i)
+		} else {
+			s.docErrors.Add(1)
+		}
+	}
+	feed := make(chan *mdlog.Tree)
+	go func() {
+		defer close(feed)
+		for _, i := range order {
+			select {
+			case feed <- trees[i]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		defer close(out)
+		emit := func(item map[string]any) bool {
+			select {
+			case out <- item:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		item := func(i int) map[string]any {
+			it := map[string]any{"index": i}
+			if id := docs[i].ID; id != "" {
+				it["id"] = id
+			}
+			return it
+		}
+		// Stream results arrive in fed order — increasing doc index —
+		// so failed documents interleave back by flushing every failed
+		// index below the next streamed one.
+		next := 0
+		flushErrsBelow := func(di int) bool {
+			for ; next < di; next++ {
+				if errs[next] == nil {
+					continue
+				}
+				it := item(next)
+				it["error"] = errs[next].Error()
+				if !emit(it) {
+					return false
+				}
+			}
+			return true
+		}
+		for res := range s.runner.SetStream(ctx, set, feed) {
+			di := order[res.Index]
+			if !flushErrsBelow(di) {
+				return
+			}
+			next = di + 1
+			it := item(di)
+			if res.Err != nil {
+				s.docErrors.Add(1)
+				it["error"] = res.Err.Error()
+			} else {
+				items := make([]map[string]any, len(res.Results))
+				for i, sr := range res.Results {
+					items[i] = setResultItem(sr, mode)
+				}
+				it["results"] = items
+			}
+			if !emit(it) {
+				return
+			}
+		}
+		flushErrsBelow(len(docs))
 	}()
 	return out
 }

@@ -46,6 +46,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("mdlogd_document_errors_total", "Documents that failed to parse or evaluate.")
 	fmt.Fprintf(&b, "mdlogd_document_errors_total %d\n", s.docErrors.Load())
 
+	if s.store != nil {
+		counter("mdlogd_store_saves_total", "Registry snapshots written to the persistent store.")
+		fmt.Fprintf(&b, "mdlogd_store_saves_total %d\n", s.storeSaves.Load())
+		counter("mdlogd_store_errors_total", "Registry snapshot writes that failed.")
+		fmt.Fprintf(&b, "mdlogd_store_errors_total %d\n", s.storeErrors.Load())
+		counter("mdlogd_store_reloads_total", "Registry reloads from the store (SIGHUP).")
+		fmt.Fprintf(&b, "mdlogd_store_reloads_total %d\n", s.reloads.Load())
+	}
+	if s.docs != nil {
+		cs := s.docs.stats()
+		gauge("mdlogd_doc_cache_entries", "Distinct documents in the content-hash dedup cache.",
+			strconv.Itoa(cs.entries))
+		gauge("mdlogd_doc_cache_max_entries", "Dedup cache capacity.",
+			strconv.Itoa(cs.max))
+		counter("mdlogd_doc_cache_hits_total", "Documents served from the dedup cache.")
+		fmt.Fprintf(&b, "mdlogd_doc_cache_hits_total %d\n", cs.hits)
+		counter("mdlogd_doc_cache_misses_total", "Documents parsed fresh into the dedup cache.")
+		fmt.Fprintf(&b, "mdlogd_doc_cache_misses_total %d\n", cs.misses)
+		counter("mdlogd_doc_cache_evictions_total", "Documents evicted from the dedup cache.")
+		fmt.Fprintf(&b, "mdlogd_doc_cache_evictions_total %d\n", cs.evictions)
+	}
+	if s.shardN > 0 {
+		gauge("mdlogd_shard_index", "This worker's shard index.",
+			strconv.Itoa(s.shardIdx))
+		gauge("mdlogd_shard_count", "Workers in the shard fleet.",
+			strconv.Itoa(s.shardN))
+		counter("mdlogd_shard_misrouted_total", "Documents rejected by the shard-ownership guard (421).")
+		fmt.Fprintf(&b, "mdlogd_shard_misrouted_total %d\n", s.shardMisrouted.Load())
+	}
+
 	sessions := s.sessionsJSON()
 	gauge("mdlogd_sessions", "Live document sessions.",
 		strconv.Itoa(sessions["count"].(int)))
@@ -63,6 +93,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_engine Plan engine by wrapper (value is always 1; the engine is the label).\n# TYPE mdlogd_wrapper_engine gauge\n")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_engine{wrapper=%q,engine=%q} 1\n", st.wr.Name, st.wr.Query.EngineName())
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_wrapper_version Installs under this wrapper name (survives restarts with a data dir).\n# TYPE mdlogd_wrapper_version gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_version{wrapper=%q} %d\n", st.wr.Name, st.wr.Version)
 	}
 	counter("mdlogd_wrapper_runs_total", "Query runs by wrapper.")
 	for _, st := range stats {

@@ -21,6 +21,11 @@ type Wrapper struct {
 	Spec WrapperSpec
 	// Query is the compiled, concurrency-safe execution artifact.
 	Query *mdlog.CompiledQuery
+	// Version counts installs under this name: 1 on first register,
+	// +1 per replacement. With a persistent store it survives
+	// restarts, so operators can tell which revision of a wrapper a
+	// worker is serving.
+	Version int64
 	// Registered is when this entry was installed.
 	Registered time.Time
 }
@@ -71,13 +76,39 @@ func (r *Registry) Register(name string, spec WrapperSpec) (*Wrapper, bool, erro
 	if err != nil {
 		return nil, false, fmt.Errorf("service: wrapper %q: %w", name, err)
 	}
-	w := &Wrapper{Name: name, Spec: spec, Query: q, Registered: time.Now()}
+	w := &Wrapper{Name: name, Spec: spec, Query: q, Version: 1, Registered: time.Now()}
 	r.mu.Lock()
-	_, replaced := r.wrappers[name]
+	old, replaced := r.wrappers[name]
+	if replaced {
+		w.Version = old.Version + 1
+	}
 	r.wrappers[name] = w
 	r.gen.Add(1)
 	r.mu.Unlock()
 	return w, replaced, nil
+}
+
+// Install places an already-compiled entry (e.g. one restored from the
+// persistent store, carrying its on-disk version) without recompiling.
+func (r *Registry) Install(w *Wrapper) {
+	r.mu.Lock()
+	r.wrappers[w.Name] = w
+	r.gen.Add(1)
+	r.mu.Unlock()
+}
+
+// ReplaceAll atomically swaps the registry contents for ws — the
+// zero-downtime reload path. In-flight requests finish on the entries
+// they already resolved; subsequent lookups see only ws.
+func (r *Registry) ReplaceAll(ws []*Wrapper) {
+	m := make(map[string]*Wrapper, len(ws))
+	for _, w := range ws {
+		m[w.Name] = w
+	}
+	r.mu.Lock()
+	r.wrappers = m
+	r.gen.Add(1)
+	r.mu.Unlock()
 }
 
 // Gen returns the registry's mutation generation: it changes whenever

@@ -73,6 +73,23 @@ type Server struct {
 	// i.e. the linear engine).
 	defaultEngine string
 
+	// Persistence (nil without a data dir): the registry snapshot on
+	// disk, rewritten after every successful wrapper mutation and
+	// re-read by Reload on SIGHUP.
+	store       *Store
+	storeSaves  atomic.Int64
+	storeErrors atomic.Int64
+	reloads     atomic.Int64
+
+	// Content-hash document dedup cache (nil when disabled).
+	docs *docCache
+
+	// Shard-ownership guard (-shard-of i/n): shardN == 0 means off.
+	shardRing      *Ring
+	shardIdx       int
+	shardN         int
+	shardMisrouted atomic.Int64
+
 	inFlight  atomic.Int64
 	rejected  atomic.Int64
 	requests  [endpoints]atomic.Int64
@@ -187,6 +204,41 @@ func New(cfg *Config) (*Server, error) {
 		}
 		s.defaultEngine = cfg.Engine
 	}
+	if entries := cfg.DocCacheEntries; entries >= 0 {
+		if entries == 0 {
+			entries = DefaultDocCacheEntries
+		}
+		s.docs = newDocCache(entries)
+	}
+	if cfg.ShardOf != "" {
+		idx, n, err := ParseShardOf(cfg.ShardOf)
+		if err != nil {
+			return nil, err
+		}
+		s.shardIdx, s.shardN = idx, n
+		s.shardRing = NewRing(n, cfg.RingReplicas)
+	}
+	// Persistence: the store snapshot is the daemon's runtime state and
+	// loads first; config wrappers only seed names the store does not
+	// already hold. A corrupt snapshot fails the boot (see Store.Load).
+	if cfg.DataDir != "" {
+		st, err := OpenStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		stored, err := st.Load()
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range stored {
+			q, err := s.withDefaults(sw.Spec).Compile()
+			if err != nil {
+				return nil, fmt.Errorf("service: stored wrapper %q: %w", sw.Name, err)
+			}
+			s.reg.Install(&Wrapper{Name: sw.Name, Spec: sw.Spec, Query: q, Version: sw.Version, Registered: sw.Registered})
+		}
+		s.store = st
+	}
 	for _, cw := range cfg.Wrappers {
 		// LoadConfig inlines File into Source; a File surviving to here
 		// means the caller skipped that resolution, and an entry with
@@ -197,7 +249,18 @@ func New(cfg *Config) (*Server, error) {
 		if cw.Source == "" {
 			return nil, fmt.Errorf("service: wrapper %q has neither source nor file", cw.Name)
 		}
+		if _, ok := s.reg.Get(cw.Name); ok && s.store != nil {
+			continue // the persisted runtime entry wins over the boot seed
+		}
 		if _, _, err := s.reg.Register(cw.Name, s.withDefaults(cw.WrapperSpec)); err != nil {
+			return nil, err
+		}
+	}
+	if s.store != nil {
+		// Write the merged boot state back, so the snapshot exists from
+		// the first boot on and restart round-trips even before the
+		// first HTTP mutation.
+		if err := s.persist(); err != nil {
 			return nil, err
 		}
 	}
@@ -295,8 +358,7 @@ func (s *Server) admitted(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.sem }()
 			default:
 				s.rejected.Add(1)
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, "server at capacity")
+				unavailable(w, 1, "server at capacity")
 				return
 			}
 		}
@@ -312,10 +374,17 @@ func (s *Server) admitted(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
 // lingering fan-outs stop promptly. It returns nil on a clean
 // shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	return serveHandler(ctx, ln, s.Handler(), s.grace)
+}
+
+// serveHandler is the shared serve loop of the worker daemon and the
+// shard-mode front tier: accept until ctx cancels, then drain within
+// grace before canceling lingering request contexts.
+func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
 	reqCtx, cancelReqs := context.WithCancel(context.Background())
 	defer cancelReqs()
 	hs := &http.Server{
-		Handler:     s.Handler(),
+		Handler:     h,
 		BaseContext: func(net.Listener) context.Context { return reqCtx },
 		// Slow-client bounds: admission slots are held while a request
 		// body streams in, so a client must present headers and finish
@@ -334,7 +403,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err // listener failure; never ErrServerClosed here
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), s.grace)
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := hs.Shutdown(sctx)
 	cancelReqs()

@@ -127,18 +127,7 @@ func (st *sessionStore) snapshot() []*session {
 // (the fused set's and each wrapper's), so a closed session's arena is
 // unreachable and collectible — nothing in the daemon may pin it.
 func (s *Server) releaseSession(ss *session) {
-	t := ss.doc.Tree()
-	s.setMu.Lock()
-	set := s.set
-	s.setMu.Unlock()
-	if set != nil {
-		set.Cache().Forget(t)
-	}
-	for _, wr := range s.reg.Snapshot() {
-		if c := wr.Query.Cache(); c != nil {
-			c.Forget(t)
-		}
-	}
+	s.forgetTree(ss.doc.Tree())
 }
 
 func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bool) {
@@ -194,8 +183,7 @@ func (s *Server) handlePutDocument(w http.ResponseWriter, r *http.Request) {
 	old, ok := s.sessions.put(ss)
 	if !ok {
 		s.sessionRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "session capacity (%d) reached", s.sessions.max)
+		unavailable(w, 1, "session capacity (%d) reached", s.sessions.max)
 		return
 	}
 	status := http.StatusCreated

@@ -1,0 +1,780 @@
+package service
+
+// Shard mode. The paper's complexity bound (Theorem 4.2: one document
+// costs O(|P|·|dom|), independent of everything else) makes wrapper
+// serving embarrassingly shardable BY DOCUMENT: a front tier hashes
+// each document's content and forwards it to the worker that owns that
+// point of a consistent-hash ring. Ownership by CONTENT hash (not by
+// tenant or round-robin) is what makes the per-worker dedup cache
+// partition: each worker sees only its slice of the document universe,
+// so N workers hold N disjoint cache shards — the classic
+// consistent-hashing win — and duplicated crawl traffic concentrates
+// its repeats on the worker that already has the arena and the fused
+// result memo. Workers optionally run with -shard-of i/n, an ownership
+// guard that rejects misrouted documents (421) instead of silently
+// double-caching them.
+//
+// The ring places each shard at RingReplicas pseudo-random points
+// (SHA-256 of "shard-<i>#<replica>") of the 64-bit key space; a key is
+// owned by the first shard point at or clockwise after it. Balance
+// improves with replicas (±20% across 4 workers is the tested bound);
+// adding or removing one worker moves only the keys whose closest
+// point belonged to it — minimal movement, verified by property test.
+//
+// The front tier (mdlogd -front w1,w2,...) is stateless: it fans
+// wrapper CRUD to every worker, routes extraction by content hash and
+// document sessions by session-id hash, splits batch envelopes into
+// per-worker sub-batches, and applies per-worker bounded in-flight
+// backpressure — at the bound it sheds with 503 + Retry-After rather
+// than queueing without limit. Health probes (plus passive transport-
+// failure detection) take a worker out of the ring; draining does the
+// same administratively (POST /fleet/{i}/drain) while in-flight
+// requests finish.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRingReplicas is the virtual-node count per shard; 128 points
+// per worker keeps the 4-worker balance well inside ±20%.
+const DefaultRingReplicas = 128
+
+// Ring is a consistent-hash ring over n shards, identified by index
+// 0..n-1. The shard names hashed into the ring are canonical
+// ("shard-<i>"), so a front tier over n workers and a worker booted
+// with -shard-of i/n agree on ownership by construction. Immutable
+// after construction; all methods are safe for concurrent use.
+type Ring struct {
+	n      int
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	h     uint64
+	shard int
+}
+
+// NewRing builds a ring over n shards with the given virtual-node
+// count per shard (<= 0: DefaultRingReplicas).
+func NewRing(n, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*replicas)}
+	for s := 0; s < n; s++ {
+		for v := 0; v < replicas; v++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("shard-%d#%d", s, v)))
+			var h uint64
+			for i := 0; i < 8; i++ {
+				h = h<<8 | uint64(sum[i])
+			}
+			r.points = append(r.points, ringPoint{h: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.n }
+
+// Lookup returns the shard owning key: the shard of the first ring
+// point at or clockwise after key.
+func (r *Ring) Lookup(key uint64) int {
+	return r.LookupAlive(key, nil)
+}
+
+// LookupAlive is Lookup skipping shards for which alive reports false
+// (nil: all alive) — the front tier's failover walk: a dead worker's
+// keys spill to the next points clockwise, which by construction
+// belong to a near-uniform mix of the surviving shards. Returns -1
+// when no shard is alive.
+func (r *Ring) LookupAlive(key uint64, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= key })
+	for probed := 0; probed < len(r.points); probed++ {
+		p := r.points[(i+probed)%len(r.points)]
+		if alive == nil || alive(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}
+
+// KeyOfSession maps a document-session id onto the ring key space, so
+// every request for one session id routes to the same worker.
+func KeyOfSession(id string) uint64 {
+	return HashDoc([]byte("session:" + id)).ringKey()
+}
+
+// ---------------------------------------------------------------------
+// Front tier.
+
+// FrontConfig boots a Front (see the package comment of this file).
+type FrontConfig struct {
+	// Workers are the ordered worker base URLs ("http://host:port");
+	// index i is shard i of len(Workers).
+	Workers []string `json:"workers"`
+	// WorkerInFlight bounds concurrently forwarded requests per worker
+	// (0: DefaultFrontWorkerInFlight; < 0: unbounded). At the bound the
+	// front sheds with 503 + Retry-After.
+	WorkerInFlight int `json:"worker_in_flight,omitempty"`
+	// HealthIntervalMS is the health-probe cadence (0:
+	// DefaultFrontHealthIntervalMS).
+	HealthIntervalMS int `json:"health_interval_ms,omitempty"`
+	// MaxBodyBytes bounds one request body (0: DefaultMaxBodyBytes;
+	// < 0: unbounded).
+	MaxBodyBytes int64 `json:"max_body_bytes,omitempty"`
+	// RingReplicas is the virtual-node count per worker (0:
+	// DefaultRingReplicas).
+	RingReplicas int `json:"ring_replicas,omitempty"`
+	// ShutdownGraceMS is the graceful-shutdown window (0:
+	// DefaultShutdownGraceMS).
+	ShutdownGraceMS int `json:"shutdown_grace_ms,omitempty"`
+}
+
+// Front-tier defaults.
+const (
+	// DefaultFrontWorkerInFlight bounds forwarded requests per worker.
+	DefaultFrontWorkerInFlight = 32
+	// DefaultFrontHealthIntervalMS is the health-probe cadence.
+	DefaultFrontHealthIntervalMS = 1000
+)
+
+// frontWorker is one worker's routing state and counters.
+type frontWorker struct {
+	index int
+	base  string // base URL, no trailing slash
+	sem   chan struct{}
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+
+	forwarded atomic.Int64
+	errors    atomic.Int64
+	shed      atomic.Int64
+}
+
+// routable reports whether the ring may send new work to the worker.
+func (wk *frontWorker) routable() bool { return wk.healthy.Load() && !wk.draining.Load() }
+
+// acquire takes a forwarding slot without blocking; release with
+// wk.release. ok=false means the worker is at its in-flight bound.
+func (wk *frontWorker) acquire() bool {
+	if wk.sem == nil {
+		return true
+	}
+	select {
+	case wk.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (wk *frontWorker) release() {
+	if wk.sem != nil {
+		<-wk.sem
+	}
+}
+
+// Front is the shard-mode front tier: an HTTP handler that owns no
+// wrappers and no documents, only the ring, the worker table, and the
+// backpressure bounds. Create with NewFront; all methods are safe for
+// concurrent use.
+type Front struct {
+	workers []*frontWorker
+	ring    *Ring
+	client  *http.Client
+	maxBody int64
+	grace   time.Duration
+	probeMS time.Duration
+	mux     *http.ServeMux
+	started time.Time
+
+	probeOnce sync.Once
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewFront builds the front tier over the configured workers. All
+// workers start healthy; the probe loop (started by Serve, or
+// StartProbes for an embedded handler) and passive transport failures
+// adjust from there.
+func NewFront(cfg FrontConfig) (*Front, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("service: front tier needs at least one worker URL")
+	}
+	f := &Front{
+		ring:    NewRing(len(cfg.Workers), cfg.RingReplicas),
+		client:  &http.Client{},
+		maxBody: cfg.MaxBodyBytes,
+		grace:   time.Duration(cfg.ShutdownGraceMS) * time.Millisecond,
+		probeMS: time.Duration(cfg.HealthIntervalMS) * time.Millisecond,
+		started: time.Now(),
+	}
+	if f.maxBody == 0 {
+		f.maxBody = DefaultMaxBodyBytes
+	}
+	if f.grace == 0 {
+		f.grace = DefaultShutdownGraceMS * time.Millisecond
+	}
+	if f.probeMS == 0 {
+		f.probeMS = DefaultFrontHealthIntervalMS * time.Millisecond
+	}
+	inFlight := cfg.WorkerInFlight
+	if inFlight == 0 {
+		inFlight = DefaultFrontWorkerInFlight
+	}
+	for i, base := range cfg.Workers {
+		base = strings.TrimRight(base, "/")
+		if base == "" {
+			return nil, fmt.Errorf("service: front worker %d has an empty URL", i)
+		}
+		wk := &frontWorker{index: i, base: base}
+		if inFlight > 0 {
+			wk.sem = make(chan struct{}, inFlight)
+		}
+		wk.healthy.Store(true)
+		f.workers = append(f.workers, wk)
+	}
+	f.mux = http.NewServeMux()
+	f.routes()
+	return f, nil
+}
+
+func (f *Front) routes() {
+	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
+	f.mux.HandleFunc("GET /stats", f.handleStats)
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.mux.HandleFunc("GET /fleet", f.handleFleet)
+	f.mux.HandleFunc("POST /fleet/{index}/drain", f.handleDrain(true))
+	f.mux.HandleFunc("POST /fleet/{index}/undrain", f.handleDrain(false))
+
+	// Wrapper CRUD: mutations fan out to every worker (the fleet's
+	// registries must agree for content routing to be tenant-invisible),
+	// reads proxy to the first routable worker.
+	f.mux.HandleFunc("PUT /wrappers/{name}", f.handleFanMutation)
+	f.mux.HandleFunc("DELETE /wrappers/{name}", f.handleFanMutation)
+	f.mux.HandleFunc("GET /wrappers", f.handleProxyRead)
+	f.mux.HandleFunc("GET /wrappers/{name}", f.handleProxyRead)
+
+	// Extraction routes by document content hash.
+	f.mux.HandleFunc("POST /extract/{name}", f.handleContentRouted)
+	f.mux.HandleFunc("POST /extractall", f.handleContentRouted)
+	f.mux.HandleFunc("POST /batch/{name}", f.handleBatchSplit)
+	f.mux.HandleFunc("POST /batchall", f.handleBatchSplit)
+
+	// Document sessions route by session id, so a session's lifecycle
+	// stays on one worker.
+	f.mux.HandleFunc("PUT /documents/{id}", f.handleSessionRouted)
+	f.mux.HandleFunc("GET /documents/{id}", f.handleSessionRouted)
+	f.mux.HandleFunc("PATCH /documents/{id}", f.handleSessionRouted)
+	f.mux.HandleFunc("DELETE /documents/{id}", f.handleSessionRouted)
+	f.mux.HandleFunc("POST /documents/{id}/extractall", f.handleSessionRouted)
+}
+
+// Handler returns the front tier's HTTP handler.
+func (f *Front) Handler() http.Handler { return f.mux }
+
+// Workers exposes the worker base URLs in shard order.
+func (f *Front) Workers() []string {
+	out := make([]string, len(f.workers))
+	for i, wk := range f.workers {
+		out[i] = wk.base
+	}
+	return out
+}
+
+// StartProbes launches the health-probe loop (idempotent). Serve calls
+// it; call it directly when embedding Handler elsewhere.
+func (f *Front) StartProbes(ctx context.Context) {
+	f.probeOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(f.probeMS)
+			defer t.Stop()
+			for {
+				f.probeAll(ctx)
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	})
+}
+
+// probeAll checks every worker's /healthz once.
+func (f *Front) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, wk := range f.workers {
+		wg.Add(1)
+		go func(wk *frontWorker) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, wk.base+"/healthz", nil)
+			if err != nil {
+				wk.healthy.Store(false)
+				return
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				wk.healthy.Store(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			wk.healthy.Store(resp.StatusCode == http.StatusOK)
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// Serve accepts connections until ctx is canceled (same graceful
+// contract as Server.Serve) and runs the health-probe loop alongside.
+func (f *Front) Serve(ctx context.Context, ln net.Listener) error {
+	f.StartProbes(ctx)
+	return serveHandler(ctx, ln, f.mux, f.grace)
+}
+
+// ListenAndServe is Serve on a fresh TCP listener bound to addr
+// (DefaultAddr if empty).
+func (f *Front) ListenAndServe(ctx context.Context, addr string) error {
+	if addr == "" {
+		addr = DefaultAddr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return f.Serve(ctx, ln)
+}
+
+// pick resolves a ring key to a routable worker, walking clockwise
+// past dead or draining ones. ok=false means no worker is routable.
+func (f *Front) pick(key uint64) (*frontWorker, bool) {
+	idx := f.ring.LookupAlive(key, func(i int) bool { return f.workers[i].routable() })
+	if idx < 0 {
+		return nil, false
+	}
+	return f.workers[idx], true
+}
+
+// forward sends one request to wk under its in-flight bound and copies
+// the worker's response to the client verbatim. Reports whether the
+// transport reached the worker (worker-level HTTP errors count as
+// reached — they are the worker's answer, not the front's).
+func (f *Front) forward(w http.ResponseWriter, r *http.Request, wk *frontWorker, body []byte) {
+	if !wk.acquire() {
+		wk.shed.Add(1)
+		f.rejected.Add(1)
+		unavailable(w, 1, "worker %d at forwarding capacity", wk.index)
+		return
+	}
+	defer wk.release()
+	resp, err := f.roundTrip(r.Context(), wk, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		wk.errors.Add(1)
+		wk.healthy.Store(false)
+		writeError(w, http.StatusBadGateway, "worker %d (%s): %v", wk.index, wk.base, err)
+		return
+	}
+	defer resp.Body.Close()
+	wk.forwarded.Add(1)
+	for _, hk := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(hk); v != "" {
+			w.Header().Set(hk, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// roundTrip issues one worker request (requestURI carries the path and
+// query verbatim).
+func (f *Front) roundTrip(ctx context.Context, wk *frontWorker, method, requestURI, contentType string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, wk.base+requestURI, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return f.client.Do(req)
+}
+
+// readBody reads the (bounded) request body.
+func (f *Front) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	rd := r.Body
+	if f.maxBody >= 0 {
+		rd = http.MaxBytesReader(w, r.Body, f.maxBody)
+	}
+	body, err := io.ReadAll(rd)
+	if err != nil {
+		writeError(w, clientErrStatus(err), "reading request: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// handleContentRouted forwards a single-document extraction to the
+// worker owning the document's content hash.
+func (f *Front) handleContentRouted(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	body, ok := f.readBody(w, r)
+	if !ok {
+		return
+	}
+	wk, ok := f.pick(HashDoc(body).ringKey())
+	if !ok {
+		unavailable(w, 1, "no routable worker")
+		return
+	}
+	f.forward(w, r, wk, body)
+}
+
+// handleSessionRouted forwards a document-session request to the
+// worker owning the session id, so PUT/PATCH/extract for one id always
+// land together.
+func (f *Front) handleSessionRouted(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	body, ok := f.readBody(w, r)
+	if !ok {
+		return
+	}
+	wk, ok := f.pick(KeyOfSession(r.PathValue("id")))
+	if !ok {
+		unavailable(w, 1, "no routable worker")
+		return
+	}
+	f.forward(w, r, wk, body)
+}
+
+// handleProxyRead forwards a read to the first routable worker (all
+// registries agree, so any worker's answer is the fleet's).
+func (f *Front) handleProxyRead(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	for _, wk := range f.workers {
+		if wk.routable() {
+			f.forward(w, r, wk, nil)
+			return
+		}
+	}
+	unavailable(w, 1, "no routable worker")
+}
+
+// handleFanMutation applies a wrapper mutation to EVERY worker. All
+// workers must accept for the fleet to stay consistent; a partial
+// failure is reported as 502 with the per-worker outcomes (the caller
+// retries — mutations are idempotent PUT/DELETE).
+func (f *Front) handleFanMutation(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	body, ok := f.readBody(w, r)
+	if !ok {
+		return
+	}
+	type outcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	outcomes := make([]outcome, len(f.workers))
+	var wg sync.WaitGroup
+	for i, wk := range f.workers {
+		wg.Add(1)
+		go func(i int, wk *frontWorker) {
+			defer wg.Done()
+			resp, err := f.roundTrip(r.Context(), wk, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+			if err != nil {
+				wk.errors.Add(1)
+				wk.healthy.Store(false)
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			wk.forwarded.Add(1)
+			b, _ := io.ReadAll(resp.Body)
+			outcomes[i] = outcome{status: resp.StatusCode, body: b}
+		}(i, wk)
+	}
+	wg.Wait()
+	failures := map[string]any{}
+	for i, oc := range outcomes {
+		if oc.err != nil {
+			failures[strconv.Itoa(i)] = oc.err.Error()
+		} else if oc.status >= 500 {
+			failures[strconv.Itoa(i)] = fmt.Sprintf("status %d: %s", oc.status, strings.TrimSpace(string(oc.body)))
+		}
+	}
+	if len(failures) > 0 {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":   fmt.Sprintf("%d of %d workers failed the mutation", len(failures), len(f.workers)),
+			"workers": failures,
+		})
+		return
+	}
+	// All workers agreed; emit the first worker's response as the
+	// fleet's (4xx compile rejections included — every worker returned
+	// the same verdict for the same spec).
+	first := outcomes[0]
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(first.status)
+	w.Write(first.body)
+}
+
+// handleBatchSplit decodes a /batch or /batchall envelope, assigns
+// each document to its content-hash owner, forwards one sub-batch per
+// worker concurrently, and merges the per-document results back into
+// input order. Per-document errors stay per-document; a sub-batch
+// whose worker fails maps that failure onto each of its documents.
+func (f *Front) handleBatchSplit(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	body, ok := f.readBody(w, r)
+	if !ok {
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	var req batchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch request: %v", err)
+		return
+	}
+	// Group document indices by owning worker.
+	groups := map[*frontWorker][]int{}
+	var unroutable []int
+	for i, d := range req.Docs {
+		wk, ok := f.pick(HashDoc([]byte(d.HTML)).ringKey())
+		if !ok {
+			unroutable = append(unroutable, i)
+			continue
+		}
+		groups[wk] = append(groups[wk], i)
+	}
+	items := make([]map[string]any, len(req.Docs))
+	fail := func(i int, msg string) {
+		item := map[string]any{"index": i, "error": msg}
+		if id := req.Docs[i].ID; id != "" {
+			item["id"] = id
+		}
+		items[i] = item
+	}
+	for _, i := range unroutable {
+		fail(i, "no routable worker")
+	}
+	// Strip ?format= so sub-batches come back as one JSON document per
+	// worker regardless of what the client asked the front for.
+	q := r.URL.Query()
+	q.Del("format")
+	subURI := r.URL.Path
+	if enc := q.Encode(); enc != "" {
+		subURI += "?" + enc
+	}
+	var wg sync.WaitGroup
+	for wk, idxs := range groups {
+		wg.Add(1)
+		go func(wk *frontWorker, idxs []int) {
+			defer wg.Done()
+			sub := batchRequest{Docs: make([]batchDoc, len(idxs))}
+			for j, i := range idxs {
+				sub.Docs[j] = req.Docs[i]
+			}
+			payload, _ := json.Marshal(sub)
+			if !wk.acquire() {
+				wk.shed.Add(1)
+				f.rejected.Add(1)
+				for _, i := range idxs {
+					fail(i, fmt.Sprintf("worker %d at forwarding capacity, retry after 1s", wk.index))
+				}
+				return
+			}
+			defer wk.release()
+			resp, err := f.roundTrip(r.Context(), wk, http.MethodPost, subURI, "application/json", payload)
+			if err != nil {
+				wk.errors.Add(1)
+				for _, i := range idxs {
+					fail(i, fmt.Sprintf("worker %d: %v", wk.index, err))
+				}
+				return
+			}
+			defer resp.Body.Close()
+			wk.forwarded.Add(1)
+			var envelope struct {
+				Results []map[string]any `json:"results"`
+				Error   string           `json:"error"`
+			}
+			if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr != nil || resp.StatusCode != http.StatusOK {
+				for _, i := range idxs {
+					fail(i, fmt.Sprintf("worker %d: status %d (%s)", wk.index, resp.StatusCode, envelope.Error))
+				}
+				return
+			}
+			for _, item := range envelope.Results {
+				j, ok := item["index"].(float64)
+				if !ok || int(j) < 0 || int(j) >= len(idxs) {
+					continue
+				}
+				i := idxs[int(j)]
+				item["index"] = i
+				items[i] = item
+			}
+			for _, i := range idxs {
+				if items[i] == nil {
+					fail(i, fmt.Sprintf("worker %d: missing result", wk.index))
+				}
+			}
+		}(wk, idxs)
+	}
+	wg.Wait()
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		for _, item := range items {
+			if err := enc.Encode(item); err != nil {
+				return
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": items})
+}
+
+// fleetWorkerJSON is one worker's /fleet //stats view.
+func fleetWorkerJSON(wk *frontWorker) map[string]any {
+	return map[string]any{
+		"index":     wk.index,
+		"url":       wk.base,
+		"healthy":   wk.healthy.Load(),
+		"draining":  wk.draining.Load(),
+		"forwarded": wk.forwarded.Load(),
+		"errors":    wk.errors.Load(),
+		"shed":      wk.shed.Load(),
+	}
+}
+
+func (f *Front) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	ws := make([]map[string]any, len(f.workers))
+	for i, wk := range f.workers {
+		ws[i] = fleetWorkerJSON(wk)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workers": ws})
+}
+
+// handleDrain flips one worker's draining bit: a draining worker stays
+// healthy (it finishes what it has) but receives no new routed work —
+// its ring points spill clockwise exactly as if it were dead.
+func (f *Front) handleDrain(drain bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(r.PathValue("index"))
+		if err != nil || idx < 0 || idx >= len(f.workers) {
+			writeError(w, http.StatusNotFound, "no worker %q", r.PathValue("index"))
+			return
+		}
+		f.workers[idx].draining.Store(drain)
+		writeJSON(w, http.StatusOK, fleetWorkerJSON(f.workers[idx]))
+	}
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	routable := 0
+	for _, wk := range f.workers {
+		if wk.routable() {
+			routable++
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if routable == 0 {
+		status, state = http.StatusServiceUnavailable, "no routable workers"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"role":     "front",
+		"workers":  len(f.workers),
+		"routable": routable,
+	})
+}
+
+func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
+	ws := make([]map[string]any, len(f.workers))
+	for i, wk := range f.workers {
+		ws[i] = fleetWorkerJSON(wk)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"front": map[string]any{
+			"uptime_seconds": time.Since(f.started).Seconds(),
+			"requests":       f.requests.Load(),
+			"rejected":       f.rejected.Load(),
+		},
+		"workers": ws,
+	})
+}
+
+func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP mdlogd_front_requests_total Requests handled by the front tier.\n# TYPE mdlogd_front_requests_total counter\nmdlogd_front_requests_total %d\n", f.requests.Load())
+	fmt.Fprintf(&b, "# HELP mdlogd_front_rejected_total Requests shed by per-worker backpressure.\n# TYPE mdlogd_front_rejected_total counter\nmdlogd_front_rejected_total %d\n", f.rejected.Load())
+	fmt.Fprintf(&b, "# HELP mdlogd_front_worker_healthy Worker health by shard (1 healthy, 0 not).\n# TYPE mdlogd_front_worker_healthy gauge\n")
+	for _, wk := range f.workers {
+		v := 0
+		if wk.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(&b, "mdlogd_front_worker_healthy{worker=\"%d\"} %d\n", wk.index, v)
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_front_worker_forwarded_total Requests forwarded, by worker.\n# TYPE mdlogd_front_worker_forwarded_total counter\n")
+	for _, wk := range f.workers {
+		fmt.Fprintf(&b, "mdlogd_front_worker_forwarded_total{worker=\"%d\"} %d\n", wk.index, wk.forwarded.Load())
+	}
+	fmt.Fprintf(&b, "# HELP mdlogd_front_worker_shed_total Requests shed at the worker's in-flight bound, by worker.\n# TYPE mdlogd_front_worker_shed_total counter\n")
+	for _, wk := range f.workers {
+		fmt.Fprintf(&b, "mdlogd_front_worker_shed_total{worker=\"%d\"} %d\n", wk.index, wk.shed.Load())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// ParseShardOf parses a -shard-of "i/n" value (0-based index).
+func ParseShardOf(s string) (idx, n int, err error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("service: shard-of %q: want \"i/n\" (e.g. \"0/4\")", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil || n <= 0 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("service: shard-of %q: want 0 <= i < n", s)
+	}
+	return idx, n, nil
+}

@@ -86,7 +86,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	wrappers := make(map[string]any, len(stats))
 	for _, st := range stats {
 		entry := map[string]any{
-			"lang": st.wr.Spec.Lang.String(),
+			"lang":    st.wr.Spec.Lang.String(),
+			"version": st.wr.Version,
 			// The engine the wrapper's own plan routes through (what an
 			// individual /extract uses); the served-run attribution,
 			// which can differ under fused passes, is query.engine.
@@ -119,7 +120,7 @@ func (s *Server) serviceJSON() map[string]any {
 	for ep := endpoint(0); ep < endpoints; ep++ {
 		reqs[ep.String()] = s.requests[ep].Load()
 	}
-	return map[string]any{
+	svc := map[string]any{
 		"uptime_seconds":  time.Since(s.started).Seconds(),
 		"wrappers":        s.reg.Len(),
 		"in_flight":       s.inFlight.Load(),
@@ -130,6 +131,32 @@ func (s *Server) serviceJSON() map[string]any {
 		"requests":        reqs,
 		"sessions":        s.sessionsJSON(),
 	}
+	if s.store != nil {
+		svc["store"] = map[string]any{
+			"path":    s.store.Path(),
+			"saves":   s.storeSaves.Load(),
+			"errors":  s.storeErrors.Load(),
+			"reloads": s.reloads.Load(),
+		}
+	}
+	if s.docs != nil {
+		cs := s.docs.stats()
+		svc["doc_cache"] = map[string]any{
+			"entries":   cs.entries,
+			"max":       cs.max,
+			"hits":      cs.hits,
+			"misses":    cs.misses,
+			"evictions": cs.evictions,
+		}
+	}
+	if s.shardN > 0 {
+		svc["shard"] = map[string]any{
+			"index":     s.shardIdx,
+			"of":        s.shardN,
+			"misrouted": s.shardMisrouted.Load(),
+		}
+	}
+	return svc
 }
 
 // sessionsJSON rolls up the live document sessions: the store state
