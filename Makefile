@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset bench-incremental fuzz-smoke docs-gate
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset bench-incremental bench-subsume fuzz-smoke docs-gate
 
 check: docs-gate build race fuzz-smoke bench-smoke
 
@@ -31,8 +31,9 @@ docs-gate: vet
 # (optimizer rule-count reduction + Select speedup per wrapper),
 # BENCH_queryset.json (fused vs sequential N-wrapper evaluation),
 # BENCH_incremental.json (incremental vs full revision cost per edit
-# fraction) and BENCH_service.json (fleet-mode dedup + shard scaling)
-# so every CI run archives a perf trajectory point.
+# fraction), BENCH_service.json (fleet-mode dedup + shard scaling) and
+# BENCH_subsume.json (containment-aware vs plain fused pipeline) so
+# every CI run archives a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
@@ -40,6 +41,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchtables -quick -queryset BENCH_queryset.json
 	$(GO) run ./cmd/benchtables -quick -incremental BENCH_incremental.json
 	$(GO) run ./cmd/benchtables -quick -service BENCH_service.json
+	$(GO) run ./cmd/benchtables -quick -subsume BENCH_subsume.json
 
 # Full-size optimizer measurement (EXT-OPT).
 bench-opt:
@@ -79,6 +81,12 @@ bench-incremental:
 # extract vs batch) still run under bench / bench-smoke.
 bench-service:
 	$(GO) run ./cmd/benchtables -service BENCH_service.json
+
+# Full-size wrapper-subsumption measurement (EXT-SUBSUME): fleets of
+# 8/32/128 near-duplicate wrappers, containment-aware pipeline vs the
+# plain fused baseline.
+bench-subsume:
+	$(GO) run ./cmd/benchtables -subsume BENCH_subsume.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -13,6 +13,8 @@
 //	                      # write the incremental-vs-full revision points as JSON
 //	benchtables -service BENCH_service.json
 //	                      # write the fleet-mode dedup + shard scaling points as JSON
+//	benchtables -subsume BENCH_subsume.json
+//	                      # write the wrapper-subsumption points as JSON
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	queryset := flag.String("queryset", "", "write EXT-QUERYSET points (fused vs sequential N-wrapper evaluation) to this JSON file and exit")
 	incremental := flag.String("incremental", "", "write EXT-INCREMENTAL points (incremental vs full revision cost per edit fraction) to this JSON file and exit")
 	svc := flag.String("service", "", "write EXT-SERVICE points (dedup-cache sweep + shard scaling over HTTP) to this JSON file and exit")
+	subsume := flag.String("subsume", "", "write EXT-SUBSUME points (containment-aware vs plain fused pipeline per fleet size) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -72,6 +75,11 @@ func main() {
 	if *incremental != "" {
 		pts := experiments.IncrementalData(cfg)
 		writeJSON(*incremental, pts, "revision points", len(pts))
+		return
+	}
+	if *subsume != "" {
+		pts := experiments.SubsumeData(cfg)
+		writeJSON(*subsume, pts, "fleet sizes", len(pts))
 		return
 	}
 	if *svc != "" {

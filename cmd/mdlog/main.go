@@ -77,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		predArg      = fs.String("pred", "", "query predicate to select (overrides the program's ?- directive)")
 		workers      = fs.Int("workers", 0, "worker pool size for multiple documents (0: GOMAXPROCS)")
 		showTree     = fs.Bool("print-tree", false, "print each document tree with node ids")
+		explainArg   = fs.Bool("explain", false, "print the compile plan (fusion, CSE, subsumption) before extracting")
 		showStats    = fs.Bool("stats", false, "print compile/run statistics to stderr")
 		watchArg     = fs.Bool("watch", false, "poll the document files and re-extract whenever one changes")
 		watchIvl     = fs.Duration("watch-interval", 200*time.Millisecond, "poll interval for -watch")
@@ -147,6 +148,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *explainArg {
+			explainSet(stdout, set)
+		}
 		queries := set.Queries()
 		pass = func(prefix string, docs []*mdlog.Tree) error {
 			results := (mdlog.Runner{Workers: *workers}).SetAll(ctx, set, docs)
@@ -185,6 +189,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		q, err := mdlog.Compile(sources[0].text, lang, opts...)
 		if err != nil {
 			return err
+		}
+		if *explainArg {
+			explainQuery(stdout, sources[0].name, q)
 		}
 		print := func(prefix string, db *mdlog.Database) {
 			preds := q.ExtractPreds()
@@ -320,6 +327,39 @@ func watchLoop(stdout io.Writer, treeArgs, treeFiles, htmlFiles []string, interv
 			}
 		}
 	}
+}
+
+// explainSet prints the fused set's compile plan: the registry-wide
+// fuse/CSE/subsumption report followed by one line per member saying
+// how it will be served (evaluated in the shared pass, answered purely
+// by projection from an equivalent member, or run individually).
+func explainSet(w io.Writer, set *mdlog.QuerySet) {
+	rep := set.FuseStats()
+	fmt.Fprintf(w, "plan: %d programs fused, %d rules -> %d (dedup %d preds, cse %d preds/%d refs, subsume %d merged of %d checked, %d unknown)\n",
+		rep.Members, rep.RulesIn, rep.RulesOut, rep.MergedPreds,
+		rep.CSEPreds, rep.CSERefs, rep.SubsumedPreds, rep.SubsumeChecked, rep.SubsumeUnknown)
+	for _, p := range set.Plans() {
+		switch {
+		case p.Subsumed:
+			fmt.Fprintf(w, "  %s: subsumed, 0 rules, class %d, answers from %s\n", p.Name, p.Class, p.SharedWith)
+		case p.Fused:
+			fmt.Fprintf(w, "  %s: evaluated, %d rules, class %d\n", p.Name, p.Rules, p.Class)
+		default:
+			fmt.Fprintf(w, "  %s: individual, %d rules\n", p.Name, p.Rules)
+		}
+	}
+}
+
+// explainQuery prints a single compiled query's plan: the engine it
+// routes through and, when the source passed through the datalog
+// optimizer, what the optimizer did to it.
+func explainQuery(w io.Writer, name string, q *mdlog.CompiledQuery) {
+	fmt.Fprintf(w, "plan: %s on engine %s", name, q.EngineName())
+	if o := q.OptStats(); o.RulesBefore > 0 {
+		fmt.Fprintf(w, ", %s: %d rules -> %d (inlined %d, dead %d)",
+			o.Level, o.RulesBefore, o.RulesAfter, o.Inlined, o.DeadRules)
+	}
+	fmt.Fprintln(w)
 }
 
 // progName labels a program source by its file base name without

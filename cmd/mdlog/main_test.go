@@ -117,6 +117,35 @@ func TestGoldenMultiProgramFused(t *testing.T) {
 	checkGolden(t, "multi_program.golden", out.Bytes())
 }
 
+// TestGoldenExplainSubsumed: -explain prints the compile plan; the
+// second program is a dom-padded, fragment-duplicated variant of the
+// first, so the containment checker proves it equivalent and the plan
+// shows it answered purely by projection.
+func TestGoldenExplainSubsumed(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-explain",
+		"-query", "q(X) :- firstchild(X,Y), label_td(Y). ?- q.",
+		"-query", "q(X) :- dom(X), firstchild(X,Y), label_td(Y), firstchild(X,Z), label_td(Z). ?- q.",
+		"-html", "testdata/page.html",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "explain_subsumed.golden", out.Bytes())
+}
+
+func TestExplainSingleProgram(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-explain", "-program", "testdata/wrapper.dl", "-html", "testdata/page.html"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), "plan: wrapper on engine ") {
+		t.Errorf("single-program -explain must lead with the plan line, got %q", out.String())
+	}
+}
+
 // TestWatchMode: -watch re-extracts when the watched file changes and
 // exits after -watch-count passes, so the whole loop is observable.
 func TestWatchMode(t *testing.T) {

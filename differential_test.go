@@ -11,6 +11,8 @@ import (
 
 	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
+	"mdlog/internal/opt"
+	"mdlog/internal/refute"
 	"mdlog/internal/tree"
 )
 
@@ -240,6 +242,21 @@ func TestDifferentialEngines(t *testing.T) {
 				fuzzFusedSet(t, ctx, i, setMates, tr, lvl, EngineBitmap)
 			}
 
+			// Subsumption arm: a semantically identical variant of p
+			// (implied duplicate conjuncts + defensive dom atoms) runs
+			// beside the original in one QuerySet. Whether or not the
+			// containment checker proves the equivalence (recursive
+			// programs stay Unknown and evaluate normally), both
+			// members must answer exactly like the reference, and
+			// SubsumedRuns may be set only when Plans() reports the
+			// member subsumed.
+			for _, lvl := range levels {
+				fuzzSubsumedPair(t, ctx, i, p, tr, lvl, want)
+			}
+			if d == 0 {
+				fuzzCheckerSoundness(t, ctx, i, rng, p, tr, ref)
+			}
+
 			// Incremental arm: the same program delta-maintained on a
 			// live document must match replay-from-scratch after each
 			// edit window (tr is not used again after this).
@@ -266,6 +283,167 @@ func TestDifferentialEngines(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// subsumeVariant builds a semantically identical restatement of p: in
+// every rule body, the first atom is duplicated with all its variables
+// renamed fresh (a conjunct implied by the original body never changes
+// the derived heads, stage by stage of the fixpoint), and unary heads
+// get a defensive dom atom over the head variable (dom is the full
+// domain on every tree). Neither change is α-invisible, so plain dedup
+// cannot merge the variant with p — only the containment checker can.
+func subsumeVariant(p *Program) *Program {
+	out := p.Clone()
+	n := 0
+	for ri := range out.Rules {
+		r := &out.Rules[ri]
+		if len(r.Body) == 0 {
+			continue
+		}
+		n++
+		cp := r.Body[0].Clone()
+		for j, tm := range cp.Args {
+			if tm.IsVar() {
+				cp.Args[j] = datalog.V(fmt.Sprintf("%s_dup%d", tm.Var, n))
+			}
+		}
+		r.Body = append(r.Body, cp)
+		if len(r.Head.Args) == 1 && r.Head.Args[0].IsVar() {
+			r.Body = append(r.Body, datalog.At("dom", r.Head.Args[0]))
+		}
+	}
+	return out
+}
+
+// fuzzSubsumedPair runs p and its subsumeVariant as one QuerySet and
+// requires (a) both members answer the reference p0 set, (b) the
+// SubsumedRuns flag agrees with the compile-time Plans() decision, and
+// (c) a subsumed member's whole assignment matches its individual
+// evaluation (the projection path hides no relation).
+func fuzzSubsumedPair(t *testing.T, ctx context.Context, caseNo int, p *Program, tr *Tree, lvl OptLevel, want string) {
+	t.Helper()
+	variant := subsumeVariant(p)
+	q1, err := CompileProgram(p.Clone(), WithOptLevel(lvl), WithoutCache())
+	if err != nil {
+		t.Fatalf("case %d: compiling original at %v: %v\nprogram:\n%s", caseNo, lvl, err, p)
+	}
+	q2, err := CompileProgram(variant.Clone(), WithOptLevel(lvl), WithoutCache())
+	if err != nil {
+		t.Fatalf("case %d: compiling variant at %v: %v\nprogram:\n%s", caseNo, lvl, err, variant)
+	}
+	set, err := NewNamedQuerySet(
+		NamedQuery{Name: "orig", Query: q1},
+		NamedQuery{Name: "variant", Query: q2},
+	)
+	if err != nil {
+		t.Fatalf("case %d: fusing subsumption pair at %v: %v", caseNo, lvl, err)
+	}
+	plans := set.Plans()
+	res := set.Run(ctx, tr)
+	for j, r := range res {
+		if r.Err != nil {
+			t.Fatalf("case %d: subsumption pair member %d at %v: %v\nprogram:\n%s", caseNo, j, lvl, r.Err, variant)
+		}
+		if got := fmt.Sprint(r.IDs); got != want {
+			t.Fatalf("case %d: subsumption pair member %s at %v selects %s, want %s\noriginal:\n%s\nvariant:\n%s\ntree: %s",
+				caseNo, r.Name, lvl, got, want, p, variant, tr)
+		}
+		wantSub := int64(0)
+		if plans[j].Subsumed {
+			wantSub = 1
+		}
+		if r.Stats.SubsumedRuns != wantSub {
+			t.Fatalf("case %d: member %s SubsumedRuns=%d, plan %+v", caseNo, r.Name, r.Stats.SubsumedRuns, plans[j])
+		}
+	}
+	// The variant's full assignment must match its own individual
+	// evaluation even when served by projection.
+	ind, err := q2.Eval(ctx, tr)
+	if err != nil {
+		t.Fatalf("case %d: individual variant at %v: %v", caseNo, lvl, err)
+	}
+	for _, pred := range variant.IntensionalPreds() {
+		got, wantIDs := res[1].Assignment[pred], ind.UnarySet(pred)
+		if fmt.Sprint(got) != fmt.Sprint(wantIDs) && (len(got) > 0 || len(wantIDs) > 0) {
+			t.Fatalf("case %d: variant %s = %v via set, %v individually\nvariant:\n%s", caseNo, pred, got, wantIDs, variant)
+		}
+	}
+}
+
+// fuzzCheckerSoundness cross-examines the containment checker on a
+// pair with known semantics: ext = p plus extra rules, so p ⊆ ext
+// holds on every tree. A NotContained verdict in that direction is a
+// checker bug; a Contained verdict in either direction is re-verified
+// by evaluation on tr; a NotContained verdict for ext ⊆ p must carry a
+// witness that separates the two programs when re-evaluated.
+func fuzzCheckerSoundness(t *testing.T, ctx context.Context, caseNo int, rng *rand.Rand, p *Program, tr *Tree, ref *Database) {
+	t.Helper()
+	ext := p.Clone()
+	extra := randomMonadicProgram(rng)
+	ext.Rules = append(ext.Rules, extra.Rules...)
+	copts := &opt.ContainOptions{Refute: refute.Options{Trees: 60}}
+
+	evalP0 := func(prog *Program) map[int]bool {
+		db, err := evalThrough(ctx, prog, tr, EngineSemiNaive, OptNone, nil)
+		if err != nil {
+			t.Fatalf("case %d: evaluating for checker verification: %v\nprogram:\n%s", caseNo, err, prog)
+		}
+		out := map[int]bool{}
+		for _, v := range db.UnarySet("p0") {
+			out[v] = true
+		}
+		return out
+	}
+
+	r, _ := opt.CheckContainment(p, "p0", ext, "p0", copts)
+	if r == opt.NotContained {
+		t.Fatalf("case %d: checker refuted p ⊆ p+rules, which holds universally\np:\n%s\next:\n%s", caseNo, p, ext)
+	}
+	if r == opt.Contained {
+		sup := evalP0(ext)
+		for v := range evalP0(p) {
+			if !sup[v] {
+				t.Fatalf("case %d: checker proved p ⊆ ext but node %d violates it on tr\np:\n%s\next:\n%s\ntree: %s",
+					caseNo, v, p, ext, tr)
+			}
+		}
+	}
+
+	rBack, w := opt.CheckContainment(ext, "p0", p, "p0", copts)
+	switch rBack {
+	case opt.Contained:
+		sub := evalP0(p)
+		for v := range evalP0(ext) {
+			if !sub[v] {
+				t.Fatalf("case %d: checker proved ext ⊆ p but node %d violates it on tr\np:\n%s\next:\n%s\ntree: %s",
+					caseNo, v, p, ext, tr)
+			}
+		}
+	case opt.NotContained:
+		if w == nil || w.Tree == nil {
+			t.Fatalf("case %d: NotContained without witness", caseNo)
+		}
+		db1, err := eval.EvalOnTree(ext, w.Tree, eval.EngineSemiNaive)
+		if err != nil {
+			t.Fatalf("case %d: re-evaluating witness: %v", caseNo, err)
+		}
+		db2, err := eval.EvalOnTree(p, w.Tree, eval.EngineSemiNaive)
+		if err != nil {
+			t.Fatalf("case %d: re-evaluating witness: %v", caseNo, err)
+		}
+		in := func(vs []int, n int) bool {
+			for _, v := range vs {
+				if v == n {
+					return true
+				}
+			}
+			return false
+		}
+		if !in(db1.UnarySet("p0"), w.Node) || in(db2.UnarySet("p0"), w.Node) {
+			t.Fatalf("case %d: witness node %d does not separate ext from p\np:\n%s\next:\n%s\nwitness tree: %s",
+				caseNo, w.Node, p, ext, w.Tree)
 		}
 	}
 }

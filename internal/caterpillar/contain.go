@@ -2,9 +2,9 @@ package caterpillar
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mdlog/internal/automata"
+	"mdlog/internal/refute"
 	"mdlog/internal/tree"
 )
 
@@ -62,7 +62,8 @@ type CheckOptions struct {
 	MaxSize int
 	// Labels is the label alphabet for candidates (default a, b).
 	Labels []string
-	// Seed for the search (default 1).
+	// Seed for the search (default refute.DefaultSeed(): the
+	// MDLOG_FUZZ_SEED environment override, else 1).
 	Seed int64
 }
 
@@ -72,35 +73,24 @@ func CheckContainment(e1, e2 Expr, opts *CheckOptions) (ContainmentResult, *Coun
 	if wordContained(e1, e2) {
 		return ContainedYes, nil
 	}
-	o := CheckOptions{Trees: 400, MaxSize: 10, Labels: []string{"a", "b"}, Seed: 1}
+	var ro refute.Options
 	if opts != nil {
-		if opts.Trees > 0 {
-			o.Trees = opts.Trees
-		}
-		if opts.MaxSize > 0 {
-			o.MaxSize = opts.MaxSize
-		}
-		if len(opts.Labels) > 0 {
-			o.Labels = opts.Labels
-		}
-		if opts.Seed != 0 {
-			o.Seed = opts.Seed
-		}
+		ro = refute.Options{Trees: opts.Trees, MaxSize: opts.MaxSize, Labels: opts.Labels, Seed: opts.Seed}
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
-	for i := 0; i < o.Trees; i++ {
-		t := tree.Random(rng, tree.RandomOptions{
-			Labels: o.Labels, Size: 1 + rng.Intn(o.MaxSize), MaxChildren: 4})
-		sel1 := SelectFromRoot(e1, t)
+	w := refute.Search(ro, func(t *tree.Tree) (int, bool) {
 		sel2 := map[int]bool{}
 		for _, v := range SelectFromRoot(e2, t) {
 			sel2[v] = true
 		}
-		for _, v := range sel1 {
+		for _, v := range SelectFromRoot(e1, t) {
 			if !sel2[v] {
-				return ContainedNo, &Counterexample{Tree: t, Node: v}
+				return v, true
 			}
 		}
+		return 0, false
+	})
+	if w != nil {
+		return ContainedNo, &Counterexample{Tree: w.Tree, Node: w.Node}
 	}
 	return ContainedUnknown, nil
 }

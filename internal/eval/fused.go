@@ -24,6 +24,12 @@ type FusedMember struct {
 	// Project maps each visible (caller-facing) predicate to its
 	// predicate in the fused program.
 	Project map[string]string
+	// Subsumed marks a member the compile pipeline proved equivalent
+	// to another member: none of its own rules survive in the fused
+	// program and its results come purely from projecting the
+	// representative's relations. Diagnostic — Split treats subsumed
+	// members like any other.
+	Subsumed bool
 }
 
 // FusedPlan is a Plan for a fused program plus the per-member
@@ -91,6 +97,23 @@ func (f *FusedPlan) NewIncState(a *tree.Arena) *IncState {
 
 // Members returns the number of fused members.
 func (f *FusedPlan) Members() int { return len(f.members) }
+
+// SubsumedMembers returns how many members are served purely by
+// projection from an equivalent member's relations.
+func (f *FusedPlan) SubsumedMembers() int {
+	n := 0
+	for _, m := range f.members {
+		if m.Subsumed {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberSubsumed reports whether member i is subsumed.
+func (f *FusedPlan) MemberSubsumed(i int) bool {
+	return i >= 0 && i < len(f.members) && f.members[i].Subsumed
+}
 
 // Run executes the fused plan once over nav and splits the result into
 // one database per member, carrying the member's visible predicate

@@ -30,6 +30,11 @@ type Stats struct {
 	// shared evaluation for many wrappers) rather than an individual
 	// evaluation; always ≤ Runs.
 	FusedRuns int64
+	// SubsumedRuns counts runs answered purely by projection from an
+	// equivalent member's fused relation — the containment checker
+	// proved this member's rules redundant, so zero evaluation work
+	// was attributable to them; always ≤ FusedRuns.
+	SubsumedRuns int64
 	// Engine names the engine that served the runs ("linear",
 	// "bitmap", "automaton", ...). Aggregating runs served by
 	// different engines yields "mixed".
@@ -64,6 +69,7 @@ func (s *Stats) Add(o Stats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
+	s.SubsumedRuns += o.SubsumedRuns
 	s.Engine = mergeEngine(s.Engine, o.Engine)
 }
 
@@ -81,5 +87,6 @@ func (s *Stats) Merge(o Stats) {
 	s.Runs += o.Runs
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
+	s.SubsumedRuns += o.SubsumedRuns
 	s.Engine = mergeEngine(s.Engine, o.Engine)
 }

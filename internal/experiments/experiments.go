@@ -117,6 +117,7 @@ var catalog = []struct {
 	{"EXT-OPT", "Goal-directed optimizer: plan size and Select speedup", Opt},
 	{"EXT-QUERYSET", "QuerySet fusion: N wrappers, one shared pass per document", QuerySet},
 	{"EXT-INCREMENTAL", "Incremental maintenance: edit-sized revisions vs full reparse + re-extract", Incremental},
+	{"EXT-SUBSUME", "Wrapper subsumption: containment-aware pipeline vs plain fused baseline", Subsume},
 }
 
 func All(cfg Config) []Table {

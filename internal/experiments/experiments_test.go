@@ -84,6 +84,41 @@ func TestIncrementalDataSpeedup(t *testing.T) {
 	}
 }
 
+// TestSubsumeDataShape pins the EXT-SUBSUME claim shape: in a fleet of
+// near-duplicate wrappers the containment checker collapses every
+// variant class onto its 4 base shapes (no Unknown verdicts, nothing
+// left unmerged) and the subsumed pipeline never loses to the
+// baseline. (The full-size ≥3x-at-32 acceptance figure comes from
+// make bench-subsume; quick mode asserts structure, not magnitude, to
+// stay robust on loaded CI machines.)
+func TestSubsumeDataShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	pts := SubsumeData(Config{Quick: true})
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.Unknown != 0 {
+			t.Errorf("N=%d: %d unknown verdicts, want 0", pt.Wrappers, pt.Unknown)
+		}
+		if pt.Checked != pt.Wrappers {
+			t.Errorf("N=%d: checked %d, want all", pt.Wrappers, pt.Checked)
+		}
+		wantEval := pt.Wrappers
+		if wantEval > 4 {
+			wantEval = 4
+		}
+		if pt.Evaluated != wantEval {
+			t.Errorf("N=%d: %d evaluated, want %d (one per base shape)", pt.Wrappers, pt.Evaluated, wantEval)
+		}
+		if pt.Wrappers > 4 && pt.Speedup <= 1 {
+			t.Errorf("N=%d: speedup %.2fx, want > 1x", pt.Wrappers, pt.Speedup)
+		}
+	}
+}
+
 func TestAlternationQueryShape(t *testing.T) {
 	q0 := alternationQuery(0)
 	if !strings.Contains(q0, "leaf(x)") {

@@ -1,0 +1,153 @@
+package opt
+
+// α-canonicalization is the shared spine of the compile pipeline's
+// structure-aware layers: duplicate-rule removal (Optimize),
+// cross-member predicate dedup and CSE (Fuse), the containment
+// checker's conjunctive-query normal forms (contain.go), and the
+// TreeCache plan keys (mdlog.newPlanKey via Canonicalize). One
+// canonical form means one notion of "same program": two plans whose
+// rules are α-equivalent up to rule order share a result memo, collide
+// in Fuse, and are proven equivalent by the checker for free.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"mdlog/internal/datalog"
+)
+
+// Canon is the α-canonical fingerprint of a program: a canonical
+// rendering (rules canonicalized individually and sorted, so rule
+// order and per-rule variable naming never matter), its 64-bit FNV-1a
+// hash, and the rule count as a collision backstop. Two programs with
+// equal Canon.Key have identical least models on every database.
+type Canon struct {
+	// Key is the canonical rendering.
+	Key string
+	// Hash is the FNV-1a hash of Key.
+	Hash uint64
+	// Rules is the program's rule count.
+	Rules int
+}
+
+// Canonicalize computes the α-canonical fingerprint of p. The extras
+// are mixed into the hash (engine name, projection list, ...) so
+// callers can scope cache keys by evaluation context without changing
+// the canonical program text.
+func Canonicalize(p *datalog.Program, extra ...string) Canon {
+	lines := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		lines[i] = CanonicalRule(r)
+	}
+	sort.Strings(lines)
+	key := strings.Join(lines, "\n")
+	if p.Query != "" {
+		key += "\n?- " + p.Query
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	for _, e := range extra {
+		h.Write([]byte{0})
+		h.Write([]byte(e))
+	}
+	return Canon{Key: key, Hash: h.Sum64(), Rules: len(p.Rules)}
+}
+
+// CanonicalRule renders a rule with body atoms sorted by their literal
+// text and variables then renumbered by first occurrence. α-equivalent
+// rules with consistently ordered atoms collide; two rules can only
+// collide if some variable renaming makes them literally identical, so
+// a collision always means semantic equality (the converse is
+// best-effort: exotic orderings of same-predicate atoms may escape).
+func CanonicalRule(r datalog.Rule) string {
+	body := make([]string, len(r.Body))
+	for i, b := range r.Body {
+		body[i] = b.String()
+	}
+	sort.Strings(body)
+	return renameByFirstOccurrence(r, body)
+}
+
+// canonicalRule is the package-internal spelling of CanonicalRule.
+func canonicalRule(r datalog.Rule) string { return CanonicalRule(r) }
+
+// renameByFirstOccurrence renders head + sorted body with variables
+// renamed v0, v1, ... in order of first occurrence.
+func renameByFirstOccurrence(r datalog.Rule, sortedBody []string) string {
+	// Map original atom strings back to atoms in sorted order.
+	atoms := make([]datalog.Atom, 0, len(r.Body)+1)
+	atoms = append(atoms, r.Head)
+	byText := map[string][]datalog.Atom{}
+	for _, b := range r.Body {
+		byText[b.String()] = append(byText[b.String()], b)
+	}
+	for _, s := range sortedBody {
+		bs := byText[s]
+		atoms = append(atoms, bs[0])
+		byText[s] = bs[1:]
+	}
+	names := map[string]string{}
+	var sb strings.Builder
+	for i, a := range atoms {
+		if i == 1 {
+			sb.WriteString(" :- ")
+		} else if i > 1 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Pred)
+		if len(a.Args) > 0 {
+			sb.WriteByte('(')
+			for j, t := range a.Args {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				if t.IsVar() {
+					n, ok := names[t.Var]
+					if !ok {
+						n = fmt.Sprintf("v%d", len(names))
+						names[t.Var] = n
+					}
+					sb.WriteString(n)
+				} else {
+					fmt.Fprintf(&sb, "%d", t.Const)
+				}
+			}
+			sb.WriteByte(')')
+		}
+	}
+	return sb.String()
+}
+
+// selfToken stands in for a predicate's own name when canonicalizing
+// its definition, so directly-recursive twins still collide. The NUL
+// byte keeps it out of the space of parseable predicate names.
+const selfToken = "\x00self"
+
+// canonicalDef renders a predicate's complete defining rule set in a
+// form where two predicates with α-equivalent, order-insensitive,
+// self-reference-insensitive definitions (under the current merge
+// renaming) collide: each rule is canonicalized like CanonicalRule
+// with the predicate's own name replaced by selfToken, and the rule
+// strings are sorted.
+func canonicalDef(pred string, rules []datalog.Rule, resolve func(string) string) string {
+	subst := func(p string) string {
+		p = resolve(p)
+		if p == pred {
+			return selfToken
+		}
+		return p
+	}
+	lines := make([]string, len(rules))
+	for i, r := range rules {
+		c := r.Clone()
+		c.Head.Pred = subst(c.Head.Pred)
+		for j := range c.Body {
+			c.Body[j].Pred = subst(c.Body[j].Pred)
+		}
+		lines[i] = canonicalRule(c)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

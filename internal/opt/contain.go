@@ -1,0 +1,578 @@
+package opt
+
+// Containment of monadic datalog queries over τ_ur — the checker
+// behind registry-wide wrapper subsumption. Monadic datalog
+// containment on trees is decidable (Frochaux–Grohe–Schweikardt) but
+// EXPTIME-hard; what a serving registry needs is a *practical*
+// sound-but-incomplete three-valued checker:
+//
+//   - Contained: proven symbolically. The visible predicate of each
+//     side is unfolded (post Tamaki–Sato inlining) into a union of
+//     conjunctive queries over the extensional tree vocabulary, and
+//     UCQ containment is decided by the classical homomorphism
+//     theorem: Q1 ⊆ Q2 iff every disjunct of Q1 admits a homomorphism
+//     from some disjunct of Q2 fixing the head variable. The theorem
+//     gives containment over ALL structures, which implies containment
+//     over the tree structures we evaluate on — sound, incomplete
+//     (tree-specific containments, e.g. those forced by the axioms of
+//     τ_ur, are missed). The only tree-specific liberty taken is
+//     normalization: dom(X) atoms over variables are dropped, because
+//     on every tree dom is the full (nonempty) domain, so the atom
+//     never constrains — the normalized and original queries agree on
+//     trees.
+//   - NotContained: witnessed by a concrete counterexample tree from
+//     the shared random-tree refutation search (internal/refute), on
+//     which both programs are actually evaluated — a "no" is always
+//     accompanied by a checkable tree and node.
+//   - ContainUnknown: neither side fired — the predicate is recursive
+//     (not unfoldable), the unfolding exceeds its budget, or no small
+//     counterexample exists. Callers MUST fall back to evaluation:
+//     Unknown never changes semantics, it only declines the shortcut.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mdlog/internal/datalog"
+	"mdlog/internal/eval"
+	"mdlog/internal/refute"
+	"mdlog/internal/tree"
+)
+
+// ContainResult is the three-valued outcome of CheckContainment.
+type ContainResult int
+
+const (
+	// Contained: proven by UCQ unfolding + homomorphism (sound for all
+	// trees).
+	Contained ContainResult = iota
+	// NotContained: a concrete tree witnesses non-containment.
+	NotContained
+	// ContainUnknown: no proof and no counterexample within budget;
+	// the caller falls back to evaluation.
+	ContainUnknown
+)
+
+// String renders the result the way the CLI and /stats spell it.
+func (r ContainResult) String() string {
+	switch r {
+	case Contained:
+		return "contained"
+	case NotContained:
+		return "not-contained"
+	case ContainUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("ContainResult(%d)", int(r))
+}
+
+// DefaultMaxCQs bounds how many disjuncts an unfolding may produce
+// before the checker gives up with Unknown.
+const DefaultMaxCQs = 64
+
+// DefaultMaxCQAtoms bounds the atom count of a single unfolded
+// conjunctive query.
+const DefaultMaxCQAtoms = 48
+
+// ContainOptions tunes CheckContainment.
+type ContainOptions struct {
+	// MaxCQs caps the number of disjuncts per unfolding (default
+	// DefaultMaxCQs); MaxAtoms caps the atoms per disjunct (default
+	// DefaultMaxCQAtoms). Budget blowouts yield Unknown, never a wrong
+	// answer.
+	MaxCQs, MaxAtoms int
+	// NoRefute disables the random-tree counterexample search, so the
+	// checker never evaluates a program (the compile-path setting:
+	// fusion only acts on proven equivalence and has no use for "no").
+	NoRefute bool
+	// Refute tunes the counterexample search (zero value: refute
+	// package defaults, seeded from MDLOG_FUZZ_SEED).
+	Refute refute.Options
+}
+
+func (o ContainOptions) withDefaults() ContainOptions {
+	if o.MaxCQs <= 0 {
+		o.MaxCQs = DefaultMaxCQs
+	}
+	if o.MaxAtoms <= 0 {
+		o.MaxAtoms = DefaultMaxCQAtoms
+	}
+	return o
+}
+
+// CheckContainment decides (one-sidedly) whether pred1's extension
+// under p1 is contained in pred2's under p2 on every document tree.
+// The returned witness is non-nil exactly when the result is
+// NotContained: a tree plus a node selected by (p1, pred1) but not by
+// (p2, pred2). A nil opts uses defaults.
+func CheckContainment(p1 *datalog.Program, pred1 string, p2 *datalog.Program, pred2 string, opts *ContainOptions) (ContainResult, *refute.Witness) {
+	o := ContainOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	u1, ok1 := unfoldUCQ(p1, pred1, o)
+	u2, ok2 := unfoldUCQ(p2, pred2, o)
+	if ok1 && ok2 && ucqContainedIn(u1, u2) {
+		return Contained, nil
+	}
+	if !o.NoRefute {
+		if w := refuteContainment(p1, pred1, p2, pred2, o.Refute); w != nil {
+			return NotContained, w
+		}
+	}
+	return ContainUnknown, nil
+}
+
+// CheckEquivalence decides whether (p1, pred1) and (p2, pred2) select
+// the same nodes on every tree: Contained means proven equivalent
+// (mutual containment), NotContained means a witness tree separates
+// them (the witness node is in one side's selection only), and
+// Unknown falls back to evaluation.
+func CheckEquivalence(p1 *datalog.Program, pred1 string, p2 *datalog.Program, pred2 string, opts *ContainOptions) (ContainResult, *refute.Witness) {
+	o := ContainOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	u1, ok1 := unfoldUCQ(p1, pred1, o)
+	u2, ok2 := unfoldUCQ(p2, pred2, o)
+	if ok1 && ok2 && ucqContainedIn(u1, u2) && ucqContainedIn(u2, u1) {
+		return Contained, nil
+	}
+	if !o.NoRefute {
+		if w := refuteContainment(p1, pred1, p2, pred2, o.Refute); w != nil {
+			return NotContained, w
+		}
+		if w := refuteContainment(p2, pred2, p1, pred1, o.Refute); w != nil {
+			return NotContained, w
+		}
+	}
+	return ContainUnknown, nil
+}
+
+// UnfoldSignature fingerprints pred's unfolding: the canonical,
+// minimized union of conjunctive queries it denotes over the
+// extensional tree vocabulary. Two predicates with equal signatures
+// have identical extensions on every structure — the transitive,
+// pair-free fast path fusion's subsumption pass merges on. ok is
+// false when pred is recursive, exceeds the unfolding budget, or uses
+// constructs the unfolder does not model.
+func UnfoldSignature(p *datalog.Program, pred string, opts *ContainOptions) (sig string, ok bool) {
+	o := ContainOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	u, ok := unfoldUCQ(p, pred, o)
+	if !ok {
+		return "", false
+	}
+	lines := make([]string, len(u))
+	for i, q := range u {
+		lines[i] = q.canonical()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n"), true
+}
+
+// ---------------------------------------------------------------------
+// UCQ unfolding.
+
+// cq is one conjunctive disjunct of an unfolded visible predicate:
+// ∃(vars ∖ head) ⋀ atoms, with head as the distinguished (selected)
+// variable. head is "" for propositional queries. All atoms range over
+// the extensional tree vocabulary.
+type cq struct {
+	head  string
+	atoms []datalog.Atom
+}
+
+// canonical renders the cq with atoms sorted and variables renamed by
+// first occurrence, reusing the rule canonicalizer with a reserved
+// head predicate (NUL-prefixed, outside the parseable name space).
+func (q cq) canonical() string {
+	h := datalog.Atom{Pred: "\x00q"}
+	if q.head != "" {
+		h.Args = []datalog.Term{datalog.V(q.head)}
+	}
+	return canonicalRule(datalog.Rule{Head: h, Body: q.atoms})
+}
+
+// unfoldUCQ expands pred under p into its union of conjunctive
+// queries: each defining rule contributes the product of its body
+// atoms' expansions, recursively, until only extensional atoms remain.
+// Fails (ok=false) on recursion through pred's dependency cone, on
+// budget blowout, on non-variable rule heads, and on unknown binary
+// predicates (the engines disagree about those; the checker stays
+// out). Unknown unary/propositional predicates without rules have
+// empty extensions, so disjuncts requiring them are dropped. The
+// resulting disjuncts are dom-normalized, core-minimized, and
+// deduplicated.
+func unfoldUCQ(p *datalog.Program, pred string, o ContainOptions) ([]cq, bool) {
+	rules := map[string][]datalog.Rule{}
+	for _, r := range p.Rules {
+		rules[r.Head.Pred] = append(rules[r.Head.Pred], r.Clone())
+	}
+	if cyclicFrom(pred, rules) {
+		return nil, false
+	}
+	fresh := 0
+	// expand returns every extensional-only expansion of the atom's
+	// predicate, each as (atoms, headVar) with variables freshly named;
+	// the caller unifies headVar with its call-site argument.
+	var expandPred func(name string) ([]cq, bool)
+	memo := map[string][]cq{}
+	expandPred = func(name string) ([]cq, bool) {
+		if got, ok := memo[name]; ok {
+			return got, true
+		}
+		var out []cq
+		for _, r := range rules[name] {
+			// Expansion state: start from the rule body, repeatedly
+			// replace the first intensional atom by each of its
+			// predicate's expansions.
+			var headVar string
+			if len(r.Head.Args) == 1 {
+				if !r.Head.Args[0].IsVar() {
+					return nil, false
+				}
+				headVar = r.Head.Args[0].Var
+			} else if len(r.Head.Args) > 1 {
+				return nil, false // not monadic; out of fragment
+			}
+			work := []cq{{head: headVar, atoms: r.Body}}
+			for len(work) > 0 {
+				q := work[len(work)-1]
+				work = work[:len(work)-1]
+				if len(q.atoms) > o.MaxAtoms {
+					return nil, false
+				}
+				i := firstIntensional(q.atoms, rules)
+				if i < 0 {
+					// Check the leftover vocabulary is modeled.
+					okAtoms := true
+					for _, a := range q.atoms {
+						switch len(a.Args) {
+						case 1:
+							if !eval.IsUnaryEDB(a.Pred) {
+								okAtoms = false // unruled unary: empty, drop disjunct
+							}
+						case 2:
+							if !eval.IsBinaryEDB(a.Pred) {
+								return nil, false // unknown binary: engines disagree
+							}
+						default:
+							okAtoms = false // unruled propositional: empty
+						}
+					}
+					if okAtoms {
+						out = append(out, q)
+						if len(out) > o.MaxCQs {
+							return nil, false
+						}
+					}
+					continue
+				}
+				target := q.atoms[i]
+				for _, sub := range rules[target.Pred] {
+					nq, ok := spliceRule(q, i, target, sub, &fresh)
+					if !ok {
+						return nil, false
+					}
+					if len(nq.atoms) > o.MaxAtoms {
+						return nil, false
+					}
+					work = append(work, nq)
+				}
+			}
+		}
+		memo[name] = out
+		return out, true
+	}
+	// Seed with the predicate itself so arity handling is uniform.
+	exps, ok := expandPred(pred)
+	if !ok {
+		return nil, false
+	}
+	if len(rules[pred]) == 0 {
+		return nil, false // nothing to unfold: undefined or extensional
+	}
+	out := make([]cq, 0, len(exps))
+	seen := map[string]bool{}
+	for _, q := range exps {
+		q = minimizeCQ(normalizeCQ(q))
+		key := q.canonical()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, q)
+		}
+	}
+	return out, true
+}
+
+// firstIntensional returns the index of the first body atom whose
+// predicate has defining rules, or -1.
+func firstIntensional(atoms []datalog.Atom, rules map[string][]datalog.Rule) int {
+	for i, a := range atoms {
+		if len(rules[a.Pred]) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// spliceRule replaces q.atoms[i] (an intensional atom) with the body
+// of sub, unifying sub's head argument with the call-site argument and
+// renaming sub's remaining variables fresh.
+func spliceRule(q cq, i int, target datalog.Atom, sub datalog.Rule, fresh *int) (cq, bool) {
+	rename := map[string]datalog.Term{}
+	switch len(sub.Head.Args) {
+	case 0:
+		// Propositional: no unification.
+	case 1:
+		if !sub.Head.Args[0].IsVar() || len(target.Args) != 1 {
+			return cq{}, false
+		}
+		rename[sub.Head.Args[0].Var] = target.Args[0]
+	default:
+		return cq{}, false
+	}
+	*fresh++
+	tag := fmt.Sprintf("u%d", *fresh)
+	mapTerm := func(t datalog.Term) datalog.Term {
+		if !t.IsVar() {
+			return t
+		}
+		if got, ok := rename[t.Var]; ok {
+			return got
+		}
+		nt := datalog.V(t.Var + "_" + tag)
+		rename[t.Var] = nt
+		return nt
+	}
+	atoms := make([]datalog.Atom, 0, len(q.atoms)-1+len(sub.Body))
+	atoms = append(atoms, q.atoms[:i]...)
+	for _, b := range sub.Body {
+		nb := b.Clone()
+		for j, t := range nb.Args {
+			nb.Args[j] = mapTerm(t)
+		}
+		atoms = append(atoms, nb)
+	}
+	atoms = append(atoms, q.atoms[i+1:]...)
+	return cq{head: q.head, atoms: atoms}, true
+}
+
+// cyclicFrom reports whether pred's dependency cone contains a cycle
+// among intensional predicates (recursion: not unfoldable).
+func cyclicFrom(pred string, rules map[string][]datalog.Rule) bool {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[string]int{}
+	var walk func(name string) bool
+	walk = func(name string) bool {
+		switch state[name] {
+		case visiting:
+			return true
+		case done:
+			return false
+		}
+		state[name] = visiting
+		for _, r := range rules[name] {
+			for _, b := range r.Body {
+				if len(rules[b.Pred]) > 0 && walk(b.Pred) {
+					return true
+				}
+			}
+		}
+		state[name] = done
+		return false
+	}
+	return walk(pred)
+}
+
+// normalizeCQ drops dom atoms over variables: on every tree, dom is
+// the full nonempty domain, so dom(X) never constrains — whether X is
+// the head, occurs elsewhere, or is a lone existential (∃X dom(X) is
+// true on every nonempty tree, and trees have at least a root). This
+// is the one tree-specific rewrite the checker applies; it is exactly
+// what lets "defensive dom(X)" variants of a wrapper collide with the
+// original.
+func normalizeCQ(q cq) cq {
+	kept := make([]datalog.Atom, 0, len(q.atoms))
+	for _, a := range q.atoms {
+		if a.Pred == eval.PredDom && len(a.Args) == 1 && a.Args[0].IsVar() {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	q.atoms = kept
+	return q
+}
+
+// minimizeCQ computes the core of q: repeatedly drop any atom a such
+// that a homomorphism maps q into q∖{a} fixing the head (then
+// q ≡ q∖{a}: the sub-query contains q trivially, and the homomorphism
+// proves the converse). Minimization is what makes the canonical form
+// catch semantically redundant near-duplicates — duplicated join
+// chains under renamed variables collapse onto one copy.
+func minimizeCQ(q cq) cq {
+	for {
+		dropped := false
+		for i := range q.atoms {
+			reduced := cq{head: q.head, atoms: make([]datalog.Atom, 0, len(q.atoms)-1)}
+			reduced.atoms = append(reduced.atoms, q.atoms[:i]...)
+			reduced.atoms = append(reduced.atoms, q.atoms[i+1:]...)
+			// The head variable must stay covered: a safe query keeps
+			// its selected variable bound by some atom.
+			if q.head != "" && !coversVar(reduced.atoms, q.head) && coversVar(q.atoms, q.head) {
+				continue
+			}
+			if homInto(q, reduced) {
+				q = reduced
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return q
+		}
+	}
+}
+
+// coversVar reports whether v occurs in some atom.
+func coversVar(atoms []datalog.Atom, v string) bool {
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() && t.Var == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Homomorphism checking.
+
+// homBudget caps the backtracking nodes of one homomorphism search;
+// exhaustion counts as "no homomorphism found", which is always safe
+// (the checker just fails to prove).
+const homBudget = 200_000
+
+// homInto reports whether a homomorphism maps src into dst: every atom
+// of src maps to an atom of dst under a single variable assignment
+// that fixes the head variable (head ↦ head) and maps constants to
+// themselves.
+func homInto(src, dst cq) bool {
+	asg := map[string]datalog.Term{}
+	if src.head != "" {
+		if dst.head == "" {
+			return false
+		}
+		asg[src.head] = datalog.V(dst.head)
+	}
+	byPred := map[string][]datalog.Atom{}
+	for _, a := range dst.atoms {
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+	}
+	budget := homBudget
+	var match func(i int) bool
+	match = func(i int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if i == len(src.atoms) {
+			return true
+		}
+		a := src.atoms[i]
+		for _, c := range byPred[a.Pred] {
+			if len(c.Args) != len(a.Args) {
+				continue
+			}
+			var bound []string
+			ok := true
+			for j, t := range a.Args {
+				want := c.Args[j]
+				if !t.IsVar() {
+					if want.IsVar() || want.Const != t.Const {
+						ok = false
+					}
+					continue
+				}
+				if got, has := asg[t.Var]; has {
+					if got != want {
+						ok = false
+					}
+					continue
+				}
+				asg[t.Var] = want
+				bound = append(bound, t.Var)
+			}
+			if ok && match(i+1) {
+				return true
+			}
+			for _, v := range bound {
+				delete(asg, v)
+			}
+		}
+		return false
+	}
+	return match(0)
+}
+
+// ucqContainedIn reports U1 ⊆ U2 by the homomorphism theorem lifted to
+// unions: every disjunct of U1 must be contained in (i.e. receive a
+// homomorphism from) some disjunct of U2. An empty U1 (the predicate
+// is everywhere empty) is contained in anything.
+func ucqContainedIn(u1, u2 []cq) bool {
+	for _, q1 := range u1 {
+		ok := false
+		for _, q2 := range u2 {
+			if homInto(q2, q1) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Refutation.
+
+// refuteContainment searches random trees for a node selected by
+// (p1, pred1) but not (p2, pred2), evaluating both programs with the
+// semi-naive engine (the most permissive engine: any monadic program
+// over the tree vocabulary). Evaluation errors skip the tree — a
+// refutation must rest on two successful evaluations.
+func refuteContainment(p1 *datalog.Program, pred1 string, p2 *datalog.Program, pred2 string, ro refute.Options) *refute.Witness {
+	return refute.Search(ro, func(t *tree.Tree) (int, bool) {
+		db1, err := eval.EvalOnTree(p1, t, eval.EngineSemiNaive)
+		if err != nil {
+			return 0, false
+		}
+		db2, err := eval.EvalOnTree(p2, t, eval.EngineSemiNaive)
+		if err != nil {
+			return 0, false
+		}
+		sel2 := map[int]bool{}
+		for _, v := range db2.UnarySet(pred2) {
+			sel2[v] = true
+		}
+		for _, v := range db1.UnarySet(pred1) {
+			if !sel2[v] {
+				return v, true
+			}
+		}
+		return 0, false
+	})
+}

@@ -1,0 +1,232 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"mdlog/internal/eval"
+	"mdlog/internal/refute"
+	"mdlog/internal/tree"
+)
+
+func TestContainmentEquivalentDuplicatedFragment(t *testing.T) {
+	// q2 duplicates q1's join chain under renamed variables and adds a
+	// defensive dom atom; core minimization + dom normalization must
+	// collapse them onto the same UCQ.
+	p1 := mustParse(t, `
+q(X) :- firstchild(X, Y), label_a(Y).
+?- q.
+`)
+	p2 := mustParse(t, `
+q(X) :- dom(X), firstchild(X, Y), label_a(Y), firstchild(X, Z), label_a(Z).
+?- q.
+`)
+	if r, _ := CheckEquivalence(p1, "q", p2, "q", nil); r != Contained {
+		t.Fatalf("expected proven equivalence, got %v", r)
+	}
+	s1, ok1 := UnfoldSignature(p1, "q", nil)
+	s2, ok2 := UnfoldSignature(p2, "q", nil)
+	if !ok1 || !ok2 || s1 != s2 {
+		t.Fatalf("signatures should match:\n%q (ok=%v)\n%q (ok=%v)", s1, ok1, s2, ok2)
+	}
+}
+
+func TestContainmentProperSubset(t *testing.T) {
+	// p1 selects a-labeled leaves; p2 selects all leaves: p1 ⊆ p2 but
+	// not conversely, and the converse has a small witness tree.
+	p1 := mustParse(t, `
+q(X) :- leaf(X), label_a(X).
+?- q.
+`)
+	p2 := mustParse(t, `
+q(X) :- leaf(X).
+?- q.
+`)
+	if r, _ := CheckContainment(p1, "q", p2, "q", nil); r != Contained {
+		t.Fatalf("a-leaves ⊆ leaves should be proven, got %v", r)
+	}
+	r, w := CheckContainment(p2, "q", p1, "q", nil)
+	if r != NotContained {
+		t.Fatalf("leaves ⊆ a-leaves should be refuted, got %v", r)
+	}
+	if w == nil || w.Tree == nil {
+		t.Fatal("NotContained must carry a witness")
+	}
+	// Re-check the witness independently.
+	db1, err := eval.EvalOnTree(p2, w.Tree, eval.EngineSemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := eval.EvalOnTree(p1, w.Tree, eval.EngineSemiNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := func(vs []int, n int) bool {
+		for _, v := range vs {
+			if v == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !in(db1.UnarySet("q"), w.Node) || in(db2.UnarySet("q"), w.Node) {
+		t.Fatalf("witness node %d does not separate the queries", w.Node)
+	}
+}
+
+func TestContainmentUnionOfCQs(t *testing.T) {
+	// Multi-rule (union) visible predicates: each disjunct of p1 must
+	// find a containing disjunct of p2, across helper indirection.
+	p1 := mustParse(t, `
+q(X) :- aleaf(X).
+aleaf(X) :- leaf(X), label_a(X).
+?- q.
+`)
+	p2 := mustParse(t, `
+q(X) :- label_a(X).
+q(X) :- label_b(X), leaf(X).
+?- q.
+`)
+	if r, _ := CheckContainment(p1, "q", p2, "q", nil); r != Contained {
+		t.Fatalf("a-leaves ⊆ (a ∪ b-leaves) should be proven, got %v", r)
+	}
+	if r, _ := CheckContainment(p2, "q", p1, "q", nil); r == Contained {
+		t.Fatal("(a ∪ b-leaves) ⊆ a-leaves wrongly proven")
+	}
+}
+
+func TestContainmentRecursiveIsUnknownNotWrong(t *testing.T) {
+	// A recursive program cannot be unfolded; with refutation disabled
+	// the checker must answer Unknown, never a wrong Contained.
+	rec := mustParse(t, `
+reach(X) :- root(X).
+reach(X) :- reach(Y), firstchild(Y, X).
+reach(X) :- reach(Y), nextsibling(Y, X).
+?- reach.
+`)
+	leafy := mustParse(t, `
+q(X) :- leaf(X).
+?- q.
+`)
+	opts := &ContainOptions{NoRefute: true}
+	if r, _ := CheckContainment(rec, "reach", leafy, "q", opts); r != ContainUnknown {
+		t.Fatalf("recursive side must yield Unknown without refutation, got %v", r)
+	}
+	// With refutation on, reach ⊆ leaves is refutable (any tree with an
+	// internal node).
+	if r, w := CheckContainment(rec, "reach", leafy, "q", nil); r != NotContained || w == nil {
+		t.Fatalf("reach ⊆ leaves should be refuted on a small tree, got %v", r)
+	}
+}
+
+func TestContainmentBudgetYieldsUnknown(t *testing.T) {
+	// A deliberately tiny atom budget makes the unfolding fail; the
+	// checker degrades to Unknown rather than guessing.
+	p := mustParse(t, `
+q(X) :- firstchild(X, A), nextsibling(A, B), nextsibling(B, C), label_a(C).
+?- q.
+`)
+	opts := &ContainOptions{MaxAtoms: 2, NoRefute: true}
+	if r, _ := CheckContainment(p, "q", p, "q", opts); r != ContainUnknown {
+		t.Fatalf("budget blowout must yield Unknown, got %v", r)
+	}
+	// Same program under default budgets is trivially self-contained.
+	if r, _ := CheckContainment(p, "q", p, "q", &ContainOptions{NoRefute: true}); r != Contained {
+		t.Fatal("self-containment should be proven under default budgets")
+	}
+}
+
+func TestContainmentSoundOnRandomPrograms(t *testing.T) {
+	// Property check riding MDLOG_FUZZ_SEED determinism: for random
+	// nonrecursive programs p and an extension p+extra (adding rules can
+	// only grow the least model), Contained must hold semantically on
+	// random trees. We verify every Contained verdict by evaluation.
+	base := mustParse(t, `
+q(X) :- firstchild(X, Y), label_a(Y).
+q(X) :- leaf(X), label_b(X).
+?- q.
+`)
+	ext := mustParse(t, `
+q(X) :- firstchild(X, Y), label_a(Y).
+q(X) :- leaf(X), label_b(X).
+q(X) :- lastsibling(X), label_a(X).
+?- q.
+`)
+	r, _ := CheckContainment(base, "q", ext, "q", nil)
+	if r != Contained {
+		t.Fatalf("p ⊆ p+extra should be proven, got %v", r)
+	}
+	w := refute.Search(refute.Options{Trees: 200}, func(tr *tree.Tree) (int, bool) {
+		db1, err := eval.EvalOnTree(base, tr, eval.EngineSemiNaive)
+		if err != nil {
+			return 0, false
+		}
+		db2, err := eval.EvalOnTree(ext, tr, eval.EngineSemiNaive)
+		if err != nil {
+			return 0, false
+		}
+		sel2 := map[int]bool{}
+		for _, v := range db2.UnarySet("q") {
+			sel2[v] = true
+		}
+		for _, v := range db1.UnarySet("q") {
+			if !sel2[v] {
+				return v, true
+			}
+		}
+		return 0, false
+	})
+	if w != nil {
+		t.Fatalf("checker said Contained but tree refutes it:\n%v", w.Tree)
+	}
+}
+
+func TestUnfoldSignatureStableUnderRenaming(t *testing.T) {
+	// Apex-renamed copies of the same wrapper (the fusion setting) must
+	// produce identical signatures.
+	src := `
+q(X) :- hit(X).
+hit(X) :- firstchild(X, Y), step(Y).
+step(Y) :- nextsibling(Y, Z), label_b(Z).
+?- q.
+`
+	p := mustParse(t, src)
+	renamed := apexRename(p, "s7__")
+	s1, ok1 := UnfoldSignature(p, "q", nil)
+	s2, ok2 := UnfoldSignature(renamed, "s7__q", nil)
+	if !ok1 || !ok2 {
+		t.Fatalf("unfolding failed: ok1=%v ok2=%v", ok1, ok2)
+	}
+	if s1 != s2 {
+		t.Fatalf("signatures differ under apex renaming:\n%q\n%q", s1, s2)
+	}
+	if strings.Contains(s1, "s7__") {
+		t.Fatalf("signature leaked apex prefix: %q", s1)
+	}
+}
+
+func TestUnfoldSignatureUnknownBinary(t *testing.T) {
+	// Unknown binary predicates are outside the modeled vocabulary; the
+	// unfolder must decline rather than treat them as empty or total.
+	p := mustParse(t, `
+q(X) :- mystery(X, Y), label_a(Y).
+?- q.
+`)
+	if _, ok := UnfoldSignature(p, "q", nil); ok {
+		t.Fatal("unknown binary predicate should not unfold")
+	}
+	// Unknown unary predicates have empty extensions: disjuncts that
+	// need them drop out, leaving the remaining disjuncts.
+	p2 := mustParse(t, `
+q(X) :- nothing(X).
+q(X) :- leaf(X).
+?- q.
+`)
+	leafOnly := mustParse(t, `
+q(X) :- leaf(X).
+?- q.
+`)
+	if r, _ := CheckEquivalence(p2, "q", leafOnly, "q", &ContainOptions{NoRefute: true}); r != Contained {
+		t.Fatalf("empty-disjunct elimination should prove equivalence, got %v", r)
+	}
+}

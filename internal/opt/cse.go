@@ -1,0 +1,307 @@
+package opt
+
+// Shared-structure common-subexpression elimination for fused
+// programs. Whole-definition dedup (dedupShared) only fires when two
+// predicates' complete rule sets coincide; real wrapper fleets instead
+// share *fragments* — the same firstchild/nextsibling walk embedded in
+// otherwise different rule bodies. This pass extracts such fragments
+// into fresh shared auxiliary predicates so the fused program grounds
+// them once.
+//
+// A fragment is extractable from a rule body exactly when it is a
+// fold in the Tamaki–Sato sense, run in reverse of the inliner:
+//
+//	h(..) :- rest, C        ⇒   h(..) :- rest, cse_k(X)
+//	                            cse_k(X) :- C
+//
+// requiring that C's variables other than the junction X appear
+// nowhere in the head or the rest of the body. Then the rewritten
+// rule derives exactly the same head facts: for any binding of X,
+// cse_k(X) holds iff C's local variables can be completed, which is
+// precisely the condition the original rule imposed. The argument is
+// stage-wise on the least fixpoint and works unchanged for recursive
+// programs; extraction also preserves range-restriction (X occurs in
+// C) and monadicity (every introduced predicate is unary).
+
+import (
+	"fmt"
+	"sort"
+
+	"mdlog/internal/datalog"
+)
+
+// cseOccurrence is one candidate fragment occurrence: atoms (by index)
+// of one rule, connected through variables local to the fragment, with
+// a single junction variable linking it to the rest of the rule.
+type cseOccurrence struct {
+	rule     int
+	atoms    []int
+	junction string
+}
+
+// cseShared extracts body fragments occurring (α-equivalently) at
+// least twice across p into fresh cse_<n> predicates, rewriting every
+// claimed occurrence. Reports whether anything changed. counter
+// persists across rounds so names never collide. Fragments are keyed
+// by their canonical form with the junction variable distinguished, so
+// occurrences match across members and variable namings.
+func cseShared(p *datalog.Program, counter *int, rep *FuseReport) bool {
+	occ := map[string][]cseOccurrence{}
+	for ri, r := range p.Rules {
+		headVars := map[string]bool{}
+		for _, t := range r.Head.Args {
+			if t.IsVar() {
+				headVars[t.Var] = true
+			}
+		}
+		seen := map[string]bool{}
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if !t.IsVar() || seen[t.Var] {
+					continue
+				}
+				seen[t.Var] = true
+				for _, ko := range fragmentsAt(r, ri, t.Var, headVars) {
+					occ[ko.key] = append(occ[ko.key], ko.occ)
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(occ))
+	for k, os := range occ {
+		if len(os) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	// Claim occurrences greedily, in deterministic key order: one atom
+	// can belong to at most one extraction.
+	claimed := map[int]map[int]bool{} // rule -> atom index -> taken
+	type extraction struct {
+		key  string
+		uses []cseOccurrence
+	}
+	var exts []extraction
+	for _, k := range keys {
+		var uses []cseOccurrence
+		for _, o := range occ[k] {
+			free := true
+			for _, ai := range o.atoms {
+				if claimed[o.rule][ai] {
+					free = false
+					break
+				}
+			}
+			if free {
+				uses = append(uses, o)
+			}
+		}
+		if len(uses) < 2 {
+			continue
+		}
+		for _, o := range uses {
+			if claimed[o.rule] == nil {
+				claimed[o.rule] = map[int]bool{}
+			}
+			for _, ai := range o.atoms {
+				claimed[o.rule][ai] = true
+			}
+		}
+		exts = append(exts, extraction{key: k, uses: uses})
+	}
+	if len(exts) == 0 {
+		return false
+	}
+	// Rewrite: rebuild each rule body once, replacing each extraction's
+	// claimed atoms with a call to its auxiliary predicate.
+	aux := make([]datalog.Rule, 0, len(exts))
+	replace := map[int]map[int]datalog.Atom{} // rule -> first claimed atom index -> call atom
+	drop := map[int]map[int]bool{}            // rule -> other claimed atom indexes
+	for _, e := range exts {
+		name := fmt.Sprintf("cse_%d", *counter)
+		*counter++
+		// Define the auxiliary from the first occurrence's atoms, with
+		// its junction variable as the head argument.
+		first := e.uses[0]
+		def := datalog.Rule{Head: datalog.Atom{Pred: name, Args: []datalog.Term{datalog.V(first.junction)}}}
+		for _, ai := range first.atoms {
+			def.Body = append(def.Body, p.Rules[first.rule].Body[ai].Clone())
+		}
+		aux = append(aux, def)
+		rep.CSEPreds++
+		for _, o := range e.uses {
+			rep.CSERefs++
+			if replace[o.rule] == nil {
+				replace[o.rule] = map[int]datalog.Atom{}
+				drop[o.rule] = map[int]bool{}
+			}
+			call := datalog.Atom{Pred: name, Args: []datalog.Term{datalog.V(o.junction)}}
+			replace[o.rule][o.atoms[0]] = call
+			for _, ai := range o.atoms[1:] {
+				drop[o.rule][ai] = true
+			}
+		}
+	}
+	for ri := range p.Rules {
+		if replace[ri] == nil {
+			continue
+		}
+		var body []datalog.Atom
+		seenCall := map[string]bool{}
+		for ai, a := range p.Rules[ri].Body {
+			if call, ok := replace[ri][ai]; ok {
+				// Identical twin fragments in one body (same key, same
+				// junction) collapse to a single call.
+				if !seenCall[call.String()] {
+					seenCall[call.String()] = true
+					body = append(body, call)
+				}
+				continue
+			}
+			if drop[ri][ai] {
+				continue
+			}
+			body = append(body, a)
+		}
+		p.Rules[ri].Body = body
+	}
+	p.Rules = append(p.Rules, aux...)
+	return true
+}
+
+// keyedOccurrence pairs a fragment occurrence with its canonical key.
+type keyedOccurrence struct {
+	key string
+	occ cseOccurrence
+}
+
+// fragmentsAt enumerates the extractable fragments of rule r (index ri
+// in the program) whose junction variable is x: the connected
+// components of the body atoms that mention a variable other than x,
+// linked by shared non-x variables, filtered to those that (a) touch
+// x, (b) have at least two atoms (extracting one atom only adds
+// indirection), and (c) keep all their non-junction variables local —
+// absent from the head and from the rest of the body. Components equal
+// to the entire body of a rule whose head argument is x are skipped:
+// extracting them would just α-rename the rule and re-fire forever.
+// Twin fragments within one rule (same key, same junction) come back
+// as separate occurrences; the rewrite collapses them to one call.
+func fragmentsAt(r datalog.Rule, ri int, x string, headVars map[string]bool) []keyedOccurrence {
+	n := len(r.Body)
+	// Union-find over candidate atoms.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	candidate := make([]bool, n)
+	varHome := map[string]int{}
+	for i, a := range r.Body {
+		hasOther := false
+		for _, t := range a.Args {
+			if t.IsVar() && t.Var != x {
+				hasOther = true
+			}
+		}
+		if !hasOther {
+			continue
+		}
+		candidate[i] = true
+		for _, t := range a.Args {
+			if !t.IsVar() || t.Var == x {
+				continue
+			}
+			if h, ok := varHome[t.Var]; ok {
+				parent[find(i)] = find(h)
+			} else {
+				varHome[t.Var] = i
+			}
+		}
+	}
+	comps := map[int][]int{}
+	for i := range r.Body {
+		if candidate[i] {
+			root := find(i)
+			comps[root] = append(comps[root], i)
+		}
+	}
+	var out []keyedOccurrence
+	roots := make([]int, 0, len(comps))
+	for root := range comps {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		atoms := comps[root]
+		if len(atoms) < 2 {
+			continue
+		}
+		touchesX := false
+		local := map[string]bool{}
+		inComp := map[int]bool{}
+		for _, ai := range atoms {
+			inComp[ai] = true
+			for _, t := range r.Body[ai].Args {
+				if !t.IsVar() {
+					continue
+				}
+				if t.Var == x {
+					touchesX = true
+				} else {
+					local[t.Var] = true
+				}
+			}
+		}
+		if !touchesX {
+			continue
+		}
+		leak := false
+		for v := range local {
+			if headVars[v] {
+				leak = true
+				break
+			}
+		}
+		if !leak {
+			for ai, a := range r.Body {
+				if inComp[ai] {
+					continue
+				}
+				for _, t := range a.Args {
+					if t.IsVar() && local[t.Var] {
+						leak = true
+					}
+				}
+			}
+		}
+		if leak {
+			continue
+		}
+		if len(atoms) == n && len(r.Head.Args) == 1 && r.Head.Args[0].IsVar() && r.Head.Args[0].Var == x {
+			continue // whole-body self-extraction: pure renaming loop
+		}
+		out = append(out, keyedOccurrence{
+			key: fragmentKey(r, atoms, x),
+			occ: cseOccurrence{rule: ri, atoms: atoms, junction: x},
+		})
+	}
+	return out
+}
+
+// fragmentKey canonicalizes a fragment with its junction variable
+// distinguished, by rendering it as the definition of a reserved
+// pseudo-predicate headed by the junction.
+func fragmentKey(r datalog.Rule, atoms []int, x string) string {
+	pr := datalog.Rule{Head: datalog.Atom{Pred: "\x00frag", Args: []datalog.Term{datalog.V(x)}}}
+	for _, ai := range atoms {
+		pr.Body = append(pr.Body, r.Body[ai])
+	}
+	return canonicalRule(pr)
+}

@@ -29,7 +29,6 @@ package opt
 
 import (
 	"sort"
-	"strings"
 
 	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
@@ -63,7 +62,38 @@ type FuseReport struct {
 	// MergedRules counts rules dropped because merging made them
 	// duplicates of a surviving rule.
 	MergedRules int
+	// CSEPreds counts shared auxiliary predicates the common-
+	// subexpression pass extracted; CSERefs counts the body fragment
+	// occurrences it rewrote to use them.
+	CSEPreds, CSERefs int
+	// SubsumeChecked counts visible predicates the containment checker
+	// fingerprinted during subsumption; SubsumedPreds counts those
+	// proven equivalent to (and merged into) a representative;
+	// SubsumeUnknown counts those the checker declined (recursive or
+	// over budget — they fall back to evaluation, never to a guess).
+	SubsumeChecked, SubsumedPreds, SubsumeUnknown int
+	// CheckNs is wall time spent in the containment checker.
+	CheckNs int64
 }
+
+// FuseOptions selects which structure-sharing passes FuseWith runs on
+// top of baseline apex-rename + α-equivalent dedup.
+type FuseOptions struct {
+	// CSE extracts common connected rule-body fragments that recur
+	// across members into shared auxiliary predicates, so near-
+	// duplicate wrappers share ground work even when no complete
+	// predicate definition coincides.
+	CSE bool
+	// Subsume runs the containment checker over the visible
+	// predicates and merges those proven semantically equivalent, so a
+	// wrapper answerable from another's relation costs zero evaluation.
+	Subsume bool
+	// Contain tunes the subsumption pass's checker (nil: defaults).
+	Contain *ContainOptions
+}
+
+// DefaultFuseOptions is what Fuse uses: all passes on.
+var DefaultFuseOptions = FuseOptions{CSE: true, Subsume: true}
 
 // Fuse apex-renames each member's program and unions them into one,
 // then merges predicates whose definitions coincide across members.
@@ -75,6 +105,20 @@ type FuseReport struct {
 // an alias RULE would ground one clause per node). The fused program
 // has no distinguished query predicate.
 func Fuse(members []FuseMember) (*datalog.Program, map[string]string, FuseReport) {
+	return FuseWith(members, DefaultFuseOptions)
+}
+
+// FuseWith is Fuse with explicit pass selection. The pipeline is
+//
+//	apex-rename ∪ → dedup → (CSE → dedup)* → subsume → dedup
+//
+// where dedup is the α-equivalent definition merge, CSE repeats until
+// it stops extracting (each extraction can expose new whole-definition
+// collisions, and each merge can make further fragments coincide), and
+// subsume is the containment-checker pass over visible predicates.
+// Alias maps from successive passes are composed, so the returned map
+// always points at surviving predicates.
+func FuseWith(members []FuseMember, o FuseOptions) (*datalog.Program, map[string]string, FuseReport) {
 	rep := FuseReport{Members: len(members)}
 	fused := &datalog.Program{}
 	protected := map[string]bool{}
@@ -90,8 +134,44 @@ func Fuse(members []FuseMember) (*datalog.Program, map[string]string, FuseReport
 		}
 	}
 	aliases := dedupShared(fused, protected, &rep)
+	if o.CSE {
+		cseCounter := 0
+		// The bound is a backstop; extraction normally converges in two
+		// or three rounds (fragments are strictly consumed by aux
+		// predicates, which are then fair game for whole-def dedup).
+		for round := 0; round < 8; round++ {
+			if !cseShared(fused, &cseCounter, &rep) {
+				break
+			}
+			aliases = composeAliases(aliases, dedupShared(fused, protected, &rep))
+		}
+	}
+	if o.Subsume {
+		aliases = subsumeProtected(fused, protected, aliases, o.Contain, &rep)
+	}
 	rep.RulesOut = len(fused.Rules)
 	return fused, aliases, rep
+}
+
+// composeAliases redirects dst entries whose targets next merged away,
+// and adopts next's new entries. Both maps' values must be surviving
+// predicates of their respective passes, so the composition's values
+// survive the later pass.
+func composeAliases(dst, next map[string]string) map[string]string {
+	if dst == nil {
+		dst = map[string]string{}
+	}
+	for k, v := range dst {
+		if nv, ok := next[v]; ok {
+			dst[k] = nv
+		}
+	}
+	for k, v := range next {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+	return dst
 }
 
 // apexRename clones p with every intensional — and every unknown, i.e.
@@ -134,11 +214,6 @@ func apexRename(p *datalog.Program, prefix string) *datalog.Program {
 	}
 	return out
 }
-
-// selfToken stands in for a predicate's own name when canonicalizing
-// its definition, so directly-recursive twins still collide. The NUL
-// byte keeps it out of the space of parseable predicate names.
-const selfToken = "\x00self"
 
 // dedupShared merges intensional predicates with identical definitions
 // into one representative, to a fixpoint: merging two leaf auxiliaries
@@ -236,31 +311,4 @@ func dedupShared(p *datalog.Program, protected map[string]bool, rep *FuseReport)
 		aliases[pred] = resolve(repPred)
 	}
 	return aliases
-}
-
-// canonicalDef renders a predicate's complete defining rule set in a
-// form where two predicates with α-equivalent, order-insensitive,
-// self-reference-insensitive definitions (under the current merge
-// renaming) collide: each rule is canonicalized like canonicalRule
-// with the predicate's own name replaced by selfToken, and the rule
-// strings are sorted.
-func canonicalDef(pred string, rules []datalog.Rule, resolve func(string) string) string {
-	subst := func(p string) string {
-		p = resolve(p)
-		if p == pred {
-			return selfToken
-		}
-		return p
-	}
-	lines := make([]string, len(rules))
-	for i, r := range rules {
-		c := r.Clone()
-		c.Head.Pred = subst(c.Head.Pred)
-		for j := range c.Body {
-			c.Body[j].Pred = subst(c.Body[j].Pred)
-		}
-		lines[i] = canonicalRule(c)
-	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
 }

@@ -191,3 +191,172 @@ func TestFuseSemanticsPreserved(t *testing.T) {
 		}
 	}
 }
+
+// TestFuseCSEExtractsSharedFragments: two members share a join chain
+// embedded in otherwise different rule bodies; CSE must extract it
+// into one auxiliary so the fused program grounds it once.
+func TestFuseCSEExtractsSharedFragments(t *testing.T) {
+	a := parse(t, `q(X) :- firstchild(X,Y), nextsibling(Y,Z), label_a(Z), leaf(X). ?- q.`)
+	b := parse(t, `q(X) :- firstchild(X,Y), nextsibling(Y,Z), label_a(Z), label_b(X). ?- q.`)
+	members := []FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	}
+	fused, aliases, rep := FuseWith(members, FuseOptions{CSE: true})
+	if rep.CSEPreds != 1 || rep.CSERefs != 2 {
+		t.Fatalf("expected one fragment extracted at two sites, report: %+v", rep)
+	}
+	// Semantics: each member must still answer as if run alone.
+	tr, err := parseTree("a(b(a,b,a),a(b,a))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDB, err := datalog.NaiveEval(fused, fuseTestDB(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, prog := range []*datalog.Program{a, b} {
+		want, err := datalog.NaiveEval(prog, fuseTestDB(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := members[i].Prefix + "q"
+		if target, ok := aliases[pred]; ok {
+			pred = target
+		}
+		got := fullDB.UnarySet(pred)
+		exp := want.UnarySet("q")
+		if len(got) != len(exp) {
+			t.Fatalf("member %d: fused %v, individual %v", i, got, exp)
+		}
+	}
+}
+
+// TestFuseCSELeavesHeadSharedVarsAlone: a fragment whose internal
+// variable is also used by the head or the rest of the body is not
+// extractable (folding it would change the join).
+func TestFuseCSELeavesHeadSharedVarsAlone(t *testing.T) {
+	a := parse(t, `q(X) :- firstchild(X,Y), nextsibling(Y,Z), label_a(Z), leaf(Y). ?- q.`)
+	b := parse(t, `q(X) :- firstchild(X,Y), nextsibling(Y,Z), label_a(Z), leaf(Y), label_b(X). ?- q.`)
+	_, _, rep := FuseWith([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	}, FuseOptions{CSE: true})
+	// The chain firstchild-nextsibling-label_a has Y shared with
+	// leaf(Y) outside it, and Z internal; the extractable component at
+	// junction Y is {nextsibling(Y,Z), label_a(Z)} in both rules.
+	for _, r := range []int{rep.CSEPreds} {
+		if r > 1 {
+			t.Fatalf("over-extraction: %+v", rep)
+		}
+	}
+}
+
+// TestFuseSubsumeMergesEquivalentVisible: member 1's visible predicate
+// is a semantically equal, syntactically different restatement of
+// member 0's; subsumption must serve it by alias with zero rules.
+func TestFuseSubsumeMergesEquivalentVisible(t *testing.T) {
+	a := parse(t, `q(X) :- firstchild(X,Y), label_a(Y). ?- q.`)
+	// Duplicated fragment + defensive dom: not α-equal, not caught by
+	// dedup or O1, but UCQ-equal after normalization + minimization.
+	b := parse(t, `q(X) :- dom(X), firstchild(X,Z), label_a(Z), firstchild(X,W), label_a(W). ?- q.`)
+	members := []FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	}
+	fused, aliases, rep := FuseWith(members, DefaultFuseOptions)
+	if rep.SubsumedPreds != 1 {
+		t.Fatalf("expected one subsumed predicate, report: %+v", rep)
+	}
+	if rep.SubsumeChecked < 2 {
+		t.Fatalf("expected both visible preds checked, report: %+v", rep)
+	}
+	if rep.CheckNs <= 0 {
+		t.Fatalf("checker time not recorded: %+v", rep)
+	}
+	// The subsumed member must have no surviving rules.
+	for _, r := range fused.Rules {
+		if strings.HasPrefix(r.Head.Pred, "s1__") {
+			t.Fatalf("subsumed member still owns rules: %s", r)
+		}
+	}
+	if aliases["s1__q"] != "s0__q" {
+		t.Fatalf("alias map: %v", aliases)
+	}
+	// And projection through the alias answers correctly.
+	tr, err := parseTree("a(a(b),b(a),a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDB, err := datalog.NaiveEval(fused, fuseTestDB(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := datalog.NaiveEval(b, fuseTestDB(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fullDB.UnarySet("s0__q")
+	exp := want.UnarySet("q")
+	if len(got) != len(exp) {
+		t.Fatalf("projection mismatch: fused %v, individual %v", got, exp)
+	}
+	for i := range got {
+		if got[i] != exp[i] {
+			t.Fatalf("projection mismatch: fused %v, individual %v", got, exp)
+		}
+	}
+}
+
+// TestFuseSubsumeRefusesProperContainment: one-way containment must
+// NOT merge — a proper subset cannot be served from the superset.
+func TestFuseSubsumeRefusesProperContainment(t *testing.T) {
+	a := parse(t, `q(X) :- leaf(X). ?- q.`)
+	b := parse(t, `q(X) :- leaf(X), label_a(X). ?- q.`)
+	fused, aliases, rep := FuseWith([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"q"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"q"}},
+	}, DefaultFuseOptions)
+	if rep.SubsumedPreds != 0 {
+		t.Fatalf("proper containment wrongly merged: %+v", rep)
+	}
+	if len(aliases) != 0 {
+		t.Fatalf("unexpected aliases: %v", aliases)
+	}
+	owned := map[string]bool{}
+	for _, r := range fused.Rules {
+		owned[r.Head.Pred] = true
+	}
+	if !owned["s0__q"] || !owned["s1__q"] {
+		t.Fatalf("both members must keep their rules:\n%s", fused)
+	}
+}
+
+// TestFuseSubsumeRecursiveFallsBack: recursive visible predicates are
+// Unknown to the checker and must be left alone (and counted).
+func TestFuseSubsumeRecursiveFallsBack(t *testing.T) {
+	rec := `
+reach(X) :- root(X).
+reach(X) :- reach(Y), firstchild(Y,X).
+reach(X) :- reach(Y), nextsibling(Y,X).
+?- reach.
+`
+	a := parse(t, rec)
+	b := parse(t, rec)
+	fused, aliases, rep := FuseWith([]FuseMember{
+		{Prefix: "s0__", Program: a, Visible: []string{"reach"}},
+		{Prefix: "s1__", Program: b, Visible: []string{"reach"}},
+	}, FuseOptions{Subsume: true})
+	// α-equal twins merge in dedupShared before subsumption ever runs;
+	// the surviving single definition is recursive, so the checker
+	// reports it Unknown and changes nothing.
+	if rep.SubsumedPreds != 0 || rep.SubsumeUnknown == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if aliases["s1__reach"] != "s0__reach" {
+		t.Fatalf("dedup alias missing: %v", aliases)
+	}
+	if len(fused.Rules) != 3 {
+		t.Fatalf("fused program:\n%s", fused)
+	}
+}

@@ -33,7 +33,6 @@ package opt
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
@@ -527,68 +526,6 @@ func dedupRules(p *datalog.Program, rep *Report) bool {
 	changed := len(kept) != len(p.Rules)
 	p.Rules = kept
 	return changed
-}
-
-// canonicalRule renders a rule with body atoms sorted by their literal
-// text and variables then renumbered by first occurrence. α-equivalent
-// rules with consistently ordered atoms collide; two rules can only
-// collide if some variable renaming makes them literally identical, so
-// a collision always means semantic equality (the converse is
-// best-effort: exotic orderings of same-predicate atoms may escape).
-func canonicalRule(r datalog.Rule) string {
-	body := make([]string, len(r.Body))
-	for i, b := range r.Body {
-		body[i] = b.String()
-	}
-	sort.Strings(body)
-	return renameByFirstOccurrence(r, body)
-}
-
-// renameByFirstOccurrence renders head + sorted body with variables
-// renamed v0, v1, ... in order of first occurrence.
-func renameByFirstOccurrence(r datalog.Rule, sortedBody []string) string {
-	// Map original atom strings back to atoms in sorted order.
-	atoms := make([]datalog.Atom, 0, len(r.Body)+1)
-	atoms = append(atoms, r.Head)
-	byText := map[string][]datalog.Atom{}
-	for _, b := range r.Body {
-		byText[b.String()] = append(byText[b.String()], b)
-	}
-	for _, s := range sortedBody {
-		bs := byText[s]
-		atoms = append(atoms, bs[0])
-		byText[s] = bs[1:]
-	}
-	names := map[string]string{}
-	var sb strings.Builder
-	for i, a := range atoms {
-		if i == 1 {
-			sb.WriteString(" :- ")
-		} else if i > 1 {
-			sb.WriteString(", ")
-		}
-		sb.WriteString(a.Pred)
-		if len(a.Args) > 0 {
-			sb.WriteByte('(')
-			for j, t := range a.Args {
-				if j > 0 {
-					sb.WriteByte(',')
-				}
-				if t.IsVar() {
-					n, ok := names[t.Var]
-					if !ok {
-						n = fmt.Sprintf("v%d", len(names))
-						names[t.Var] = n
-					}
-					sb.WriteString(n)
-				} else {
-					fmt.Fprintf(&sb, "%d", t.Const)
-				}
-			}
-			sb.WriteByte(')')
-		}
-	}
-	return sb.String()
 }
 
 // dedupAtoms removes exact duplicate atoms within each rule body —

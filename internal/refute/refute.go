@@ -1,0 +1,96 @@
+// Package refute is the shared random-tree refutation harness behind
+// the containment checkers (caterpillar word-language containment,
+// monadic datalog UCQ containment): a sound "no" half of a decision
+// procedure. The checkers prove containment symbolically; when the
+// proof fails, Search enumerates small random trees and asks a probe
+// for a concrete counterexample node. A returned Witness is a real
+// tree on which the claim fails — checkable by re-evaluation — so a
+// refutation is never a false alarm, while an exhausted search proves
+// nothing (the caller reports Unknown).
+package refute
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+
+	"mdlog/internal/tree"
+)
+
+// Options tunes a refutation search.
+type Options struct {
+	// Trees is the number of random trees to try (default 400).
+	Trees int
+	// MaxSize bounds the size of candidate trees (default 10).
+	MaxSize int
+	// MaxChildren bounds the fan-out of candidate trees (default 4).
+	MaxChildren int
+	// Labels is the label alphabet for candidates (default a, b).
+	Labels []string
+	// Seed for the search; 0 means DefaultSeed() (the MDLOG_FUZZ_SEED
+	// environment override, else 1), so refutation searches are
+	// reproducible under the differential fuzzer's seed control.
+	Seed int64
+}
+
+// Witness is a concrete refutation: a tree and a node on which the
+// checked claim fails.
+type Witness struct {
+	Tree *tree.Tree
+	Node int
+}
+
+// DefaultSeed returns the seed refutation searches run with when the
+// caller does not pin one: MDLOG_FUZZ_SEED when set (the same knob
+// that seeds the cross-engine differential fuzzer, so a failing CI
+// seed reproduces the whole run including refutation searches), else 1.
+func DefaultSeed() int64 {
+	if s := os.Getenv("MDLOG_FUZZ_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v != 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+// withDefaults fills the unset fields of o.
+func (o Options) withDefaults() Options {
+	if o.Trees <= 0 {
+		o.Trees = 400
+	}
+	if o.MaxSize <= 0 {
+		o.MaxSize = 10
+	}
+	if o.MaxChildren <= 0 {
+		o.MaxChildren = 4
+	}
+	if len(o.Labels) == 0 {
+		o.Labels = []string{"a", "b"}
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed()
+	}
+	return o
+}
+
+// Search enumerates random trees (sizes 1..MaxSize, drawn from a
+// deterministic local source — never the package-global math/rand
+// state) and applies probe to each. A probe that finds the claim
+// violated on t returns the witnessing node id and true; Search stops
+// and returns the Witness. A nil result means no counterexample was
+// found within the budget — which proves nothing.
+func Search(o Options, probe func(t *tree.Tree) (node int, refuted bool)) *Witness {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	for i := 0; i < o.Trees; i++ {
+		t := tree.Random(rng, tree.RandomOptions{
+			Labels:      o.Labels,
+			Size:        1 + rng.Intn(o.MaxSize),
+			MaxChildren: o.MaxChildren,
+		})
+		if node, refuted := probe(t); refuted {
+			return &Witness{Tree: t, Node: node}
+		}
+	}
+	return nil
+}

@@ -107,9 +107,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleListWrappers(w http.ResponseWriter, _ *http.Request) {
 	ws := s.reg.Snapshot()
+	plans, _, _ := s.subsumePlans()
 	infos := make([]map[string]any, len(ws))
 	for i, wr := range ws {
 		infos[i] = wrapperInfo(wr, false)
+		if p, ok := plans[wr.Name]; ok {
+			infos[i]["subsume"] = memberPlanJSON(p)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"wrappers": infos})
 }

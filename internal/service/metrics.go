@@ -106,6 +106,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_fused_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.FusedRuns)
 	}
+	counter("mdlogd_wrapper_subsumed_runs_total", "Runs answered purely by projection from an equivalent wrapper's relations, by wrapper.")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_subsumed_runs_total{wrapper=%q} %d\n", st.wr.Name, st.query.SubsumedRuns)
+	}
 	counter("mdlogd_wrapper_facts_total", "Result facts by wrapper.")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_facts_total{wrapper=%q} %d\n", st.wr.Name, st.query.Facts)
@@ -145,6 +149,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if st.opt.RulesBefore > 0 {
 			fmt.Fprintf(&b, "mdlogd_wrapper_rules_after{wrapper=%q} %d\n", st.wr.Name, st.opt.RulesAfter)
 		}
+	}
+
+	if plans, fuseRep, ok := s.subsumePlans(); ok {
+		fmt.Fprintf(&b, "# HELP mdlogd_wrapper_subsume_class Equivalence class of the wrapper in the fused all-wrapper set (wrappers sharing a class share answers).\n# TYPE mdlogd_wrapper_subsume_class gauge\n")
+		for _, st := range stats {
+			if p, have := plans[st.wr.Name]; have && p.Fused {
+				fmt.Fprintf(&b, "mdlogd_wrapper_subsume_class{wrapper=%q} %d\n", st.wr.Name, p.Class)
+			}
+		}
+		fmt.Fprintf(&b, "# HELP mdlogd_wrapper_subsumed Whether the wrapper is served by projection from an equivalent wrapper (1) or evaluates its own rules (0).\n# TYPE mdlogd_wrapper_subsumed gauge\n")
+		for _, st := range stats {
+			if p, have := plans[st.wr.Name]; have && p.Fused {
+				v := 0
+				if p.Subsumed {
+					v = 1
+				}
+				fmt.Fprintf(&b, "mdlogd_wrapper_subsumed{wrapper=%q} %d\n", st.wr.Name, v)
+			}
+		}
+		gauge("mdlogd_fused_rules", "Rules in the fused all-wrapper program after dedup, CSE and subsumption.",
+			strconv.Itoa(fuseRep.RulesOut))
+		gauge("mdlogd_fused_rules_in", "Total member rules entering registry-wide fusion.",
+			strconv.Itoa(fuseRep.RulesIn))
+		gauge("mdlogd_cse_preds", "Shared auxiliary predicates extracted by common-subexpression elimination.",
+			strconv.Itoa(fuseRep.CSEPreds))
+		gauge("mdlogd_subsume_checked", "Visible predicates fingerprinted by the containment checker at the last registry compile.",
+			strconv.Itoa(fuseRep.SubsumeChecked))
+		gauge("mdlogd_subsume_merged", "Visible predicates proven equivalent and merged at the last registry compile.",
+			strconv.Itoa(fuseRep.SubsumedPreds))
+		gauge("mdlogd_subsume_unknown", "Visible predicates the containment checker declined (fall back to evaluation).",
+			strconv.Itoa(fuseRep.SubsumeUnknown))
+		gauge("mdlogd_subsume_check_seconds", "Containment-checker time at the last registry compile.",
+			seconds(time.Duration(fuseRep.CheckNs)))
 	}
 
 	counter("mdlogd_runs_total", "Query runs across all wrappers.")

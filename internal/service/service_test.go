@@ -843,3 +843,151 @@ func TestBatchAllNDJSON(t *testing.T) {
 		t.Fatalf("got %d lines", n)
 	}
 }
+
+// TestSubsumptionEndToEnd: register a datalog wrapper plus a
+// semantically equal but syntactically different variant; the fused
+// all-wrapper pass must serve the variant by projection (zero rules of
+// its own), /extractall must return identical results for both, and
+// /wrappers, /stats and /metrics must surface the subsumption.
+func TestSubsumptionEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	put := func(name, source string) {
+		t.Helper()
+		spec, _ := json.Marshal(map[string]any{"lang": "datalog", "source": source})
+		if status, body := doJSON(t, http.MethodPut, ts.URL+"/wrappers/"+name, string(spec)); status != http.StatusCreated {
+			t.Fatalf("PUT %s: status %d, body %v", name, status, body)
+		}
+	}
+	put("base", `q(X) :- firstchild(X,Y), label_td(Y). ?- q.`)
+	// Duplicated fragment + defensive dom(X): only the containment
+	// checker proves this equal to base.
+	put("variant", `q(X) :- dom(X), firstchild(X,Z), label_td(Z), firstchild(X,W), label_td(W). ?- q.`)
+
+	// /wrappers surfaces the compile decision.
+	status, list := doJSON(t, http.MethodGet, ts.URL+"/wrappers", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /wrappers: %d", status)
+	}
+	modes := map[string]string{}
+	shared := map[string]string{}
+	for _, raw := range list["wrappers"].([]any) {
+		info := raw.(map[string]any)
+		sub, ok := info["subsume"].(map[string]any)
+		if !ok {
+			t.Fatalf("wrapper %v lacks subsume info: %v", info["name"], info)
+		}
+		modes[info["name"].(string)] = sub["mode"].(string)
+		if sw, ok := sub["shared_with"].(string); ok {
+			shared[info["name"].(string)] = sw
+		}
+	}
+	if modes["base"] != "evaluated" || modes["variant"] != "subsumed" {
+		t.Fatalf("modes: %v", modes)
+	}
+	if shared["variant"] != "base" {
+		t.Fatalf("shared_with: %v", shared)
+	}
+
+	// /extractall: both wrappers answer, identically, in one pass.
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK {
+		t.Fatalf("extractall: status %d, body %v", status, body)
+	}
+	byName := map[string][]int{}
+	for _, raw := range body["results"].([]any) {
+		res := raw.(map[string]any)
+		byName[res["wrapper"].(string)] = intSlice(t, res["nodes"])
+	}
+	if len(byName["base"]) == 0 {
+		t.Fatalf("fixture drifted: base selects nothing: %v", body)
+	}
+	if fmt.Sprint(byName["base"]) != fmt.Sprint(byName["variant"]) {
+		t.Fatalf("equivalent wrappers disagree: %v vs %v", byName["base"], byName["variant"])
+	}
+	// Cross-check against a direct individual evaluation of the variant.
+	q, err := mdlog.Compile(`q(X) :- dom(X), firstchild(X,Z), label_td(Z), firstchild(X,W), label_td(W). ?- q.`, mdlog.LangDatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := q.Select(context.Background(), mdlog.ParseHTML(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(byName["variant"]) != fmt.Sprint(want) {
+		t.Fatalf("projection answer %v != direct evaluation %v", byName["variant"], want)
+	}
+
+	// /stats: the variant's runs are flagged subsumed; the fusion block
+	// records the checker's work.
+	status, stats := doJSON(t, http.MethodGet, ts.URL+"/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	wrappers := stats["wrappers"].(map[string]any)
+	variant := wrappers["variant"].(map[string]any)
+	if sr := variant["query"].(map[string]any)["subsumed_runs"].(float64); sr < 1 {
+		t.Fatalf("variant subsumed_runs = %v, want >= 1", sr)
+	}
+	if sr := wrappers["base"].(map[string]any)["query"].(map[string]any)["subsumed_runs"].(float64); sr != 0 {
+		t.Fatalf("base subsumed_runs = %v, want 0", sr)
+	}
+	fusion, ok := stats["fusion"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats lacks fusion block: %v", stats)
+	}
+	if fusion["subsumed_preds"].(float64) < 1 || fusion["subsume_checked"].(float64) < 1 {
+		t.Fatalf("fusion block: %v", fusion)
+	}
+
+	// /metrics: the counters exist with the right values.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`mdlogd_wrapper_subsumed_runs_total{wrapper="variant"} 1`,
+		`mdlogd_wrapper_subsumed_runs_total{wrapper="base"} 0`,
+		`mdlogd_wrapper_subsumed{wrapper="variant"} 1`,
+		`mdlogd_wrapper_subsumed{wrapper="base"} 0`,
+		`mdlogd_subsume_merged 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+
+	// Registry mutation rebuilds the subsumption index: delete the
+	// representative and the variant must evaluate its own rules again.
+	if status, _ := doJSON(t, http.MethodDelete, ts.URL+"/wrappers/base", ""); status != http.StatusNoContent {
+		t.Fatalf("DELETE base: %d", status)
+	}
+	status, list = doJSON(t, http.MethodGet, ts.URL+"/wrappers", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /wrappers: %d", status)
+	}
+	for _, raw := range list["wrappers"].([]any) {
+		info := raw.(map[string]any)
+		if sub, ok := info["subsume"].(map[string]any); ok && sub["mode"] == "subsumed" {
+			t.Fatalf("wrapper %v still subsumed after representative deleted", info["name"])
+		}
+	}
+	status, body = doJSON(t, http.MethodPost, ts.URL+"/extractall", page)
+	if status != http.StatusOK {
+		t.Fatalf("extractall after delete: %d", status)
+	}
+	for _, raw := range body["results"].([]any) {
+		res := raw.(map[string]any)
+		if res["wrapper"] == "variant" {
+			if fmt.Sprint(intSlice(t, res["nodes"])) != fmt.Sprint(want) {
+				t.Fatalf("variant after delete: %v, want %v", res["nodes"], want)
+			}
+		}
+	}
+}

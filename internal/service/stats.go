@@ -47,6 +47,7 @@ func queryStatsJSON(st mdlog.Stats) map[string]any {
 	return map[string]any{
 		"runs":           st.Runs,
 		"fused_runs":     st.FusedRuns,
+		"subsumed_runs":  st.SubsumedRuns,
 		"facts":          st.Facts,
 		"cache_hits":     st.CacheHits,
 		"parse_ns":       int64(st.Parse),
@@ -79,10 +80,69 @@ func cacheStatsJSON(cs mdlog.CacheStats) map[string]any {
 	}
 }
 
+// subsumePlans returns the fused all-wrapper set's per-member compile
+// decisions keyed by wrapper name, plus its fuse report. ok is false
+// when no set exists (empty registry) or the set failed to build —
+// introspection surfaces then simply omit the subsumption view.
+func (s *Server) subsumePlans() (map[string]mdlog.MemberPlan, mdlog.FuseReport, bool) {
+	set, err := s.querySet()
+	if err != nil || set == nil {
+		return nil, mdlog.FuseReport{}, false
+	}
+	plans := set.Plans()
+	out := make(map[string]mdlog.MemberPlan, len(plans))
+	for _, p := range plans {
+		out[p.Name] = p
+	}
+	return out, set.FuseStats(), true
+}
+
+// memberPlanJSON renders one wrapper's compile decision in the fused
+// all-wrapper set: "evaluated" (owns rules in the fused pass),
+// "subsumed" (answered by projection from an equivalent wrapper), or
+// "individual" (not covered by the fused pass).
+func memberPlanJSON(p mdlog.MemberPlan) map[string]any {
+	mode := "individual"
+	switch {
+	case p.Subsumed:
+		mode = "subsumed"
+	case p.Fused:
+		mode = "evaluated"
+	}
+	entry := map[string]any{"mode": mode, "rules": p.Rules}
+	if p.Fused {
+		entry["class"] = p.Class
+	}
+	if p.SharedWith != "" {
+		entry["shared_with"] = p.SharedWith
+	}
+	return entry
+}
+
+// fuseReportJSON renders the registry-wide fusion/subsumption report:
+// what the compile pipeline merged, extracted, and proved across the
+// whole wrapper fleet.
+func fuseReportJSON(rep mdlog.FuseReport) map[string]any {
+	return map[string]any{
+		"members":         rep.Members,
+		"rules_in":        rep.RulesIn,
+		"rules_out":       rep.RulesOut,
+		"merged_preds":    rep.MergedPreds,
+		"merged_rules":    rep.MergedRules,
+		"cse_preds":       rep.CSEPreds,
+		"cse_refs":        rep.CSERefs,
+		"subsume_checked": rep.SubsumeChecked,
+		"subsumed_preds":  rep.SubsumedPreds,
+		"subsume_unknown": rep.SubsumeUnknown,
+		"check_ns":        rep.CheckNs,
+	}
+}
+
 // handleStats reports per-wrapper query + cache aggregates, the
 // service-wide rollup, and the daemon's own counters.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	stats, total := s.snapshot()
+	plans, fuseRep, havePlans := s.subsumePlans()
 	wrappers := make(map[string]any, len(stats))
 	for _, st := range stats {
 		entry := map[string]any{
@@ -106,13 +166,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				"dead_rules":   st.opt.DeadRules,
 			}
 		}
+		if p, ok := plans[st.wr.Name]; ok {
+			entry["subsume"] = memberPlanJSON(p)
+		}
 		wrappers[st.wr.Name] = entry
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"service":  s.serviceJSON(),
 		"wrappers": wrappers,
 		"totals":   queryStatsJSON(total),
-	})
+	}
+	if havePlans {
+		body["fusion"] = fuseReportJSON(fuseRep)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) serviceJSON() map[string]any {

@@ -240,9 +240,10 @@ type CompiledQuery struct {
 	plan      queryPlan
 	optReport OptReport
 	// memoKey keys this query's entries in the TreeCache result memo.
-	// Datalog-routed plans use a planKey hashing the post-optimization
-	// program (see eval.ProgramHash), so queries whose prepared plans
-	// coincide share memoized results, while optimized/unoptimized
+	// Datalog-routed plans use a planKey hashing the α-canonical form
+	// of the post-optimization program (opt.Canonicalize), so queries
+	// whose prepared plans coincide up to rule order and variable
+	// naming share memoized results, while optimized/unoptimized
 	// variants of the same source never alias. Plans without a datalog
 	// program fall back to the query's own identity.
 	memoKey any
@@ -262,6 +263,7 @@ type aggStats struct {
 	materialize, eval    atomic.Int64 // ns, accumulated per run
 	facts, runs          atomic.Int64
 	cacheHits, fusedRuns atomic.Int64
+	subsumedRuns         atomic.Int64
 }
 
 // record folds one run's measurements into the aggregate. Runs is
@@ -280,6 +282,7 @@ func (a *aggStats) record(rs Stats) {
 	a.runs.Add(rs.Runs)
 	a.cacheHits.Add(rs.CacheHits)
 	a.fusedRuns.Add(rs.FusedRuns)
+	a.subsumedRuns.Add(rs.SubsumedRuns)
 }
 
 // snapshot assembles the aggregate into a Stats value. The counters
@@ -290,17 +293,19 @@ func (a *aggStats) record(rs Stats) {
 // Unrelated fields can still tear against each other; the per-field
 // totals are each exact.
 func (a *aggStats) snapshot() Stats {
+	subsumedRuns := a.subsumedRuns.Load()
 	fusedRuns := a.fusedRuns.Load()
 	cacheHits := a.cacheHits.Load()
 	return Stats{
-		Parse:       time.Duration(a.parse.Load()),
-		Compile:     time.Duration(a.compile.Load()),
-		Materialize: time.Duration(a.materialize.Load()),
-		Eval:        time.Duration(a.eval.Load()),
-		Facts:       a.facts.Load(),
-		Runs:        a.runs.Load(),
-		CacheHits:   cacheHits,
-		FusedRuns:   fusedRuns,
+		Parse:        time.Duration(a.parse.Load()),
+		Compile:      time.Duration(a.compile.Load()),
+		Materialize:  time.Duration(a.materialize.Load()),
+		Eval:         time.Duration(a.eval.Load()),
+		Facts:        a.facts.Load(),
+		Runs:         a.runs.Load(),
+		CacheHits:    cacheHits,
+		FusedRuns:    fusedRuns,
+		SubsumedRuns: subsumedRuns,
 	}
 }
 
@@ -315,7 +320,8 @@ type planKey struct {
 
 func newPlanKey(p *Program, engine Engine, project []string) planKey {
 	extra := append([]string{engine.String()}, project...)
-	return planKey{hash: eval.ProgramHash(p, extra...), rules: len(p.Rules)}
+	c := opt.Canonicalize(p, extra...)
+	return planKey{hash: c.Hash, rules: c.Rules}
 }
 
 // Compile parses src in the given language, normalizes it onto one of

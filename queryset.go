@@ -18,6 +18,8 @@ package mdlog
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"mdlog/internal/datalog"
@@ -100,8 +102,48 @@ type QuerySet struct {
 	// result, so the memo never retains merged auxiliary relations.
 	fusedVisible []string
 	report       FuseReport
+	// plans is the per-member compile outcome (fused / subsumed /
+	// equivalence class), computed once at build time.
+	plans []MemberPlan
 
 	agg aggStats
+}
+
+// MemberPlan describes how the compile pipeline decided to serve one
+// QuerySet member: evaluated inside the fused pass, evaluated
+// individually, or — when the containment checker proved it equivalent
+// to another member — answered purely by projection with zero rules of
+// its own.
+type MemberPlan struct {
+	// Name and Index identify the member (Index is its set position).
+	Name  string
+	Index int
+	// Fused reports whether the member is covered by the shared fused
+	// pass.
+	Fused bool
+	// Subsumed reports that none of the member's own rules survive in
+	// the fused program: its results are projected from an equivalent
+	// member's relations and SetResult.Stats.SubsumedRuns is 1 per run.
+	Subsumed bool
+	// Rules is the number of fused-program rules the member owns
+	// (0 when subsumed); for unfused members, its own plan's rule
+	// count.
+	Rules int
+	// Class is the member's equivalence class among fused members:
+	// members whose visible relations resolve to the same fused
+	// predicates share a class (and therefore answers). -1 for unfused
+	// members; singleton classes are normal.
+	Class int
+	// SharedWith names the representative member whose rules carry
+	// this member's answers; empty unless Subsumed.
+	SharedWith string
+}
+
+// Plans returns the per-member compile decisions in set order. The
+// slice is freshly allocated; the decisions themselves are fixed at
+// construction.
+func (s *QuerySet) Plans() []MemberPlan {
+	return append([]MemberPlan(nil), s.plans...)
 }
 
 // NewQuerySet fuses already-compiled queries into a set; members are
@@ -122,6 +164,10 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 	s := &QuerySet{
 		members: append([]NamedQuery(nil), members...),
 		cache:   NewTreeCache(DefaultCacheTrees),
+	}
+	s.plans = make([]MemberPlan, len(s.members))
+	for i, m := range s.members {
+		s.plans[i] = MemberPlan{Name: m.Name, Index: i, Class: -1}
 	}
 	var fuseMembers []opt.FuseMember
 	bitmapMembers := 0
@@ -148,6 +194,7 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 			Program: prog,
 			Visible: append([]string(nil), visible...),
 		})
+		s.plans[i].Rules = len(prog.Rules)
 		s.fusedIdx = append(s.fusedIdx, i)
 		if m.Query.cache == nil {
 			s.fusedNoCache = true
@@ -176,6 +223,59 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 				}
 			}
 			evalMembers[j] = eval.FusedMember{Name: s.members[s.fusedIdx[j]].Name, Project: rename}
+		}
+		// A member is subsumed when no fused rule carries its apex
+		// prefix: whether the containment checker proved it equivalent
+		// to another member or plain dedup merged an exact twin, its
+		// results come purely from projecting surviving relations, so
+		// it costs zero evaluation per document.
+		ownedRules := map[string]int{}
+		for _, r := range fusedProg.Rules {
+			for _, fm := range fuseMembers {
+				if strings.HasPrefix(r.Head.Pred, fm.Prefix) {
+					ownedRules[fm.Prefix]++
+					break
+				}
+			}
+		}
+		// Equivalence classes: members whose visible relations resolve
+		// to the same fused predicates share every answer. Class ids are
+		// assigned in member order; a subsumed member's SharedWith names
+		// its class's surviving representative.
+		classOf := map[string]int{}
+		classRep := map[int]string{}
+		for j, fm := range fuseMembers {
+			idx := s.fusedIdx[j]
+			mp := &s.plans[idx]
+			mp.Fused = true
+			mp.Rules = ownedRules[fm.Prefix]
+			carriers := make([]string, 0, len(evalMembers[j].Project))
+			for _, fusedPred := range evalMembers[j].Project {
+				carriers = append(carriers, fusedPred)
+			}
+			sort.Strings(carriers)
+			key := strings.Join(carriers, "\x00")
+			cls, ok := classOf[key]
+			if !ok {
+				cls = len(classOf)
+				classOf[key] = cls
+			}
+			mp.Class = cls
+			if mp.Rules > 0 {
+				if _, ok := classRep[cls]; !ok {
+					classRep[cls] = s.members[idx].Name
+				}
+			}
+			if mp.Rules == 0 {
+				evalMembers[j].Subsumed = true
+				mp.Subsumed = true
+			}
+		}
+		for j := range fuseMembers {
+			mp := &s.plans[s.fusedIdx[j]]
+			if mp.Subsumed {
+				mp.SharedWith = classRep[mp.Class]
+			}
 		}
 		// The shared pass runs on the bitmap engine only when EVERY
 		// fusable member asked for it — a single mixed set falls back to
@@ -287,6 +387,9 @@ func (s *QuerySet) Run(ctx context.Context, t *Tree) []SetResult {
 			}
 			st := eval.AttributeShared(shared, len(s.fusedIdx))
 			st.Runs, st.FusedRuns = 1, 1
+			if s.fused.MemberSubsumed(j) {
+				st.SubsumedRuns = 1
+			}
 			s.fill(res, dbs[j], st)
 		}
 	}

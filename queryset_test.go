@@ -465,3 +465,103 @@ func TestQuerySetAggregateFacts(t *testing.T) {
 		t.Fatalf("set aggregate lost the fact counts: %+v", st)
 	}
 }
+
+// TestQuerySetSubsumption: a member whose query is a semantically
+// equal but syntactically different restatement of another's must be
+// answered by projection — zero rules of its own in the fused program,
+// SubsumedRuns recorded, results identical to running it alone.
+func TestQuerySetSubsumption(t *testing.T) {
+	ctx := context.Background()
+	base := mustCompileQS(t, `q(X) :- firstchild(X,Y), label_td(Y). ?- q.`, LangDatalog)
+	// Duplicated join fragment + defensive dom: not α-equivalent, only
+	// the containment checker can prove it equal.
+	variant := mustCompileQS(t, `q(X) :- dom(X), firstchild(X,Z), label_td(Z), firstchild(X,W), label_td(W). ?- q.`, LangDatalog)
+	set, err := NewNamedQuerySet(
+		NamedQuery{Name: "base", Query: base},
+		NamedQuery{Name: "variant", Query: variant},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := set.Plans()
+	if len(plans) != 2 {
+		t.Fatalf("plans: %+v", plans)
+	}
+	if plans[0].Subsumed || !plans[0].Fused || plans[0].Rules == 0 {
+		t.Fatalf("base plan: %+v", plans[0])
+	}
+	if !plans[1].Subsumed || plans[1].SharedWith != "base" || plans[1].Rules != 0 {
+		t.Fatalf("variant plan: %+v", plans[1])
+	}
+	if plans[0].Class != plans[1].Class {
+		t.Fatalf("equivalent members must share a class: %+v", plans)
+	}
+	if rep := set.FuseStats(); rep.SubsumedPreds != 1 {
+		t.Fatalf("fuse report: %+v", rep)
+	}
+
+	doc := ParseHTML(querySetPage)
+	res := set.Run(ctx, doc)
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+	// Projection answers must match a direct individual evaluation.
+	solo := mustCompileQS(t, `q(X) :- dom(X), firstchild(X,Z), label_td(Z), firstchild(X,W), label_td(W). ?- q.`, LangDatalog)
+	want, err := solo.Select(ctx, ParseHTML(querySetPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res[1].IDs) != fmt.Sprint(want) {
+		t.Fatalf("subsumed member answers %v, direct evaluation %v", res[1].IDs, want)
+	}
+	if fmt.Sprint(res[0].IDs) != fmt.Sprint(res[1].IDs) {
+		t.Fatalf("equivalent members disagree: %v vs %v", res[0].IDs, res[1].IDs)
+	}
+	// Stats: the subsumed member's run is flagged, the representative's
+	// is not.
+	if st := res[1].Stats; st.SubsumedRuns != 1 || st.FusedRuns != 1 {
+		t.Fatalf("variant run stats: %+v", st)
+	}
+	if st := res[0].Stats; st.SubsumedRuns != 0 {
+		t.Fatalf("base run stats: %+v", st)
+	}
+	if st := variant.Stats(); st.SubsumedRuns != 1 || st.Runs != 1 {
+		t.Fatalf("variant lifetime stats: %+v", st)
+	}
+	if st := base.Stats(); st.SubsumedRuns != 0 || st.Runs != 1 {
+		t.Fatalf("base lifetime stats: %+v", st)
+	}
+}
+
+// TestQuerySetSubsumptionDistinctKeptApart: near-miss members (proper
+// containment, not equivalence) must both keep their rules and answer
+// independently.
+func TestQuerySetSubsumptionDistinctKeptApart(t *testing.T) {
+	ctx := context.Background()
+	all := mustCompileQS(t, `q(X) :- label_td(X). ?- q.`, LangDatalog)
+	some := mustCompileQS(t, `q(X) :- label_td(X), firstchild(X,Y), label_b(Y). ?- q.`, LangDatalog)
+	set, err := NewNamedQuerySet(
+		NamedQuery{Name: "all", Query: all},
+		NamedQuery{Name: "some", Query: some},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range set.Plans() {
+		if p.Subsumed {
+			t.Fatalf("proper containment wrongly subsumed: %+v", p)
+		}
+	}
+	doc := ParseHTML(querySetPage)
+	res := set.Run(ctx, doc)
+	if fmt.Sprint(res[0].IDs) == fmt.Sprint(res[1].IDs) {
+		t.Fatalf("distinct queries must differ on this page: %v", res[0].IDs)
+	}
+	for _, r := range res {
+		if r.Stats.SubsumedRuns != 0 {
+			t.Fatalf("%s: %+v", r.Name, r.Stats)
+		}
+	}
+}
