@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset bench-incremental bench-subsume fuzz-smoke docs-gate
+.PHONY: check vet build test race bench-smoke bench bench-treesize bench-service bench-opt bench-queryset bench-incremental bench-subsume bench-span fuzz-smoke docs-gate
 
 check: docs-gate build race fuzz-smoke bench-smoke
 
@@ -31,9 +31,11 @@ docs-gate: vet
 # (optimizer rule-count reduction + Select speedup per wrapper),
 # BENCH_queryset.json (fused vs sequential N-wrapper evaluation),
 # BENCH_incremental.json (incremental vs full revision cost per edit
-# fraction), BENCH_service.json (fleet-mode dedup + shard scaling) and
-# BENCH_subsume.json (containment-aware vs plain fused pipeline) so
-# every CI run archives a perf trajectory point.
+# fraction), BENCH_service.json (fleet-mode dedup + shard scaling),
+# BENCH_subsume.json (containment-aware vs plain fused pipeline) and
+# BENCH_span.json (compiled span extraction vs node-select + Go regexp,
+# 100k-node point included even in quick mode) so every CI run archives
+# a perf trajectory point.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchtables -quick -treesize BENCH_treesize.json
@@ -42,6 +44,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchtables -quick -incremental BENCH_incremental.json
 	$(GO) run ./cmd/benchtables -quick -service BENCH_service.json
 	$(GO) run ./cmd/benchtables -quick -subsume BENCH_subsume.json
+	$(GO) run ./cmd/benchtables -quick -span BENCH_span.json
 
 # Full-size optimizer measurement (EXT-OPT).
 bench-opt:
@@ -87,6 +90,11 @@ bench-service:
 # plain fused baseline.
 bench-subsume:
 	$(GO) run ./cmd/benchtables -subsume BENCH_subsume.json
+
+# Full-size span-extraction measurement (EXT-SPAN): compiled LangSpanner
+# vs node-select + Go-regex post-processing at 10k/100k/300k nodes.
+bench-span:
+	$(GO) run ./cmd/benchtables -span BENCH_span.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -15,6 +15,8 @@
 //	                      # write the fleet-mode dedup + shard scaling points as JSON
 //	benchtables -subsume BENCH_subsume.json
 //	                      # write the wrapper-subsumption points as JSON
+//	benchtables -span BENCH_span.json
+//	                      # write the span-extraction points as JSON
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	incremental := flag.String("incremental", "", "write EXT-INCREMENTAL points (incremental vs full revision cost per edit fraction) to this JSON file and exit")
 	svc := flag.String("service", "", "write EXT-SERVICE points (dedup-cache sweep + shard scaling over HTTP) to this JSON file and exit")
 	subsume := flag.String("subsume", "", "write EXT-SUBSUME points (containment-aware vs plain fused pipeline per fleet size) to this JSON file and exit")
+	span := flag.String("span", "", "write EXT-SPAN points (compiled span extraction vs node-select + Go regexp) to this JSON file and exit")
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
 	if *list {
@@ -80,6 +83,11 @@ func main() {
 	if *subsume != "" {
 		pts := experiments.SubsumeData(cfg)
 		writeJSON(*subsume, pts, "fleet sizes", len(pts))
+		return
+	}
+	if *span != "" {
+		pts := experiments.SpanData(cfg)
+		writeJSON(*span, pts, "sizes", len(pts))
 		return
 	}
 	if *svc != "" {

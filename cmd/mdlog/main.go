@@ -5,7 +5,12 @@
 //	mdlog -program wrapper.dl -tree 'a(b,c(d))'
 //	mdlog -lang xpath -query '//table/tr[td/b]/td' -html page.html
 //	mdlog -lang elog -program wrapper.elog -html p1.html -html p2.html
+//	mdlog -lang spanner -program prices.span -html page.html
 //	mdlog -program wrapper.dl -html page.html -engine seminaive -stats
+//
+// With -lang spanner the program combines node rules with span rules
+// (text/attr/match atoms); the output is one line per extracted span
+// row instead of node-id sets.
 //
 // A datalog program may designate a query predicate with "?- pred.";
 // -pred overrides it. With several documents the compiled query fans
@@ -66,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mdlog", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		langArg      = fs.String("lang", "datalog", "query language: datalog, tmnf, mso, xpath, caterpillar, elog")
+		langArg      = fs.String("lang", "datalog", "query language: "+strings.Join(mdlog.LanguageNames(), ", "))
 		programFiles multiFlag
 		queryArgs    multiFlag
 		treeArgs     multiFlag
@@ -167,6 +172,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 						return fmt.Errorf("document %d, program %s: %w", dr.Index, res.Name, res.Err)
 					}
 					q := queries[res.Index]
+					if res.Spans != nil {
+						printSpans(stdout, p+res.Name+".", res.Spans)
+					}
 					if q.QueryPred() != "" {
 						fmt.Fprintf(stdout, "%s%s: %v\n", p, res.Name, res.IDs)
 						continue
@@ -219,10 +227,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			return nil
 		}
+		if lang == mdlog.LangSpanner {
+			// Spanner mode: the result is the span relations, printed one
+			// row per line; the node part's ?- selection stays internal.
+			pass = func(prefix string, docs []*mdlog.Tree) error {
+				for _, res := range (mdlog.Runner{Workers: *workers}).SpansAll(ctx, q, docs) {
+					if res.Err != nil {
+						return fmt.Errorf("document %d: %w", res.Index, res.Err)
+					}
+					p := prefix
+					if len(docs) > 1 {
+						p = fmt.Sprintf("%s[doc %d] ", prefix, res.Index)
+					}
+					printSpans(stdout, p, res.Spans)
+				}
+				return nil
+			}
+		}
 		finishStats = func() {
 			s := q.Stats()
-			fmt.Fprintf(stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts over %d runs (%d cache hits)\n",
-				s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Runs, s.CacheHits)
+			fmt.Fprintf(stderr, "parse %v, compile %v, materialize %v, eval %v, %d facts, %d spans over %d runs (%d cache hits)\n",
+				s.Parse, s.Compile, s.Materialize, s.Eval, s.Facts, s.Spans, s.Runs, s.CacheHits)
 		}
 	}
 
@@ -360,6 +385,21 @@ func explainQuery(w io.Writer, name string, q *mdlog.CompiledQuery) {
 			o.Level, o.RulesBefore, o.RulesAfter, o.Inlined, o.DeadRules)
 	}
 	fmt.Fprintln(w)
+}
+
+// printSpans renders span relations one row per line:
+//
+//	price(node 7): amt="2.20" [1:5]
+func printSpans(w io.Writer, prefix string, res mdlog.SpanResult) {
+	for _, rel := range res {
+		for _, row := range rel.Rows {
+			fmt.Fprintf(w, "%s%s(node %d):", prefix, rel.Name, row.Node)
+			for i, sp := range row.Spans {
+				fmt.Fprintf(w, " %s=%q [%d:%d]", rel.Vars[i], sp.Text, sp.Start, sp.End)
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }
 
 // progName labels a program source by its file base name without

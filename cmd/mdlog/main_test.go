@@ -62,6 +62,15 @@ func TestGoldenTermTree(t *testing.T) {
 	checkGolden(t, "term_tree.golden", out.Bytes())
 }
 
+func TestGoldenSpanner(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-lang", "spanner", "-program", "testdata/prices.span", "-html", "testdata/page.html"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("%v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "spanner_html.golden", out.Bytes())
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if err := run([]string{"-tree", "a"}, &out, &errb); err == nil {

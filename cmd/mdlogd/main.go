@@ -1,5 +1,5 @@
 // Command mdlogd is the wrapper-serving daemon: it holds a registry of
-// compiled wrappers (any of the paper's six languages) and serves
+// compiled wrappers (any of the seven query languages) and serves
 // extraction over HTTP — single documents via POST /extract/{name},
 // multi-document batches via POST /batch/{name}, wrapper management
 // via PUT/GET/DELETE /wrappers/{name}, live document sessions via

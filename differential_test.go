@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"mdlog/internal/eval"
 	"mdlog/internal/opt"
 	"mdlog/internal/refute"
+	"mdlog/internal/span"
 	"mdlog/internal/tree"
 )
 
@@ -257,6 +259,11 @@ func TestDifferentialEngines(t *testing.T) {
 				fuzzCheckerSoundness(t, ctx, i, rng, p, tr, ref)
 			}
 
+			// Spanner arm: a random regex formula over a random tree with
+			// random text/attribute content, end to end through
+			// LangSpanner, against a naive reference.
+			fuzzSpannerArm(t, ctx, i, rng)
+
 			// Incremental arm: the same program delta-maintained on a
 			// live document must match replay-from-scratch after each
 			// edit window (tr is not used again after this).
@@ -281,6 +288,127 @@ func TestDifferentialEngines(t *testing.T) {
 						t.Fatalf("case %d step %d: incremental %s selects %s, replay %s\nprogram:\n%s",
 							i, step, q.EngineName(), got, want, p)
 					}
+				}
+			}
+		}
+	}
+}
+
+// fuzzSpannerArm is the spanner differential: a random regex formula
+// over a random tree whose nodes carry random text and attribute
+// values, compiled through LangSpanner on both grounding engines at
+// both optimization levels. The reference is assembled naively — the
+// candidate node set from the naive engine at O0, and the span tuples
+// from Formula.NaiveEnumerate (the backtracking matcher the vset
+// automaton must agree with) over each candidate's character data.
+func fuzzSpannerArm(t *testing.T, ctx context.Context, caseNo int, rng *rand.Rand) {
+	t.Helper()
+	fsrc := span.RandomFormula(rng, 2)
+	f, err := span.ParseFormula(fsrc)
+	if err != nil {
+		t.Fatalf("case %d: random formula /%s/ does not parse: %v", caseNo, fsrc, err)
+	}
+	tr := tree.Random(rng, tree.RandomOptions{
+		Labels: []string{"a", "b", "c"}, Size: 8 + rng.Intn(16), MaxChildren: 4})
+	for _, n := range tr.Nodes {
+		if rng.Intn(4) > 0 {
+			n.Text = span.RandomText(rng, 10)
+		}
+		if rng.Intn(3) == 0 {
+			n.Attrs = map[string]string{"k": span.RandomText(rng, 10)}
+		}
+	}
+
+	// One text rule gated on a random unary EDB condition, one attr
+	// rule over the whole domain; both heads emit the source span plus
+	// every capture variable.
+	cond := fuzzUnaryEDB[rng.Intn(len(fuzzUnaryEDB))]
+	var heads, outs strings.Builder
+	for i := range f.Vars {
+		fmt.Fprintf(&heads, ", V%d", i)
+		fmt.Fprintf(&outs, ", V%d", i)
+	}
+	src := fmt.Sprintf(`
+		cand(X) :- %s(X).
+		sp(X, S%s) :- cand(X), text(X, S), match(S, /%s/%s).
+		spa(X, A%s) :- attr(X, "k", A), match(A, /%s/%s).
+		?- cand.
+	`, cond, heads.String(), fsrc, outs.String(), heads.String(), fsrc, outs.String())
+
+	// Naive reference rows, encoded "node [s e] [s e]...".
+	naiveRows := func(ids []int, data func(int) (string, bool)) []string {
+		seen := map[string]bool{}
+		var rows []string
+		for _, id := range ids {
+			text, ok := data(id)
+			if !ok {
+				continue
+			}
+			for _, marks := range f.NaiveEnumerate(text) {
+				row := fmt.Sprintf("%d [0 %d]", id, len(text))
+				for v := range f.Vars {
+					row += fmt.Sprintf(" [%d %d]", marks[2*v], marks[2*v+1])
+				}
+				if !seen[row] {
+					seen[row] = true
+					rows = append(rows, row)
+				}
+			}
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	nq, err := Compile(fmt.Sprintf("cand(X) :- %s(X). ?- cand.", cond), LangDatalog,
+		WithEngine(EngineNaive), WithOptLevel(OptNone), WithoutCache())
+	if err != nil {
+		t.Fatalf("case %d: compiling reference candidates: %v", caseNo, err)
+	}
+	cands, err := nq.Select(ctx, tr)
+	if err != nil {
+		t.Fatalf("case %d: reference candidates: %v", caseNo, err)
+	}
+	all := make([]int, len(tr.Nodes))
+	for i := range all {
+		all[i] = i
+	}
+	// text(X, S) fails on a node without character data (an empty attr
+	// value, by contrast, is a present value) — mirror that here.
+	wantSp := naiveRows(cands, func(id int) (string, bool) {
+		return tr.Nodes[id].Text, tr.Nodes[id].Text != ""
+	})
+	wantSpa := naiveRows(all, func(id int) (string, bool) {
+		v, ok := tr.Nodes[id].Attrs["k"]
+		return v, ok
+	})
+
+	gotRows := func(res SpanResult, rel string) []string {
+		var rows []string
+		if r := res.Rel(rel); r != nil {
+			for _, row := range r.Rows {
+				s := fmt.Sprint(row.Node)
+				for _, sp := range row.Spans {
+					s += fmt.Sprintf(" [%d %d]", sp.Start, sp.End)
+				}
+				rows = append(rows, s)
+			}
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	for _, e := range []Engine{EngineLinear, EngineBitmap} {
+		for _, lvl := range []OptLevel{OptNone, OptFull} {
+			q, err := Compile(src, LangSpanner, WithEngine(e), WithOptLevel(lvl), WithoutCache())
+			if err != nil {
+				t.Fatalf("case %d: spanner %v/%v compile: %v\nprogram:\n%s", caseNo, e, lvl, err, src)
+			}
+			res, err := q.Spans(ctx, tr)
+			if err != nil {
+				t.Fatalf("case %d: spanner %v/%v run: %v\nprogram:\n%s", caseNo, e, lvl, err, src)
+			}
+			for rel, want := range map[string][]string{"sp": wantSp, "spa": wantSpa} {
+				if got := gotRows(res, rel); fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("case %d: spanner %v/%v %s = %v, naive reference %v\nformula: /%s/\nprogram:\n%s\ntree: %s",
+						caseNo, e, lvl, rel, got, want, fsrc, src, tr)
 				}
 			}
 		}

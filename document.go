@@ -216,6 +216,19 @@ func (d *Document) SetText(v int, text string) error {
 	})
 }
 
+// AppendText appends suffix to v's text content (a convenience
+// SetText of the concatenation — common for live logs and streaming
+// ingestion). Like SetText, only the generation advances; spanner
+// queries observe the new text on their next run.
+func (d *Document) AppendText(v int, suffix string) error {
+	return d.edit(func(del *tree.ArenaDelta) error {
+		if err := d.checkNode(v); err != nil {
+			return err
+		}
+		return d.arena.AppendText(del, int32(v), suffix)
+	})
+}
+
 // SetAttr sets attribute key on v. Like text, attributes are outside
 // the τ_ur signature.
 func (d *Document) SetAttr(v int, key, value string) error {
@@ -317,7 +330,13 @@ func (d *Document) pruneLocked() {
 // memoized in cache under the generation-aware key) with ids mapped
 // back to arena ids. Caller holds d.mu.
 func (q *CompiledQuery) runIncrementalIn(ctx context.Context, d *Document, cache *TreeCache) (*Database, Stats, error) {
-	switch p := q.plan.(type) {
+	plan := q.plan
+	if sp, ok := plan.(*spannerPlan); ok {
+		// A spanner's node part is an ordinary grounding plan; maintain
+		// it like one (span enumeration happens on top, per call).
+		plan = sp.inner
+	}
+	switch p := plan.(type) {
 	case *linearPlan:
 		return d.incRunLocked(ctx, q.memoKey, p.project, p.engineName(),
 			func() *eval.IncState { return p.plan.NewIncState(d.arena) })
@@ -451,7 +470,7 @@ func (s *QuerySet) RunIncremental(ctx context.Context, d *Document) []SetResult 
 			}
 			st := eval.AttributeShared(shared, len(s.fusedIdx))
 			st.Runs, st.FusedRuns = 1, 1
-			s.fill(res, dbs[j], st)
+			s.fill(res, arenaSource{a: d.arena}, dbs[j], st)
 		}
 	}
 	for i, m := range s.members {
@@ -469,7 +488,7 @@ func (s *QuerySet) RunIncremental(ctx context.Context, d *Document) []SetResult 
 			continue
 		}
 		rs.Runs = 1
-		s.fill(&out[i], db, rs)
+		s.fill(&out[i], arenaSource{a: d.arena}, db, rs)
 	}
 	for i := range out {
 		total.Facts += out[i].Stats.Facts

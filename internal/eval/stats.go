@@ -35,6 +35,9 @@ type Stats struct {
 	// proved this member's rules redundant, so zero evaluation work
 	// was attributable to them; always ≤ FusedRuns.
 	SubsumedRuns int64
+	// Spans is the number of span tuples extracted (spanner queries
+	// only; the span-rule result rows, not the node facts in Facts).
+	Spans int64
 	// Engine names the engine that served the runs ("linear",
 	// "bitmap", "automaton", ...). Aggregating runs served by
 	// different engines yields "mixed".
@@ -70,6 +73,7 @@ func (s *Stats) Add(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
 	s.SubsumedRuns += o.SubsumedRuns
+	s.Spans += o.Spans
 	s.Engine = mergeEngine(s.Engine, o.Engine)
 }
 
@@ -88,5 +92,6 @@ func (s *Stats) Merge(o Stats) {
 	s.CacheHits += o.CacheHits
 	s.FusedRuns += o.FusedRuns
 	s.SubsumedRuns += o.SubsumedRuns
+	s.Spans += o.Spans
 	s.Engine = mergeEngine(s.Engine, o.Engine)
 }

@@ -118,6 +118,7 @@ var catalog = []struct {
 	{"EXT-QUERYSET", "QuerySet fusion: N wrappers, one shared pass per document", QuerySet},
 	{"EXT-INCREMENTAL", "Incremental maintenance: edit-sized revisions vs full reparse + re-extract", Incremental},
 	{"EXT-SUBSUME", "Wrapper subsumption: containment-aware pipeline vs plain fused baseline", Subsume},
+	{"EXT-SPAN", "Spanners: compiled span extraction vs node-select + Go regexp", Span},
 }
 
 func All(cfg Config) []Table {

@@ -23,6 +23,7 @@ const (
 	outNodes  outputMode = iota // selected node ids (CompiledQuery.Select)
 	outAssign                   // pattern → node ids (WrapAssign)
 	outXML                      // wrapped output tree serialized as XML
+	outSpans                    // span relations (spanner wrappers only)
 )
 
 func parseOutput(r *http.Request) (outputMode, error) {
@@ -33,9 +34,33 @@ func parseOutput(r *http.Request) (outputMode, error) {
 		return outAssign, nil
 	case "xml":
 		return outXML, nil
+	case "spans":
+		return outSpans, nil
 	default:
-		return 0, fmt.Errorf("unknown output %q (want nodes, assign or xml)", v)
+		return 0, fmt.Errorf("unknown output %q (want nodes, assign, xml or spans)", v)
 	}
+}
+
+// spansOK rejects ?output=spans against a wrapper that cannot produce
+// spans — only LangSpanner wrappers carry span rules, and a silent
+// empty result would mask the mismatch. Reports false after writing
+// the error response.
+func spansOK(w http.ResponseWriter, wr *Wrapper, mode outputMode) bool {
+	if mode == outSpans && wr.Query.Language() != mdlog.LangSpanner {
+		writeError(w, http.StatusBadRequest,
+			"output spans requires a spanner wrapper (%q is lang %s)", wr.Name, wr.Spec.Lang)
+		return false
+	}
+	return true
+}
+
+// spanResultJSON keeps empty span results as [] rather than null on
+// the wire (non-spanner members under ?output=spans render []).
+func spanResultJSON(res mdlog.SpanResult) any {
+	if res == nil {
+		return []any{}
+	}
+	return res
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -183,6 +208,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if !spansOK(w, wr, mode) {
+		return
+	}
 	ctx := r.Context()
 	// Count the document on acceptance (before parsing), mirroring
 	// /batch — so document_errors can never exceed documents.
@@ -224,6 +252,18 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/xml")
 		_ = wrap.WriteXML(w, out)
+	case outSpans:
+		res, stats, err := wr.Query.SpansStats(ctx, doc)
+		if err != nil {
+			s.docErrors.Add(1)
+			writeError(w, evalErrStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"wrapper": wr.Name,
+			"spans":   spanResultJSON(res),
+			"stats":   runStatsJSON(stats),
+		})
 	}
 }
 
@@ -304,6 +344,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if !spansOK(w, wr, mode) {
+		return
+	}
 	req, ndjson, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
@@ -376,6 +419,14 @@ func (s *Server) runBatch(ctx context.Context, wr *Wrapper, mode outputMode, doc
 				}
 				out <- finish(item, res.Index, res.Err)
 			}
+		case outSpans:
+			for res := range s.runner.SpansHTMLStream(ctx, wr.Query, srcs) {
+				item := map[string]any{"index": res.Index}
+				if res.Err == nil {
+					item["spans"] = spanResultJSON(res.Spans)
+				}
+				out <- finish(item, res.Index, res.Err)
+			}
 		}
 	}()
 	return out
@@ -386,7 +437,9 @@ func (s *Server) runBatch(ctx context.Context, wr *Wrapper, mode outputMode, doc
 
 // setOutput is parseOutput restricted to the modes /extractall and
 // /batchall support: per-wrapper XML trees are a per-wrapper concern
-// (use /extract/{name}?output=xml), not a fleet one.
+// (use /extract/{name}?output=xml), not a fleet one. output=spans is
+// allowed — spanner members report their span relations, other members
+// report empty ones.
 func setOutput(r *http.Request) (outputMode, error) {
 	mode, err := parseOutput(r)
 	if err != nil {
@@ -412,6 +465,8 @@ func setResultItem(res mdlog.SetResult, mode outputMode) map[string]any {
 		item["nodes"] = nonNil(res.IDs)
 	case outAssign:
 		item["assign"] = assignJSON(res.Assignment)
+	case outSpans:
+		item["spans"] = spanResultJSON(res.Spans)
 	}
 	return item
 }

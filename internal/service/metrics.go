@@ -114,6 +114,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_facts_total{wrapper=%q} %d\n", st.wr.Name, st.query.Facts)
 	}
+	counter("mdlogd_wrapper_spans_total", "Span tuples extracted by wrapper (spanner wrappers only).")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "mdlogd_wrapper_spans_total{wrapper=%q} %d\n", st.wr.Name, st.query.Spans)
+	}
 	counter("mdlogd_wrapper_cache_hits_total", "Runs served from the result memo, by wrapper.")
 	for _, st := range stats {
 		fmt.Fprintf(&b, "mdlogd_wrapper_cache_hits_total{wrapper=%q} %d\n", st.wr.Name, st.query.CacheHits)
@@ -186,6 +190,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	counter("mdlogd_runs_total", "Query runs across all wrappers.")
 	fmt.Fprintf(&b, "mdlogd_runs_total %d\n", total.Runs)
+	counter("mdlogd_spans_total", "Span tuples extracted across all wrappers.")
+	fmt.Fprintf(&b, "mdlogd_spans_total %d\n", total.Spans)
 	counter("mdlogd_eval_seconds_total", "Engine time across all wrappers.")
 	fmt.Fprintf(&b, "mdlogd_eval_seconds_total %s\n", seconds(total.Eval))
 

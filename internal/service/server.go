@@ -1,7 +1,7 @@
 // Package service is the wrapper-serving layer of mdlog: a long-running
 // HTTP daemon (cmd/mdlogd) that holds a concurrent registry of named
-// compiled wrappers — any of the paper's six languages — and serves
-// extraction over them.
+// compiled wrappers — any of the seven query languages, span-extracting
+// spanners included — and serves extraction over them.
 //
 // Endpoints (all request/response bodies JSON unless noted):
 //
@@ -9,14 +9,18 @@
 //	GET    /wrappers          list registered wrappers
 //	GET    /wrappers/{name}   one wrapper, including its source
 //	DELETE /wrappers/{name}   unregister
-//	POST   /extract/{name}    body = raw HTML; ?output=nodes|assign|xml
+//	POST   /extract/{name}    body = raw HTML;
+//	                          ?output=nodes|assign|xml|spans
 //	POST   /batch/{name}      body = {"docs":[{"id","html"},...]};
-//	                          ?output=nodes|assign|xml&format=json|ndjson
+//	                          ?output=nodes|assign|xml|spans
+//	                          &format=json|ndjson
 //	POST   /extractall        body = raw HTML; every registered wrapper
-//	                          in one fused pass; ?output=nodes|assign
+//	                          in one fused pass;
+//	                          ?output=nodes|assign|spans
 //	POST   /batchall          batch form of /extractall (one parse per
 //	                          document, all wrappers, fused);
-//	                          ?output=nodes|assign&format=json|ndjson
+//	                          ?output=nodes|assign|spans
+//	                          &format=json|ndjson
 //	PUT    /documents/{id}    body = raw HTML; open (or replace) a live
 //	                          document session
 //	GET    /documents         list live document sessions

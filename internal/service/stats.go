@@ -49,6 +49,7 @@ func queryStatsJSON(st mdlog.Stats) map[string]any {
 		"fused_runs":     st.FusedRuns,
 		"subsumed_runs":  st.SubsumedRuns,
 		"facts":          st.Facts,
+		"spans":          st.Spans,
 		"cache_hits":     st.CacheHits,
 		"parse_ns":       int64(st.Parse),
 		"compile_ns":     int64(st.Compile),
@@ -63,6 +64,7 @@ func queryStatsJSON(st mdlog.Stats) map[string]any {
 func runStatsJSON(st mdlog.Stats) map[string]any {
 	return map[string]any{
 		"facts":          st.Facts,
+		"spans":          st.Spans,
 		"cache_hits":     st.CacheHits,
 		"materialize_ns": int64(st.Materialize),
 		"eval_ns":        int64(st.Eval),

@@ -1,0 +1,210 @@
+package span
+
+// The reference matcher: a direct structural interpretation of the
+// regex-formula AST, sharing no code with the Thompson construction or
+// the feasibility-pruned DFS of vset.go. The differential fuzzer
+// (TestDifferentialEngines' spanner arm) checks Auto.Enumerate against
+// NaiveEnumerate on random formulas × random texts; RandomFormula
+// generates the formulas.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// nres is one partial reference match: the end position reached and
+// the capture marks bound so far (copy-on-bind, -1 = unbound).
+type nres struct {
+	end   int
+	marks []int32
+}
+
+// NaiveEnumerate returns every distinct capture tuple over all
+// substrings of text the formula matches — the reference semantics
+// Auto.Enumerate must agree with. Tuples are [open0, close0, ...] in
+// Vars order, sorted lexicographically. Exponential in the worst case;
+// for tests only.
+func (f *Formula) NaiveEnumerate(text string) [][]int32 {
+	nm := 2 * len(f.Vars)
+	seen := map[string]bool{}
+	var out [][]int32
+	base := make([]int32, nm)
+	for i := range base {
+		base[i] = -1
+	}
+	for pos := 0; pos <= len(text); pos++ {
+		for _, r := range naiveFrom(f.root, text, pos, base) {
+			key := fmt.Sprint(r.marks)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, r.marks)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func naiveFrom(n reNode, text string, pos int, marks []int32) []nres {
+	switch x := n.(type) {
+	case reEmpty:
+		return []nres{{end: pos, marks: marks}}
+	case reClass:
+		if pos < len(text) && x.cls.has(text[pos]) {
+			return []nres{{end: pos + 1, marks: marks}}
+		}
+		return nil
+	case reCat:
+		frontier := []nres{{end: pos, marks: marks}}
+		for _, sub := range x.subs {
+			var next []nres
+			for _, r := range frontier {
+				next = append(next, naiveFrom(sub, text, r.end, r.marks)...)
+			}
+			frontier = dedupRes(next)
+		}
+		return frontier
+	case reAlt:
+		var out []nres
+		for _, sub := range x.subs {
+			out = append(out, naiveFrom(sub, text, pos, marks)...)
+		}
+		return dedupRes(out)
+	case reStar:
+		var out []nres
+		if x.min == 0 {
+			out = append(out, nres{end: pos, marks: marks})
+		}
+		frontier := []nres{{end: pos, marks: marks}}
+		for len(frontier) > 0 {
+			var next []nres
+			for _, r := range frontier {
+				// The body is non-nullable (checked at parse), so every
+				// iteration strictly advances and this terminates.
+				next = append(next, naiveFrom(x.sub, text, r.end, r.marks)...)
+			}
+			next = dedupRes(next)
+			out = dedupRes(append(out, next...))
+			frontier = next
+		}
+		return out
+	case reCap:
+		var out []nres
+		for _, r := range naiveFrom(x.sub, text, pos, marks) {
+			m := append([]int32(nil), r.marks...)
+			m[2*x.v] = int32(pos)
+			m[2*x.v+1] = int32(r.end)
+			out = append(out, nres{end: r.end, marks: m})
+		}
+		return out
+	}
+	return nil
+}
+
+func dedupRes(rs []nres) []nres {
+	seen := map[string]bool{}
+	out := rs[:0]
+	for _, r := range rs {
+		key := fmt.Sprint(r.end, r.marks)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RandomFormula generates the source of a random valid regex formula
+// with up to maxVars capture variables, for differential fuzzing. The
+// result always parses: quantified subexpressions are generated
+// variable-free and non-nullable, alternation branches variable-free,
+// so the functional restrictions hold by construction.
+func RandomFormula(rng *rand.Rand, maxVars int) string {
+	g := &fgen{rng: rng, maxVars: maxVars}
+	src := g.concat(2, true)
+	if src == "" {
+		src = g.atom(false)
+	}
+	return src
+}
+
+type fgen struct {
+	rng     *rand.Rand
+	maxVars int
+	vars    int
+	depth   int
+}
+
+// fgenMaxDepth bounds atom/concat recursion so generation terminates.
+const fgenMaxDepth = 4
+
+var fgenLits = []string{"a", "b", "0", "1", "\\$", "x", " "}
+var fgenClasses = []string{"[ab]", "[01]", "\\d", "[a-z]", ".", "[^a]"}
+
+// atom emits one quantifiable unit; nullable reports ε-matching.
+func (g *fgen) atom(allowNullable bool) string {
+	if g.depth >= fgenMaxDepth {
+		return fgenLits[g.rng.Intn(len(fgenLits))]
+	}
+	g.depth++
+	defer func() { g.depth-- }()
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		return fgenLits[g.rng.Intn(len(fgenLits))]
+	case 2:
+		return fgenClasses[g.rng.Intn(len(fgenClasses))]
+	case 3: // alternation of two var-free branches
+		return "(" + g.concat(1, false) + "|" + g.concat(1, false) + ")"
+	case 4: // quantified var-free non-nullable body (lit/class only, so
+		// no nested quantifier and no nullable star body)
+		body := fgenLits[g.rng.Intn(len(fgenLits))]
+		if g.rng.Intn(2) == 0 {
+			body = fgenClasses[g.rng.Intn(len(fgenClasses))]
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			return body + "*"
+		case 1:
+			return body + "+"
+		default:
+			return body + "?"
+		}
+	default:
+		return "(" + g.concat(1, false) + ")"
+	}
+}
+
+// concat emits 1..depth+1 units; withVars may wrap units in captures.
+func (g *fgen) concat(depth int, withVars bool) string {
+	n := 1 + g.rng.Intn(depth+2)
+	out := ""
+	for i := 0; i < n; i++ {
+		unit := g.atom(false)
+		if withVars && g.vars < g.maxVars && g.rng.Intn(3) == 0 {
+			unit = fmt.Sprintf("(?<v%d>%s)", g.vars, unit)
+			g.vars++
+		}
+		out += unit
+	}
+	return out
+}
+
+// RandomText generates a short random text over the alphabet the
+// random formulas use, so matches actually occur.
+func RandomText(rng *rand.Rand, maxLen int) string {
+	alpha := "ab01$x .z"
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}

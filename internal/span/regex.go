@@ -1,0 +1,601 @@
+// Package span implements document spanners: regex formulas (regular
+// expressions with capture variables, Maturana–Riveros–Vrgoč) compiled
+// to variable-set automata and run over the per-node character data of
+// a tree — the text and attribute values the PR 2 arena already stores
+// as offset spans into one immutable Blob string. A spanner program
+// (see ParseProgram) combines ordinary monadic datalog over τ_ur,
+// which selects the candidate nodes, with span rules whose primitives
+// (text, attr, match, within, before) produce span relations
+// (start, end) — logically an EDB extension of τ_ur, operationally
+// evaluated lazily per matched node.
+//
+// Soundness restrictions (all checked at parse time, see DESIGN.md
+// §Spanners): formulas are functional — every capture variable is
+// bound exactly once on every accepting path, so capture variables may
+// not occur under *, +, ? or {m,n}, and every branch of an alternation
+// must bind the same variable set — and starred subexpressions must
+// not match the empty string, which keeps the Thompson construction
+// free of ε-cycles and match enumeration finite.
+package span
+
+import (
+	"fmt"
+	"strings"
+)
+
+// class is a 256-bit byte-class bitmap. Formulas match byte-wise:
+// multi-byte UTF-8 sequences are matched as their literal bytes, and
+// '.' matches any byte except '\n'.
+type class [4]uint64
+
+func (c *class) set(b byte)      { c[b>>6] |= 1 << (b & 63) }
+func (c *class) has(b byte) bool { return c[b>>6]&(1<<(b&63)) != 0 }
+
+func (c *class) negate() {
+	for i := range c {
+		c[i] = ^c[i]
+	}
+}
+
+func (c *class) union(o class) {
+	for i := range c {
+		c[i] |= o[i]
+	}
+}
+
+// single returns the unique byte of a singleton class, or -1.
+func (c *class) single() int {
+	found := -1
+	for b := 0; b < 256; b++ {
+		if c.has(byte(b)) {
+			if found >= 0 {
+				return -1
+			}
+			found = b
+		}
+	}
+	return found
+}
+
+// reNode is one regex-formula AST node.
+type reNode interface{ isRE() }
+
+type reEmpty struct{}            // ε
+type reClass struct{ cls class } // one byte from a class
+type reCat struct{ subs []reNode }
+type reAlt struct{ subs []reNode }
+type reStar struct {
+	sub reNode
+	min int // 0 for e*, 1 for e+
+}
+type reCap struct {
+	v   int // index into Formula.Vars
+	sub reNode
+}
+
+func (reEmpty) isRE() {}
+func (reClass) isRE() {}
+func (reCat) isRE()   {}
+func (reAlt) isRE()   {}
+func (reStar) isRE()  {}
+func (reCap) isRE()   {}
+
+// Formula is a parsed, validated regex formula ready for compilation
+// to a variable-set automaton (Compile) or reference evaluation
+// (NaiveEnumerate). Immutable after ParseFormula.
+type Formula struct {
+	// Vars lists the capture-variable names in order of appearance —
+	// the positional binding order of a match(...) span atom.
+	Vars []string
+
+	src  string
+	root reNode
+	auto *Auto // compiled on demand by Compile, memoized
+}
+
+// Source returns the formula's source text.
+func (f *Formula) Source() string { return f.src }
+
+// ParseFormula parses and validates one regex formula. The syntax is
+// the usual byte-oriented regex core — literals, '.', escapes
+// (\d \w \s \D \W \S and \<metachar>), classes [a-z0-9] / [^...],
+// alternation '|', grouping '(...)' (non-capturing), quantifiers
+// * + ? {m} {m,n} {m,} — plus named capture variables '(?<name>...)'.
+// There are no anchors: a spanner enumerates every substring of its
+// input that the whole formula matches. Violations of the functional
+// restrictions (see the package comment) are parse errors.
+func ParseFormula(src string) (*Formula, error) {
+	p := &reParser{src: src, f: &Formula{src: src}}
+	root, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(src) {
+		return nil, fmt.Errorf("span: regex /%s/: unexpected %q at offset %d", src, src[p.pos], p.pos)
+	}
+	p.f.root = root
+	if _, err := checkVars(root, src); err != nil {
+		return nil, err
+	}
+	if err := checkStars(root, src); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParseFormula is ParseFormula, panicking on error (for tests and
+// fixed program fragments).
+func MustParseFormula(src string) *Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// nullable reports whether n matches the empty string.
+func nullable(n reNode) bool {
+	switch x := n.(type) {
+	case reEmpty:
+		return true
+	case reClass:
+		return false
+	case reCat:
+		for _, s := range x.subs {
+			if !nullable(s) {
+				return false
+			}
+		}
+		return true
+	case reAlt:
+		for _, s := range x.subs {
+			if nullable(s) {
+				return true
+			}
+		}
+		return false
+	case reStar:
+		return x.min == 0 || nullable(x.sub)
+	case reCap:
+		return nullable(x.sub)
+	}
+	return false
+}
+
+// checkVars enforces the functional restriction, returning the set of
+// variables n binds on every accepting path.
+func checkVars(n reNode, src string) (map[int]bool, error) {
+	switch x := n.(type) {
+	case reEmpty, reClass:
+		return nil, nil
+	case reCat:
+		all := map[int]bool{}
+		for _, s := range x.subs {
+			vs, err := checkVars(s, src)
+			if err != nil {
+				return nil, err
+			}
+			for v := range vs {
+				if all[v] {
+					return nil, fmt.Errorf("span: regex /%s/: capture variable bound twice on one path", src)
+				}
+				all[v] = true
+			}
+		}
+		return all, nil
+	case reAlt:
+		var first map[int]bool
+		for i, s := range x.subs {
+			vs, err := checkVars(s, src)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				first = vs
+				continue
+			}
+			if len(vs) != len(first) {
+				return nil, fmt.Errorf("span: regex /%s/: alternation branches bind different capture variables (a formula must bind every variable on every path)", src)
+			}
+			for v := range vs {
+				if !first[v] {
+					return nil, fmt.Errorf("span: regex /%s/: alternation branches bind different capture variables (a formula must bind every variable on every path)", src)
+				}
+			}
+		}
+		return first, nil
+	case reStar:
+		vs, err := checkVars(x.sub, src)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) > 0 {
+			return nil, fmt.Errorf("span: regex /%s/: capture variables may not occur under *, +, ? or {m,n} (each variable must be bound exactly once)", src)
+		}
+		return nil, nil
+	case reCap:
+		vs, err := checkVars(x.sub, src)
+		if err != nil {
+			return nil, err
+		}
+		out := map[int]bool{x.v: true}
+		for v := range vs {
+			if out[v] {
+				return nil, fmt.Errorf("span: regex /%s/: capture variable bound twice on one path", src)
+			}
+			out[v] = true
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+// checkStars rejects starred subexpressions that match ε (they would
+// make match enumeration non-terminating and put ε-cycles in the
+// automaton).
+func checkStars(n reNode, src string) error {
+	switch x := n.(type) {
+	case reCat:
+		for _, s := range x.subs {
+			if err := checkStars(s, src); err != nil {
+				return err
+			}
+		}
+	case reAlt:
+		for _, s := range x.subs {
+			if err := checkStars(s, src); err != nil {
+				return err
+			}
+		}
+	case reStar:
+		if nullable(x.sub) {
+			return fmt.Errorf("span: regex /%s/: the body of * / + / {m,n} must not match the empty string", src)
+		}
+		return checkStars(x.sub, src)
+	case reCap:
+		return checkStars(x.sub, src)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+
+type reParser struct {
+	src string
+	pos int
+	f   *Formula
+}
+
+func (p *reParser) errf(format string, args ...any) error {
+	return fmt.Errorf("span: regex /%s/: %s (offset %d)", p.src, fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *reParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *reParser) alt() (reNode, error) {
+	first, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []reNode{first}
+	for !p.eof() && p.src[p.pos] == '|' {
+		p.pos++
+		next, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return reAlt{subs: subs}, nil
+}
+
+func (p *reParser) cat() (reNode, error) {
+	var subs []reNode
+	for !p.eof() && p.src[p.pos] != '|' && p.src[p.pos] != ')' {
+		n, err := p.rep()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return reEmpty{}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return reCat{subs: subs}, nil
+}
+
+// maxBound caps {m,n} repetition counts: bounds expand by AST copying,
+// so unbounded counts would let a short source explode the automaton.
+const maxBound = 64
+
+func (p *reParser) rep() (reNode, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() {
+		return atom, nil
+	}
+	switch p.src[p.pos] {
+	case '*':
+		p.pos++
+		return reStar{sub: atom, min: 0}, nil
+	case '+':
+		p.pos++
+		return reStar{sub: atom, min: 1}, nil
+	case '?':
+		p.pos++
+		return reAlt{subs: []reNode{atom, reEmpty{}}}, nil
+	case '{':
+		return p.bound(atom)
+	}
+	return atom, nil
+}
+
+// bound parses {m}, {m,} or {m,n} and desugars it to m copies plus
+// optionals / a star. The copies share the same immutable AST subtree.
+func (p *reParser) bound(atom reNode) (reNode, error) {
+	p.pos++ // '{'
+	m, ok := p.int()
+	if !ok {
+		return nil, p.errf("expected a count after '{' (write \\{ for a literal brace)")
+	}
+	n, unbounded := m, false
+	if !p.eof() && p.src[p.pos] == ',' {
+		p.pos++
+		if v, ok := p.int(); ok {
+			n = v
+		} else {
+			unbounded = true
+		}
+	}
+	if p.eof() || p.src[p.pos] != '}' {
+		return nil, p.errf("expected '}' closing the repetition bound")
+	}
+	p.pos++
+	if n < m || m > maxBound || n > maxBound {
+		return nil, p.errf("bad repetition bound {%d,%d} (max %d)", m, n, maxBound)
+	}
+	var subs []reNode
+	for i := 0; i < m; i++ {
+		subs = append(subs, atom)
+	}
+	if unbounded {
+		subs = append(subs, reStar{sub: atom, min: 0})
+	} else {
+		for i := m; i < n; i++ {
+			subs = append(subs, reAlt{subs: []reNode{atom, reEmpty{}}})
+		}
+	}
+	switch len(subs) {
+	case 0:
+		return reEmpty{}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return reCat{subs: subs}, nil
+}
+
+func (p *reParser) int() (int, bool) {
+	start := p.pos
+	for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || p.pos-start > 3 {
+		return 0, false
+	}
+	v := 0
+	for _, c := range []byte(p.src[start:p.pos]) {
+		v = v*10 + int(c-'0')
+	}
+	return v, true
+}
+
+func (p *reParser) atom() (reNode, error) {
+	c := p.src[p.pos]
+	switch c {
+	case '(':
+		p.pos++
+		if strings.HasPrefix(p.src[p.pos:], "?<") {
+			p.pos += 2
+			name, err := p.capName()
+			if err != nil {
+				return nil, err
+			}
+			sub, err := p.alt()
+			if err != nil {
+				return nil, err
+			}
+			if p.eof() || p.src[p.pos] != ')' {
+				return nil, p.errf("expected ')' closing capture (?<%s>", name)
+			}
+			p.pos++
+			for _, v := range p.f.Vars {
+				if v == name {
+					return nil, p.errf("duplicate capture variable %q", name)
+				}
+			}
+			p.f.Vars = append(p.f.Vars, name)
+			return reCap{v: len(p.f.Vars) - 1, sub: sub}, nil
+		}
+		sub, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return sub, nil
+	case '[':
+		return p.charClass()
+	case '\\':
+		p.pos++
+		if p.eof() {
+			return nil, p.errf("trailing backslash")
+		}
+		cls, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return reClass{cls: cls}, nil
+	case '.':
+		p.pos++
+		var cls class
+		cls.negate()
+		cls[0] &^= 1 << '\n' // any byte but newline
+		return reClass{cls: cls}, nil
+	case '*', '+', '?', '{':
+		return nil, p.errf("quantifier %q has nothing to repeat", c)
+	case ')', '|':
+		return nil, p.errf("unexpected %q", c)
+	default:
+		p.pos++
+		var cls class
+		cls.set(c)
+		return reClass{cls: cls}, nil
+	}
+}
+
+func (p *reParser) capName() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (p.pos > start && c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected a capture-variable name after (?<")
+	}
+	if p.eof() || p.src[p.pos] != '>' {
+		return "", p.errf("expected '>' after capture-variable name")
+	}
+	name := p.src[start:p.pos]
+	p.pos++
+	return name, nil
+}
+
+// escape consumes the byte after a backslash, returning its class.
+func (p *reParser) escape() (class, error) {
+	c := p.src[p.pos]
+	p.pos++
+	var cls class
+	switch c {
+	case 'd', 'D':
+		for b := '0'; b <= '9'; b++ {
+			cls.set(byte(b))
+		}
+	case 'w', 'W':
+		for b := '0'; b <= '9'; b++ {
+			cls.set(byte(b))
+		}
+		for b := 'a'; b <= 'z'; b++ {
+			cls.set(byte(b))
+		}
+		for b := 'A'; b <= 'Z'; b++ {
+			cls.set(byte(b))
+		}
+		cls.set('_')
+	case 's', 'S':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\f', '\v'} {
+			cls.set(b)
+		}
+	case 'n':
+		cls.set('\n')
+	case 't':
+		cls.set('\t')
+	case 'r':
+		cls.set('\r')
+	default:
+		cls.set(c) // \$ \. \\ \/ \[ ... : the literal byte
+	}
+	if c == 'D' || c == 'W' || c == 'S' {
+		cls.negate()
+	}
+	return cls, nil
+}
+
+func (p *reParser) charClass() (reNode, error) {
+	p.pos++ // '['
+	var cls class
+	neg := false
+	if !p.eof() && p.src[p.pos] == '^' {
+		neg = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated character class")
+		}
+		c := p.src[p.pos]
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		var lo class
+		if c == '\\' {
+			p.pos++
+			if p.eof() {
+				return nil, p.errf("trailing backslash in character class")
+			}
+			e, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			lo = e
+		} else {
+			p.pos++
+			lo.set(c)
+		}
+		// A range a-z needs single-byte endpoints; '-' at the end of the
+		// class is a literal.
+		if b := lo.single(); b >= 0 && !p.eof() && p.src[p.pos] == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi := p.src[p.pos]
+			if hi == '\\' {
+				p.pos++
+				if p.eof() {
+					return nil, p.errf("trailing backslash in character class")
+				}
+				e, err := p.escape()
+				if err != nil {
+					return nil, err
+				}
+				h := e.single()
+				if h < 0 {
+					return nil, p.errf("bad range endpoint in character class")
+				}
+				hi = byte(h)
+			} else {
+				p.pos++
+			}
+			if byte(b) > hi {
+				return nil, p.errf("inverted range %c-%c in character class", byte(b), hi)
+			}
+			for x := byte(b); ; x++ {
+				cls.set(x)
+				if x == hi {
+					break
+				}
+			}
+			continue
+		}
+		cls.union(lo)
+	}
+	if neg {
+		cls.negate()
+	}
+	return reClass{cls: cls}, nil
+}

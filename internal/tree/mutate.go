@@ -353,6 +353,15 @@ func (a *Arena) SetText(d *ArenaDelta, v int32, text string) error {
 	return nil
 }
 
+// AppendText appends suffix to node v's character data — a SetText of
+// the concatenation, so the same retext bookkeeping applies.
+func (a *Arena) AppendText(d *ArenaDelta, v int32, suffix string) error {
+	if v < 0 || int(v) >= a.Len() || !a.Alive(v) {
+		return fmt.Errorf("tree: appendtext of nonexistent node %d", v)
+	}
+	return a.SetText(d, v, a.Text(v)+suffix)
+}
+
 func (a *Arena) setTextOver(v int32, text string) {
 	if a.textOver == nil {
 		a.textOver = make(map[int32]string)

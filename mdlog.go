@@ -16,6 +16,8 @@
 //	LangXPath         //table/tr[td/b]/td                   Section 7 remark
 //	LangCaterpillar   child*.label_td.child.label_b         Lemma 5.9, Cor 5.12
 //	LangElog          item(x) :- root(r), subelem(p, r, x)  Section 6, Cor 6.4
+//	LangSpanner       p(X,A) :- c(X), text(X,S),            extension: document
+//	                       match(S, /(?<a>\d+)/, A).        spanners
 //
 // (Query automata, the sixth formalism of the equivalence, arrive via
 // their datalog translations — [QAr.ToDatalog] / [SQAu] — and
@@ -23,7 +25,11 @@
 // plans: the Theorem 4.2 linear-time datalog engine (via the TMNF
 // rewriting of Theorem 5.2 where needed), a deterministic tree
 // automaton, or a direct evaluator for the fragments with no positive
-// datalog translation.
+// datalog translation. The seventh language steps beyond the paper's
+// node-selecting equivalence: a spanner program pairs monadic-datalog
+// node rules with span rules whose regex formulas compile to
+// variable-set automata over node text and attribute values, returning
+// span relations ([CompiledQuery.Spans]) instead of bare node ids.
 //
 // Documents come from [ParseHTML] / [ParseHTMLReader] (streaming,
 // arena-backed) or term syntax via [ParseTree]; [Runner] fans a

@@ -22,6 +22,7 @@ import (
 	"mdlog/internal/eval"
 	"mdlog/internal/mso"
 	"mdlog/internal/opt"
+	"mdlog/internal/span"
 	"mdlog/internal/tmnf"
 	"mdlog/internal/tree"
 	"mdlog/internal/wrap"
@@ -30,7 +31,8 @@ import (
 
 // Language enumerates the query formalisms Compile accepts — the six
 // languages the paper relates (query automata arrive via their
-// ToDatalog translations and LangDatalog).
+// ToDatalog translations and LangDatalog) plus LangSpanner, the
+// span-extraction front end layered on top of them.
 type Language int
 
 const (
@@ -61,35 +63,66 @@ const (
 	// datalog and TMNF (Corollary 6.4), Δ programs use the direct
 	// evaluator.
 	LangElog
+	// LangSpanner is the document-spanner front end: monadic-datalog
+	// node selection combined with span rules whose regex formulas run
+	// as variable-set automata over node text and attribute values (see
+	// internal/span). Results are span relations, read via
+	// CompiledQuery.Spans rather than Select.
+	LangSpanner
 )
+
+// languageNames is the single source of truth for the language list:
+// String, ParseLanguage, MarshalText, and the CLI -lang help all
+// derive from it, so adding a language is one entry here.
+var languageNames = []struct {
+	lang Language
+	name string
+}{
+	{LangDatalog, "datalog"},
+	{LangTMNF, "tmnf"},
+	{LangMSO, "mso"},
+	{LangXPath, "xpath"},
+	{LangCaterpillar, "caterpillar"},
+	{LangElog, "elog"},
+	{LangSpanner, "spanner"},
+}
+
+// LanguageNames returns the flag names of every supported language in
+// canonical order — the values ParseLanguage accepts. CLI help strings
+// should derive from this rather than hard-coding the list.
+func LanguageNames() []string {
+	out := make([]string, len(languageNames))
+	for i, e := range languageNames {
+		out[i] = e.name
+	}
+	return out
+}
+
+// languageList renders the language names for error and help text,
+// e.g. "datalog, tmnf, mso, xpath, caterpillar, elog or spanner".
+func languageList() string {
+	names := LanguageNames()
+	return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
+}
 
 // String names the language for CLI flags and error messages.
 func (l Language) String() string {
-	switch l {
-	case LangDatalog:
-		return "datalog"
-	case LangTMNF:
-		return "tmnf"
-	case LangMSO:
-		return "mso"
-	case LangXPath:
-		return "xpath"
-	case LangCaterpillar:
-		return "caterpillar"
-	case LangElog:
-		return "elog"
+	for _, e := range languageNames {
+		if e.lang == l {
+			return e.name
+		}
 	}
 	return fmt.Sprintf("Language(%d)", int(l))
 }
 
 // ParseLanguage converts a CLI flag value into a Language.
 func ParseLanguage(s string) (Language, error) {
-	for _, l := range []Language{LangDatalog, LangTMNF, LangMSO, LangXPath, LangCaterpillar, LangElog} {
-		if s == l.String() {
-			return l, nil
+	for _, e := range languageNames {
+		if s == e.name {
+			return e.lang, nil
 		}
 	}
-	return 0, fmt.Errorf("mdlog: unknown language %q (want datalog, tmnf, mso, xpath, caterpillar or elog)", s)
+	return 0, fmt.Errorf("mdlog: unknown language %q (want %s)", s, languageList())
 }
 
 // MarshalText implements encoding.TextMarshaler, so a Language field
@@ -264,6 +297,7 @@ type aggStats struct {
 	facts, runs          atomic.Int64
 	cacheHits, fusedRuns atomic.Int64
 	subsumedRuns         atomic.Int64
+	spans                atomic.Int64
 }
 
 // record folds one run's measurements into the aggregate. Runs is
@@ -283,6 +317,7 @@ func (a *aggStats) record(rs Stats) {
 	a.cacheHits.Add(rs.CacheHits)
 	a.fusedRuns.Add(rs.FusedRuns)
 	a.subsumedRuns.Add(rs.SubsumedRuns)
+	a.spans.Add(rs.Spans)
 }
 
 // snapshot assembles the aggregate into a Stats value. The counters
@@ -306,6 +341,7 @@ func (a *aggStats) snapshot() Stats {
 		CacheHits:    cacheHits,
 		FusedRuns:    fusedRuns,
 		SubsumedRuns: subsumedRuns,
+		Spans:        a.spans.Load(),
 	}
 }
 
@@ -378,9 +414,15 @@ func parseSource(src string, lang Language, opts []Option) (func() (*CompiledQue
 			return nil, err
 		}
 		return func() (*CompiledQuery, error) { return CompileElog(p, opts...) }, nil
+	case LangSpanner:
+		p, err := span.ParseProgram(src)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*CompiledQuery, error) { return CompileSpanner(p, opts...) }, nil
 	}
 	if lang == langInvalid {
-		return nil, fmt.Errorf("mdlog: no query language specified (want datalog, tmnf, mso, xpath, caterpillar or elog)")
+		return nil, fmt.Errorf("mdlog: no query language specified (want %s)", languageList())
 	}
 	return nil, fmt.Errorf("mdlog: unknown language %v", lang)
 }
@@ -811,7 +853,9 @@ func (q *CompiledQuery) EvalStats(ctx context.Context, t *Tree) (*Database, Stat
 
 // Select runs the plan on one document and returns the sorted
 // document-order ids of the nodes its query predicate selects — the
-// paper's unary-query interface, uniform across all six languages.
+// paper's unary-query interface, uniform across all seven languages
+// (for a spanner it selects the node part's ?- predicate; Spans
+// returns the span relations).
 func (q *CompiledQuery) Select(ctx context.Context, t *Tree) ([]int, error) {
 	ids, _, err := q.SelectStats(ctx, t)
 	return ids, err

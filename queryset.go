@@ -25,6 +25,7 @@ import (
 	"mdlog/internal/datalog"
 	"mdlog/internal/eval"
 	"mdlog/internal/opt"
+	"mdlog/internal/span"
 )
 
 // FuseReport describes what fusing a QuerySet did: total member rules
@@ -69,6 +70,9 @@ type SetResult struct {
 	// Assignment maps each of the member's extraction predicates with
 	// a non-empty extension to its sorted node ids (Assign semantics).
 	Assignment Assignment
+	// Spans holds a spanner member's span relations (Spans semantics);
+	// nil for members of every other language.
+	Spans SpanResult
 	// Stats are the member's attributed per-run measurements; for
 	// fused members the shared pass's timing is divided evenly and
 	// FusedRuns is 1.
@@ -180,7 +184,14 @@ func NewNamedQuerySet(members ...NamedQuery) (*QuerySet, error) {
 		// differs.
 		var prog *datalog.Program
 		var visible []string
-		switch lp := m.Query.plan.(type) {
+		// A spanner member's node part is an ordinary grounding plan —
+		// fuse it; the span rules run per member on the split-out
+		// candidate relations (see fill).
+		plan := m.Query.plan
+		if sp, ok := plan.(*spannerPlan); ok {
+			plan = sp.inner
+		}
+		switch lp := plan.(type) {
 		case *linearPlan:
 			prog, visible = lp.plan.Program(), lp.project
 		case *bitmapPlan:
@@ -390,7 +401,7 @@ func (s *QuerySet) Run(ctx context.Context, t *Tree) []SetResult {
 			if s.fused.MemberSubsumed(j) {
 				st.SubsumedRuns = 1
 			}
-			s.fill(res, dbs[j], st)
+			s.fill(res, treeSource{t: t}, dbs[j], st)
 		}
 	}
 	for i, m := range s.members {
@@ -413,7 +424,7 @@ func (s *QuerySet) Run(ctx context.Context, t *Tree) []SetResult {
 			continue
 		}
 		rs.Runs = 1
-		s.fill(&out[i], db, rs)
+		s.fill(&out[i], treeSource{t: t}, db, rs)
 	}
 	for i := range out {
 		total.Facts += out[i].Stats.Facts
@@ -425,8 +436,11 @@ func (s *QuerySet) Run(ctx context.Context, t *Tree) []SetResult {
 
 // fill completes one member's SetResult from its visible database and
 // records the attributed stats on the member query, so per-wrapper
-// aggregates (service /stats, /metrics) reflect fused runs too.
-func (s *QuerySet) fill(res *SetResult, db *Database, st Stats) {
+// aggregates (service /stats, /metrics) reflect fused runs too. src
+// supplies character data for spanner members (the tree for Run, the
+// live arena for RunIncremental); the node ids in db must be in src's
+// id space.
+func (s *QuerySet) fill(res *SetResult, src span.Source, db *Database, st Stats) {
 	q := s.members[res.Index].Query
 	if q.queryPred != "" {
 		res.IDs = db.UnarySet(q.queryPred)
@@ -438,6 +452,12 @@ func (s *QuerySet) fill(res *SetResult, db *Database, st Stats) {
 			a[pred] = ids
 			facts += int64(len(ids))
 		}
+	}
+	if sp, ok := q.plan.(*spannerPlan); ok {
+		start := time.Now()
+		res.Spans = sp.eval.Eval(src, db.UnarySet)
+		st.Eval += time.Since(start)
+		st.Spans = int64(res.Spans.Tuples())
 	}
 	res.Assignment = a
 	st.Facts = facts

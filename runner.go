@@ -52,6 +52,16 @@ type WrapResult struct {
 	Err        error
 }
 
+// SpanDocResult is one document's Spans outcome (spanner queries).
+type SpanDocResult struct {
+	// Index is the document's position in the input order.
+	Index int
+	Doc   *Tree
+	// Spans holds the extracted span relations; nil when Err is set.
+	Spans SpanResult
+	Err   error
+}
+
 // SetDocResult is one document's QuerySet outcome: a SetResult per
 // member in set order, plus a document-level error (a failed parse on
 // the HTML paths, or a canceled context) that preempted evaluation.
@@ -122,6 +132,65 @@ func (r Runner) SetHTMLStream(ctx context.Context, s *QuerySet, srcs <-chan io.R
 		defer close(out)
 		for x := range res {
 			out <- SetDocResult{Index: x.Index, Doc: x.Value.doc, Results: x.Value.results, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// SpansAll runs q.Spans — a spanner query's span extraction — over
+// every document concurrently, returning per-document results in
+// input order. Every result carries the same error when q is not a
+// spanner query.
+func (r Runner) SpansAll(ctx context.Context, q *CompiledQuery, docs []*Tree) []SpanDocResult {
+	res := eval.MapAll(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) (SpanResult, error) {
+		return q.Spans(ctx, t)
+	})
+	out := make([]SpanDocResult, len(res))
+	for i, x := range res {
+		out[i] = SpanDocResult{Index: x.Index, Doc: x.Doc, Spans: x.Value, Err: x.Err}
+	}
+	return out
+}
+
+// SpansStream runs q.Spans over a stream of documents, yielding
+// results in input order (see SelectStream for channel semantics).
+func (r Runner) SpansStream(ctx context.Context, q *CompiledQuery, docs <-chan *Tree) <-chan SpanDocResult {
+	res := eval.MapStream(ctx, r.pool(), docs, func(ctx context.Context, t *tree.Tree) (SpanResult, error) {
+		return q.Spans(ctx, t)
+	})
+	out := make(chan SpanDocResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SpanDocResult{Index: x.Index, Doc: x.Doc, Spans: x.Value, Err: x.Err}
+		}
+	}()
+	return out
+}
+
+// SpansHTMLStream is SpansStream for raw HTML: each document is
+// parsed from its reader inside the worker pool, then run through
+// q.Spans. Error semantics are those of SelectHTMLStream: a failing
+// reader marks only its own result, a canceled context stops the
+// stream.
+func (r Runner) SpansHTMLStream(ctx context.Context, q *CompiledQuery, srcs <-chan io.Reader) <-chan SpanDocResult {
+	type parsed struct {
+		doc   *Tree
+		spans SpanResult
+	}
+	res := eval.MapStreamFrom(ctx, r.pool(), srcs, func(ctx context.Context, rd io.Reader) (parsed, error) {
+		doc, err := html.ParseReader(rd)
+		if err != nil {
+			return parsed{}, err
+		}
+		spans, err := q.Spans(ctx, doc)
+		return parsed{doc: doc, spans: spans}, err
+	}, nil)
+	out := make(chan SpanDocResult)
+	go func() {
+		defer close(out)
+		for x := range res {
+			out <- SpanDocResult{Index: x.Index, Doc: x.Value.doc, Spans: x.Value.spans, Err: x.Err}
 		}
 	}()
 	return out
